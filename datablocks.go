@@ -1,0 +1,396 @@
+// Package datablocks is a Go implementation of Data Blocks — the
+// compressed columnar storage format for hybrid OLTP & OLAP database
+// systems introduced by Lang et al. (SIGMOD 2016) for HyPer.
+//
+// Relations are divided into fixed-size chunks. Hot chunks remain
+// uncompressed and writable; cold chunks are frozen into immutable,
+// self-contained Data Blocks that choose the optimal byte-addressable
+// compression per attribute (single value, order-preserving dictionary,
+// truncation), carry min/max SMAs and Positional SMA (PSMA) lookup tables,
+// and still serve O(1) point accesses for transactional workloads.
+// Analytical scans evaluate SARGable predicates directly on the compressed
+// data with SIMD-within-a-register kernels, narrow scan ranges with SMAs
+// and PSMAs, and feed compiled tuple-at-a-time query pipelines through an
+// interpreted vectorized scan layer.
+//
+// The top-level API covers table management, OLTP operations (insert,
+// point lookup, delete, update), freezing, predicate scans and a physical
+// query-plan layer (joins, aggregation, ordering). See the examples
+// directory for end-to-end usage and DESIGN.md for the paper-to-module
+// map.
+package datablocks
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datablocks/internal/core"
+	"datablocks/internal/exec"
+	"datablocks/internal/index"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+// Re-exported fundamental types, so users need only this package.
+type (
+	// Kind is a logical column type.
+	Kind = types.Kind
+	// Column describes one attribute.
+	Column = types.Column
+	// Value is a dynamically typed cell.
+	Value = types.Value
+	// Row is a tuple of values.
+	Row = types.Row
+	// CompareOp is a SARGable comparison operator.
+	CompareOp = types.CompareOp
+	// MemStats summarizes a table's memory footprint.
+	MemStats = storage.MemStats
+	// TupleID is a stable tuple identifier.
+	TupleID = storage.TupleID
+	// Result is a materialized query result.
+	Result = exec.Result
+	// QueryOptions configures plan execution.
+	QueryOptions = exec.Options
+	// ScanMode selects the scan flavor (JIT, vectorized, +SARG, +PSMA).
+	ScanMode = exec.ScanMode
+	// Node is a physical query-plan operator.
+	Node = exec.Node
+	// Expr is a scalar expression for filters, projections and aggregates.
+	Expr = exec.Expr
+)
+
+// Column kinds.
+const (
+	Int64   = types.Int64
+	Float64 = types.Float64
+	String  = types.String
+)
+
+// Comparison operators.
+const (
+	Eq        = types.Eq
+	Ne        = types.Ne
+	Lt        = types.Lt
+	Le        = types.Le
+	Gt        = types.Gt
+	Ge        = types.Ge
+	Between   = types.Between
+	IsNull    = types.IsNull
+	IsNotNull = types.IsNotNull
+	Prefix    = types.Prefix
+)
+
+// Scan modes (Table 2 configurations).
+const (
+	ModeJIT                = exec.ModeJIT
+	ModeVectorized         = exec.ModeVectorized
+	ModeVectorizedSARG     = exec.ModeVectorizedSARG
+	ModeVectorizedSARGPSMA = exec.ModeVectorizedSARGPSMA
+)
+
+// Value constructors.
+var (
+	Int       = types.IntValue
+	Float     = types.FloatValue
+	Str       = types.StringValue
+	Null      = types.NullValue
+	Date      = types.DateValue
+	NewSchema = types.NewSchema
+)
+
+// Expression constructors for the plan layer.
+var (
+	Col      = exec.Col
+	CInt     = exec.CInt
+	CFloat   = exec.CFloat
+	CStr     = exec.CStr
+	Add      = exec.Add
+	SubE     = exec.Sub
+	MulE     = exec.Mul
+	DivE     = exec.Div
+	CmpE     = exec.Cmp
+	AndE     = exec.And
+	OrE      = exec.Or
+	NotE     = exec.Not
+	BetweenE = exec.BetweenE
+)
+
+// DB is a collection of named tables.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// Open creates an empty in-memory database.
+func Open() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// TableOption customizes table creation.
+type TableOption func(*Table)
+
+// WithPrimaryKey maintains a unique hash index on the named int64 column,
+// enabling indexed point lookups (Table 3's "PK index" configurations).
+func WithPrimaryKey(col string) TableOption {
+	return func(t *Table) { t.pkName = col }
+}
+
+// WithChunkRows bounds rows per chunk (default 2^16, the Data Block
+// maximum).
+func WithChunkRows(n int) TableOption {
+	return func(t *Table) { t.chunkRows = n }
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Table, error) {
+	t := &Table{name: name, schema: types.NewSchema(cols...)}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if t.pkName != "" {
+		i := t.schema.ColumnIndex(t.pkName)
+		if i < 0 {
+			return nil, fmt.Errorf("datablocks: primary key column %q not in schema", t.pkName)
+		}
+		if t.schema.Columns[i].Kind != types.Int64 {
+			return nil, fmt.Errorf("datablocks: primary key column %q must be int64", t.pkName)
+		}
+		t.pkCol = i
+		t.pk = index.NewHash(0)
+	} else {
+		t.pkCol = -1
+	}
+	t.rel = storage.NewRelation(t.schema, t.chunkRows)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("datablocks: table %q already exists", name)
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// Tables returns the table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table is a chunked hybrid relation: hot uncompressed chunks plus frozen
+// Data Blocks.
+type Table struct {
+	name      string
+	schema    *types.Schema
+	rel       *storage.Relation
+	pkName    string
+	pkCol     int
+	pk        *index.Hash
+	chunkRows int
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// Relation exposes the underlying storage for plan construction.
+func (t *Table) Relation() *storage.Relation { return t.rel }
+
+// NumRows returns the live row count.
+func (t *Table) NumRows() int { return t.rel.NumRows() }
+
+// Insert appends a row, maintaining the primary-key index if present.
+func (t *Table) Insert(row Row) (TupleID, error) {
+	tid, err := t.rel.Insert(row)
+	if err != nil {
+		return tid, err
+	}
+	if t.pk != nil {
+		if err := t.pk.Insert(row[t.pkCol].Int(), tid); err != nil {
+			t.rel.Delete(tid)
+			return TupleID{}, err
+		}
+	}
+	return tid, nil
+}
+
+// BulkLoad appends pre-columnarized data (fast path for loaders) and
+// rebuilds the primary-key index if present.
+func (t *Table) BulkLoad(cols []core.ColumnData, n int) error {
+	if err := t.rel.BulkAppend(cols, n); err != nil {
+		return err
+	}
+	if t.pk != nil {
+		return t.pk.Rebuild(t.rel, t.pkCol)
+	}
+	return nil
+}
+
+// Lookup resolves a primary key through the hash index: the OLTP point
+// access path. Works identically on hot and frozen tuples (§3.4).
+func (t *Table) Lookup(key int64) (Row, bool) {
+	if t.pk == nil {
+		return nil, false
+	}
+	tid, ok := t.pk.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	return t.rel.Get(tid)
+}
+
+// LookupScan finds a row by scanning with a SARGable equality predicate —
+// Table 3's "no index" configuration, accelerated by SMAs/PSMAs when the
+// data is clustered.
+func (t *Table) LookupScan(col string, key int64, mode ScanMode) (Row, bool) {
+	res, err := t.Scan(t.schema.Names(), []Pred{{Col: col, Op: Eq, Lo: Int(key)}}, QueryOptions{Mode: mode})
+	if err != nil || res.NumRows() == 0 {
+		return nil, false
+	}
+	return res.Row(0), true
+}
+
+// Delete removes a row by primary key (delete flag; frozen tuples keep
+// their slot).
+func (t *Table) Delete(key int64) bool {
+	if t.pk == nil {
+		return false
+	}
+	tid, ok := t.pk.Lookup(key)
+	if !ok {
+		return false
+	}
+	if !t.rel.Delete(tid) {
+		return false
+	}
+	t.pk.Delete(key)
+	return true
+}
+
+// Update rewrites a row by primary key: delete + insert into the hot
+// region, repointing the index (§1).
+func (t *Table) Update(key int64, row Row) error {
+	if t.pk == nil {
+		return fmt.Errorf("datablocks: table %q has no primary key", t.name)
+	}
+	tid, ok := t.pk.Lookup(key)
+	if !ok {
+		return fmt.Errorf("datablocks: key %d not found", key)
+	}
+	newTid, err := t.rel.Update(tid, row)
+	if err != nil {
+		return err
+	}
+	t.pk.Update(row[t.pkCol].Int(), newTid)
+	if row[t.pkCol].Int() != key {
+		t.pk.Delete(key)
+	}
+	return nil
+}
+
+// Freeze compresses all full chunks into Data Blocks, keeping the hot tail
+// writable. Tuple identifiers (and the PK index) remain valid.
+func (t *Table) Freeze() error {
+	return t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, true)
+}
+
+// FreezeAll compresses every chunk, including the tail.
+func (t *Table) FreezeAll() error {
+	return t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false)
+}
+
+// FreezeSorted compresses every chunk, sorting each block by the named
+// column to sharpen PSMA pruning for clustered queries (§3.2, Figure 11).
+// The primary-key index is rebuilt because sorted freezing reassigns tuple
+// identifiers.
+func (t *Table) FreezeSorted(col string) error {
+	i := t.schema.ColumnIndex(col)
+	if i < 0 {
+		return fmt.Errorf("datablocks: unknown column %q", col)
+	}
+	if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: i}, false); err != nil {
+		return err
+	}
+	if t.pk != nil {
+		return t.pk.Rebuild(t.rel, t.pkCol)
+	}
+	return nil
+}
+
+// Stats reports the table's memory footprint, split hot vs frozen.
+func (t *Table) Stats() MemStats { return t.rel.MemoryStats() }
+
+// Pred is a SARGable predicate referencing columns by name.
+type Pred struct {
+	Col    string
+	Op     CompareOp
+	Lo, Hi Value
+}
+
+// ScanPlan builds a scan over named columns with named predicates, for
+// composition into larger plans. Predicate columns missing from the
+// projection are scanned internally and trimmed away again, so the output
+// schema is exactly cols.
+func (t *Table) ScanPlan(cols []string, preds []Pred, filter Expr) (Node, error) {
+	ords := make([]int, len(cols))
+	for i, c := range cols {
+		ords[i] = t.schema.ColumnIndex(c)
+		if ords[i] < 0 {
+			return nil, fmt.Errorf("datablocks: unknown column %q", c)
+		}
+	}
+	cpreds := make([]core.Predicate, len(preds))
+	extended := false
+	for i, p := range preds {
+		ord := t.schema.ColumnIndex(p.Col)
+		if ord < 0 {
+			return nil, fmt.Errorf("datablocks: unknown predicate column %q", p.Col)
+		}
+		cpreds[i] = core.Predicate{Col: ord, Op: p.Op, Lo: p.Lo, Hi: p.Hi}
+		present := false
+		for _, o := range ords {
+			if o == ord {
+				present = true
+				break
+			}
+		}
+		if !present {
+			ords = append(ords, ord)
+			extended = true
+		}
+	}
+	scan := &exec.ScanNode{Rel: t.rel, Cols: ords, Preds: cpreds, Filter: filter}
+	if !extended {
+		return scan, nil
+	}
+	trim := make([]Expr, len(cols))
+	for i := range cols {
+		trim[i] = exec.Col(i)
+	}
+	return &exec.MapNode{Child: scan, Exprs: trim}, nil
+}
+
+// Scan runs a predicate scan and materializes the projected columns.
+func (t *Table) Scan(cols []string, preds []Pred, opt QueryOptions) (*Result, error) {
+	plan, err := t.ScanPlan(cols, preds, nil)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(plan, opt)
+}
+
+// Query executes an arbitrary physical plan.
+func Query(plan Node, opt QueryOptions) (*Result, error) { return exec.Run(plan, opt) }

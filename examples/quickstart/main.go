@@ -1,0 +1,83 @@
+// Quickstart: create a table, load rows, freeze cold chunks into Data
+// Blocks, run predicate scans on the compressed data, and perform OLTP
+// point accesses — the hybrid workflow of Figure 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"datablocks"
+)
+
+func main() {
+	db := datablocks.Open()
+	events, err := db.CreateTable("events", []datablocks.Column{
+		{Name: "id", Kind: datablocks.Int64},
+		{Name: "severity", Kind: datablocks.Int64},
+		{Name: "service", Kind: datablocks.String},
+		{Name: "latency_ms", Kind: datablocks.Float64},
+	}, datablocks.WithPrimaryKey("id"), datablocks.WithChunkRows(1<<14))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	services := []string{"auth", "billing", "catalog", "checkout", "search"}
+	for i := 0; i < 50_000; i++ {
+		_, err := events.Insert(datablocks.Row{
+			datablocks.Int(int64(i)),
+			datablocks.Int(int64((i / 7) % 5)),
+			datablocks.Str(services[i%len(services)]),
+			datablocks.Float(float64(i%400) / 4),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := events.Stats()
+	fmt.Printf("loaded %d rows, hot footprint %d bytes\n", events.NumRows(), before.HotBytes)
+
+	// Freeze cold chunks: per-attribute optimal compression + SMAs/PSMAs.
+	if err := events.Freeze(); err != nil {
+		log.Fatal(err)
+	}
+	after := events.Stats()
+	fmt.Printf("frozen %d chunks into Data Blocks: %d bytes (%.1fx compression), %d hot chunk(s) remain\n",
+		after.FrozenChunks, after.FrozenBytes,
+		float64(before.HotBytes)/float64(after.FrozenBytes), after.HotChunks)
+
+	// Analytical scan with SARGable predicates evaluated on compressed data.
+	res, err := events.Scan(
+		[]string{"id", "service", "latency_ms"},
+		[]datablocks.Pred{
+			{Col: "severity", Op: datablocks.Ge, Lo: datablocks.Int(4)},
+			{Col: "service", Op: datablocks.Eq, Lo: datablocks.Str("checkout")},
+			{Col: "latency_ms", Op: datablocks.Gt, Lo: datablocks.Float(90)},
+		},
+		datablocks.QueryOptions{Mode: datablocks.ModeVectorizedSARGPSMA},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scan matched %d slow severe checkout events; first rows:\n", res.NumRows())
+	for i := 0; i < 3 && i < res.NumRows(); i++ {
+		fmt.Printf("  %v\n", res.Row(i))
+	}
+
+	// OLTP against the same storage: point lookup, update, delete —
+	// frozen tuples are read in place, updates migrate them to hot.
+	row, ok := events.Lookup(31_337)
+	fmt.Printf("point lookup id=31337: %v (found=%v)\n", row, ok)
+	if err := events.Update(31_337, datablocks.Row{
+		datablocks.Int(31_337), datablocks.Int(0),
+		datablocks.Str("auth"), datablocks.Float(1.5),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	row, _ = events.Lookup(31_337)
+	fmt.Printf("after update: %v\n", row)
+	events.Delete(42)
+	if _, ok := events.Lookup(42); !ok {
+		fmt.Println("id=42 deleted (flag set in frozen block)")
+	}
+}

@@ -1,0 +1,79 @@
+// TPC-H: runs the supported query subset in every Table 2 scan
+// configuration and prints the runtime matrix with its geometric mean —
+// the shape of the paper's central result (+SARG/SMA/PSMA beats JIT on
+// selective queries, vectorized scans cost a little on Q1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"datablocks/internal/bench"
+	"datablocks/internal/exec"
+	"datablocks/internal/experiments"
+	"datablocks/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
+	rounds := flag.Int("rounds", 3, "measurement rounds (median)")
+	flag.Parse()
+
+	fmt.Printf("generating TPC-H SF %g...\n", *sf)
+	hot, err := tpch.Generate(*sf, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold, err := tpch.Generate(*sf, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if err := cold.FreezeAll(false, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("froze all relations into Data Blocks in %v\n", time.Since(start).Round(time.Millisecond))
+	hotStats := hot.Lineitem.MemoryStats()
+	coldStats := cold.Lineitem.MemoryStats()
+	fmt.Printf("lineitem: %s uncompressed -> %s compressed (%.2fx)\n\n",
+		bench.Bytes(hotStats.HotBytes), bench.Bytes(coldStats.FrozenBytes),
+		float64(hotStats.HotBytes)/float64(coldStats.FrozenBytes))
+
+	tbl := bench.NewTable("query", "JIT", "Vectorized", "+SARG", "Data Blocks", "+SARG/SMA", "+PSMA", "speedup")
+	var geo [6][]float64
+	for _, q := range tpch.SupportedQueries {
+		row := []any{fmt.Sprintf("Q%d", q)}
+		var jit, psma time.Duration
+		for ci, cfg := range experiments.Table2Configs {
+			db := hot
+			if cfg.Frozen {
+				db = cold
+			}
+			d := bench.MeasureBest(*rounds, func() {
+				if _, err := db.Query(q, exec.Options{Mode: cfg.Mode}); err != nil {
+					log.Fatal(err)
+				}
+			})
+			geo[ci] = append(geo[ci], d.Seconds())
+			row = append(row, d)
+			if ci == 0 {
+				jit = d
+			}
+			if ci == 5 {
+				psma = d
+			}
+		}
+		row = append(row, fmt.Sprintf("%.2fx", float64(jit)/float64(psma)))
+		tbl.AddRow(row...)
+	}
+	gm := []any{"geo mean"}
+	for ci := range geo {
+		gm = append(gm, time.Duration(bench.GeoMean(geo[ci])*float64(time.Second)))
+	}
+	gm = append(gm, fmt.Sprintf("%.2fx", bench.GeoMean(geo[0])/bench.GeoMean(geo[5])))
+	tbl.AddRow(gm...)
+	tbl.Write(os.Stdout)
+}

@@ -1,0 +1,176 @@
+// Package bench holds shared measurement and reporting helpers for the
+// experiment harness: wall-clock timing, geometric means (the paper's
+// summary statistic for TPC-H, Table 2), text tables, and CSV size
+// estimation for Table 1.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+// Measure runs f and returns its wall-clock duration.
+func Measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// MeasureBest runs f `rounds` times and returns the median duration, the
+// paper's methodology ("runtimes are the median of several measurements").
+func MeasureBest(rounds int, f func()) time.Duration {
+	if rounds < 1 {
+		rounds = 1
+	}
+	times := make([]time.Duration, rounds)
+	for i := range times {
+		times[i] = Measure(f)
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(values)))
+}
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Write(&sb)
+	return sb.String()
+}
+
+// CSVSize estimates the size of a relation rendered as CSV (the
+// "uncompressed CSV" row of Table 1): textual field widths plus separators.
+func CSVSize(rel *storage.Relation) int {
+	size := 0
+	ncols := rel.Schema().NumColumns()
+	for _, ch := range rel.Chunks() {
+		rows := ch.Rows()
+		for row := 0; row < rows; row++ {
+			size += ncols // separators + newline
+			for col := 0; col < ncols; col++ {
+				var v types.Value
+				if ch.IsFrozen() {
+					v = ch.Block().Value(col, row)
+				} else {
+					v = ch.Hot().Value(col, row)
+				}
+				if v.IsNull() {
+					continue
+				}
+				switch v.Kind() {
+				case types.Int64:
+					size += numWidth(v.Int())
+				case types.Float64:
+					size += 8
+				default:
+					size += len(v.Str())
+				}
+			}
+		}
+	}
+	return size
+}
+
+func numWidth(v int64) int {
+	w := 1
+	if v < 0 {
+		w++
+		v = -v
+	}
+	for v >= 10 {
+		w++
+		v /= 10
+	}
+	return w
+}
+
+// Bytes renders a byte count human-readably.
+func Bytes(n int) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

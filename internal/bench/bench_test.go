@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("GeoMean(1,100) = %g", got)
+	}
+	if got := GeoMean([]float64{4, 4, 4}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(4,4,4) = %g", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean should be 0")
+	}
+}
+
+func TestMeasureBest(t *testing.T) {
+	d := MeasureBest(3, func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Fatalf("median %v below sleep duration", d)
+	}
+	if d := MeasureBest(0, func() {}); d < 0 {
+		t.Fatal("rounds=0 must still measure")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("a-much-longer-name", 42*time.Millisecond)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(out, "1.500") || !strings.Contains(out, "42ms") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+	// Columns align: separator row is as wide as the longest cell.
+	if len(lines[1]) < len("a-much-longer-name") {
+		t.Fatalf("separator too short:\n%s", out)
+	}
+}
+
+func TestCSVSize(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.Int64},
+		types.Column{Name: "s", Kind: types.String, Nullable: true},
+	)
+	rel := storage.NewRelation(schema, 0)
+	rel.Insert(types.Row{types.IntValue(123), types.StringValue("abc")})
+	rel.Insert(types.Row{types.IntValue(-4), types.NullValue(types.String)})
+	// row1: "123"+"abc"+2 = 8; row2: "-4"+""+2 = 4
+	if got := CSVSize(rel); got != 12 {
+		t.Fatalf("CSVSize = %d, want 12", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int]string{
+		512:     "512 B",
+		2048:    "2.00 KB",
+		3 << 20: "3.00 MB",
+		5 << 30: "5.00 GB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Fatalf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package bitpack implements horizontal sub-byte bit-packing — the
+// BitWeaving/SIMD-scan style storage the paper evaluates against in §5.4
+// and deliberately rejects for Data Blocks.
+//
+// Values are packed LSB-first at a fixed bit width, crossing 64-bit word
+// boundaries. Predicate evaluation streams over the packed words and yields
+// a result bitmap; converting that bitmap into a match-position vector is
+// either branchy (selectivity-sensitive) or table-driven (robust), exactly
+// the two variants of Figure 12(a). Positional access to a single value
+// requires shift/mask work across word boundaries, which is what makes
+// sparse unpacking expensive (Figure 12(b)).
+package bitpack
+
+import "fmt"
+
+// Vector is a horizontally bit-packed sequence of n values of Bits bits.
+type Vector struct {
+	Bits  int
+	N     int
+	Words []uint64
+}
+
+// Pack encodes values at the given bit width (1..32). Values must fit.
+func Pack(values []uint32, bits int) (*Vector, error) {
+	if bits < 1 || bits > 32 {
+		return nil, fmt.Errorf("bitpack: width %d out of range", bits)
+	}
+	max := uint64(1)<<uint(bits) - 1
+	v := &Vector{Bits: bits, N: len(values), Words: make([]uint64, (len(values)*bits+63)/64+1)}
+	for i, x := range values {
+		if uint64(x) > max {
+			return nil, fmt.Errorf("bitpack: value %d exceeds %d bits", x, bits)
+		}
+		bitPos := i * bits
+		word, off := bitPos>>6, uint(bitPos&63)
+		v.Words[word] |= uint64(x) << off
+		if off+uint(bits) > 64 {
+			v.Words[word+1] |= uint64(x) >> (64 - off)
+		}
+	}
+	return v, nil
+}
+
+// Get decodes the value at position i — the positional access whose cost
+// the paper contrasts with byte-addressable codes (§5.4).
+func (v *Vector) Get(i int) uint32 {
+	bitPos := i * v.Bits
+	word, off := bitPos>>6, uint(bitPos&63)
+	x := v.Words[word] >> off
+	if off+uint(v.Bits) > 64 {
+		x |= v.Words[word+1] << (64 - off)
+	}
+	return uint32(x & (1<<uint(v.Bits) - 1))
+}
+
+// UnpackAll decodes the whole vector into out (length N) with a streaming
+// loop — the "unpack all and filter" strategy of Figure 12(b).
+func (v *Vector) UnpackAll(out []uint32) {
+	mask := uint64(1)<<uint(v.Bits) - 1
+	bitPos := 0
+	for i := 0; i < v.N; i++ {
+		word, off := bitPos>>6, uint(bitPos&63)
+		x := v.Words[word] >> off
+		if off+uint(v.Bits) > 64 {
+			x |= v.Words[word+1] << (64 - off)
+		}
+		out[i] = uint32(x & mask)
+		bitPos += v.Bits
+	}
+}
+
+// FindBetweenBitmap evaluates lo <= x <= hi over the packed data and sets
+// one bit per qualifying value in bm, which must hold at least
+// (N+63)/64 words. The evaluation streams through the packed words without
+// materializing values — the early-filtering strength of bit-packed scans.
+func (v *Vector) FindBetweenBitmap(lo, hi uint32, bm []uint64) {
+	for i := range bm {
+		bm[i] = 0
+	}
+	mask := uint64(1)<<uint(v.Bits) - 1
+	lo64, hi64 := uint64(lo), uint64(hi)
+	bitPos := 0
+	for i := 0; i < v.N; i++ {
+		word, off := bitPos>>6, uint(bitPos&63)
+		x := v.Words[word] >> off
+		if off+uint(v.Bits) > 64 {
+			x |= v.Words[word+1] << (64 - off)
+		}
+		x &= mask
+		if x >= lo64 && x <= hi64 {
+			bm[i>>6] |= 1 << (uint(i) & 63)
+		}
+		bitPos += v.Bits
+	}
+}
+
+// GatherPositions decodes the values at the given positions into out — the
+// "positional access" unpack strategy of Figure 12(b).
+func (v *Vector) GatherPositions(pos []uint32, out []uint32) {
+	for i, p := range pos {
+		out[i] = v.Get(int(p))
+	}
+}
+
+// SizeBytes returns the packed footprint.
+func (v *Vector) SizeBytes() int { return len(v.Words) * 8 }

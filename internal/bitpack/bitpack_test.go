@@ -1,0 +1,128 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datablocks/internal/simd"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, bits := range []int{1, 3, 7, 8, 9, 13, 17, 24, 31, 32} {
+		n := 1000 + r.Intn(100)
+		max := uint32(1)<<uint(bits) - 1
+		values := make([]uint32, n)
+		for i := range values {
+			values[i] = r.Uint32() & max
+		}
+		v, err := Pack(values, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range values {
+			if got := v.Get(i); got != want {
+				t.Fatalf("bits=%d Get(%d) = %d, want %d", bits, i, got, want)
+			}
+		}
+		out := make([]uint32, n)
+		v.UnpackAll(out)
+		for i, want := range values {
+			if out[i] != want {
+				t.Fatalf("bits=%d UnpackAll[%d] = %d, want %d", bits, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestPackRejectsBadInput(t *testing.T) {
+	if _, err := Pack([]uint32{1}, 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := Pack([]uint32{1}, 33); err == nil {
+		t.Fatal("width 33 accepted")
+	}
+	if _, err := Pack([]uint32{8}, 3); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}
+
+func TestFindBetweenBitmap(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, bits := range []int{9, 17} { // the paper's worst-case widths
+		n := 1 << 12
+		max := uint32(1)<<uint(bits) - 1
+		values := make([]uint32, n)
+		for i := range values {
+			values[i] = r.Uint32() & max
+		}
+		v, _ := Pack(values, bits)
+		bm := make([]uint64, (n+63)/64)
+		lo, hi := max/4, max/2
+		v.FindBetweenBitmap(lo, hi, bm)
+		for i, x := range values {
+			want := x >= lo && x <= hi
+			got := bm[i>>6]>>(uint(i)&63)&1 == 1
+			if got != want {
+				t.Fatalf("bits=%d value %d: got %v want %v", bits, x, got, want)
+			}
+		}
+		// Both bitmap→positions conversions agree.
+		branchy := simd.PositionsFromBitmapBranchy(bm, n, 0, nil)
+		table := simd.PositionsFromBitmap(bm, n, 0, nil)
+		if len(branchy) != len(table) {
+			t.Fatalf("conversion mismatch: %d vs %d", len(branchy), len(table))
+		}
+		for i := range branchy {
+			if branchy[i] != table[i] {
+				t.Fatalf("conversion differs at %d", i)
+			}
+		}
+		// GatherPositions matches direct access.
+		vals := make([]uint32, len(table))
+		v.GatherPositions(table, vals)
+		for i, p := range table {
+			if vals[i] != values[p] {
+				t.Fatalf("gather mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint16, bitsRaw uint8) bool {
+		bits := int(bitsRaw)%16 + 16 // 16..31
+		values := make([]uint32, len(raw))
+		for i, x := range raw {
+			values[i] = uint32(x)
+		}
+		v, err := Pack(values, bits)
+		if err != nil {
+			return false
+		}
+		for i, want := range values {
+			if v.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionAdvantage(t *testing.T) {
+	// 9-bit packing beats the 2-byte codes Data Blocks are forced to use
+	// (the paper's intentional worst case for Data Blocks).
+	n := 1 << 16
+	values := make([]uint32, n)
+	for i := range values {
+		values[i] = uint32(i % 512)
+	}
+	v, _ := Pack(values, 9)
+	if packed, byteAligned := v.SizeBytes(), n*2; packed >= byteAligned {
+		t.Fatalf("9-bit packing (%d B) should beat 2-byte codes (%d B)", packed, byteAligned)
+	}
+}

@@ -1,0 +1,219 @@
+package compress
+
+import (
+	"sort"
+
+	"datablocks/internal/simd"
+)
+
+// IntVector is one integer attribute of a Data Block in compressed form.
+// It also backs dates, decimals and char(1), which the type system stores
+// as int64.
+type IntVector struct {
+	Scheme  Scheme
+	Width   int // bytes per code (0 for SingleValue)
+	N       int
+	AllNull bool
+	// Min and Max are the SMA over non-null values (§3.2). Undefined when
+	// AllNull.
+	Min, Max int64
+	Single   int64   // SingleValue payload
+	Dict     []int64 // Dictionary: ascending distinct values
+	Data     []byte  // codes, little-endian, Width bytes each
+}
+
+// headerOverhead approximates the per-attribute fixed metadata of the block
+// layout (compression tag, offsets, SMA) for scheme selection and stats.
+const headerOverhead = 32
+
+// EncodeInts compresses one integer column. nulls may be nil; null
+// positions receive the minimum code as a don't-care (scan results are
+// corrected by the validity bitmap, which the block layer owns).
+//
+// The scheme minimizing the encoded size wins, matching §3.3: single value
+// if constant, otherwise the smaller of truncation and dictionary, falling
+// back to (sign-biased) uncompressed storage.
+func EncodeInts(values []int64, nulls []bool) *IntVector {
+	v := &IntVector{N: len(values)}
+	nonNull := values
+	if nulls != nil {
+		nonNull = make([]int64, 0, len(values))
+		for i, x := range values {
+			if !nulls[i] {
+				nonNull = append(nonNull, x)
+			}
+		}
+	}
+	if len(nonNull) == 0 {
+		v.Scheme = SingleValue
+		v.AllNull = true
+		return v
+	}
+	min, max := nonNull[0], nonNull[0]
+	for _, x := range nonNull[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	v.Min, v.Max = min, max
+	if min == max {
+		v.Scheme = SingleValue
+		v.Single = min
+		return v
+	}
+
+	// Every scheme pays the same per-attribute header, so selection
+	// compares pure data sizes.
+	truncWidth := ByteWidth(uint64(max) - uint64(min))
+	truncSize := len(values) * truncWidth
+	dict := sortedDistinct(nonNull)
+	dictWidth := ByteWidth(uint64(len(dict) - 1))
+	dictSize := len(dict)*8 + len(values)*dictWidth
+	uncSize := len(values) * 8
+
+	switch {
+	case truncWidth < 8 && truncSize <= dictSize && truncSize < uncSize:
+		v.Scheme = Truncation
+		v.Width = truncWidth
+		v.Data = make([]byte, len(values)*truncWidth+8) // +8: slack for 8-byte SWAR loads
+		for i, x := range values {
+			code := uint64(0)
+			if nulls == nil || !nulls[i] {
+				code = uint64(x) - uint64(min)
+			}
+			simd.WriteUint(v.Data, i, truncWidth, code)
+		}
+	case dictSize < uncSize:
+		v.Scheme = Dictionary
+		v.Width = dictWidth
+		v.Dict = dict
+		idx := make(map[int64]uint64, len(dict))
+		for i, d := range dict {
+			idx[d] = uint64(i)
+		}
+		v.Data = make([]byte, len(values)*dictWidth+8)
+		for i, x := range values {
+			code := uint64(0)
+			if nulls == nil || !nulls[i] {
+				code = idx[x]
+			}
+			simd.WriteUint(v.Data, i, dictWidth, code)
+		}
+	default:
+		v.Scheme = Uncompressed
+		v.Width = 8
+		v.Data = make([]byte, len(values)*8+8)
+		for i, x := range values {
+			code := BiasInt(min)
+			if nulls == nil || !nulls[i] {
+				code = BiasInt(x)
+			}
+			simd.WriteUint(v.Data, i, 8, code)
+		}
+	}
+	return v
+}
+
+// Get decodes the value at row i. For null rows it returns the don't-care
+// minimum; callers consult the validity bitmap first.
+func (v *IntVector) Get(i int) int64 {
+	switch v.Scheme {
+	case SingleValue:
+		return v.Single
+	case Truncation:
+		return int64(uint64(v.Min) + simd.ReadUint(v.Data, i, v.Width))
+	case Dictionary:
+		return v.Dict[simd.ReadUint(v.Data, i, v.Width)]
+	default:
+		return UnbiasInt(simd.ReadUint(v.Data, i, v.Width))
+	}
+}
+
+// CodeAt returns the raw code at row i (undefined for SingleValue).
+func (v *IntVector) CodeAt(i int) uint64 { return simd.ReadUint(v.Data, i, v.Width) }
+
+// MinCode is the code of the block minimum, the reference for PSMA deltas.
+func (v *IntVector) MinCode() uint64 {
+	if v.Scheme == Uncompressed {
+		return BiasInt(v.Min)
+	}
+	return 0
+}
+
+// TranslateRange rewrites an inclusive value range [lo, hi] into the code
+// domain. The SMA check (block skipping, §3.2) is the None verdict.
+func (v *IntVector) TranslateRange(lo, hi int64) Translation {
+	if v.AllNull || lo > hi || lo > v.Max || hi < v.Min {
+		return Translation{Verdict: None}
+	}
+	if lo <= v.Min && hi >= v.Max {
+		return Translation{Verdict: All}
+	}
+	if lo < v.Min {
+		lo = v.Min
+	}
+	if hi > v.Max {
+		hi = v.Max
+	}
+	switch v.Scheme {
+	case SingleValue:
+		// Min == Max handled above; reaching here means no match.
+		return Translation{Verdict: None}
+	case Truncation:
+		return Translation{Verdict: Range, C1: uint64(lo) - uint64(v.Min), C2: uint64(hi) - uint64(v.Min)}
+	case Dictionary:
+		// In the equality case a miss in the dictionary rules out the
+		// block before any scan (§3.4); ranges narrow to existing keys.
+		c1 := sort.Search(len(v.Dict), func(i int) bool { return v.Dict[i] >= lo })
+		c2 := sort.Search(len(v.Dict), func(i int) bool { return v.Dict[i] > hi }) - 1
+		if c1 > c2 {
+			return Translation{Verdict: None}
+		}
+		return Translation{Verdict: Range, C1: uint64(c1), C2: uint64(c2)}
+	default:
+		return Translation{Verdict: Range, C1: BiasInt(lo), C2: BiasInt(hi)}
+	}
+}
+
+// TranslateNotEqual rewrites v != c into the code domain.
+func (v *IntVector) TranslateNotEqual(c int64) Translation {
+	if v.AllNull {
+		return Translation{Verdict: None}
+	}
+	if c < v.Min || c > v.Max {
+		return Translation{Verdict: All}
+	}
+	switch v.Scheme {
+	case SingleValue:
+		if v.Single == c {
+			return Translation{Verdict: None}
+		}
+		return Translation{Verdict: All}
+	case Truncation:
+		return Translation{Verdict: NotEqual, C1: uint64(c) - uint64(v.Min)}
+	case Dictionary:
+		i := sort.Search(len(v.Dict), func(i int) bool { return v.Dict[i] >= c })
+		if i >= len(v.Dict) || v.Dict[i] != c {
+			return Translation{Verdict: All}
+		}
+		return Translation{Verdict: NotEqual, C1: uint64(i)}
+	default:
+		return Translation{Verdict: NotEqual, C1: BiasInt(c)}
+	}
+}
+
+// CompressedSize returns the in-memory footprint of the vector in bytes,
+// including dictionary and metadata overhead.
+func (v *IntVector) CompressedSize() int {
+	size := headerOverhead
+	switch v.Scheme {
+	case SingleValue:
+		return size + 8
+	case Dictionary:
+		size += len(v.Dict) * 8
+	}
+	return size + v.N*v.Width
+}

@@ -1,0 +1,275 @@
+package compress
+
+import (
+	"sort"
+
+	"datablocks/internal/simd"
+)
+
+// StringVector is one string attribute of a Data Block. Strings are always
+// reduced to integer codes (§3.4: "also string types are always compressed
+// to integers"): either a single value or an order-preserving dictionary.
+// The dictionary doubles as the block's string section.
+type StringVector struct {
+	Scheme  Scheme // SingleValue or Dictionary
+	Width   int
+	N       int
+	AllNull bool
+	Single  string
+	Dict    []string // ascending distinct values
+	Data    []byte   // key codes
+}
+
+// EncodeStrings compresses one string column. nulls may be nil; null
+// positions receive code 0 as a don't-care.
+func EncodeStrings(values []string, nulls []bool) *StringVector {
+	v := &StringVector{N: len(values)}
+	nonNull := values
+	if nulls != nil {
+		nonNull = make([]string, 0, len(values))
+		for i, s := range values {
+			if !nulls[i] {
+				nonNull = append(nonNull, s)
+			}
+		}
+	}
+	if len(nonNull) == 0 {
+		v.Scheme = SingleValue
+		v.AllNull = true
+		return v
+	}
+	dict := sortedDistinctStrings(nonNull)
+	if len(dict) == 1 {
+		v.Scheme = SingleValue
+		v.Single = dict[0]
+		return v
+	}
+	v.Scheme = Dictionary
+	v.Dict = dict
+	v.Width = ByteWidth(uint64(len(dict) - 1))
+	idx := make(map[string]uint64, len(dict))
+	for i, s := range dict {
+		idx[s] = uint64(i)
+	}
+	v.Data = make([]byte, len(values)*v.Width+8)
+	for i, s := range values {
+		code := uint64(0)
+		if nulls == nil || !nulls[i] {
+			code = idx[s]
+		}
+		simd.WriteUint(v.Data, i, v.Width, code)
+	}
+	return v
+}
+
+// Get decodes the string at row i (don't-care for null rows).
+func (v *StringVector) Get(i int) string {
+	if v.Scheme == SingleValue {
+		return v.Single
+	}
+	return v.Dict[simd.ReadUint(v.Data, i, v.Width)]
+}
+
+// CodeAt returns the raw dictionary code at row i.
+func (v *StringVector) CodeAt(i int) uint64 { return simd.ReadUint(v.Data, i, v.Width) }
+
+// Min returns the smallest non-null string (SMA).
+func (v *StringVector) Min() string {
+	if v.Scheme == SingleValue {
+		return v.Single
+	}
+	return v.Dict[0]
+}
+
+// Max returns the largest non-null string (SMA).
+func (v *StringVector) Max() string {
+	if v.Scheme == SingleValue {
+		return v.Single
+	}
+	return v.Dict[len(v.Dict)-1]
+}
+
+// TranslateRange rewrites an inclusive string range into the code domain.
+func (v *StringVector) TranslateRange(lo, hi string) Translation {
+	return v.TranslateBounds(lo, hi, true, true, false, false)
+}
+
+// TranslateBounds rewrites a general string interval into the code domain.
+// hasLo/hasHi select one- or two-sided intervals; loExcl/hiExcl make the
+// respective bound strict. Strings have no predecessor/successor, so
+// strict bounds cannot be rewritten as inclusive ones the way integers can.
+func (v *StringVector) TranslateBounds(lo, hi string, hasLo, hasHi, loExcl, hiExcl bool) Translation {
+	if v.AllNull {
+		return Translation{Verdict: None}
+	}
+	inBounds := func(s string) bool {
+		if hasLo && (s < lo || loExcl && s == lo) {
+			return false
+		}
+		if hasHi && (s > hi || hiExcl && s == hi) {
+			return false
+		}
+		return true
+	}
+	if v.Scheme == SingleValue {
+		if inBounds(v.Single) {
+			return Translation{Verdict: All}
+		}
+		return Translation{Verdict: None}
+	}
+	c1 := 0
+	if hasLo {
+		if loExcl {
+			c1 = sort.Search(len(v.Dict), func(i int) bool { return v.Dict[i] > lo })
+		} else {
+			c1 = sort.SearchStrings(v.Dict, lo)
+		}
+	}
+	c2 := len(v.Dict) - 1
+	if hasHi {
+		if hiExcl {
+			c2 = sort.SearchStrings(v.Dict, hi) - 1
+		} else {
+			c2 = sort.Search(len(v.Dict), func(i int) bool { return v.Dict[i] > hi }) - 1
+		}
+	}
+	switch {
+	case c1 > c2:
+		return Translation{Verdict: None}
+	case c1 == 0 && c2 == len(v.Dict)-1:
+		return Translation{Verdict: All}
+	default:
+		return Translation{Verdict: Range, C1: uint64(c1), C2: uint64(c2)}
+	}
+}
+
+// TranslatePrefix rewrites a LIKE 'p%' prefix predicate into a code range,
+// exploiting the order-preserving dictionary.
+func (v *StringVector) TranslatePrefix(p string) Translation {
+	if v.AllNull {
+		return Translation{Verdict: None}
+	}
+	if p == "" {
+		return Translation{Verdict: All}
+	}
+	if v.Scheme == SingleValue {
+		if len(v.Single) >= len(p) && v.Single[:len(p)] == p {
+			return Translation{Verdict: All}
+		}
+		return Translation{Verdict: None}
+	}
+	c1 := sort.SearchStrings(v.Dict, p)
+	c2 := sort.Search(len(v.Dict), func(i int) bool {
+		s := v.Dict[i]
+		return len(s) < len(p) && s > p || len(s) >= len(p) && s[:len(p)] > p
+	}) - 1
+	if c1 > c2 {
+		return Translation{Verdict: None}
+	}
+	if c1 == 0 && c2 == len(v.Dict)-1 {
+		return Translation{Verdict: All}
+	}
+	return Translation{Verdict: Range, C1: uint64(c1), C2: uint64(c2)}
+}
+
+// TranslateNotEqual rewrites v != c into the code domain.
+func (v *StringVector) TranslateNotEqual(c string) Translation {
+	if v.AllNull {
+		return Translation{Verdict: None}
+	}
+	if v.Scheme == SingleValue {
+		if v.Single == c {
+			return Translation{Verdict: None}
+		}
+		return Translation{Verdict: All}
+	}
+	i := sort.SearchStrings(v.Dict, c)
+	if i >= len(v.Dict) || v.Dict[i] != c {
+		return Translation{Verdict: All}
+	}
+	return Translation{Verdict: NotEqual, C1: uint64(i)}
+}
+
+// CompressedSize returns the in-memory footprint in bytes: key codes plus
+// the dictionary's string bytes and per-entry offsets.
+func (v *StringVector) CompressedSize() int {
+	size := headerOverhead
+	switch v.Scheme {
+	case SingleValue:
+		return size + len(v.Single) + 4
+	default:
+		for _, s := range v.Dict {
+			size += len(s) + 4
+		}
+		return size + v.N*v.Width
+	}
+}
+
+// FloatVector is one double attribute. Doubles are never truncated (§3.3);
+// the only schemes are single-value and uncompressed.
+type FloatVector struct {
+	Scheme   Scheme // SingleValue or Uncompressed
+	N        int
+	AllNull  bool
+	Min, Max float64
+	Single   float64
+	Values   []float64
+}
+
+// EncodeFloats compresses one double column.
+func EncodeFloats(values []float64, nulls []bool) *FloatVector {
+	v := &FloatVector{N: len(values)}
+	first := true
+	for i, x := range values {
+		if nulls != nil && nulls[i] {
+			continue
+		}
+		if first {
+			v.Min, v.Max = x, x
+			first = false
+			continue
+		}
+		if x < v.Min {
+			v.Min = x
+		}
+		if x > v.Max {
+			v.Max = x
+		}
+	}
+	if first {
+		v.Scheme = SingleValue
+		v.AllNull = true
+		return v
+	}
+	if v.Min == v.Max {
+		v.Scheme = SingleValue
+		v.Single = v.Min
+		return v
+	}
+	v.Scheme = Uncompressed
+	v.Values = append([]float64(nil), values...)
+	if nulls != nil {
+		for i := range v.Values {
+			if nulls[i] {
+				v.Values[i] = v.Min // don't-care
+			}
+		}
+	}
+	return v
+}
+
+// Get returns the double at row i (don't-care for null rows).
+func (v *FloatVector) Get(i int) float64 {
+	if v.Scheme == SingleValue {
+		return v.Single
+	}
+	return v.Values[i]
+}
+
+// CompressedSize returns the in-memory footprint in bytes.
+func (v *FloatVector) CompressedSize() int {
+	if v.Scheme == SingleValue {
+		return headerOverhead + 8
+	}
+	return headerOverhead + 8*v.N
+}

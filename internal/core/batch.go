@@ -1,0 +1,78 @@
+package core
+
+import "datablocks/internal/types"
+
+// Batch is one vector of unpacked tuples flowing from a vectorized scan
+// into the consuming query pipeline (Figure 6). Buffers are reused across
+// Next calls; consumers must not retain slices beyond the next call.
+type Batch struct {
+	// N is the number of tuples in the batch.
+	N int
+	// Pos holds the source row positions of the tuples within their chunk
+	// or block — the match vector after all reductions. Storage layers use
+	// it to address tuples for deletes and updates.
+	Pos []uint32
+	// Cols holds one unpacked vector per projected column.
+	Cols []BatchCol
+}
+
+// BatchCol is one projected column of a batch.
+type BatchCol struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	// Nulls marks NULL cells; nil when the column has no NULLs in this
+	// batch's source.
+	Nulls []bool
+}
+
+// Reset clears the batch for reuse without releasing buffers.
+func (b *Batch) Reset() {
+	b.N = 0
+	b.Pos = b.Pos[:0]
+}
+
+// Value returns cell (col, row) of the batch as a dynamic value.
+func (b *Batch) Value(col, row int) types.Value {
+	c := &b.Cols[col]
+	if c.Nulls != nil && c.Nulls[row] {
+		return types.NullValue(c.Kind)
+	}
+	switch c.Kind {
+	case types.Int64:
+		return types.IntValue(c.Ints[row])
+	case types.Float64:
+		return types.FloatValue(c.Floats[row])
+	default:
+		return types.StringValue(c.Strs[row])
+	}
+}
+
+func resizeI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeStr(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	return s[:n]
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,337 @@
+// Package core implements the Data Block (§3): an immutable, self-contained
+// container holding up to 2^16 tuples of a relation chunk in compressed
+// columnar (PAX) form, together with per-attribute SMAs (min/max) and
+// Positional SMAs.
+//
+// A frozen block supports three operations, mirroring §3.4:
+//
+//   - Scan: SARGable predicates are translated into the compressed code
+//     domain (skipping the block entirely when the SMA rules it out),
+//     narrowed by the PSMA, evaluated with the simd kernels to produce a
+//     match-position vector, and the matches are unpacked vector-at-a-time.
+//   - Point access: any attribute of any row decompresses in O(1) thanks to
+//     byte-aligned codes — the property that distinguishes Data Blocks from
+//     bit-packed formats (§5.4).
+//   - Serialization: the block flattens into a single pointer-free byte
+//     buffer (Figure 3), suitable for eviction to secondary storage.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"datablocks/internal/compress"
+	"datablocks/internal/psma"
+	"datablocks/internal/simd"
+	"datablocks/internal/types"
+)
+
+// MaxRows is the maximum tuple count per Data Block (§3.1: typically up to
+// 2^16 records).
+const MaxRows = 1 << 16
+
+// Attr is one compressed attribute of a block. Exactly one of Ints, Floats,
+// Strs is set, according to Kind.
+type Attr struct {
+	Kind      types.Kind
+	Ints      *compress.IntVector
+	Floats    *compress.FloatVector
+	Strs      *compress.StringVector
+	Validity  []uint64 // bit set = value present; nil when no NULLs
+	NullCount int
+	Psma      *psma.Table // nil for floats and single-value attributes
+}
+
+// scheme returns the attribute's compression scheme.
+func (a *Attr) scheme() compress.Scheme {
+	switch a.Kind {
+	case types.Int64:
+		return a.Ints.Scheme
+	case types.Float64:
+		return a.Floats.Scheme
+	default:
+		return a.Strs.Scheme
+	}
+}
+
+// Block is an immutable ("frozen") compressed chunk.
+type Block struct {
+	n     int
+	attrs []Attr
+}
+
+// ColumnData is the uncompressed input of one column at freeze time.
+// Exactly one of Ints, Floats, Strs must be set; Nulls is optional.
+type ColumnData struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+}
+
+// FreezeOptions controls block construction.
+type FreezeOptions struct {
+	// SortBy reorders the block's tuples by the given column before
+	// compression, improving PSMA precision for clustered queries (§3.2,
+	// Figure 11). Negative keeps the insertion order.
+	SortBy int
+	// NoPSMA skips building the PSMA lookup tables (ablation for
+	// Figure 11's +SORT(−PSMA) configuration).
+	NoPSMA bool
+}
+
+// Freeze compresses n tuples into an immutable Data Block, choosing the
+// optimal compression scheme per attribute (§3.3) and building SMAs and
+// PSMAs (§3.2).
+func Freeze(cols []ColumnData, n int, opts FreezeOptions) (*Block, error) {
+	if n <= 0 || n > MaxRows {
+		return nil, fmt.Errorf("core: block size %d out of range (1..%d)", n, MaxRows)
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("core: no columns")
+	}
+	if opts.SortBy >= len(cols) {
+		return nil, fmt.Errorf("core: sort column %d out of range", opts.SortBy)
+	}
+	var perm []int
+	if opts.SortBy >= 0 {
+		perm = sortPermutation(cols[opts.SortBy], n)
+	}
+	b := &Block{n: n, attrs: make([]Attr, len(cols))}
+	for ci := range cols {
+		col := applyPerm(cols[ci], n, perm)
+		a := &b.attrs[ci]
+		a.Kind = col.Kind
+		if col.Nulls != nil {
+			nullCount := 0
+			for _, isNull := range col.Nulls[:n] {
+				if isNull {
+					nullCount++
+				}
+			}
+			if nullCount > 0 {
+				a.NullCount = nullCount
+				a.Validity = make([]uint64, simd.BitmapWords(n))
+				for i, isNull := range col.Nulls[:n] {
+					if !isNull {
+						simd.BitmapSet(a.Validity, uint32(i))
+					}
+				}
+			} else {
+				col.Nulls = nil
+			}
+		}
+		switch col.Kind {
+		case types.Int64:
+			if len(col.Ints) < n {
+				return nil, fmt.Errorf("core: column %d: %d int values for %d rows", ci, len(col.Ints), n)
+			}
+			a.Ints = compress.EncodeInts(col.Ints[:n], col.Nulls)
+			if !opts.NoPSMA && a.Ints.Scheme != compress.SingleValue {
+				v := a.Ints
+				a.Psma = psma.Build(n, v.Width, v.CodeAt, v.MinCode())
+			}
+		case types.Float64:
+			if len(col.Floats) < n {
+				return nil, fmt.Errorf("core: column %d: %d float values for %d rows", ci, len(col.Floats), n)
+			}
+			a.Floats = compress.EncodeFloats(col.Floats[:n], col.Nulls)
+		case types.String:
+			if len(col.Strs) < n {
+				return nil, fmt.Errorf("core: column %d: %d string values for %d rows", ci, len(col.Strs), n)
+			}
+			a.Strs = compress.EncodeStrings(col.Strs[:n], col.Nulls)
+			if !opts.NoPSMA && a.Strs.Scheme != compress.SingleValue {
+				v := a.Strs
+				a.Psma = psma.Build(n, v.Width, v.CodeAt, 0)
+			}
+		default:
+			return nil, fmt.Errorf("core: column %d: unsupported kind %v", ci, col.Kind)
+		}
+	}
+	return b, nil
+}
+
+// sortPermutation returns the stable ordering of rows by the given column
+// (NULLs first).
+func sortPermutation(col ColumnData, n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	isNull := func(i int) bool { return col.Nulls != nil && col.Nulls[i] }
+	less := func(i, j int) bool {
+		ni, nj := isNull(i), isNull(j)
+		if ni || nj {
+			return ni && !nj
+		}
+		switch col.Kind {
+		case types.Int64:
+			return col.Ints[i] < col.Ints[j]
+		case types.Float64:
+			return col.Floats[i] < col.Floats[j]
+		default:
+			return col.Strs[i] < col.Strs[j]
+		}
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return less(perm[a], perm[b]) })
+	return perm
+}
+
+// applyPerm reorders a column by perm (identity when perm is nil), always
+// truncating to n rows.
+func applyPerm(col ColumnData, n int, perm []int) ColumnData {
+	if perm == nil {
+		return col
+	}
+	out := ColumnData{Kind: col.Kind}
+	switch col.Kind {
+	case types.Int64:
+		out.Ints = make([]int64, n)
+		for i, p := range perm {
+			out.Ints[i] = col.Ints[p]
+		}
+	case types.Float64:
+		out.Floats = make([]float64, n)
+		for i, p := range perm {
+			out.Floats[i] = col.Floats[p]
+		}
+	case types.String:
+		out.Strs = make([]string, n)
+		for i, p := range perm {
+			out.Strs[i] = col.Strs[p]
+		}
+	}
+	if col.Nulls != nil {
+		out.Nulls = make([]bool, n)
+		for i, p := range perm {
+			out.Nulls[i] = col.Nulls[p]
+		}
+	}
+	return out
+}
+
+// Rows returns the number of tuples in the block.
+func (b *Block) Rows() int { return b.n }
+
+// NumAttrs returns the number of attributes.
+func (b *Block) NumAttrs() int { return len(b.attrs) }
+
+// Attr exposes the compressed attribute at ordinal i (read-only).
+func (b *Block) Attr(i int) *Attr { return &b.attrs[i] }
+
+// Scheme returns the compression scheme of attribute col.
+func (b *Block) Scheme(col int) compress.Scheme { return b.attrs[col].scheme() }
+
+// LayoutKey identifies the block's storage-layout combination: the tuple of
+// (scheme, width) per attribute. The number of distinct layout keys across a
+// relation drives JIT code-path explosion (Figure 5).
+func (b *Block) LayoutKey() string {
+	key := make([]byte, 0, 2*len(b.attrs))
+	for i := range b.attrs {
+		a := &b.attrs[i]
+		w := 0
+		switch a.Kind {
+		case types.Int64:
+			w = a.Ints.Width
+		case types.String:
+			w = a.Strs.Width
+		}
+		key = append(key, byte(a.scheme()), byte(w))
+	}
+	return string(key)
+}
+
+// IsNull reports whether the cell (col, row) is NULL.
+func (b *Block) IsNull(col, row int) bool {
+	a := &b.attrs[col]
+	if a.Validity == nil {
+		switch a.Kind {
+		case types.Int64:
+			return a.Ints.AllNull
+		case types.Float64:
+			return a.Floats.AllNull
+		default:
+			return a.Strs.AllNull
+		}
+	}
+	return !simd.BitmapGet(a.Validity, uint32(row))
+}
+
+// Int performs a positional point access on an integer attribute: O(1)
+// decompression of one cell (§3.4).
+func (b *Block) Int(col, row int) int64 { return b.attrs[col].Ints.Get(row) }
+
+// Float performs a positional point access on a double attribute.
+func (b *Block) Float(col, row int) float64 { return b.attrs[col].Floats.Get(row) }
+
+// Str performs a positional point access on a string attribute.
+func (b *Block) Str(col, row int) string { return b.attrs[col].Strs.Get(row) }
+
+// Value returns the cell (col, row) as a dynamic value. Prefer the typed
+// accessors on hot paths.
+func (b *Block) Value(col, row int) types.Value {
+	a := &b.attrs[col]
+	if b.IsNull(col, row) {
+		return types.NullValue(a.Kind)
+	}
+	switch a.Kind {
+	case types.Int64:
+		return types.IntValue(a.Ints.Get(row))
+	case types.Float64:
+		return types.FloatValue(a.Floats.Get(row))
+	default:
+		return types.StringValue(a.Strs.Get(row))
+	}
+}
+
+// CompressedSize returns the total in-memory footprint of the block's
+// compressed vectors, bitmaps and PSMAs, in bytes.
+func (b *Block) CompressedSize() int {
+	size := 16 // block header
+	for i := range b.attrs {
+		a := &b.attrs[i]
+		switch a.Kind {
+		case types.Int64:
+			size += a.Ints.CompressedSize()
+		case types.Float64:
+			size += a.Floats.CompressedSize()
+		default:
+			size += a.Strs.CompressedSize()
+		}
+		if a.Validity != nil {
+			size += len(a.Validity) * 8
+		}
+		if a.Psma != nil {
+			size += a.Psma.SizeBytes()
+		}
+	}
+	return size
+}
+
+// UncompressedSize returns the footprint the same tuples occupy in the hot,
+// uncompressed store (8 bytes per fixed-size value; strings as bytes plus
+// offset).
+func (b *Block) UncompressedSize() int {
+	size := 0
+	for i := range b.attrs {
+		a := &b.attrs[i]
+		switch a.Kind {
+		case types.Int64, types.Float64:
+			size += 8 * b.n
+		default:
+			size += 16 * b.n // string header
+			v := a.Strs
+			if v.Scheme == compress.SingleValue {
+				size += len(v.Single) * b.n
+			} else {
+				for row := 0; row < b.n; row++ {
+					size += len(v.Dict[v.CodeAt(row)])
+				}
+			}
+		}
+	}
+	return size
+}

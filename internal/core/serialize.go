@@ -1,0 +1,276 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"datablocks/internal/compress"
+	"datablocks/internal/psma"
+	"datablocks/internal/types"
+)
+
+// Serialization follows Figure 3: a single flat, pointer-free buffer
+// starting with the tuple count, followed by per-attribute metadata
+// (compression method and offsets to SMA/PSMA, dictionary, data vector and
+// string section) and the sections themselves. Blocks carry no schema —
+// replicating it per block would waste space (§3) — so deserialization
+// takes the column kinds from the caller.
+
+const (
+	blockMagic   = 0x4B4C4244 // "DBLK"
+	blockVersion = 1
+	headerSize   = 16
+	attrHdrSize  = 64
+	// dataSlack is appended to code vectors so 8-byte SWAR loads at the
+	// tail stay in bounds.
+	dataSlack = 8
+)
+
+const (
+	flagValidity = 1 << iota
+	flagPSMA
+	flagAllNull
+)
+
+// MarshalBinary flattens the block into a self-contained byte buffer.
+func (b *Block) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, headerSize+attrHdrSize*len(b.attrs))
+	binary.LittleEndian.PutUint32(buf[0:], blockMagic)
+	binary.LittleEndian.PutUint32(buf[4:], blockVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(b.n))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(b.attrs)))
+
+	for i := range b.attrs {
+		a := &b.attrs[i]
+		// Header fields are written via absolute offsets into the current
+		// buf: appends below reallocate the backing array, so a cached
+		// subslice would go stale.
+		hdr := headerSize + i*attrHdrSize
+		putU32 := func(off int, v uint32) { binary.LittleEndian.PutUint32(buf[hdr+off:], v) }
+		putU64 := func(off int, v uint64) { binary.LittleEndian.PutUint64(buf[hdr+off:], v) }
+		buf[hdr+0] = byte(a.Kind)
+		buf[hdr+1] = byte(a.scheme())
+		var flags byte
+		if a.Validity != nil {
+			flags |= flagValidity
+		}
+		if a.Psma != nil {
+			flags |= flagPSMA
+		}
+		putU32(4, uint32(a.NullCount))
+
+		var width int
+		var min, max, single uint64
+		var dict []int64
+		var data []byte
+		var strs []string
+		var singleStr string
+		switch a.Kind {
+		case types.Int64:
+			v := a.Ints
+			width = v.Width
+			min, max, single = uint64(v.Min), uint64(v.Max), uint64(v.Single)
+			dict, data = v.Dict, v.Data
+			if v.AllNull {
+				flags |= flagAllNull
+			}
+			if v.Scheme != compress.SingleValue {
+				data = data[:v.N*v.Width]
+			} else {
+				data = nil
+			}
+		case types.Float64:
+			v := a.Floats
+			min = floatBits(v.Min)
+			max = floatBits(v.Max)
+			single = floatBits(v.Single)
+			if v.AllNull {
+				flags |= flagAllNull
+			}
+			if v.Scheme == compress.Uncompressed {
+				data = make([]byte, 8*v.N)
+				for j, f := range v.Values {
+					binary.LittleEndian.PutUint64(data[j*8:], floatBits(f))
+				}
+			}
+		case types.String:
+			v := a.Strs
+			width = v.Width
+			strs = v.Dict
+			singleStr = v.Single
+			if v.AllNull {
+				flags |= flagAllNull
+			}
+			if v.Scheme != compress.SingleValue {
+				data = v.Data[:v.N*v.Width]
+			}
+		}
+		buf[hdr+2] = byte(width)
+		buf[hdr+3] = flags
+		putU64(8, min)
+		putU64(16, max)
+		putU64(24, single)
+
+		// dict section (integer dictionaries)
+		putU32(32, uint32(len(buf)))
+		putU32(36, uint32(len(dict)))
+		for _, d := range dict {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(d))
+		}
+		// data section
+		putU32(40, uint32(len(buf)))
+		putU32(44, uint32(len(data)))
+		buf = append(buf, data...)
+		// string section: single string or string dictionary
+		putU32(48, uint32(len(buf)))
+		if strs != nil {
+			putU32(52, uint32(len(strs)))
+			for _, s := range strs {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+				buf = append(buf, s...)
+			}
+		} else {
+			putU32(52, 0)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(singleStr)))
+			buf = append(buf, singleStr...)
+		}
+		// validity section
+		putU32(56, uint32(len(buf)))
+		for _, w := range a.Validity {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		// PSMA section
+		putU32(60, uint32(len(buf)))
+		if a.Psma != nil {
+			for s := 0; s < a.Psma.NumSlots(); s++ {
+				r := a.Psma.SlotRange(s)
+				buf = binary.LittleEndian.AppendUint32(buf, r.Begin)
+				buf = binary.LittleEndian.AppendUint32(buf, r.End)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBlock reconstructs a block from a flat buffer produced by
+// MarshalBinary. kinds supplies the schema the block itself does not carry.
+func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
+	if len(buf) < headerSize {
+		return nil, errors.New("core: buffer too short")
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != blockMagic {
+		return nil, errors.New("core: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != blockVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	attrCount := int(binary.LittleEndian.Uint32(buf[12:]))
+	if attrCount != len(kinds) {
+		return nil, fmt.Errorf("core: block has %d attributes, schema has %d", attrCount, len(kinds))
+	}
+	b := &Block{n: n, attrs: make([]Attr, attrCount)}
+	for i := 0; i < attrCount; i++ {
+		h := buf[headerSize+i*attrHdrSize:]
+		a := &b.attrs[i]
+		a.Kind = types.Kind(h[0])
+		if a.Kind != kinds[i] {
+			return nil, fmt.Errorf("core: attribute %d kind %v, schema says %v", i, a.Kind, kinds[i])
+		}
+		scheme := compress.Scheme(h[1])
+		width := int(h[2])
+		flags := h[3]
+		a.NullCount = int(binary.LittleEndian.Uint32(h[4:]))
+		min := binary.LittleEndian.Uint64(h[8:])
+		max := binary.LittleEndian.Uint64(h[16:])
+		single := binary.LittleEndian.Uint64(h[24:])
+		dictOff := binary.LittleEndian.Uint32(h[32:])
+		dictCount := int(binary.LittleEndian.Uint32(h[36:]))
+		dataOff := binary.LittleEndian.Uint32(h[40:])
+		dataLen := int(binary.LittleEndian.Uint32(h[44:]))
+		strOff := binary.LittleEndian.Uint32(h[48:])
+		strCount := int(binary.LittleEndian.Uint32(h[52:]))
+		validityOff := binary.LittleEndian.Uint32(h[56:])
+		psmaOff := binary.LittleEndian.Uint32(h[60:])
+
+		var data []byte
+		if dataLen > 0 {
+			data = make([]byte, dataLen+dataSlack)
+			copy(data, buf[dataOff:int(dataOff)+dataLen])
+		}
+		switch a.Kind {
+		case types.Int64:
+			v := &compress.IntVector{
+				Scheme: scheme, Width: width, N: n,
+				AllNull: flags&flagAllNull != 0,
+				Min:     int64(min), Max: int64(max), Single: int64(single),
+				Data: data,
+			}
+			if dictCount > 0 {
+				v.Dict = make([]int64, dictCount)
+				for j := range v.Dict {
+					v.Dict[j] = int64(binary.LittleEndian.Uint64(buf[int(dictOff)+8*j:]))
+				}
+			}
+			a.Ints = v
+		case types.Float64:
+			v := &compress.FloatVector{
+				Scheme: scheme, N: n,
+				AllNull: flags&flagAllNull != 0,
+				Min:     floatFromBits(min), Max: floatFromBits(max), Single: floatFromBits(single),
+			}
+			if scheme == compress.Uncompressed {
+				v.Values = make([]float64, n)
+				for j := range v.Values {
+					v.Values[j] = floatFromBits(binary.LittleEndian.Uint64(data[j*8:]))
+				}
+			}
+			a.Floats = v
+		case types.String:
+			v := &compress.StringVector{
+				Scheme: scheme, Width: width, N: n,
+				AllNull: flags&flagAllNull != 0,
+				Data:    data,
+			}
+			off := int(strOff)
+			if strCount > 0 {
+				v.Dict = make([]string, strCount)
+				for j := range v.Dict {
+					l := int(binary.LittleEndian.Uint32(buf[off:]))
+					off += 4
+					v.Dict[j] = string(buf[off : off+l])
+					off += l
+				}
+			} else {
+				l := int(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+				v.Single = string(buf[off : off+l])
+			}
+			a.Strs = v
+		default:
+			return nil, fmt.Errorf("core: attribute %d: unknown kind %d", i, h[0])
+		}
+		if flags&flagValidity != 0 {
+			words := (n + 63) / 64
+			a.Validity = make([]uint64, words)
+			for j := range a.Validity {
+				a.Validity[j] = binary.LittleEndian.Uint64(buf[int(validityOff)+8*j:])
+			}
+		}
+		if flags&flagPSMA != 0 {
+			t := psma.NewEmpty(width)
+			for s := 0; s < t.NumSlots(); s++ {
+				begin := binary.LittleEndian.Uint32(buf[int(psmaOff)+8*s:])
+				end := binary.LittleEndian.Uint32(buf[int(psmaOff)+8*s+4:])
+				t.SetSlotRange(s, psma.Range{Begin: begin, End: end})
+			}
+			a.Psma = t
+		}
+	}
+	return b, nil
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,188 @@
+// Package datasets generates synthetic stand-ins for the two real data
+// sets of the evaluation (§5.1): the IMDB cast_info relation and the US
+// flight arrival/departure details of 1987–2008.
+//
+// We do not have the proprietary dumps; the generators reproduce the
+// properties the experiments depend on — cast_info: monotone surrogate
+// keys, wide skewed foreign keys, heavily NULL columns and a low-entropy
+// note dictionary; flights: natural ordering by date (which makes SMAs
+// effective, Appendix D), small carrier/airport domains and skewed delay
+// distributions. Table 1 and Figure 10 depend only on such value
+// distributions.
+package datasets
+
+import (
+	"fmt"
+	"time"
+
+	"datablocks/internal/core"
+	"datablocks/internal/exec"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+	"datablocks/internal/xrand"
+)
+
+func icol(name string) types.Column { return types.Column{Name: name, Kind: types.Int64} }
+func ncol(name string) types.Column {
+	return types.Column{Name: name, Kind: types.Int64, Nullable: true}
+}
+func scol(name string) types.Column { return types.Column{Name: name, Kind: types.String} }
+func nscol(name string) types.Column {
+	return types.Column{Name: name, Kind: types.String, Nullable: true}
+}
+
+var castNotes = []string{
+	"(uncredited)", "(voice)", "(archive footage)", "(as himself)",
+	"(credit only)", "(scenes deleted)", "(singing voice)", "(narrator)",
+}
+
+// CastInfo generates n rows of the IMDB cast_info shape:
+// (id, person_id, movie_id, person_role_id?, note?, nr_order?, role_id).
+func CastInfo(n, chunkRows int) (*storage.Relation, error) {
+	rel := storage.NewRelation(types.NewSchema(
+		icol("id"), icol("person_id"), icol("movie_id"), ncol("person_role_id"),
+		nscol("note"), ncol("nr_order"), icol("role_id"),
+	), chunkRows)
+	r := xrand.New(0x1DB)
+	cols := []core.ColumnData{
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Int64, Ints: make([]int64, n), Nulls: make([]bool, n)},
+		{Kind: types.String, Strs: make([]string, n), Nulls: make([]bool, n)},
+		{Kind: types.Int64, Ints: make([]int64, n), Nulls: make([]bool, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+	}
+	numPersons := n/4 + 1
+	numMovies := n/12 + 1
+	for i := 0; i < n; i++ {
+		cols[0].Ints[i] = int64(i + 1)
+		// Skew: a minority of prolific actors appears in most rows.
+		if r.Intn(100) < 70 {
+			cols[1].Ints[i] = r.Range(1, int64(numPersons/20+1))
+		} else {
+			cols[1].Ints[i] = r.Range(1, int64(numPersons))
+		}
+		cols[2].Ints[i] = r.Range(1, int64(numMovies))
+		if r.Intn(100) < 55 { // person_role_id mostly NULL
+			cols[3].Nulls[i] = true
+		} else {
+			cols[3].Ints[i] = r.Range(1, int64(numPersons/2+1))
+		}
+		if r.Intn(100) < 70 { // note mostly NULL
+			cols[4].Nulls[i] = true
+		} else {
+			cols[4].Strs[i] = castNotes[r.Intn(len(castNotes))]
+		}
+		if r.Intn(100) < 60 {
+			cols[5].Nulls[i] = true
+		} else {
+			cols[5].Ints[i] = r.Range(1, 60)
+		}
+		cols[6].Ints[i] = r.Range(1, 11)
+	}
+	if err := rel.BulkAppend(cols, n); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+var carriers = []string{"AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA", "MQ", "NW", "OO", "UA", "US", "WN", "XE", "YV", "9E", "OH", "TZ"}
+
+var airports = func() []string {
+	base := []string{"ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO", "EWR", "CLT", "PHX", "IAH", "MIA", "BOS", "MSP", "FLL", "DTW", "PHL", "LGA", "BWI", "SLC", "SAN", "IAD", "DCA", "MDW", "TPA", "PDX", "HNL"}
+	for i := 0; len(base) < 300; i++ {
+		base = append(base, fmt.Sprintf("X%02d", i))
+	}
+	return base
+}()
+
+// FlightsSchema returns the flights schema, shared with loaders.
+func FlightsSchema() *types.Schema {
+	return types.NewSchema(
+		icol("year"), icol("month"), icol("dayofmonth"), icol("dayofweek"),
+		icol("flightdate"), scol("uniquecarrier"), icol("flightnum"),
+		scol("origin"), scol("dest"), ncol("depdelay"), ncol("arrdelay"),
+		icol("distance"),
+	)
+}
+
+// Flights generates n rows of US flight details, ordered by date from
+// October 1987 through April 2008 — the natural ordering the SMAs exploit
+// in the Appendix D query.
+func Flights(n, chunkRows int) (*storage.Relation, error) {
+	rel := storage.NewRelation(FlightsSchema(), chunkRows)
+	r := xrand.New(0xF17)
+	cols := []core.ColumnData{
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.String, Strs: make([]string, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.String, Strs: make([]string, n)},
+		{Kind: types.String, Strs: make([]string, n)},
+		{Kind: types.Int64, Ints: make([]int64, n), Nulls: make([]bool, n)},
+		{Kind: types.Int64, Ints: make([]int64, n), Nulls: make([]bool, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+	}
+	first := types.DateToDays(1987, time.October, 1)
+	last := types.DateToDays(2008, time.April, 30)
+	span := last - first + 1
+	for i := 0; i < n; i++ {
+		// Monotone dates: row i lands on day i*span/n.
+		day := first + int64(i)*span/int64(n)
+		y, m, d := types.DaysToDate(day)
+		cols[0].Ints[i] = int64(y)
+		cols[1].Ints[i] = int64(m)
+		cols[2].Ints[i] = int64(d)
+		cols[3].Ints[i] = day%7 + 1
+		cols[4].Ints[i] = day
+		cols[5].Strs[i] = carriers[r.Intn(len(carriers))]
+		cols[6].Ints[i] = r.Range(1, 7000)
+		cols[7].Strs[i] = airports[r.Intn(len(airports))]
+		// Hub skew: big airports receive a large share of flights.
+		if r.Intn(100) < 60 {
+			cols[8].Strs[i] = airports[r.Intn(30)]
+		} else {
+			cols[8].Strs[i] = airports[r.Intn(len(airports))]
+		}
+		if r.Intn(100) < 2 { // cancelled / missing delays
+			cols[9].Nulls[i] = true
+			cols[10].Nulls[i] = true
+		} else {
+			dep := r.Range(-10, 60) - 10
+			cols[9].Ints[i] = dep
+			cols[10].Ints[i] = dep + r.Range(-15, 30)
+		}
+		cols[11].Ints[i] = r.Range(60, 2700)
+	}
+	if err := rel.BulkAppend(cols, n); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// FlightsQuery builds the Appendix D plan: carriers and their average
+// arrival delay into SFO for 1998–2008, descending by delay. The year
+// restriction skips most blocks via SMAs (natural date order); the dest
+// restriction narrows the remainder via PSMAs.
+func FlightsQuery(rel *storage.Relation) exec.Node {
+	s := rel.Schema()
+	return &exec.OrderByNode{
+		Child: &exec.AggNode{
+			Child: &exec.ScanNode{
+				Rel:  rel,
+				Cols: []int{s.MustColumn("year"), s.MustColumn("uniquecarrier"), s.MustColumn("dest"), s.MustColumn("arrdelay")},
+				Preds: []core.Predicate{
+					{Col: s.MustColumn("year"), Op: types.Between, Lo: types.IntValue(1998), Hi: types.IntValue(2008)},
+					{Col: s.MustColumn("dest"), Op: types.Eq, Lo: types.StringValue("SFO")},
+				},
+			},
+			GroupBy: []int{1},
+			Aggs:    []exec.AggSpec{{Func: exec.AggAvg, Arg: exec.Col(3)}},
+		},
+		Keys: []exec.OrderKey{{Col: 1, Desc: true}},
+	}
+}

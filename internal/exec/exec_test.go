@@ -1,0 +1,512 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"datablocks/internal/core"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+var allModes = []ScanMode{ModeJIT, ModeVectorized, ModeVectorizedSARG, ModeVectorizedSARGPSMA}
+
+// ordersRel builds a relation with frozen and hot chunks:
+// (okey int, price float, status string nullable, qty int).
+func ordersRel(t *testing.T, n, chunkCap int, frozenChunks int) *storage.Relation {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "okey", Kind: types.Int64},
+		types.Column{Name: "price", Kind: types.Float64},
+		types.Column{Name: "status", Kind: types.String, Nullable: true},
+		types.Column{Name: "qty", Kind: types.Int64},
+	)
+	rel := storage.NewRelation(schema, chunkCap)
+	r := rand.New(rand.NewSource(31))
+	statuses := []string{"open", "paid", "shipped", "returned"}
+	cols := []core.ColumnData{
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.Float64, Floats: make([]float64, n)},
+		{Kind: types.String, Strs: make([]string, n), Nulls: make([]bool, n)},
+		{Kind: types.Int64, Ints: make([]int64, n)},
+	}
+	for i := 0; i < n; i++ {
+		cols[0].Ints[i] = int64(i)
+		cols[1].Floats[i] = float64(r.Intn(100000)) / 100
+		cols[2].Strs[i] = statuses[r.Intn(len(statuses))]
+		cols[2].Nulls[i] = r.Intn(10) == 0
+		cols[3].Ints[i] = int64(r.Intn(50))
+	}
+	if err := rel.BulkAppend(cols, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frozenChunks && i < rel.NumChunks(); i++ {
+		if err := rel.FreezeChunk(i, core.FreezeOptions{SortBy: -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel
+}
+
+// sortedRows renders a result to sorted strings for order-insensitive
+// comparison.
+func sortedRows(r *Result) []string {
+	rows := strings.Split(strings.TrimRight(r.String(), "\n"), "\n")
+	sort.Strings(rows)
+	return rows
+}
+
+// requireApproxResult compares results row-wise after sorting, allowing
+// relative float error (parallel aggregation changes summation order).
+func requireApproxResult(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		t.Fatalf("%s: shapes differ", name)
+	}
+	keys := make([]OrderKey, a.NumCols())
+	for i := range keys {
+		keys[i] = OrderKey{Col: i}
+	}
+	a.SortBy(keys, 0)
+	b.SortBy(keys, 0)
+	for i := 0; i < a.NumRows(); i++ {
+		for c := 0; c < a.NumCols(); c++ {
+			va, vb := a.Value(c, i), b.Value(c, i)
+			if va.Kind() == types.Float64 && !va.IsNull() && !vb.IsNull() {
+				if !approxEq(va.Float(), vb.Float()) {
+					t.Fatalf("%s: cell (%d,%d): %v vs %v", name, i, c, va, vb)
+				}
+				continue
+			}
+			if !va.Equal(vb) {
+				t.Fatalf("%s: cell (%d,%d): %v vs %v", name, i, c, va, vb)
+			}
+		}
+	}
+}
+
+func requireSameResult(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	ra, rb := sortedRows(a), sortedRows(b)
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: row counts differ: %d vs %d", name, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("%s: row %d differs:\n%s\n%s", name, i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestScanModesAgree(t *testing.T) {
+	rel := ordersRel(t, 25000, 1<<13, 2) // 2 frozen chunks + hot tail
+	mkPlan := func() Node {
+		return &ScanNode{
+			Rel:  rel,
+			Cols: []int{0, 1, 2, 3},
+			Preds: []core.Predicate{
+				{Col: 0, Op: types.Between, Lo: types.IntValue(1000), Hi: types.IntValue(20000)},
+				{Col: 2, Op: types.Eq, Lo: types.StringValue("paid")},
+				{Col: 1, Op: types.Lt, Lo: types.FloatValue(400)},
+			},
+		}
+	}
+	var ref *Result
+	for _, mode := range allModes {
+		res, err := Run(mkPlan(), Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.NumRows() == 0 {
+			t.Fatalf("%v: empty result", mode)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		requireSameResult(t, mode.String(), ref, res)
+	}
+	// Parallel execution returns the same multiset.
+	res, err := Run(mkPlan(), Options{Mode: ModeVectorizedSARGPSMA, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "parallel", ref, res)
+	// Small vector sizes exercise multi-batch paths.
+	res, err = Run(mkPlan(), Options{Mode: ModeVectorizedSARG, VectorSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "vec256", ref, res)
+}
+
+func TestScanAgainstNaiveReference(t *testing.T) {
+	rel := ordersRel(t, 9000, 1<<12, 1)
+	plan := &ScanNode{
+		Rel:  rel,
+		Cols: []int{0, 3},
+		Preds: []core.Predicate{
+			{Col: 3, Op: types.Ge, Lo: types.IntValue(25)},
+		},
+	}
+	res, err := Run(plan, Options{Mode: ModeVectorizedSARG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive reference via point accesses.
+	want := 0
+	for _, ch := range rel.Chunks() {
+		for row := 0; row < ch.Rows(); row++ {
+			var qty int64
+			if ch.IsFrozen() {
+				qty = ch.Block().Int(3, row)
+			} else {
+				qty = ch.Hot().Ints(3)[row]
+			}
+			if qty >= 25 {
+				want++
+			}
+		}
+	}
+	if res.NumRows() != want {
+		t.Fatalf("got %d rows, want %d", res.NumRows(), want)
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	rel := ordersRel(t, 20000, 1<<13, 2)
+	mkPlan := func() Node {
+		return &AggNode{
+			Child:   &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}},
+			GroupBy: []int{2},
+			Aggs: []AggSpec{
+				{Func: AggCount},
+				{Func: AggSum, Arg: Col(1)},
+				{Func: AggAvg, Arg: Col(3)},
+				{Func: AggMin, Arg: Col(0)},
+				{Func: AggMax, Arg: Col(0)},
+			},
+		}
+	}
+	var ref *Result
+	for _, mode := range allModes {
+		res, err := Run(mkPlan(), Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		// 4 statuses + NULL group.
+		if res.NumRows() != 5 {
+			t.Fatalf("%v: %d groups, want 5", mode, res.NumRows())
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		requireSameResult(t, mode.String(), ref, res)
+	}
+	// Parallel merge must agree (floats up to summation-order rounding).
+	res, err := Run(mkPlan(), Options{Mode: ModeVectorized, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireApproxResult(t, "parallel-agg", ref, res)
+	// Counts add up to the relation size.
+	total := int64(0)
+	for i := 0; i < ref.NumRows(); i++ {
+		total += ref.Cols[1].Ints[i]
+	}
+	if total != int64(rel.NumRows()) {
+		t.Fatalf("counts sum to %d, want %d", total, rel.NumRows())
+	}
+}
+
+func TestMapAndFilterExpressions(t *testing.T) {
+	rel := ordersRel(t, 5000, 1<<12, 1)
+	// revenue = price * (1 + 0.1), flagged = qty >= 40 ? 1 : 0
+	plan := &AggNode{
+		Child: &MapNode{
+			Child: &FilterNode{
+				Child: &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}},
+				Cond:  Cmp(types.Ge, Col(3), CInt(10)),
+			},
+			Exprs: []Expr{
+				Mul(Col(1), CFloat(1.1)),
+				If{Cond: Cmp(types.Ge, Col(3), CInt(40)), Then: CInt(1), Else: CInt(0)},
+			},
+		},
+		GroupBy: []int{},
+		Aggs: []AggSpec{
+			{Func: AggSum, Arg: Col(0)},
+			{Func: AggSum, Arg: Col(1)},
+			{Func: AggCount},
+		},
+	}
+	res, err := Run(plan, Options{Mode: ModeVectorizedSARG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	// Reference computation.
+	var wantRev, wantFlag float64
+	var wantCount int64
+	for _, ch := range rel.Chunks() {
+		for row := 0; row < ch.Rows(); row++ {
+			var qty int64
+			var price float64
+			if ch.IsFrozen() {
+				qty, price = ch.Block().Int(3, row), ch.Block().Float(1, row)
+			} else {
+				qty, price = ch.Hot().Ints(3)[row], ch.Hot().Floats(1)[row]
+			}
+			if qty >= 10 {
+				wantRev += price * 1.1
+				if qty >= 40 {
+					wantFlag++
+				}
+				wantCount++
+			}
+		}
+	}
+	if got := res.Cols[0].Floats[0]; !approxEq(got, wantRev) {
+		t.Fatalf("revenue = %g, want %g", got, wantRev)
+	}
+	if got := res.Cols[1].Floats[0]; got != wantFlag {
+		t.Fatalf("flagged = %g, want %g", got, wantFlag)
+	}
+	if got := res.Cols[2].Ints[0]; got != wantCount {
+		t.Fatalf("count = %d, want %d", got, wantCount)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	return d <= 1e-9*(1+scale)
+}
+
+// customersRel: (ckey int, nation string).
+func customersRel(t *testing.T, n int) *storage.Relation {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "ckey", Kind: types.Int64},
+		types.Column{Name: "nation", Kind: types.String},
+	)
+	rel := storage.NewRelation(schema, 1<<12)
+	nations := []string{"DE", "FR", "US", "JP"}
+	cols := []core.ColumnData{
+		{Kind: types.Int64, Ints: make([]int64, n)},
+		{Kind: types.String, Strs: make([]string, n)},
+	}
+	for i := 0; i < n; i++ {
+		cols[0].Ints[i] = int64(i)
+		cols[1].Strs[i] = nations[i%len(nations)]
+	}
+	if err := rel.BulkAppend(cols, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestHashJoinInner(t *testing.T) {
+	orders := ordersRel(t, 8000, 1<<12, 2)
+	customers := customersRel(t, 2000)
+	// orders join customers on okey % 2000 == ckey is not expressible;
+	// instead join on okey (0..7999) vs ckey (0..1999): 2000 matches.
+	mkPlan := func(early bool) Node {
+		return &AggNode{
+			Child: &JoinNode{
+				Build:      &ScanNode{Rel: customers, Cols: []int{0, 1}, Preds: []core.Predicate{{Col: 1, Op: types.Eq, Lo: types.StringValue("DE")}}},
+				Probe:      &ScanNode{Rel: orders, Cols: []int{0, 1}},
+				BuildKeys:  []int{0},
+				ProbeKeys:  []int{0},
+				Kind:       InnerJoin,
+				EarlyProbe: early,
+			},
+			GroupBy: []int{3}, // nation
+			Aggs:    []AggSpec{{Func: AggCount}, {Func: AggSum, Arg: Col(1)}},
+		}
+	}
+	var ref *Result
+	for _, mode := range allModes {
+		for _, early := range []bool{false, true} {
+			res, err := Run(mkPlan(early), Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%v early=%v: %v", mode, early, err)
+			}
+			if res.NumRows() != 1 {
+				t.Fatalf("%v early=%v: %d groups, want 1", mode, early, res.NumRows())
+			}
+			if got := res.Cols[1].Ints[0]; got != 500 {
+				t.Fatalf("%v early=%v: count = %d, want 500 (DE customers with ckey<2000)", mode, early, got)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			requireSameResult(t, fmt.Sprintf("%v early=%v", mode, early), ref, res)
+		}
+	}
+}
+
+func TestSemiAntiJoin(t *testing.T) {
+	orders := ordersRel(t, 4000, 1<<12, 1)
+	customers := customersRel(t, 1000)
+	semi := &AggNode{
+		Child: &JoinNode{
+			Build:     &ScanNode{Rel: customers, Cols: []int{0}},
+			Probe:     &ScanNode{Rel: orders, Cols: []int{0}},
+			BuildKeys: []int{0},
+			ProbeKeys: []int{0},
+			Kind:      SemiJoin,
+		},
+		Aggs: []AggSpec{{Func: AggCount}},
+	}
+	res, err := Run(semi, Options{Mode: ModeVectorizedSARG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cols[0].Ints[0]; got != 1000 {
+		t.Fatalf("semi count = %d, want 1000", got)
+	}
+	anti := &AggNode{
+		Child: &JoinNode{
+			Build:     &ScanNode{Rel: customers, Cols: []int{0}},
+			Probe:     &ScanNode{Rel: orders, Cols: []int{0}},
+			BuildKeys: []int{0},
+			ProbeKeys: []int{0},
+			Kind:      AntiJoin,
+		},
+		Aggs: []AggSpec{{Func: AggCount}},
+	}
+	res, err = Run(anti, Options{Mode: ModeVectorizedSARG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cols[0].Ints[0]; got != 3000 {
+		t.Fatalf("anti count = %d, want 3000", got)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	rel := ordersRel(t, 3000, 1<<12, 1)
+	plan := &OrderByNode{
+		Child: &ScanNode{Rel: rel, Cols: []int{0, 1}},
+		Keys:  []OrderKey{{Col: 1, Desc: true}, {Col: 0}},
+		Limit: 10,
+	}
+	res, err := Run(plan, Options{Mode: ModeVectorizedSARG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 10 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	for i := 1; i < res.NumRows(); i++ {
+		if res.Cols[1].Floats[i] > res.Cols[1].Floats[i-1] {
+			t.Fatalf("not descending at %d", i)
+		}
+	}
+}
+
+func TestCompileStatsScanPathExplosion(t *testing.T) {
+	// Figure 5's mechanism: JIT scans compile one code path per distinct
+	// storage layout; vectorized scans compile exactly one.
+	schema := types.NewSchema(
+		types.Column{Name: "a", Kind: types.Int64},
+		types.Column{Name: "b", Kind: types.Int64},
+	)
+	rel := storage.NewRelation(schema, 256)
+	// Chunk 1: small domain (trunc1/trunc1); chunk 2: wide (trunc4);
+	// chunk 3: constant (single) — three distinct layouts.
+	mk := func(f func(i int) (int64, int64)) {
+		cols := []core.ColumnData{
+			{Kind: types.Int64, Ints: make([]int64, 256)},
+			{Kind: types.Int64, Ints: make([]int64, 256)},
+		}
+		for i := 0; i < 256; i++ {
+			cols[0].Ints[i], cols[1].Ints[i] = f(i)
+		}
+		if err := rel.BulkAppend(cols, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk(func(i int) (int64, int64) { return int64(i), int64(i) })
+	mk(func(i int) (int64, int64) { return int64(i) * 1000000, int64(i) })
+	mk(func(i int) (int64, int64) { return 7, 7 })
+	if err := rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+		t.Fatal(err)
+	}
+	plan := func() Node { return &ScanNode{Rel: rel, Cols: []int{0, 1}} }
+
+	var jitStats CompileStats
+	if _, err := Run(plan(), Options{Mode: ModeJIT, Stats: &jitStats}); err != nil {
+		t.Fatal(err)
+	}
+	// 3 block layouts + 1 hot path.
+	if jitStats.ScanPaths != 4 {
+		t.Fatalf("JIT scan paths = %d, want 4", jitStats.ScanPaths)
+	}
+	var vecStats CompileStats
+	if _, err := Run(plan(), Options{Mode: ModeVectorized, Stats: &vecStats}); err != nil {
+		t.Fatal(err)
+	}
+	if vecStats.ScanPaths != 1 {
+		t.Fatalf("vectorized scan paths = %d, want 1", vecStats.ScanPaths)
+	}
+	if jitStats.Closures <= vecStats.Closures {
+		t.Fatalf("JIT should compile more closures: %d vs %d", jitStats.Closures, vecStats.Closures)
+	}
+}
+
+func TestScanWithDeletesAllModes(t *testing.T) {
+	rel := ordersRel(t, 6000, 1<<12, 1)
+	// Delete every 7th tuple, across frozen and hot chunks.
+	deleted := 0
+	for i := 0; i < 6000; i += 7 {
+		tid := storage.TupleID{Chunk: uint32(i / (1 << 12)), Row: uint32(i % (1 << 12))}
+		if rel.Delete(tid) {
+			deleted++
+		}
+	}
+	plan := func() Node {
+		return &AggNode{
+			Child: &ScanNode{Rel: rel, Cols: []int{0}},
+			Aggs:  []AggSpec{{Func: AggCount}},
+		}
+	}
+	for _, mode := range allModes {
+		res, err := Run(plan(), Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Cols[0].Ints[0]; got != int64(6000-deleted) {
+			t.Fatalf("%v: count = %d, want %d", mode, got, 6000-deleted)
+		}
+	}
+}
+
+func TestPredicateColumnMustBeProjected(t *testing.T) {
+	rel := ordersRel(t, 100, 0, 0)
+	plan := &ScanNode{
+		Rel:   rel,
+		Cols:  []int{0},
+		Preds: []core.Predicate{{Col: 3, Op: types.Ge, Lo: types.IntValue(1)}},
+	}
+	if _, err := Run(plan, Options{Mode: ModeVectorizedSARG}); err == nil {
+		t.Fatal("expected error for unprojected predicate column")
+	}
+}

@@ -1,0 +1,345 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"datablocks/internal/types"
+)
+
+// aggState accumulates the aggregates of one group.
+type aggState struct {
+	key    types.Row // group-by values
+	counts []int64   // per agg: rows (Count) or non-null inputs
+	sums   []float64
+	minI   []int64
+	maxI   []int64
+	minF   []float64
+	maxF   []float64
+	minS   []string
+	maxS   []string
+	seen   []bool // per agg: any non-null input (for Min/Max/Avg NULL results)
+}
+
+// aggregator is a per-worker hash-aggregation sink.
+type aggregator struct {
+	node     *AggNode
+	inKinds  []types.Kind
+	argI     []intFn
+	argF     []floatFn
+	argS     []strFn
+	argKinds []types.Kind
+	groups   map[string]*aggState
+	order    []*aggState // insertion order for deterministic output
+	keyBuf   []byte
+}
+
+func newAggregator(node *AggNode, inKinds []types.Kind, c *compiler) (*aggregator, error) {
+	a := &aggregator{
+		node:     node,
+		inKinds:  inKinds,
+		groups:   make(map[string]*aggState),
+		argI:     make([]intFn, len(node.Aggs)),
+		argF:     make([]floatFn, len(node.Aggs)),
+		argS:     make([]strFn, len(node.Aggs)),
+		argKinds: make([]types.Kind, len(node.Aggs)),
+	}
+	for i, spec := range node.Aggs {
+		if spec.Func == AggCount {
+			continue
+		}
+		k, err := spec.Arg.resultKind(inKinds)
+		if err != nil {
+			return nil, err
+		}
+		a.argKinds[i] = k
+		switch spec.Func {
+		case AggSum, AggAvg:
+			f, err := c.compileFloat(spec.Arg)
+			if err != nil {
+				return nil, err
+			}
+			a.argF[i] = f
+		default:
+			switch k {
+			case types.Int64:
+				f, err := c.compileInt(spec.Arg)
+				if err != nil {
+					return nil, err
+				}
+				a.argI[i] = f
+			case types.Float64:
+				f, err := c.compileFloat(spec.Arg)
+				if err != nil {
+					return nil, err
+				}
+				a.argF[i] = f
+			default:
+				f, err := c.compileStr(spec.Arg)
+				if err != nil {
+					return nil, err
+				}
+				a.argS[i] = f
+			}
+		}
+	}
+	return a, nil
+}
+
+// consume folds one tuple into the hash table.
+func (a *aggregator) consume(t *Tuple) {
+	key := a.keyBuf[:0]
+	for _, g := range a.node.GroupBy {
+		if t.Nulls[g] {
+			key = append(key, 0)
+			continue
+		}
+		key = append(key, 1)
+		switch a.inKinds[g] {
+		case types.Int64:
+			key = binary.LittleEndian.AppendUint64(key, uint64(t.Ints[g]))
+		case types.Float64:
+			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(t.Floats[g]))
+		default:
+			key = binary.LittleEndian.AppendUint32(key, uint32(len(t.Strs[g])))
+			key = append(key, t.Strs[g]...)
+		}
+	}
+	a.keyBuf = key
+	st, ok := a.groups[string(key)]
+	if !ok {
+		st = a.newState(t)
+		a.groups[string(key)] = st
+		a.order = append(a.order, st)
+	}
+	a.fold(st, t)
+}
+
+func (a *aggregator) newState(t *Tuple) *aggState {
+	n := len(a.node.Aggs)
+	st := &aggState{
+		key:    make(types.Row, len(a.node.GroupBy)),
+		counts: make([]int64, n),
+		sums:   make([]float64, n),
+		minI:   make([]int64, n),
+		maxI:   make([]int64, n),
+		minF:   make([]float64, n),
+		maxF:   make([]float64, n),
+		minS:   make([]string, n),
+		maxS:   make([]string, n),
+		seen:   make([]bool, n),
+	}
+	for i, g := range a.node.GroupBy {
+		if t.Nulls[g] {
+			st.key[i] = types.NullValue(a.inKinds[g])
+			continue
+		}
+		switch a.inKinds[g] {
+		case types.Int64:
+			st.key[i] = types.IntValue(t.Ints[g])
+		case types.Float64:
+			st.key[i] = types.FloatValue(t.Floats[g])
+		default:
+			st.key[i] = types.StringValue(t.Strs[g])
+		}
+	}
+	return st
+}
+
+func (a *aggregator) fold(st *aggState, t *Tuple) {
+	for i, spec := range a.node.Aggs {
+		switch spec.Func {
+		case AggCount:
+			st.counts[i]++
+		case AggCountCol:
+			if _, null := a.anyArg(i, t); !null {
+				st.counts[i]++
+			}
+		case AggSum, AggAvg:
+			v, null := a.argF[i](t)
+			if null {
+				continue
+			}
+			st.sums[i] += v
+			st.counts[i]++
+			st.seen[i] = true
+		case AggMin, AggMax:
+			a.foldMinMax(st, i, spec.Func, t)
+		}
+	}
+}
+
+// anyArg evaluates the i-th aggregate argument only for its null flag.
+func (a *aggregator) anyArg(i int, t *Tuple) (any, bool) {
+	switch a.argKinds[i] {
+	case types.Int64:
+		v, null := a.argI[i](t)
+		return v, null
+	case types.Float64:
+		v, null := a.argF[i](t)
+		return v, null
+	default:
+		v, null := a.argS[i](t)
+		return v, null
+	}
+}
+
+func (a *aggregator) foldMinMax(st *aggState, i int, f AggFunc, t *Tuple) {
+	switch a.argKinds[i] {
+	case types.Int64:
+		v, null := a.argI[i](t)
+		if null {
+			return
+		}
+		if !st.seen[i] {
+			st.minI[i], st.maxI[i] = v, v
+		} else {
+			if v < st.minI[i] {
+				st.minI[i] = v
+			}
+			if v > st.maxI[i] {
+				st.maxI[i] = v
+			}
+		}
+	case types.Float64:
+		v, null := a.argF[i](t)
+		if null {
+			return
+		}
+		if !st.seen[i] {
+			st.minF[i], st.maxF[i] = v, v
+		} else {
+			if v < st.minF[i] {
+				st.minF[i] = v
+			}
+			if v > st.maxF[i] {
+				st.maxF[i] = v
+			}
+		}
+	default:
+		v, null := a.argS[i](t)
+		if null {
+			return
+		}
+		if !st.seen[i] {
+			st.minS[i], st.maxS[i] = v, v
+		} else {
+			if v < st.minS[i] {
+				st.minS[i] = v
+			}
+			if v > st.maxS[i] {
+				st.maxS[i] = v
+			}
+		}
+	}
+	st.seen[i] = true
+}
+
+// merge folds another worker's partial states into this aggregator
+// (re-aggregation across morsels, cf. morsel-driven parallelism [20]).
+func (a *aggregator) merge(o *aggregator) {
+	for keyStr, ost := range o.groups {
+		st, ok := a.groups[keyStr]
+		if !ok {
+			a.groups[keyStr] = ost
+			a.order = append(a.order, ost)
+			continue
+		}
+		for i, spec := range a.node.Aggs {
+			switch spec.Func {
+			case AggCount, AggCountCol:
+				st.counts[i] += ost.counts[i]
+			case AggSum, AggAvg:
+				st.sums[i] += ost.sums[i]
+				st.counts[i] += ost.counts[i]
+				st.seen[i] = st.seen[i] || ost.seen[i]
+			case AggMin, AggMax:
+				if !ost.seen[i] {
+					continue
+				}
+				if !st.seen[i] {
+					st.minI[i], st.maxI[i] = ost.minI[i], ost.maxI[i]
+					st.minF[i], st.maxF[i] = ost.minF[i], ost.maxF[i]
+					st.minS[i], st.maxS[i] = ost.minS[i], ost.maxS[i]
+					st.seen[i] = true
+					continue
+				}
+				if ost.minI[i] < st.minI[i] {
+					st.minI[i] = ost.minI[i]
+				}
+				if ost.maxI[i] > st.maxI[i] {
+					st.maxI[i] = ost.maxI[i]
+				}
+				if ost.minF[i] < st.minF[i] {
+					st.minF[i] = ost.minF[i]
+				}
+				if ost.maxF[i] > st.maxF[i] {
+					st.maxF[i] = ost.maxF[i]
+				}
+				if ost.minS[i] < st.minS[i] {
+					st.minS[i] = ost.minS[i]
+				}
+				if ost.maxS[i] > st.maxS[i] {
+					st.maxS[i] = ost.maxS[i]
+				}
+			}
+		}
+	}
+}
+
+// finalize renders the aggregation result.
+func (a *aggregator) finalize(outKinds []types.Kind) *Result {
+	res := NewResult(outKinds)
+	ng := len(a.node.GroupBy)
+	row := make(types.Row, len(outKinds))
+	for _, st := range a.order {
+		copy(row, st.key)
+		for i, spec := range a.node.Aggs {
+			c := ng + i
+			switch spec.Func {
+			case AggCount, AggCountCol:
+				row[c] = types.IntValue(st.counts[i])
+			case AggSum:
+				if !st.seen[i] {
+					row[c] = types.NullValue(types.Float64)
+				} else {
+					row[c] = types.FloatValue(st.sums[i])
+				}
+			case AggAvg:
+				if st.counts[i] == 0 {
+					row[c] = types.NullValue(types.Float64)
+				} else {
+					row[c] = types.FloatValue(st.sums[i] / float64(st.counts[i]))
+				}
+			case AggMin, AggMax:
+				if !st.seen[i] {
+					row[c] = types.NullValue(outKinds[c])
+					continue
+				}
+				isMin := spec.Func == AggMin
+				switch a.argKinds[i] {
+				case types.Int64:
+					if isMin {
+						row[c] = types.IntValue(st.minI[i])
+					} else {
+						row[c] = types.IntValue(st.maxI[i])
+					}
+				case types.Float64:
+					if isMin {
+						row[c] = types.FloatValue(st.minF[i])
+					} else {
+						row[c] = types.FloatValue(st.maxF[i])
+					}
+				default:
+					if isMin {
+						row[c] = types.StringValue(st.minS[i])
+					} else {
+						row[c] = types.StringValue(st.maxS[i])
+					}
+				}
+			}
+		}
+		res.appendRow(row)
+	}
+	return res
+}

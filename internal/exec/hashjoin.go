@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"datablocks/internal/types"
+)
+
+// hashTable is the materialized build side of a hash join. In addition to
+// the bucket map it keeps a 2^16-bit tag filter — our analogue of HyPer's
+// tagged hash-table pointers (Appendix E, [20]) — that vectorized scans can
+// probe early to drop probe tuples before unpacking them.
+type hashTable struct {
+	build    *Result
+	keyCols  []int
+	keyKinds []types.Kind
+	buckets  map[uint64][]int32
+	tags     [1024]uint64 // 2^16 tag bits
+	// intKey is >= 0 when the join key is a single non-null integer
+	// column, enabling the fast early-probe path.
+	intKey int
+}
+
+func buildHashTable(build *Result, keyCols []int) *hashTable {
+	ht := &hashTable{
+		build:   build,
+		keyCols: keyCols,
+		buckets: make(map[uint64][]int32, build.NumRows()),
+		intKey:  -1,
+	}
+	ht.keyKinds = make([]types.Kind, len(keyCols))
+	for i, c := range keyCols {
+		ht.keyKinds[i] = build.Cols[c].Kind
+	}
+	if len(keyCols) == 1 && ht.keyKinds[0] == types.Int64 {
+		ht.intKey = keyCols[0]
+	}
+	var buf []byte
+	for row := 0; row < build.NumRows(); row++ {
+		buf = ht.encodeBuildKey(buf[:0], row)
+		if buf == nil {
+			continue // NULL keys never join
+		}
+		h := hashBytes(buf)
+		ht.buckets[h] = append(ht.buckets[h], int32(row))
+		ht.setTag(h)
+	}
+	return ht
+}
+
+// encodeBuildKey serializes the key of a build row; nil marks a NULL key.
+func (ht *hashTable) encodeBuildKey(buf []byte, row int) []byte {
+	for _, c := range ht.keyCols {
+		col := &ht.build.Cols[c]
+		if col.Nulls[row] {
+			return nil
+		}
+		switch col.Kind {
+		case types.Int64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(col.Ints[row]))
+		case types.Float64:
+			buf = binary.LittleEndian.AppendUint64(buf, floatKeyBits(col.Floats[row]))
+		default:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col.Strs[row])))
+			buf = append(buf, col.Strs[row]...)
+		}
+	}
+	return buf
+}
+
+// encodeProbeKey serializes the probe tuple's key; nil marks a NULL key.
+func (ht *hashTable) encodeProbeKey(buf []byte, t *Tuple, probeKeys []int) []byte {
+	for i, c := range probeKeys {
+		if t.Nulls[c] {
+			return nil
+		}
+		switch ht.keyKinds[i] {
+		case types.Int64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Ints[c]))
+		case types.Float64:
+			buf = binary.LittleEndian.AppendUint64(buf, floatKeyBits(t.Floats[c]))
+		default:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Strs[c])))
+			buf = append(buf, t.Strs[c]...)
+		}
+	}
+	return buf
+}
+
+// lookup returns the candidate build rows for an encoded key. Candidates
+// share the 64-bit hash; the caller verifies equality.
+func (ht *hashTable) lookup(key []byte) []int32 {
+	h := hashBytes(key)
+	if !ht.testTag(h) {
+		return nil
+	}
+	return ht.buckets[h]
+}
+
+// verify checks that the build row's key equals the probe key byte-wise.
+func (ht *hashTable) verify(key []byte, row int32, scratch []byte) bool {
+	bk := ht.encodeBuildKey(scratch[:0], int(row))
+	if len(bk) != len(key) {
+		return false
+	}
+	for i := range bk {
+		if bk[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (ht *hashTable) setTag(h uint64) {
+	tag := h >> 48
+	ht.tags[tag>>6] |= 1 << (tag & 63)
+}
+
+func (ht *hashTable) testTag(h uint64) bool {
+	tag := h >> 48
+	return ht.tags[tag>>6]>>(tag&63)&1 == 1
+}
+
+// TestTagInt probes the tag filter for a bare integer key — the early-probe
+// fast path used inside vectorized scans (Appendix E, Figure 14): one hash,
+// one bit test, no bucket access.
+func (ht *hashTable) testTagInt(key int64) bool {
+	return ht.testTag(hashInt(uint64(key)))
+}
+
+// hashInt is a finalized multiplicative hash (splitmix64 finalizer).
+func hashInt(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashBytes hashes an encoded key. Single 8-byte keys (the common integer
+// join key) take the finalizer fast path so that testTagInt agrees with the
+// general path.
+func hashBytes(b []byte) uint64 {
+	if len(b) == 8 {
+		return hashInt(binary.LittleEndian.Uint64(b))
+	}
+	var h uint64 = 14695981039346656037 // FNV-64 offset basis
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * 1099511628211
+		h = bits.RotateLeft64(h, 23)
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return hashInt(h)
+}
+
+// floatKeyBits canonicalizes -0.0 to +0.0 so equal floats hash equally.
+func floatKeyBits(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	return math.Float64bits(f)
+}

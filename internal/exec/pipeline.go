@@ -1,0 +1,431 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"datablocks/internal/core"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+// Options configures query execution.
+type Options struct {
+	// Mode selects the scan flavor (Table 2 configurations).
+	Mode ScanMode
+	// VectorSize is the number of records fetched per vectorized-scan
+	// invocation (Appendix A); 0 selects the 8192 default.
+	VectorSize int
+	// Parallelism is the number of morsel workers; <=1 runs serially.
+	Parallelism int
+	// Stats, when non-nil, receives code-generation counters.
+	Stats *CompileStats
+}
+
+// Run executes the plan and materializes its result.
+func Run(n Node, opt Options) (*Result, error) {
+	if opt.VectorSize <= 0 {
+		opt.VectorSize = core.DefaultVectorSize
+	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = 1
+	}
+	ex := &executor{opt: opt, builds: make(map[*JoinNode]*hashTable)}
+	return ex.run(n)
+}
+
+type executor struct {
+	opt         Options
+	builds      map[*JoinNode]*hashTable
+	compileOnly bool
+}
+
+// CompileOnly performs all code generation for the plan — pipeline
+// closures and the per-storage-layout scan paths — without scanning any
+// data. It isolates the compile-time cost that Figure 5 plots. Join build
+// sides, being pipeline breakers, would require execution and are not
+// permitted here.
+func CompileOnly(n Node, opt Options) (CompileStats, error) {
+	var stats CompileStats
+	if opt.Stats == nil {
+		opt.Stats = &stats
+	}
+	if opt.VectorSize <= 0 {
+		opt.VectorSize = core.DefaultVectorSize
+	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = 1
+	}
+	ex := &executor{opt: opt, builds: make(map[*JoinNode]*hashTable), compileOnly: true}
+	if _, err := ex.run(n); err != nil {
+		return CompileStats{}, err
+	}
+	return *opt.Stats, nil
+}
+
+func (ex *executor) run(n Node) (*Result, error) {
+	switch n := n.(type) {
+	case *OrderByNode:
+		res, err := ex.run(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		res.SortBy(n.Keys, n.Limit)
+		return res, nil
+	case *AggNode:
+		inKinds, err := n.Child.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		outKinds, err := n.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		var (
+			mu   sync.Mutex
+			aggs []*aggregator
+		)
+		err = ex.runPipeline(n.Child, func(c *compiler) (func(*Tuple), error) {
+			a, err := newAggregator(n, inKinds, &compiler{kinds: inKinds, stats: c.stats})
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			aggs = append(aggs, a)
+			mu.Unlock()
+			return a.consume, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		root := aggs[0]
+		for _, a := range aggs[1:] {
+			root.merge(a)
+		}
+		return root.finalize(outKinds), nil
+	default:
+		outKinds, err := n.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		var (
+			mu      sync.Mutex
+			results []*Result
+		)
+		err = ex.runPipeline(n, func(*compiler) (func(*Tuple), error) {
+			res := NewResult(outKinds)
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+			return res.appendTuple, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		root := results[0]
+		for _, r := range results[1:] {
+			root.append(r)
+		}
+		return root, nil
+	}
+}
+
+// runPipeline executes the pipeline rooted at chain: it materializes the
+// build sides of all hash joins along the probe spine, compiles one
+// consumer chain per worker, and drives the scan over the relation's
+// chunks (morsels).
+func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*Tuple), error)) error {
+	scan, err := ex.prepareBuilds(chain)
+	if err != nil {
+		return err
+	}
+	chunks := scan.Rel.Chunks()
+	workers := ex.opt.Parallelism
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	drivers := make([]*scanDriver, workers)
+	for w := 0; w < workers; w++ {
+		c := &compiler{}
+		if w == 0 {
+			c.stats = ex.opt.Stats
+		}
+		sink, err := sinkFactory(c)
+		if err != nil {
+			return err
+		}
+		cons, err := ex.compileChain(chain, sink, c)
+		if err != nil {
+			return err
+		}
+		d, err := ex.newScanDriver(scan, cons, c)
+		if err != nil {
+			return err
+		}
+		// Early probing runs inside vectorized scans only (Appendix E).
+		if ex.opt.Mode != ModeJIT {
+			if ht, slot := ex.earlyProbeFor(chain); ht != nil {
+				d.ep = ht
+				d.epRelCol = scan.Cols[slot]
+			}
+		}
+		drivers[w] = d
+	}
+	if ex.compileOnly {
+		return nil
+	}
+	if workers == 1 {
+		for _, ch := range chunks {
+			if err := drivers[0].processChunk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	work := make(chan *storage.Chunk, len(chunks))
+	for _, ch := range chunks {
+		work <- ch
+	}
+	close(work)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(d *scanDriver) {
+			defer wg.Done()
+			for ch := range work {
+				if err := d.processChunk(ch); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(drivers[w])
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// prepareBuilds materializes the build side of every join on the probe
+// spine and returns the driving ScanNode.
+func (ex *executor) prepareBuilds(n Node) (*ScanNode, error) {
+	switch n := n.(type) {
+	case *ScanNode:
+		return n, nil
+	case *FilterNode:
+		return ex.prepareBuilds(n.Child)
+	case *MapNode:
+		return ex.prepareBuilds(n.Child)
+	case *JoinNode:
+		if ex.compileOnly {
+			return nil, fmt.Errorf("exec: CompileOnly does not support joins (pipeline breakers execute)")
+		}
+		if _, done := ex.builds[n]; !done {
+			buildRes, err := ex.run(n.Build)
+			if err != nil {
+				return nil, err
+			}
+			ex.builds[n] = buildHashTable(buildRes, n.BuildKeys)
+		}
+		return ex.prepareBuilds(n.Probe)
+	default:
+		return nil, fmt.Errorf("exec: %T cannot appear inside a pipeline", n)
+	}
+}
+
+// compileChain lowers the operator chain above the scan into a single fused
+// consumer closure — the query-pipeline compilation of §4.
+func (ex *executor) compileChain(n Node, down func(*Tuple), c *compiler) (func(*Tuple), error) {
+	switch n := n.(type) {
+	case *ScanNode:
+		return down, nil
+	case *FilterNode:
+		kinds, err := n.Child.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		cc := &compiler{kinds: kinds, stats: c.stats}
+		cond, err := cc.compileBool(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		cc.emit()
+		cons := func(t *Tuple) {
+			if cond(t) {
+				down(t)
+			}
+		}
+		return ex.compileChain(n.Child, cons, c)
+	case *MapNode:
+		kinds, err := n.Child.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		cc := &compiler{kinds: kinds, stats: c.stats}
+		out := NewTuple(len(n.Exprs))
+		setters := make([]func(in, out *Tuple), len(n.Exprs))
+		for i, e := range n.Exprs {
+			k, err := e.resultKind(kinds)
+			if err != nil {
+				return nil, err
+			}
+			slot := i
+			switch k {
+			case types.Int64:
+				f, err := cc.compileInt(e)
+				if err != nil {
+					return nil, err
+				}
+				setters[i] = func(in, out *Tuple) { out.Ints[slot], out.Nulls[slot] = f(in) }
+			case types.Float64:
+				f, err := cc.compileFloat(e)
+				if err != nil {
+					return nil, err
+				}
+				setters[i] = func(in, out *Tuple) { out.Floats[slot], out.Nulls[slot] = f(in) }
+			default:
+				f, err := cc.compileStr(e)
+				if err != nil {
+					return nil, err
+				}
+				setters[i] = func(in, out *Tuple) { out.Strs[slot], out.Nulls[slot] = f(in) }
+			}
+			cc.emit()
+		}
+		cons := func(t *Tuple) {
+			for _, set := range setters {
+				set(t, out)
+			}
+			down(out)
+		}
+		return ex.compileChain(n.Child, cons, c)
+	case *JoinNode:
+		return ex.compileJoinProbe(n, down, c)
+	default:
+		return nil, fmt.Errorf("exec: %T cannot appear inside a pipeline", n)
+	}
+}
+
+func (ex *executor) compileJoinProbe(n *JoinNode, down func(*Tuple), c *compiler) (func(*Tuple), error) {
+	ht := ex.builds[n]
+	probeKinds, err := n.Probe.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	var keyBuf, scratch []byte
+	verify := func(key []byte, row int32) bool {
+		scratch = ht.encodeBuildKey(scratch[:0], int(row))
+		if len(scratch) != len(key) {
+			return false
+		}
+		for i := range scratch {
+			if scratch[i] != key[i] {
+				return false
+			}
+		}
+		return true
+	}
+	switch n.Kind {
+	case InnerJoin:
+		buildKinds, err := n.Build.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		out := NewTuple(len(probeKinds) + len(buildKinds))
+		np := len(probeKinds)
+		c.emit()
+		cons := func(t *Tuple) {
+			key := ht.encodeProbeKey(keyBuf[:0], t, n.ProbeKeys)
+			if key == nil {
+				return
+			}
+			keyBuf = key
+			rows := ht.lookup(key)
+			if len(rows) == 0 {
+				return
+			}
+			// Probe columns change only per probe tuple.
+			copy(out.Ints[:np], t.Ints[:np])
+			copy(out.Floats[:np], t.Floats[:np])
+			copy(out.Strs[:np], t.Strs[:np])
+			copy(out.Nulls[:np], t.Nulls[:np])
+			for _, row := range rows {
+				if !verify(key, row) {
+					continue
+				}
+				for bi := range buildKinds {
+					col := &ht.build.Cols[bi]
+					slot := np + bi
+					out.Nulls[slot] = col.Nulls[row]
+					switch col.Kind {
+					case types.Int64:
+						out.Ints[slot] = col.Ints[row]
+					case types.Float64:
+						out.Floats[slot] = col.Floats[row]
+					default:
+						out.Strs[slot] = col.Strs[row]
+					}
+				}
+				down(out)
+			}
+		}
+		return ex.compileChain(n.Probe, cons, c)
+	default: // SemiJoin, AntiJoin
+		wantMatch := n.Kind == SemiJoin
+		c.emit()
+		cons := func(t *Tuple) {
+			key := ht.encodeProbeKey(keyBuf[:0], t, n.ProbeKeys)
+			if key == nil {
+				if !wantMatch {
+					down(t)
+				}
+				return
+			}
+			keyBuf = key
+			matched := false
+			for _, row := range ht.lookup(key) {
+				if verify(key, row) {
+					matched = true
+					break
+				}
+			}
+			if matched == wantMatch {
+				down(t)
+			}
+		}
+		return ex.compileChain(n.Probe, cons, c)
+	}
+}
+
+// earlyProbeFor finds a join directly above the scan with EarlyProbe set
+// and a single integer key, returning its hash table and the scan-output
+// column holding the key.
+func (ex *executor) earlyProbeFor(n Node) (*hashTable, int) {
+	switch n := n.(type) {
+	case *FilterNode:
+		return ex.earlyProbeFor(n.Child)
+	case *MapNode:
+		return ex.earlyProbeFor(n.Child)
+	case *JoinNode:
+		if !n.EarlyProbe || len(n.ProbeKeys) != 1 {
+			return ex.earlyProbeFor(n.Probe)
+		}
+		if _, isScan := n.Probe.(*ScanNode); !isScan {
+			return ex.earlyProbeFor(n.Probe)
+		}
+		ht := ex.builds[n]
+		if ht.intKey < 0 {
+			return nil, -1
+		}
+		return ht, n.ProbeKeys[0]
+	default:
+		return nil, -1
+	}
+}

@@ -1,0 +1,235 @@
+package exec
+
+import (
+	"fmt"
+
+	"datablocks/internal/core"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+// ScanMode selects the scan flavor, mirroring the configurations of
+// Table 2 / Table 4.
+type ScanMode int
+
+const (
+	// ModeJIT compiles a tuple-at-a-time scan: predicates are evaluated
+	// inside the query pipeline. On frozen blocks this "unrolls" one
+	// specialized code path per storage-layout combination (§4).
+	ModeJIT ScanMode = iota
+	// ModeVectorized uses the interpreted vectorized scan without SARG
+	// pushdown: all tuples are copied into vectors, predicates run in the
+	// pipeline.
+	ModeVectorized
+	// ModeVectorizedSARG pushes SARGable predicates into the vectorized
+	// scan (evaluated on compressed data with SMA block skipping).
+	ModeVectorizedSARG
+	// ModeVectorizedSARGPSMA additionally narrows scan ranges with the
+	// Positional SMA.
+	ModeVectorizedSARGPSMA
+)
+
+func (m ScanMode) String() string {
+	switch m {
+	case ModeJIT:
+		return "jit"
+	case ModeVectorized:
+		return "vectorized"
+	case ModeVectorizedSARG:
+		return "vectorized+sarg"
+	case ModeVectorizedSARGPSMA:
+		return "vectorized+sarg+psma"
+	default:
+		return fmt.Sprintf("ScanMode(%d)", int(m))
+	}
+}
+
+// Node is a physical plan operator.
+type Node interface {
+	// OutKinds returns the kinds of the operator's output columns.
+	OutKinds() ([]types.Kind, error)
+}
+
+// ScanNode is the leaf of every pipeline: it scans one relation.
+type ScanNode struct {
+	Rel *storage.Relation
+	// Cols are the relation columns projected into the pipeline, in order.
+	Cols []int
+	// Preds are SARGable restrictions (column ordinals refer to the
+	// relation schema). Depending on the scan mode they are pushed into
+	// the scan or compiled into the pipeline. Every predicate column must
+	// also appear in Cols so that pipeline evaluation is possible.
+	Preds []core.Predicate
+	// Filter is an optional residual (non-SARGable) condition over the
+	// scan's output tuple; always evaluated in the pipeline.
+	Filter Expr
+}
+
+// OutKinds implements Node.
+func (s *ScanNode) OutKinds() ([]types.Kind, error) {
+	kinds := make([]types.Kind, len(s.Cols))
+	for i, c := range s.Cols {
+		if c < 0 || c >= s.Rel.Schema().NumColumns() {
+			return nil, fmt.Errorf("exec: scan column %d out of range", c)
+		}
+		kinds[i] = s.Rel.Schema().Columns[c].Kind
+	}
+	return kinds, nil
+}
+
+// colOrdinal returns the pipeline slot of relation column rc, or -1.
+func (s *ScanNode) colOrdinal(rc int) int {
+	for i, c := range s.Cols {
+		if c == rc {
+			return i
+		}
+	}
+	return -1
+}
+
+// FilterNode drops tuples failing Cond.
+type FilterNode struct {
+	Child Node
+	Cond  Expr
+}
+
+// OutKinds implements Node.
+func (f *FilterNode) OutKinds() ([]types.Kind, error) { return f.Child.OutKinds() }
+
+// MapNode computes a new tuple layout from expressions over the child.
+type MapNode struct {
+	Child Node
+	Exprs []Expr
+}
+
+// OutKinds implements Node.
+func (m *MapNode) OutKinds() ([]types.Kind, error) {
+	childKinds, err := m.Child.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]types.Kind, len(m.Exprs))
+	for i, e := range m.Exprs {
+		kinds[i], err = e.resultKind(childKinds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return kinds, nil
+}
+
+// JoinKind selects the join semantics.
+type JoinKind int
+
+const (
+	// InnerJoin emits probe ++ build columns per match.
+	InnerJoin JoinKind = iota
+	// SemiJoin emits the probe tuple when at least one build match exists.
+	SemiJoin
+	// AntiJoin emits the probe tuple when no build match exists.
+	AntiJoin
+)
+
+// JoinNode is a hash join: the build side is materialized into a tagged
+// hash table (a pipeline breaker), the probe side streams through the
+// pipeline.
+type JoinNode struct {
+	Build, Probe         Node
+	BuildKeys, ProbeKeys []int
+	Kind                 JoinKind
+	// EarlyProbe thins vectorized-scan match vectors against the build
+	// side's tag table before unpacking (Appendix E). It requires the
+	// probe child to be a ScanNode and a single integer join key.
+	EarlyProbe bool
+}
+
+// OutKinds implements Node.
+func (j *JoinNode) OutKinds() ([]types.Kind, error) {
+	probe, err := j.Probe.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	if j.Kind != InnerJoin {
+		return probe, nil
+	}
+	build, err := j.Build.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Kind, 0, len(probe)+len(build))
+	out = append(out, probe...)
+	out = append(out, build...)
+	return out, nil
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggCountCol // COUNT(expr): non-null only
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate column.
+type AggSpec struct {
+	Func AggFunc
+	Arg  Expr // nil for AggCount
+}
+
+// AggNode is a hash aggregation (a pipeline breaker). The output is the
+// group-by columns followed by the aggregates.
+type AggNode struct {
+	Child   Node
+	GroupBy []int
+	Aggs    []AggSpec
+}
+
+// OutKinds implements Node.
+func (a *AggNode) OutKinds() ([]types.Kind, error) {
+	childKinds, err := a.Child.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]types.Kind, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		if g < 0 || g >= len(childKinds) {
+			return nil, fmt.Errorf("exec: group-by column %d out of range", g)
+		}
+		kinds = append(kinds, childKinds[g])
+	}
+	for _, spec := range a.Aggs {
+		switch spec.Func {
+		case AggCount, AggCountCol:
+			kinds = append(kinds, types.Int64)
+		case AggSum, AggAvg:
+			kinds = append(kinds, types.Float64)
+		default: // Min, Max
+			k, err := spec.Arg.resultKind(childKinds)
+			if err != nil {
+				return nil, err
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds, nil
+}
+
+// OrderKey is one sort key of an OrderByNode.
+type OrderKey struct {
+	Col  int
+	Desc bool
+}
+
+// OrderByNode sorts (and optionally limits) the materialized child result.
+type OrderByNode struct {
+	Child Node
+	Keys  []OrderKey
+	Limit int // 0 = no limit
+}
+
+// OutKinds implements Node.
+func (o *OrderByNode) OutKinds() ([]types.Kind, error) { return o.Child.OutKinds() }

@@ -1,0 +1,218 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datablocks/internal/types"
+)
+
+// Result is a materialized, columnar query result.
+type Result struct {
+	Kinds []types.Kind
+	Cols  []ResultCol
+	n     int
+}
+
+// ResultCol is one column of a result.
+type ResultCol struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+}
+
+// NewResult allocates an empty result with the given column kinds.
+func NewResult(kinds []types.Kind) *Result {
+	r := &Result{Kinds: kinds, Cols: make([]ResultCol, len(kinds))}
+	for i, k := range kinds {
+		r.Cols[i].Kind = k
+	}
+	return r
+}
+
+// NumRows returns the row count.
+func (r *Result) NumRows() int { return r.n }
+
+// NumCols returns the column count.
+func (r *Result) NumCols() int { return len(r.Cols) }
+
+// appendTuple copies the first ncols slots of t as a new row.
+func (r *Result) appendTuple(t *Tuple) {
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		c.Nulls = append(c.Nulls, t.Nulls[i])
+		switch c.Kind {
+		case types.Int64:
+			c.Ints = append(c.Ints, t.Ints[i])
+		case types.Float64:
+			c.Floats = append(c.Floats, t.Floats[i])
+		default:
+			c.Strs = append(c.Strs, t.Strs[i])
+		}
+	}
+	r.n++
+}
+
+// appendRow adds a dynamic row (used by sinks that finalize states).
+func (r *Result) appendRow(row types.Row) {
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		v := row[i]
+		c.Nulls = append(c.Nulls, v.IsNull())
+		switch c.Kind {
+		case types.Int64:
+			if v.IsNull() {
+				c.Ints = append(c.Ints, 0)
+			} else {
+				c.Ints = append(c.Ints, v.Int())
+			}
+		case types.Float64:
+			if v.IsNull() {
+				c.Floats = append(c.Floats, 0)
+			} else {
+				c.Floats = append(c.Floats, v.Float())
+			}
+		default:
+			if v.IsNull() {
+				c.Strs = append(c.Strs, "")
+			} else {
+				c.Strs = append(c.Strs, v.Str())
+			}
+		}
+	}
+	r.n++
+}
+
+// Value returns cell (col, row).
+func (r *Result) Value(col, row int) types.Value {
+	c := &r.Cols[col]
+	if c.Nulls[row] {
+		return types.NullValue(c.Kind)
+	}
+	switch c.Kind {
+	case types.Int64:
+		return types.IntValue(c.Ints[row])
+	case types.Float64:
+		return types.FloatValue(c.Floats[row])
+	default:
+		return types.StringValue(c.Strs[row])
+	}
+}
+
+// Row materializes row i.
+func (r *Result) Row(i int) types.Row {
+	row := make(types.Row, len(r.Cols))
+	for c := range r.Cols {
+		row[c] = r.Value(c, i)
+	}
+	return row
+}
+
+// append concatenates another result with identical kinds (merge of
+// per-worker partial results).
+func (r *Result) append(o *Result) {
+	for i := range r.Cols {
+		c, oc := &r.Cols[i], &o.Cols[i]
+		c.Ints = append(c.Ints, oc.Ints...)
+		c.Floats = append(c.Floats, oc.Floats...)
+		c.Strs = append(c.Strs, oc.Strs...)
+		c.Nulls = append(c.Nulls, oc.Nulls...)
+	}
+	r.n += o.n
+}
+
+// SortBy orders rows by the given keys (NULLs first) and truncates to
+// limit when positive.
+func (r *Result) SortBy(keys []OrderKey, limit int) {
+	idx := make([]int, r.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, k := range keys {
+			c := &r.Cols[k.Col]
+			na, nb := c.Nulls[ia], c.Nulls[ib]
+			var ord int
+			switch {
+			case na && nb:
+				ord = 0
+			case na:
+				ord = -1
+			case nb:
+				ord = 1
+			default:
+				switch c.Kind {
+				case types.Int64:
+					ord = compareI64(c.Ints[ia], c.Ints[ib])
+				case types.Float64:
+					ord = compareF64(c.Floats[ia], c.Floats[ib])
+				default:
+					ord = compareStr(c.Strs[ia], c.Strs[ib])
+				}
+			}
+			if k.Desc {
+				ord = -ord
+			}
+			if ord != 0 {
+				return ord < 0
+			}
+		}
+		return false
+	})
+	if limit > 0 && limit < len(idx) {
+		idx = idx[:limit]
+	}
+	r.permute(idx)
+}
+
+func (r *Result) permute(idx []int) {
+	for ci := range r.Cols {
+		c := &r.Cols[ci]
+		nulls := make([]bool, len(idx))
+		for i, p := range idx {
+			nulls[i] = c.Nulls[p]
+		}
+		c.Nulls = nulls
+		switch c.Kind {
+		case types.Int64:
+			vals := make([]int64, len(idx))
+			for i, p := range idx {
+				vals[i] = c.Ints[p]
+			}
+			c.Ints = vals
+		case types.Float64:
+			vals := make([]float64, len(idx))
+			for i, p := range idx {
+				vals[i] = c.Floats[p]
+			}
+			c.Floats = vals
+		default:
+			vals := make([]string, len(idx))
+			for i, p := range idx {
+				vals[i] = c.Strs[p]
+			}
+			c.Strs = vals
+		}
+	}
+	r.n = len(idx)
+}
+
+// String renders the result as a compact table, useful in examples and
+// golden tests.
+func (r *Result) String() string {
+	var sb strings.Builder
+	for i := 0; i < r.n; i++ {
+		for c := 0; c < len(r.Cols); c++ {
+			if c > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%v", r.Value(c, i))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

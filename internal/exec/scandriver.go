@@ -1,0 +1,472 @@
+package exec
+
+import (
+	"fmt"
+
+	"datablocks/internal/compress"
+	"datablocks/internal/core"
+	"datablocks/internal/simd"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+// scanDriver drives one worker's pipeline over chunks. It owns all
+// per-worker buffers (tuple register file, batch, match vectors).
+type scanDriver struct {
+	scan    *ScanNode
+	mode    ScanMode
+	vecSize int
+	cons    func(*Tuple)
+	kinds   []types.Kind
+	stats   *CompileStats
+	tuple   *Tuple
+	batch   core.Batch
+
+	// pipeFilter is the residual condition evaluated tuple-at-a-time:
+	// Filter only in pushdown modes, Preds ∧ Filter otherwise. nil = none.
+	pipeFilter boolFn
+
+	// batchLoad copies one batch row into the tuple register file.
+	batchLoad []func(b *core.Batch, row int, t *Tuple)
+
+	// JIT scan code paths: one specialized path per storage-layout
+	// combination (Figure 5), plus one for hot chunks.
+	jitLayouts map[string]*layoutPath
+	jitHot     *hotPath
+
+	// Early probing of an upstream join (Appendix E).
+	ep       *hashTable
+	epRelCol int
+	epVals   []int64
+
+	matches  []uint32
+	pushSARG bool
+	usePSMA  bool
+}
+
+// layoutPath is the compiled scan code for one storage-layout combination.
+type layoutPath struct {
+	accessors []blockAccessor
+	filter    boolFn
+}
+
+// blockAccessor loads one attribute of one row into a tuple slot. It is
+// specialized at compile time on (kind, scheme, width) — the "unrolled"
+// decompression code of §4.
+type blockAccessor func(a *core.Attr, row int, t *Tuple, slot int)
+
+// hotPath is the compiled tuple-at-a-time scan over uncompressed chunks.
+type hotPath struct {
+	loaders []func(h *storage.HotChunk, relCol, row int, t *Tuple, slot int)
+	filter  boolFn
+}
+
+func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler) (*scanDriver, error) {
+	kinds, err := scan.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	d := &scanDriver{
+		scan:    scan,
+		mode:    ex.opt.Mode,
+		vecSize: ex.opt.VectorSize,
+		cons:    cons,
+		kinds:   kinds,
+		stats:   c.stats,
+		tuple:   NewTuple(len(kinds)),
+		usePSMA: ex.opt.Mode == ModeVectorizedSARGPSMA,
+	}
+	d.pushSARG = ex.opt.Mode == ModeVectorizedSARG || ex.opt.Mode == ModeVectorizedSARGPSMA
+	for _, p := range scan.Preds {
+		if scan.colOrdinal(p.Col) < 0 {
+			return nil, fmt.Errorf("exec: predicate column %d not in scan projection", p.Col)
+		}
+	}
+	filterExpr, err := d.residualExpr()
+	if err != nil {
+		return nil, err
+	}
+	if filterExpr != nil {
+		cc := &compiler{kinds: kinds, stats: c.stats}
+		d.pipeFilter, err = cc.compileBool(filterExpr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if d.mode == ModeJIT {
+		d.jitHot = d.compileHotPath(c)
+		d.jitLayouts = make(map[string]*layoutPath)
+		for _, ch := range scan.Rel.Chunks() {
+			if ch.IsFrozen() {
+				key := ch.Block().LayoutKey()
+				if _, done := d.jitLayouts[key]; !done {
+					lp, err := d.compileLayout(ch.Block(), c)
+					if err != nil {
+						return nil, err
+					}
+					d.jitLayouts[key] = lp
+				}
+			}
+		}
+	} else {
+		d.batchLoad = d.compileBatchLoaders(c)
+		if c.stats != nil {
+			c.stats.ScanPaths++ // one interpreted vectorized path
+		}
+	}
+	return d, nil
+}
+
+// residualExpr builds the condition evaluated inside the pipeline: the
+// non-SARGable Filter, plus the SARGable predicates in modes that do not
+// push them into the scan.
+func (d *scanDriver) residualExpr() (Expr, error) {
+	var conj Expr
+	and := func(e Expr) {
+		if conj == nil {
+			conj = e
+		} else {
+			conj = And(conj, e)
+		}
+	}
+	if d.mode == ModeJIT || d.mode == ModeVectorized {
+		for _, p := range d.scan.Preds {
+			slot := d.scan.colOrdinal(p.Col)
+			e, err := predExpr(p, slot)
+			if err != nil {
+				return nil, err
+			}
+			and(e)
+		}
+	}
+	if d.scan.Filter != nil {
+		and(d.scan.Filter)
+	}
+	return conj, nil
+}
+
+// predExpr rewrites a SARGable predicate as a pipeline expression over the
+// scan-output tuple.
+func predExpr(p core.Predicate, slot int) (Expr, error) {
+	switch p.Op {
+	case types.IsNull:
+		return IsNullExpr{E: Col(slot)}, nil
+	case types.IsNotNull:
+		return IsNullExpr{E: Col(slot), Not: true}, nil
+	case types.Between:
+		return Compare{Op: types.Between, L: Col(slot), R: Const{Val: p.Lo}, R2: Const{Val: p.Hi}}, nil
+	default:
+		return Compare{Op: p.Op, L: Col(slot), R: Const{Val: p.Lo}}, nil
+	}
+}
+
+// compileBatchLoaders compiles the per-column copies from a scan batch into
+// the tuple register file.
+func (d *scanDriver) compileBatchLoaders(c *compiler) []func(b *core.Batch, row int, t *Tuple) {
+	loaders := make([]func(b *core.Batch, row int, t *Tuple), len(d.kinds))
+	for i, k := range d.kinds {
+		slot := i
+		switch k {
+		case types.Int64:
+			loaders[i] = func(b *core.Batch, row int, t *Tuple) {
+				col := &b.Cols[slot]
+				t.Ints[slot] = col.Ints[row]
+				t.Nulls[slot] = col.Nulls != nil && col.Nulls[row]
+			}
+		case types.Float64:
+			loaders[i] = func(b *core.Batch, row int, t *Tuple) {
+				col := &b.Cols[slot]
+				t.Floats[slot] = col.Floats[row]
+				t.Nulls[slot] = col.Nulls != nil && col.Nulls[row]
+			}
+		default:
+			loaders[i] = func(b *core.Batch, row int, t *Tuple) {
+				col := &b.Cols[slot]
+				t.Strs[slot] = col.Strs[row]
+				t.Nulls[slot] = col.Nulls != nil && col.Nulls[row]
+			}
+		}
+		c.emit()
+	}
+	return loaders
+}
+
+// compileHotPath compiles the tuple-at-a-time loaders over uncompressed
+// chunk columns.
+func (d *scanDriver) compileHotPath(c *compiler) *hotPath {
+	hp := &hotPath{filter: d.pipeFilter}
+	for _, k := range d.kinds {
+		switch k {
+		case types.Int64:
+			hp.loaders = append(hp.loaders, func(h *storage.HotChunk, relCol, row int, t *Tuple, slot int) {
+				t.Ints[slot] = h.Ints(relCol)[row]
+				t.Nulls[slot] = h.IsNull(relCol, row)
+			})
+		case types.Float64:
+			hp.loaders = append(hp.loaders, func(h *storage.HotChunk, relCol, row int, t *Tuple, slot int) {
+				t.Floats[slot] = h.Floats(relCol)[row]
+				t.Nulls[slot] = h.IsNull(relCol, row)
+			})
+		default:
+			hp.loaders = append(hp.loaders, func(h *storage.HotChunk, relCol, row int, t *Tuple, slot int) {
+				t.Strs[slot] = h.Strs(relCol)[row]
+				t.Nulls[slot] = h.IsNull(relCol, row)
+			})
+		}
+		c.emit()
+	}
+	if c.stats != nil {
+		c.stats.ScanPaths++
+	}
+	return hp
+}
+
+// compileLayout generates the specialized ("unrolled", §4) scan code path
+// for one storage-layout combination: one decompressing accessor per
+// projected attribute plus a fresh clone of the residual filter. The work
+// done here is what Figure 5 measures.
+func (d *scanDriver) compileLayout(blk *core.Block, c *compiler) (*layoutPath, error) {
+	lp := &layoutPath{}
+	for i, relCol := range d.scan.Cols {
+		acc, err := compileAccessor(blk.Attr(relCol), d.kinds[i], c)
+		if err != nil {
+			return nil, err
+		}
+		lp.accessors = append(lp.accessors, acc)
+	}
+	// Clone the filter for this code path (the paper's unrolled variants
+	// each carry their own copies of the predicate code).
+	if expr, err := d.residualExpr(); err != nil {
+		return nil, err
+	} else if expr != nil {
+		cc := &compiler{kinds: d.kinds, stats: c.stats}
+		f, err := cc.compileBool(expr)
+		if err != nil {
+			return nil, err
+		}
+		lp.filter = f
+	}
+	if c.stats != nil {
+		c.stats.ScanPaths++
+	}
+	return lp, nil
+}
+
+// compileAccessor specializes decompression on (kind, scheme, width).
+func compileAccessor(a *core.Attr, kind types.Kind, c *compiler) (blockAccessor, error) {
+	defer c.emit()
+	loadNull := func(a *core.Attr, row int) bool {
+		return a.Validity != nil && !simd.BitmapGet(a.Validity, uint32(row))
+	}
+	switch kind {
+	case types.Int64:
+		switch a.Ints.Scheme {
+		case compress.SingleValue:
+			allNull := a.Ints.AllNull
+			return func(a *core.Attr, row int, t *Tuple, slot int) {
+				t.Ints[slot] = a.Ints.Single
+				t.Nulls[slot] = allNull || loadNull(a, row)
+			}, nil
+		case compress.Truncation:
+			switch a.Ints.Width {
+			case 1:
+				return func(a *core.Attr, row int, t *Tuple, slot int) {
+					t.Ints[slot] = a.Ints.Min + int64(a.Ints.Data[row])
+					t.Nulls[slot] = loadNull(a, row)
+				}, nil
+			case 2:
+				return func(a *core.Attr, row int, t *Tuple, slot int) {
+					t.Ints[slot] = a.Ints.Min + int64(simd.ReadUint(a.Ints.Data, row, 2))
+					t.Nulls[slot] = loadNull(a, row)
+				}, nil
+			default:
+				return func(a *core.Attr, row int, t *Tuple, slot int) {
+					t.Ints[slot] = a.Ints.Min + int64(simd.ReadUint(a.Ints.Data, row, 4))
+					t.Nulls[slot] = loadNull(a, row)
+				}, nil
+			}
+		case compress.Dictionary:
+			width := a.Ints.Width
+			return func(a *core.Attr, row int, t *Tuple, slot int) {
+				t.Ints[slot] = a.Ints.Dict[simd.ReadUint(a.Ints.Data, row, width)]
+				t.Nulls[slot] = loadNull(a, row)
+			}, nil
+		default:
+			return func(a *core.Attr, row int, t *Tuple, slot int) {
+				t.Ints[slot] = compress.UnbiasInt(simd.ReadUint(a.Ints.Data, row, 8))
+				t.Nulls[slot] = loadNull(a, row)
+			}, nil
+		}
+	case types.Float64:
+		if a.Floats.Scheme == compress.SingleValue {
+			allNull := a.Floats.AllNull
+			return func(a *core.Attr, row int, t *Tuple, slot int) {
+				t.Floats[slot] = a.Floats.Single
+				t.Nulls[slot] = allNull || loadNull(a, row)
+			}, nil
+		}
+		return func(a *core.Attr, row int, t *Tuple, slot int) {
+			t.Floats[slot] = a.Floats.Values[row]
+			t.Nulls[slot] = loadNull(a, row)
+		}, nil
+	case types.String:
+		if a.Strs.Scheme == compress.SingleValue {
+			allNull := a.Strs.AllNull
+			return func(a *core.Attr, row int, t *Tuple, slot int) {
+				t.Strs[slot] = a.Strs.Single
+				t.Nulls[slot] = allNull || loadNull(a, row)
+			}, nil
+		}
+		width := a.Strs.Width
+		return func(a *core.Attr, row int, t *Tuple, slot int) {
+			t.Strs[slot] = a.Strs.Dict[simd.ReadUint(a.Strs.Data, row, width)]
+			t.Nulls[slot] = loadNull(a, row)
+		}, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported kind %v", kind)
+}
+
+// processChunk runs the pipeline over one morsel.
+func (d *scanDriver) processChunk(ch *storage.Chunk) error {
+	if ch.IsFrozen() {
+		if d.mode == ModeJIT {
+			return d.jitBlock(ch)
+		}
+		return d.vecBlock(ch)
+	}
+	if ch.Hot().Rows() == 0 {
+		return nil
+	}
+	if d.mode == ModeJIT {
+		return d.jitHotChunk(ch)
+	}
+	return d.vecHot(ch)
+}
+
+// jitBlock scans a frozen block tuple-at-a-time through the layout's
+// specialized code path.
+func (d *scanDriver) jitBlock(ch *storage.Chunk) error {
+	blk := ch.Block()
+	key := blk.LayoutKey()
+	lp := d.jitLayouts[key]
+	if lp == nil {
+		// A layout frozen after compilation: generate its path lazily
+		// (and pay the compile cost now).
+		var err error
+		lp, err = d.compileLayout(blk, &compiler{kinds: d.kinds, stats: d.stats})
+		if err != nil {
+			return err
+		}
+		d.jitLayouts[key] = lp
+	}
+	t := d.tuple
+	n := blk.Rows()
+	for row := 0; row < n; row++ {
+		if ch.IsDeleted(row) {
+			continue
+		}
+		for i, acc := range lp.accessors {
+			acc(blk.Attr(d.scan.Cols[i]), row, t, i)
+		}
+		if lp.filter == nil || lp.filter(t) {
+			d.cons(t)
+		}
+	}
+	return nil
+}
+
+// jitHotChunk scans an uncompressed chunk tuple-at-a-time.
+func (d *scanDriver) jitHotChunk(ch *storage.Chunk) error {
+	h := ch.Hot()
+	t := d.tuple
+	n := h.Rows()
+	for row := 0; row < n; row++ {
+		if ch.IsDeleted(row) {
+			continue
+		}
+		for i, load := range d.jitHot.loaders {
+			load(h, d.scan.Cols[i], row, t, i)
+		}
+		if d.jitHot.filter == nil || d.jitHot.filter(t) {
+			d.cons(t)
+		}
+	}
+	return nil
+}
+
+// vecBlock scans a frozen block through the interpreted vectorized scan
+// (Figure 6, left path).
+func (d *scanDriver) vecBlock(ch *storage.Chunk) error {
+	spec := core.ScanSpec{
+		Project:    d.scan.Cols,
+		VectorSize: d.vecSize,
+		UsePSMA:    d.usePSMA,
+		Deleted:    ch.Deleted(),
+	}
+	if d.pushSARG {
+		spec.Preds = d.scan.Preds
+	}
+	sc, err := core.NewScanner(ch.Block(), spec)
+	if err != nil {
+		return err
+	}
+	for {
+		m, ok := sc.NextMatches()
+		if !ok {
+			return nil
+		}
+		if d.ep != nil {
+			m = d.earlyProbeBlock(ch.Block(), m)
+			if len(m) == 0 {
+				continue
+			}
+		}
+		sc.Unpack(&d.batch, m)
+		d.pushBatch()
+	}
+}
+
+// earlyProbeBlock thins a match vector against the upstream join's tag
+// table before unpacking (Appendix E): only the key column is gathered.
+func (d *scanDriver) earlyProbeBlock(blk *core.Block, m []uint32) []uint32 {
+	if cap(d.epVals) < len(m) {
+		d.epVals = make([]int64, len(m))
+	}
+	vals := d.epVals[:len(m)]
+	blk.Attr(d.epRelCol).Ints.Gather(m, vals)
+	w := 0
+	for i, p := range m {
+		if d.ep.testTagInt(vals[i]) {
+			m[w] = p
+			w++
+		}
+	}
+	return m[:w]
+}
+
+func (d *scanDriver) earlyProbeHot(h *storage.HotChunk, m []uint32) []uint32 {
+	col := h.Ints(d.epRelCol)
+	w := 0
+	for _, p := range m {
+		if d.ep.testTagInt(col[p]) {
+			m[w] = p
+			w++
+		}
+	}
+	return m[:w]
+}
+
+// pushBatch feeds the unpacked batch tuple-at-a-time into the compiled
+// pipeline (Figure 6: "matches are pushed to the query pipeline tuple at a
+// time").
+func (d *scanDriver) pushBatch() {
+	t := d.tuple
+	for row := 0; row < d.batch.N; row++ {
+		for _, load := range d.batchLoad {
+			load(&d.batch, row, t)
+		}
+		if d.pipeFilter == nil || d.pipeFilter(t) {
+			d.cons(t)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package index
+
+import (
+	"testing"
+
+	"datablocks/internal/core"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+)
+
+func keyedRelation(t *testing.T, n, chunkCap int) (*storage.Relation, *Hash) {
+	t.Helper()
+	schema := types.NewSchema(
+		types.Column{Name: "k", Kind: types.Int64},
+		types.Column{Name: "v", Kind: types.Int64},
+	)
+	r := storage.NewRelation(schema, chunkCap)
+	h := NewHash(n)
+	for i := 0; i < n; i++ {
+		tid, err := r.Insert(types.Row{types.IntValue(int64(i)), types.IntValue(int64(i * 10))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Insert(int64(i), tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, h
+}
+
+func TestLookupAcrossFreeze(t *testing.T) {
+	r, h := keyedRelation(t, 300, 100)
+	if err := r.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 300; k++ {
+		tid, ok := h.Lookup(k)
+		if !ok {
+			t.Fatalf("key %d missing", k)
+		}
+		v, ok := r.GetCol(tid, 1)
+		if !ok || v.Int() != k*10 {
+			t.Fatalf("key %d resolves to wrong tuple", k)
+		}
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	_, h := keyedRelation(t, 5, 0)
+	if err := h.Insert(3, storage.TupleID{}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	r, h := keyedRelation(t, 10, 0)
+	if !h.Delete(4) {
+		t.Fatal("delete failed")
+	}
+	if h.Delete(4) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := h.Lookup(4); ok {
+		t.Fatal("deleted key found")
+	}
+	// Simulate update = delete + insert + index repoint.
+	tid, _ := h.Lookup(7)
+	newTid, err := r.Update(tid, types.Row{types.IntValue(7), types.IntValue(777)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Update(7, newTid)
+	got, _ := h.Lookup(7)
+	v, ok := r.GetCol(got, 1)
+	if !ok || v.Int() != 777 {
+		t.Fatal("index points at stale version")
+	}
+}
+
+func TestRebuildAfterSortedFreeze(t *testing.T) {
+	r, h := keyedRelation(t, 200, 100)
+	// Sorted freeze reorders tuples; index must be rebuilt.
+	if err := r.FreezeChunk(0, core.FreezeOptions{SortBy: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Rebuild(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 200 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for k := int64(0); k < 200; k++ {
+		tid, ok := h.Lookup(k)
+		if !ok {
+			t.Fatalf("key %d missing after rebuild", k)
+		}
+		v, ok := r.GetCol(tid, 1)
+		if !ok || v.Int() != k*10 {
+			t.Fatalf("key %d wrong after rebuild", k)
+		}
+	}
+}

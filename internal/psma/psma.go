@@ -1,0 +1,144 @@
+// Package psma implements Positional Small Materialized Aggregates (§3.2,
+// Appendix B): a concise lookup table, built when a chunk is frozen into a
+// Data Block, that maps a value's distance from the block minimum to a range
+// of positions where such values occur.
+//
+// For w-byte codes the table holds w×256 entries — one per possible value of
+// the most significant non-zero byte of the delta at each byte offset — so
+// the whole structure is 2 KB / 4 KB / 8 KB for 1/2/4-byte codes and fits in
+// L1. Because the table only narrows a sequential scan range (it yields the
+// same access path as a full scan), it never penalizes non-selective
+// queries, unlike a traditional index.
+package psma
+
+import "math/bits"
+
+// Range is a half-open scan range [Begin, End) over the rows of one block.
+type Range struct{ Begin, End uint32 }
+
+// Empty reports whether the range selects no rows.
+func (r Range) Empty() bool { return r.Begin >= r.End }
+
+// Len returns the number of rows covered.
+func (r Range) Len() int {
+	if r.Empty() {
+		return 0
+	}
+	return int(r.End - r.Begin)
+}
+
+// Intersect returns the overlap of two ranges. With multiple SARGable
+// predicates, the per-attribute PSMA ranges are intersected (§3.2).
+func (r Range) Intersect(o Range) Range {
+	if o.Begin > r.Begin {
+		r.Begin = o.Begin
+	}
+	if o.End < r.End {
+		r.End = o.End
+	}
+	if r.Empty() {
+		return Range{}
+	}
+	return r
+}
+
+// union widens r to cover o (used for multi-slot probes of range
+// predicates).
+func (r Range) union(o Range) Range {
+	if o.Empty() {
+		return r
+	}
+	if r.Empty() {
+		return o
+	}
+	if o.Begin < r.Begin {
+		r.Begin = o.Begin
+	}
+	if o.End > r.End {
+		r.End = o.End
+	}
+	return r
+}
+
+// Table is the PSMA lookup table for one attribute of one block.
+type Table struct {
+	width int // code width in bytes; the table has width*256 slots
+	slots []Range
+}
+
+// Slot computes the lookup-table index of a delta (Appendix B): the most
+// significant non-zero byte, offset by 256 per remaining byte.
+func Slot(delta uint64) int {
+	r := 0
+	if delta != 0 {
+		r = 7 - bits.LeadingZeros64(delta)>>3
+	}
+	m := delta >> (uint(r) << 3)
+	return int(m) + r<<8
+}
+
+// Build constructs the table from a code accessor. minCode is the code of
+// the block minimum (the deltas' reference). The build is a single O(n)
+// pass: the first occurrence opens a slot's range, later occurrences extend
+// its end.
+func Build(n int, width int, code func(i int) uint64, minCode uint64) *Table {
+	t := &Table{width: width, slots: make([]Range, width*256)}
+	for i := 0; i < n; i++ {
+		s := &t.slots[Slot(code(i)-minCode)]
+		if s.Empty() {
+			*s = Range{Begin: uint32(i), End: uint32(i) + 1}
+		} else {
+			s.End = uint32(i) + 1
+		}
+	}
+	return t
+}
+
+// Width returns the indexed code width in bytes.
+func (t *Table) Width() int { return t.width }
+
+// NumSlots returns the number of lookup-table entries.
+func (t *Table) NumSlots() int { return len(t.slots) }
+
+// SizeBytes returns the memory footprint of the lookup table.
+func (t *Table) SizeBytes() int { return len(t.slots) * 8 }
+
+// SlotRange exposes one slot's range for serialization.
+func (t *Table) SlotRange(i int) Range { return t.slots[i] }
+
+// SetSlotRange restores one slot during deserialization.
+func (t *Table) SetSlotRange(i int, r Range) { t.slots[i] = r }
+
+// NewEmpty allocates a table with empty slots, for deserialization.
+func NewEmpty(width int) *Table {
+	return &Table{width: width, slots: make([]Range, width*256)}
+}
+
+// LookupPoint returns the scan range for an equality probe with the given
+// delta (probe value minus block minimum): a single table access.
+func (t *Table) LookupPoint(delta uint64) Range {
+	s := Slot(delta)
+	if s >= len(t.slots) {
+		return Range{}
+	}
+	return t.slots[s]
+}
+
+// LookupRange returns the scan range for a between probe with deltas
+// [dLo, dHi]: the union of the non-empty slots between the two probe slots
+// (§3.2). Slot indexes grow monotonically with deltas, so the slots in
+// between cover exactly the candidate values.
+func (t *Table) LookupRange(dLo, dHi uint64) Range {
+	sLo, sHi := Slot(dLo), Slot(dHi)
+	if sLo >= len(t.slots) {
+		return Range{}
+	}
+	if sHi >= len(t.slots) {
+		sHi = len(t.slots) - 1
+	}
+	var r Range
+	for s := sLo; s <= sHi; s++ {
+		r = r.union(t.slots[s])
+	}
+	return r
+}

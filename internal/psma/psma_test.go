@@ -1,0 +1,159 @@
+package psma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlot(t *testing.T) {
+	cases := []struct {
+		delta uint64
+		slot  int
+	}{
+		{0, 0}, {1, 1}, {5, 5}, {255, 255},
+		{0x100, 1 + 256}, {0x3E4, 3 + 256}, // the paper's probe-998 example (min=2)
+		{0xFFFF, 255 + 256},
+		{0x10000, 1 + 512},
+		{0xFF0000, 255 + 512},
+		{0x01000000, 1 + 768},
+		{1 << 56, 1 + 7*256},
+	}
+	for _, c := range cases {
+		if got := Slot(c.delta); got != c.slot {
+			t.Errorf("Slot(%#x) = %d, want %d", c.delta, got, c.slot)
+		}
+	}
+}
+
+func TestSlotMonotone(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return Slot(a) <= Slot(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// Figure 4: data (7,2,6,42,128,7,998,2,42,5), SMA min 2.
+	data := []uint64{7, 2, 6, 42, 128, 7, 998, 2, 42, 5}
+	tbl := Build(len(data), 2, func(i int) uint64 { return data[i] }, 2)
+	// probe 7: delta 5 -> slot 5 -> range [0,6)
+	if r := tbl.LookupPoint(7 - 2); r != (Range{0, 6}) {
+		t.Fatalf("probe 7: got %v, want [0,6)", r)
+	}
+	// probe 998: delta 996 = 0x3E4 -> slot 3+256 -> range [6,7)
+	if r := tbl.LookupPoint(998 - 2); r != (Range{6, 7}) {
+		t.Fatalf("probe 998: got %v, want [6,7)", r)
+	}
+}
+
+// TestSupersetInvariant: the fundamental PSMA guarantee — every occurrence
+// of a probed value lies inside the returned range.
+func TestSupersetInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(2000)
+		width := []int{1, 2, 4, 8}[r.Intn(4)]
+		max := uint64(1)<<(8*uint(width)) - 1
+		data := make([]uint64, n)
+		min := max
+		for i := range data {
+			data[i] = r.Uint64() & max
+			if trial%2 == 0 {
+				data[i] %= 300 // small domain: heavy slot sharing
+			}
+			if data[i] < min {
+				min = data[i]
+			}
+		}
+		tbl := Build(n, width, func(i int) uint64 { return data[i] }, min)
+		for probe := 0; probe < 100; probe++ {
+			v := data[r.Intn(n)] // probe existing values
+			rng := tbl.LookupPoint(v - min)
+			for i, x := range data {
+				if x == v && (uint32(i) < rng.Begin || uint32(i) >= rng.End) {
+					t.Fatalf("width=%d value %d at %d outside range %v", width, v, i, rng)
+				}
+			}
+		}
+		// Range probes must be supersets too.
+		for probe := 0; probe < 20; probe++ {
+			lo := data[r.Intn(n)]
+			hi := data[r.Intn(n)]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			rng := tbl.LookupRange(lo-min, hi-min)
+			for i, x := range data {
+				if x >= lo && x <= hi && (uint32(i) < rng.Begin || uint32(i) >= rng.End) {
+					t.Fatalf("range [%d,%d]: value %d at %d outside %v", lo, hi, x, i, rng)
+				}
+			}
+		}
+	}
+}
+
+func TestMissingValueMayBeEmpty(t *testing.T) {
+	// On sorted data with a clustered domain, a probe for an absent value
+	// whose slot is unused must return an empty range.
+	data := []uint64{10, 11, 12, 500, 501}
+	tbl := Build(len(data), 2, func(i int) uint64 { return data[i] }, 10)
+	if r := tbl.LookupPoint(100 - 10); !r.Empty() {
+		t.Fatalf("absent value with unused slot: got %v, want empty", r)
+	}
+}
+
+func TestNarrowingOnSortedData(t *testing.T) {
+	// Sorted data is the PSMA sweet spot (§3.2, Figure 11): ranges should
+	// be much narrower than the full block.
+	n := 1 << 16
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = uint64(i) // sorted, unique
+	}
+	tbl := Build(n, 2, func(i int) uint64 { return data[i] }, 0)
+	r := tbl.LookupPoint(100) // delta 100, 1-byte delta: exclusive slot
+	if r.Len() != 1 {
+		t.Fatalf("expected exact hit on small delta, got %v", r)
+	}
+	// Large deltas share slots with up to 256 values: range stays small.
+	r = tbl.LookupPoint(30000)
+	if r.Len() > 256 {
+		t.Fatalf("2-byte delta slot should cover <=256 rows, got %d", r.Len())
+	}
+}
+
+func TestRangeOps(t *testing.T) {
+	a := Range{10, 20}
+	b := Range{15, 30}
+	if got := a.Intersect(b); got != (Range{15, 20}) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.Intersect(Range{25, 30}); !got.Empty() {
+		t.Fatalf("disjoint intersect should be empty, got %v", got)
+	}
+	if got := (Range{}).union(a); got != a {
+		t.Fatalf("union with empty = %v", got)
+	}
+	if got := a.union(b); got != (Range{10, 30}) {
+		t.Fatalf("union = %v", got)
+	}
+	if (Range{5, 5}).Len() != 0 || (Range{5, 8}).Len() != 3 {
+		t.Fatalf("Len broken")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	// Paper: 2 KB, 4 KB, 8 KB for 1-, 2-, 4-byte codes.
+	for _, c := range []struct{ width, kb int }{{1, 2}, {2, 4}, {4, 8}} {
+		tbl := Build(1, c.width, func(int) uint64 { return 0 }, 0)
+		if got := tbl.SizeBytes(); got != c.kb*1024 {
+			t.Errorf("width %d: size = %d, want %d KB", c.width, got, c.kb)
+		}
+	}
+}

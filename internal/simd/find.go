@@ -1,0 +1,459 @@
+package simd
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// maxFor returns the largest value representable in width bytes.
+func maxFor(width int) uint64 {
+	if width >= 8 {
+		return math.MaxUint64
+	}
+	return 1<<(8*uint(width)) - 1
+}
+
+// normalizeU rewrites op/c1/c2 over an unsigned domain [0, max] into an
+// inclusive between [lo, hi], a not-equal test, an empty match, or an
+// all-match. Centralizing this means each width needs only two hot loops.
+func normalizeU(op Op, c1, c2, max uint64) (lo, hi uint64, ne, empty, all bool) {
+	switch op {
+	case OpEq:
+		if c1 > max {
+			return 0, 0, false, true, false
+		}
+		return c1, c1, false, false, false
+	case OpNe:
+		if c1 > max {
+			return 0, max, false, false, true
+		}
+		return c1, c1, true, false, false
+	case OpLt:
+		if c1 == 0 {
+			return 0, 0, false, true, false
+		}
+		c1--
+		fallthrough
+	case OpLe:
+		if c1 >= max {
+			return 0, max, false, false, true
+		}
+		return 0, c1, false, false, false
+	case OpGt:
+		if c1 >= max {
+			return 0, 0, false, true, false
+		}
+		c1++
+		fallthrough
+	case OpGe:
+		if c1 == 0 {
+			return 0, max, false, false, true
+		}
+		return c1, max, false, false, false
+	default: // OpBetween
+		if c1 > c2 || c1 > max {
+			return 0, 0, false, true, false
+		}
+		if c2 > max {
+			c2 = max
+		}
+		if c1 == 0 && c2 == max {
+			return 0, max, false, false, true
+		}
+		return c1, c2, false, false, false
+	}
+}
+
+// Find appends to out the positions (offset by base) of the elements in the
+// n-element little-endian vector data (width bytes per element) satisfying
+// op against c1 (and c2 for OpBetween). It returns the extended slice.
+//
+// This is the paper's "find initial matches" (Figure 7a): vector compare,
+// movemask, positions-table lookup, unconditional 8-wide store.
+func Find(data []byte, width, n int, op Op, c1, c2 uint64, base uint32, out []uint32) []uint32 {
+	lo, hi, ne, empty, all := normalizeU(op, c1, c2, maxFor(width))
+	if empty {
+		return out
+	}
+	out = EnsureCap(out, n+8)
+	if all {
+		return appendAll(out, n, base)
+	}
+	if ne {
+		switch width {
+		case 1:
+			return findNeW1(data, n, uint8(lo), base, out)
+		case 2:
+			return findNeW2(data, n, uint16(lo), base, out)
+		case 4:
+			return findNeW4(data, n, uint32(lo), base, out)
+		default:
+			return findNeW8(data, n, lo, base, out)
+		}
+	}
+	switch width {
+	case 1:
+		return findBetweenW1(data, n, uint8(lo), uint8(hi), base, out)
+	case 2:
+		return findBetweenW2(data, n, uint16(lo), uint16(hi), base, out)
+	case 4:
+		return findBetweenW4(data, n, uint32(lo), uint32(hi), base, out)
+	default:
+		return findBetweenW8(data, n, lo, hi, base, out)
+	}
+}
+
+// Sequence appends the n consecutive positions base..base+n-1 to out,
+// growing it as needed. It seeds match vectors for scans without SARGable
+// predicates.
+func Sequence(out []uint32, n int, base uint32) []uint32 {
+	return appendAll(EnsureCap(out, n), n, base)
+}
+
+// appendAll emits every position — the paper's optimization for fully
+// qualifying vectors (§4.1).
+func appendAll(out []uint32, n int, base uint32) []uint32 {
+	k := len(out)
+	out = out[: k+n : cap(out)]
+	for i := 0; i < n; i++ {
+		out[k+i] = base + uint32(i)
+	}
+	return out
+}
+
+// findBetweenW1 compares eight 8-bit lanes per 64-bit word. Lanes are split
+// into even/odd 16-bit containers so the biased adds and subtracts cannot
+// carry across lanes; bit 8 of each container is the comparison flag.
+func findBetweenW1(data []byte, n int, lo, hi uint8, base uint32, out []uint32) []uint32 {
+	geAdd := splat16(0x100 - uint64(lo))
+	leSub := splat16(uint64(hi)) | bit8s
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := load64(data, i)
+		xe := w & even8
+		xo := (w >> 8) & even8
+		me := half8(xe+geAdd) & half8(leSub-xe)
+		mo := half8(xo+geAdd) & half8(leSub-xo)
+		out = emit(out, spread4[me]|spread4[mo]<<1, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(data[i] >= lo && data[i] <= hi)) : cap(out)]
+	}
+	return out
+}
+
+// findNeW1 keeps lanes whose value differs from c. A per-container add of
+// 0xFF sets bit 8 exactly when the xor with the splatted constant is
+// non-zero.
+func findNeW1(data []byte, n int, c uint8, base uint32, out []uint32) []uint32 {
+	cs := splat16(uint64(c))
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w := load64(data, i)
+		ze := (w & even8) ^ cs
+		zo := ((w >> 8) & even8) ^ cs
+		me := half8(ze + even8)
+		mo := half8(zo + even8)
+		out = emit(out, spread4[me]|spread4[mo]<<1, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(data[i] != c)) : cap(out)]
+	}
+	return out
+}
+
+// mask4w2 builds the 4-lane mask of one 64-bit word holding four 16-bit
+// lanes, given the even- and odd-container 2-bit half masks.
+func mask4w2(me, mo uint32) uint32 {
+	return me&1 | (mo&1)<<1 | (me>>1)<<2 | (mo>>1)<<3
+}
+
+func findBetweenW2(data []byte, n int, lo, hi uint16, base uint32, out []uint32) []uint32 {
+	geAdd := splat32(0x10000 - uint64(lo))
+	leSub := splat32(uint64(hi)) | bit16s
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w0 := load64(data, i*2)
+		w1 := load64(data, i*2+8)
+		x0e := w0 & even16
+		x0o := (w0 >> 16) & even16
+		x1e := w1 & even16
+		x1o := (w1 >> 16) & even16
+		m0 := mask4w2(half16(x0e+geAdd)&half16(leSub-x0e), half16(x0o+geAdd)&half16(leSub-x0o))
+		m1 := mask4w2(half16(x1e+geAdd)&half16(leSub-x1e), half16(x1o+geAdd)&half16(leSub-x1o))
+		out = emit(out, m0|m1<<4, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		v := binary.LittleEndian.Uint16(data[i*2:])
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(v >= lo && v <= hi)) : cap(out)]
+	}
+	return out
+}
+
+func findNeW2(data []byte, n int, c uint16, base uint32, out []uint32) []uint32 {
+	cs := splat32(uint64(c))
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		w0 := load64(data, i*2)
+		w1 := load64(data, i*2+8)
+		m0 := mask4w2(half16(((w0&even16)^cs)+even16), half16((((w0>>16)&even16)^cs)+even16))
+		m1 := mask4w2(half16(((w1&even16)^cs)+even16), half16((((w1>>16)&even16)^cs)+even16))
+		out = emit(out, m0|m1<<4, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		v := binary.LittleEndian.Uint16(data[i*2:])
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(v != c)) : cap(out)]
+	}
+	return out
+}
+
+// findBetweenW4 processes two 32-bit lanes per word; the comparison itself is
+// a branch-free scalar test, but match extraction still uses the positions
+// table, keeping the kernel selectivity-insensitive. Mirrors the paper's
+// shrinking SIMD gains at 32-bit lanes.
+func findBetweenW4(data []byte, n int, lo, hi uint32, base uint32, out []uint32) []uint32 {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		var mask uint32
+		for j := 0; j < 8; j += 2 {
+			w := load64(data, (i+j)*4)
+			a := uint32(w)
+			b := uint32(w >> 32)
+			mask |= b2u(a >= lo && a <= hi) << uint(j)
+			mask |= b2u(b >= lo && b <= hi) << uint(j+1)
+		}
+		out = emit(out, mask, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(v >= lo && v <= hi)) : cap(out)]
+	}
+	return out
+}
+
+func findNeW4(data []byte, n int, c uint32, base uint32, out []uint32) []uint32 {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		var mask uint32
+		for j := 0; j < 8; j += 2 {
+			w := load64(data, (i+j)*4)
+			mask |= b2u(uint32(w) != c) << uint(j)
+			mask |= b2u(uint32(w>>32) != c) << uint(j+1)
+		}
+		out = emit(out, mask, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(v != c)) : cap(out)]
+	}
+	return out
+}
+
+func findBetweenW8(data []byte, n int, lo, hi uint64, base uint32, out []uint32) []uint32 {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		var mask uint32
+		for j := 0; j < 8; j++ {
+			v := load64(data, (i+j)*8)
+			mask |= b2u(v >= lo && v <= hi) << uint(j)
+		}
+		out = emit(out, mask, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		v := load64(data, i*8)
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(v >= lo && v <= hi)) : cap(out)]
+	}
+	return out
+}
+
+func findNeW8(data []byte, n int, c uint64, base uint32, out []uint32) []uint32 {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		var mask uint32
+		for j := 0; j < 8; j++ {
+			mask |= b2u(load64(data, (i+j)*8) != c) << uint(j)
+		}
+		out = emit(out, mask, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(load64(data, i*8) != c)) : cap(out)]
+	}
+	return out
+}
+
+// normalizeI64 rewrites op/c1/c2 over the signed 64-bit domain into an
+// inclusive between, a not-equal test, an empty match, or an all-match.
+func normalizeI64(op Op, c1, c2 int64) (lo, hi int64, ne, empty, all bool) {
+	const (
+		minI = math.MinInt64
+		maxI = math.MaxInt64
+	)
+	switch op {
+	case OpEq:
+		return c1, c1, false, false, false
+	case OpNe:
+		return c1, c1, true, false, false
+	case OpLt:
+		if c1 == minI {
+			return 0, 0, false, true, false
+		}
+		c1--
+		fallthrough
+	case OpLe:
+		if c1 == maxI {
+			return 0, 0, false, false, true
+		}
+		return minI, c1, false, false, false
+	case OpGt:
+		if c1 == maxI {
+			return 0, 0, false, true, false
+		}
+		c1++
+		fallthrough
+	case OpGe:
+		if c1 == minI {
+			return 0, 0, false, false, true
+		}
+		return c1, maxI, false, false, false
+	default: // OpBetween
+		if c1 > c2 {
+			return 0, 0, false, true, false
+		}
+		if c1 == minI && c2 == maxI {
+			return 0, 0, false, false, true
+		}
+		return c1, c2, false, false, false
+	}
+}
+
+// FindInt64 is the find-initial-matches kernel for uncompressed hot chunks
+// (signed 64-bit columns). The comparison is branch-free scalar; match
+// extraction uses the positions table, so vectorized scans on uncompressed
+// data still beat tuple-at-a-time evaluation (§4.1).
+func FindInt64(col []int64, op Op, c1, c2 int64, base uint32, out []uint32) []uint32 {
+	lo, hi, ne, empty, all := normalizeI64(op, c1, c2)
+	n := len(col)
+	if empty {
+		return out
+	}
+	out = EnsureCap(out, n+8)
+	if all {
+		return appendAll(out, n, base)
+	}
+	i := 0
+	if ne {
+		for ; i+8 <= n; i += 8 {
+			var mask uint32
+			for j := 0; j < 8; j++ {
+				mask |= b2u(col[i+j] != lo) << uint(j)
+			}
+			out = emit(out, mask, base+uint32(i))
+		}
+		for ; i < n; i++ {
+			k := len(out)
+			out = out[: k+1 : cap(out)]
+			out[k] = base + uint32(i)
+			out = out[: k+int(b2u(col[i] != lo)) : cap(out)]
+		}
+		return out
+	}
+	for ; i+8 <= n; i += 8 {
+		var mask uint32
+		for j := 0; j < 8; j++ {
+			v := col[i+j]
+			mask |= b2u(v >= lo && v <= hi) << uint(j)
+		}
+		out = emit(out, mask, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		v := col[i]
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(v >= lo && v <= hi)) : cap(out)]
+	}
+	return out
+}
+
+// FindFloat64 is the scalar fallback for doubles (the paper's SIMD kernels
+// cover integer data only; §4.2).
+func FindFloat64(col []float64, op Op, c1, c2 float64, base uint32, out []uint32) []uint32 {
+	n := len(col)
+	out = EnsureCap(out, n)
+	for i, v := range col {
+		var ok bool
+		switch op {
+		case OpEq:
+			ok = v == c1
+		case OpNe:
+			ok = v != c1
+		case OpLt:
+			ok = v < c1
+		case OpLe:
+			ok = v <= c1
+		case OpGt:
+			ok = v > c1
+		case OpGe:
+			ok = v >= c1
+		default:
+			ok = v >= c1 && v <= c2
+		}
+		if ok {
+			k := len(out)
+			out = out[: k+1 : cap(out)]
+			out[k] = base + uint32(i)
+		}
+	}
+	return out
+}
+
+// FindBitmap appends the positions of set (wantSet) or clear bits of the
+// n-bit bitmap. Used for IS NULL / IS NOT NULL predicates and for turning
+// delete bitmaps into survivor position vectors.
+func FindBitmap(bm []uint64, n int, wantSet bool, base uint32, out []uint32) []uint32 {
+	out = EnsureCap(out, n+8)
+	inv := uint64(0)
+	if !wantSet {
+		inv = ^uint64(0)
+	}
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		w := bm[i>>6] ^ inv
+		for b := 0; b < 64; b += 8 {
+			out = emit(out, uint32(w>>uint(b))&0xFF, base+uint32(i+b))
+		}
+	}
+	for ; i < n; i++ {
+		bit := bm[i>>6]>>(uint(i)&63)&1 == 1
+		if bit == wantSet {
+			k := len(out)
+			out = out[: k+1 : cap(out)]
+			out[k] = base + uint32(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package simd implements the paper's SIMD predicate-evaluation algorithms
+// (§4.2, Appendix C) as SIMD-within-a-register (SWAR) kernels on uint64
+// words, since Go offers no vector intrinsics.
+//
+// The structure follows the paper exactly:
+//
+//   - "find initial matches": a vectorized comparison produces a per-lane
+//     bitmask (the movemask), which indexes a precomputed 256-entry positions
+//     table; all eight candidate positions are written unconditionally and
+//     the write cursor advances by the popcount, making the kernel
+//     selectivity-insensitive (Figure 12a).
+//   - "reduce matches": values are gathered from the positions of an existing
+//     match vector, compared, and the match vector is compacted in place
+//     using the same table as a shuffle control mask (Figure 7b).
+//
+// Lane widths mirror the compressed Data Block domains: 1-, 2-, 4- and
+// 8-byte little-endian unsigned integers stored in a flat byte slice
+// (byte-addressable storage, §3.3). Eight 8-bit lanes or four 16-bit lanes
+// are compared per 64-bit word using carry-isolated container arithmetic;
+// 32- and 64-bit lanes degrade gracefully toward scalar work, reproducing
+// the paper's observation that SIMD gains shrink with lane width (Figure 8).
+package simd
+
+import "encoding/binary"
+
+// Op is a SARGable comparison operator evaluated by the kernels. Operands
+// are unsigned in the compressed domain; the block layer translates query
+// constants (and signed/ordering concerns) before invoking a kernel.
+type Op uint8
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// OpBetween is inclusive on both ends: c1 <= x <= c2.
+	OpBetween
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "between"
+	default:
+		return "Op(?)"
+	}
+}
+
+// posEntry is one row of the precomputed positions table (Appendix C): the
+// lane indexes of the set bits of an 8-bit movemask, plus their count. The
+// paper packs the count into the low bits of each position; we keep it as a
+// separate field and store ready-to-add uint32 lane offsets.
+type posEntry struct {
+	pos [8]uint32
+	n   uint32
+}
+
+// posTable maps an 8-bit movemask to the positions of its set bits. 256
+// entries x 36 bytes ≈ 9 KB, matching the paper's 8 KB L1-resident table.
+var posTable [256]posEntry
+
+func init() {
+	for m := 0; m < 256; m++ {
+		e := &posTable[m]
+		k := 0
+		for b := 0; b < 8; b++ {
+			if m>>uint(b)&1 == 1 {
+				e.pos[k] = uint32(b)
+				k++
+			}
+		}
+		e.n = uint32(k)
+	}
+}
+
+// SWAR constants for byte lanes held in 16-bit containers and 16-bit lanes
+// held in 32-bit containers. Splitting lanes into even/odd container sets
+// isolates carries, so per-container add/sub never contaminates a neighbour.
+const (
+	even8  = 0x00FF00FF00FF00FF // byte lanes 0,2,4,6 in 16-bit containers
+	one16  = 0x0001000100010001
+	bit8s  = 0x0100010001000100
+	even16 = 0x0000FFFF0000FFFF // 16-bit lanes 0,2 in 32-bit containers
+	one32  = 0x0000000100000001
+	bit16s = 0x0001000000010000
+
+	// collapse4 gathers the four container flag bits of a half-word
+	// comparison (at bit positions 0,16,32,48 after shifting) into bits
+	// 48..51 of the product.
+	collapse4 = 0x0001000200040008
+)
+
+// spread4 maps a 4-bit mask (bit j) to an 8-bit mask (bit 2j), used to
+// interleave the even- and odd-lane half masks into one movemask.
+var spread4 = [16]uint32{
+	0x00, 0x01, 0x04, 0x05, 0x10, 0x11, 0x14, 0x15,
+	0x40, 0x41, 0x44, 0x45, 0x50, 0x51, 0x54, 0x55,
+}
+
+func splat16(v uint64) uint64 { return v * one16 }
+func splat32(v uint64) uint64 { return v * one32 }
+
+// half8 collapses the per-container flag bits (bit 8 of each 16-bit
+// container) of t into a 4-bit mask, bit j = container j.
+func half8(t uint64) uint32 {
+	u := (t >> 8) & one16
+	return uint32((u * collapse4) >> 48)
+}
+
+// half16 collapses the per-container flag bits (bit 16 of each 32-bit
+// container) of t into a 2-bit mask.
+func half16(t uint64) uint32 {
+	u := (t >> 16) & one32
+	return uint32(u|u>>31) & 3
+}
+
+// b2u converts a bool to 0/1; the compiler lowers this to a SETcc, keeping
+// scalar fallbacks branch-free.
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EnsureCap returns out with capacity for at least slack more elements,
+// growing geometrically if needed. Kernels call it once per input batch so
+// the unconditional 8-wide stores never write past the backing array.
+func EnsureCap(out []uint32, slack int) []uint32 {
+	if cap(out)-len(out) >= slack {
+		return out
+	}
+	newCap := 2 * cap(out)
+	if newCap < len(out)+slack {
+		newCap = len(out) + slack
+	}
+	grown := make([]uint32, len(out), newCap)
+	copy(grown, out)
+	return grown
+}
+
+// emit appends the set-bit positions of mask, offset by base, to out. out
+// must have at least 8 spare capacity. All eight slots are written
+// unconditionally (the paper's _mm256_storeu + advance-by-count idiom); the
+// length advances only by the match count.
+func emit(out []uint32, mask uint32, base uint32) []uint32 {
+	e := &posTable[mask&0xFF]
+	n := len(out)
+	buf := out[n : n+8]
+	buf[0] = base + e.pos[0]
+	buf[1] = base + e.pos[1]
+	buf[2] = base + e.pos[2]
+	buf[3] = base + e.pos[3]
+	buf[4] = base + e.pos[4]
+	buf[5] = base + e.pos[5]
+	buf[6] = base + e.pos[6]
+	buf[7] = base + e.pos[7]
+	return out[: n+int(e.n) : cap(out)]
+}
+
+// load64 reads one little-endian 64-bit word at byte offset i.
+func load64(data []byte, i int) uint64 { return binary.LittleEndian.Uint64(data[i:]) }
+
+// ReadUint decodes the idx-th element of a flat little-endian vector with
+// the given byte width. This is the byte-addressable point access of §3.4:
+// O(1), no unpacking of neighbours.
+func ReadUint(data []byte, idx, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(data[idx])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(data[idx*2:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(data[idx*4:]))
+	default:
+		return binary.LittleEndian.Uint64(data[idx*8:])
+	}
+}
+
+// WriteUint encodes v as the idx-th element of a flat little-endian vector.
+func WriteUint(data []byte, idx, width int, v uint64) {
+	switch width {
+	case 1:
+		data[idx] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(data[idx*2:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(data[idx*4:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(data[idx*8:], v)
+	}
+}

@@ -1,0 +1,561 @@
+// Package storage implements the hybrid relation layout of Figure 1:
+// relations are divided into fixed-size chunks; hot chunks stay
+// uncompressed and writable, cold chunks are frozen into immutable
+// compressed Data Blocks. Freezing is per-chunk and O(chunk), avoiding the
+// O(relation) merge of write-optimized/read-optimized designs (§1).
+//
+// Frozen tuples support only delete (a flag); updates are rewritten as a
+// delete plus an insert into the hot tail (§3). Tuple identifiers are
+// stable across (unsorted) freezing, so primary-key indexes survive.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"datablocks/internal/core"
+	"datablocks/internal/simd"
+	"datablocks/internal/types"
+)
+
+// TupleID addresses one tuple: a chunk ordinal and a row within the chunk.
+type TupleID struct {
+	Chunk uint32
+	Row   uint32
+}
+
+// HotChunk is an uncompressed, append-only columnar chunk.
+type HotChunk struct {
+	n    int
+	cols []hotCol
+}
+
+type hotCol struct {
+	kind   types.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	nulls  []bool // lazily allocated on first NULL
+}
+
+// Rows returns the number of tuples in the chunk (including deleted ones).
+func (h *HotChunk) Rows() int { return h.n }
+
+// Ints exposes an integer column for vectorized scans.
+func (h *HotChunk) Ints(col int) []int64 { return h.cols[col].ints[:h.n] }
+
+// Floats exposes a double column.
+func (h *HotChunk) Floats(col int) []float64 { return h.cols[col].floats[:h.n] }
+
+// Strs exposes a string column.
+func (h *HotChunk) Strs(col int) []string { return h.cols[col].strs[:h.n] }
+
+// Nulls exposes the column's null flags, or nil when the column holds no
+// NULLs.
+func (h *HotChunk) Nulls(col int) []bool {
+	if h.cols[col].nulls == nil {
+		return nil
+	}
+	return h.cols[col].nulls[:h.n]
+}
+
+// IsNull reports whether cell (col, row) is NULL.
+func (h *HotChunk) IsNull(col, row int) bool {
+	c := &h.cols[col]
+	return c.nulls != nil && c.nulls[row]
+}
+
+// Value returns cell (col, row) as a dynamic value.
+func (h *HotChunk) Value(col, row int) types.Value {
+	c := &h.cols[col]
+	if c.nulls != nil && c.nulls[row] {
+		return types.NullValue(c.kind)
+	}
+	switch c.kind {
+	case types.Int64:
+		return types.IntValue(c.ints[row])
+	case types.Float64:
+		return types.FloatValue(c.floats[row])
+	default:
+		return types.StringValue(c.strs[row])
+	}
+}
+
+// Chunk is one fixed-size slice of a relation: hot or frozen.
+type Chunk struct {
+	hot        *HotChunk
+	blk        *core.Block
+	deleted    []uint64 // bit set = deleted; lazily allocated
+	numDeleted int
+}
+
+// IsFrozen reports whether the chunk has been compressed into a Data Block.
+func (c *Chunk) IsFrozen() bool { return c.blk != nil }
+
+// Block returns the frozen Data Block, or nil for hot chunks.
+func (c *Chunk) Block() *core.Block { return c.blk }
+
+// Hot returns the uncompressed chunk, or nil for frozen chunks.
+func (c *Chunk) Hot() *HotChunk { return c.hot }
+
+// Rows returns the tuple count including deleted tuples.
+func (c *Chunk) Rows() int {
+	if c.blk != nil {
+		return c.blk.Rows()
+	}
+	return c.hot.n
+}
+
+// LiveRows returns the tuple count excluding deleted tuples.
+func (c *Chunk) LiveRows() int { return c.Rows() - c.numDeleted }
+
+// Deleted returns the delete bitmap (nil when nothing was deleted).
+func (c *Chunk) Deleted() []uint64 {
+	if c.numDeleted == 0 {
+		return nil
+	}
+	return c.deleted
+}
+
+// IsDeleted reports whether the row carries the delete flag.
+func (c *Chunk) IsDeleted(row int) bool {
+	return c.deleted != nil && simd.BitmapGet(c.deleted, uint32(row))
+}
+
+// Relation is a chunked table: zero or more frozen chunks followed by hot
+// chunks, the last of which receives inserts.
+type Relation struct {
+	mu       sync.RWMutex
+	schema   *types.Schema
+	chunkCap int
+	chunks   []*Chunk
+	live     int
+}
+
+// NewRelation creates an empty relation. chunkCapacity caps rows per chunk;
+// zero selects the Data Block default of 2^16.
+func NewRelation(schema *types.Schema, chunkCapacity int) *Relation {
+	if chunkCapacity <= 0 || chunkCapacity > core.MaxRows {
+		chunkCapacity = core.MaxRows
+	}
+	return &Relation{schema: schema, chunkCap: chunkCapacity}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *types.Schema { return r.schema }
+
+// ChunkCapacity returns the per-chunk row limit.
+func (r *Relation) ChunkCapacity() int { return r.chunkCap }
+
+// NumChunks returns the number of chunks.
+func (r *Relation) NumChunks() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.chunks)
+}
+
+// Chunk returns chunk i. The chunk list only grows, so a retrieved chunk
+// stays valid; hot chunks may keep receiving appends.
+func (r *Relation) Chunk(i int) *Chunk {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.chunks[i]
+}
+
+// Chunks returns a snapshot of the chunk list for scans.
+func (r *Relation) Chunks() []*Chunk {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Chunk(nil), r.chunks...)
+}
+
+// NumRows returns the live tuple count.
+func (r *Relation) NumRows() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live
+}
+
+func (r *Relation) newHotChunk() *HotChunk {
+	h := &HotChunk{cols: make([]hotCol, r.schema.NumColumns())}
+	for i, col := range r.schema.Columns {
+		h.cols[i].kind = col.Kind
+		switch col.Kind {
+		case types.Int64:
+			h.cols[i].ints = make([]int64, 0, r.chunkCap)
+		case types.Float64:
+			h.cols[i].floats = make([]float64, 0, r.chunkCap)
+		default:
+			h.cols[i].strs = make([]string, 0, r.chunkCap)
+		}
+	}
+	return h
+}
+
+// tail returns the hot chunk receiving inserts, creating it if necessary.
+// Caller holds the write lock.
+func (r *Relation) tail() (*Chunk, int) {
+	if n := len(r.chunks); n > 0 {
+		c := r.chunks[n-1]
+		if !c.IsFrozen() && c.hot.n < r.chunkCap {
+			return c, n - 1
+		}
+	}
+	c := &Chunk{hot: r.newHotChunk()}
+	r.chunks = append(r.chunks, c)
+	return c, len(r.chunks) - 1
+}
+
+// Insert appends one tuple and returns its stable identifier.
+func (r *Relation) Insert(row types.Row) (TupleID, error) {
+	if len(row) != r.schema.NumColumns() {
+		return TupleID{}, fmt.Errorf("storage: row has %d values, schema has %d", len(row), r.schema.NumColumns())
+	}
+	// Validate before touching any column so a rejected row leaves the
+	// chunk unchanged.
+	for i, v := range row {
+		if v.IsNull() {
+			if !r.schema.Columns[i].Nullable {
+				return TupleID{}, fmt.Errorf("storage: NULL in non-nullable column %q", r.schema.Columns[i].Name)
+			}
+			continue
+		}
+		if v.Kind() != r.schema.Columns[i].Kind {
+			return TupleID{}, fmt.Errorf("storage: column %q expects %v, got %v",
+				r.schema.Columns[i].Name, r.schema.Columns[i].Kind, v.Kind())
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ci := r.tail()
+	h := c.hot
+	for i, v := range row {
+		col := &h.cols[i]
+		if v.IsNull() && col.nulls == nil {
+			col.nulls = make([]bool, h.n, r.chunkCap)
+		}
+		if col.nulls != nil {
+			col.nulls = append(col.nulls, v.IsNull())
+		}
+		switch col.kind {
+		case types.Int64:
+			if v.IsNull() {
+				col.ints = append(col.ints, 0)
+			} else {
+				col.ints = append(col.ints, v.Int())
+			}
+		case types.Float64:
+			if v.IsNull() {
+				col.floats = append(col.floats, 0)
+			} else {
+				col.floats = append(col.floats, v.Float())
+			}
+		default:
+			if v.IsNull() {
+				col.strs = append(col.strs, "")
+			} else {
+				col.strs = append(col.strs, v.Str())
+			}
+		}
+	}
+	h.n++
+	r.live++
+	return TupleID{Chunk: uint32(ci), Row: uint32(h.n - 1)}, nil
+}
+
+// BulkAppend loads n pre-columnarized tuples, splitting them across chunks.
+// It is the fast path for data generators and loaders.
+func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
+	if len(cols) != r.schema.NumColumns() {
+		return fmt.Errorf("storage: %d columns, schema has %d", len(cols), r.schema.NumColumns())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	off := 0
+	for off < n {
+		c, _ := r.tail()
+		h := c.hot
+		span := r.chunkCap - h.n
+		if span > n-off {
+			span = n - off
+		}
+		for i := range cols {
+			col := &h.cols[i]
+			src := &cols[i]
+			switch col.kind {
+			case types.Int64:
+				col.ints = append(col.ints, src.Ints[off:off+span]...)
+			case types.Float64:
+				col.floats = append(col.floats, src.Floats[off:off+span]...)
+			default:
+				col.strs = append(col.strs, src.Strs[off:off+span]...)
+			}
+			if src.Nulls != nil {
+				hasNull := false
+				for _, b := range src.Nulls[off : off+span] {
+					if b {
+						hasNull = true
+						break
+					}
+				}
+				if hasNull || col.nulls != nil {
+					if col.nulls == nil {
+						col.nulls = make([]bool, h.n, r.chunkCap)
+					}
+					col.nulls = append(col.nulls, src.Nulls[off:off+span]...)
+				}
+			} else if col.nulls != nil {
+				col.nulls = append(col.nulls, make([]bool, span)...)
+			}
+		}
+		h.n += span
+		r.live += span
+		off += span
+	}
+	return nil
+}
+
+// Delete flags the tuple as deleted. Frozen tuples keep their slot (§3:
+// frozen records are marked with a flag); hot tuples likewise, preserving
+// tuple identifiers. It reports whether the tuple existed and was live.
+func (r *Relation) Delete(tid TupleID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.chunkFor(tid)
+	if !ok {
+		return false
+	}
+	if c.deleted == nil {
+		c.deleted = make([]uint64, simd.BitmapWords(r.chunkCap))
+	}
+	if simd.BitmapGet(c.deleted, tid.Row) {
+		return false
+	}
+	simd.BitmapSet(c.deleted, tid.Row)
+	c.numDeleted++
+	r.live--
+	return true
+}
+
+// Update rewrites the tuple as delete + insert into the hot tail (§1) and
+// returns the tuple's new identifier.
+func (r *Relation) Update(tid TupleID, row types.Row) (TupleID, error) {
+	if !r.Delete(tid) {
+		return TupleID{}, errors.New("storage: update of missing or deleted tuple")
+	}
+	return r.Insert(row)
+}
+
+func (r *Relation) chunkFor(tid TupleID) (*Chunk, bool) {
+	if int(tid.Chunk) >= len(r.chunks) {
+		return nil, false
+	}
+	c := r.chunks[tid.Chunk]
+	if int(tid.Row) >= c.Rows() {
+		return nil, false
+	}
+	return c, true
+}
+
+// Get materializes the tuple, or reports false if it is deleted or absent.
+func (r *Relation) Get(tid TupleID) (types.Row, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.chunkFor(tid)
+	if !ok || c.IsDeleted(int(tid.Row)) {
+		return nil, false
+	}
+	row := make(types.Row, r.schema.NumColumns())
+	for i := range row {
+		if c.IsFrozen() {
+			row[i] = c.blk.Value(i, int(tid.Row))
+		} else {
+			row[i] = c.hot.Value(i, int(tid.Row))
+		}
+	}
+	return row, true
+}
+
+// GetCol returns a single attribute of a tuple — the OLTP point access the
+// format is designed around (§3.4).
+func (r *Relation) GetCol(tid TupleID, col int) (types.Value, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.chunkFor(tid)
+	if !ok || c.IsDeleted(int(tid.Row)) {
+		return types.Value{}, false
+	}
+	if c.IsFrozen() {
+		return c.blk.Value(col, int(tid.Row)), true
+	}
+	return c.hot.Value(col, int(tid.Row)), true
+}
+
+// FreezeChunk compresses chunk i into a Data Block. With a non-negative
+// SortBy, deleted tuples are compacted away and rows are reordered, which
+// invalidates tuple identifiers — callers must rebuild indexes (the paper's
+// freeze-with-sort likewise re-orders tuples, §3.2). Without sorting,
+// identifiers remain stable and the delete bitmap is carried over.
+func (r *Relation) FreezeChunk(i int, opts core.FreezeOptions) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.chunks) {
+		return fmt.Errorf("storage: chunk %d out of range", i)
+	}
+	c := r.chunks[i]
+	if c.IsFrozen() {
+		return nil
+	}
+	h := c.hot
+	if h.n == 0 {
+		return errors.New("storage: cannot freeze empty chunk")
+	}
+	n := h.n
+	var keep []uint32
+	if opts.SortBy >= 0 && c.numDeleted > 0 {
+		for row := 0; row < n; row++ {
+			if !simd.BitmapGet(c.deleted, uint32(row)) {
+				keep = append(keep, uint32(row))
+			}
+		}
+		n = len(keep)
+	}
+	cols := make([]core.ColumnData, len(h.cols))
+	for ci := range h.cols {
+		col := &h.cols[ci]
+		cd := core.ColumnData{Kind: col.kind}
+		switch col.kind {
+		case types.Int64:
+			cd.Ints = gatherI64(col.ints[:h.n], keep)
+		case types.Float64:
+			cd.Floats = gatherF64(col.floats[:h.n], keep)
+		default:
+			cd.Strs = gatherStr(col.strs[:h.n], keep)
+		}
+		if col.nulls != nil {
+			cd.Nulls = gatherBool(col.nulls[:h.n], keep)
+		}
+		cols[ci] = cd
+	}
+	blk, err := core.Freeze(cols, n, opts)
+	if err != nil {
+		return err
+	}
+	c.blk = blk
+	c.hot = nil
+	if keep != nil {
+		c.deleted = nil
+		c.numDeleted = 0
+	}
+	return nil
+}
+
+// FreezeAll freezes every chunk except, optionally, the hot tail.
+func (r *Relation) FreezeAll(opts core.FreezeOptions, keepHotTail bool) error {
+	last := r.NumChunks()
+	if keepHotTail {
+		last--
+	}
+	for i := 0; i < last; i++ {
+		if r.Chunk(i).IsFrozen() {
+			continue
+		}
+		if err := r.FreezeChunk(i, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func gatherI64(src []int64, keep []uint32) []int64 {
+	if keep == nil {
+		return src
+	}
+	out := make([]int64, len(keep))
+	for i, p := range keep {
+		out[i] = src[p]
+	}
+	return out
+}
+
+func gatherF64(src []float64, keep []uint32) []float64 {
+	if keep == nil {
+		return src
+	}
+	out := make([]float64, len(keep))
+	for i, p := range keep {
+		out[i] = src[p]
+	}
+	return out
+}
+
+func gatherStr(src []string, keep []uint32) []string {
+	if keep == nil {
+		return src
+	}
+	out := make([]string, len(keep))
+	for i, p := range keep {
+		out[i] = src[p]
+	}
+	return out
+}
+
+func gatherBool(src []bool, keep []uint32) []bool {
+	if keep == nil {
+		return src
+	}
+	out := make([]bool, len(keep))
+	for i, p := range keep {
+		out[i] = src[p]
+	}
+	return out
+}
+
+// MemStats summarizes a relation's footprint.
+type MemStats struct {
+	HotBytes     int
+	FrozenBytes  int
+	HotChunks    int
+	FrozenChunks int
+	Rows         int
+	DeletedRows  int
+}
+
+// TotalBytes returns the combined footprint.
+func (m MemStats) TotalBytes() int { return m.HotBytes + m.FrozenBytes }
+
+// MemoryStats reports the relation's current footprint, separating hot
+// uncompressed storage from frozen Data Blocks (the quantity Table 1 and
+// Figure 10 measure).
+func (r *Relation) MemoryStats() MemStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var m MemStats
+	for _, c := range r.chunks {
+		m.DeletedRows += c.numDeleted
+		m.Rows += c.Rows()
+		if c.IsFrozen() {
+			m.FrozenChunks++
+			m.FrozenBytes += c.blk.CompressedSize()
+			continue
+		}
+		m.HotChunks++
+		h := c.hot
+		for ci := range h.cols {
+			col := &h.cols[ci]
+			switch col.kind {
+			case types.Int64, types.Float64:
+				m.HotBytes += 8 * h.n
+			default:
+				for _, s := range col.strs[:h.n] {
+					m.HotBytes += len(s) + 16
+				}
+			}
+			if col.nulls != nil {
+				m.HotBytes += h.n
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,372 @@
+// Package tpcc implements the TPC-C subset used in §5.3: the new-order
+// write path plus the two read-only transactions (order-status and
+// stock-level), over the hybrid storage engine.
+//
+// The experiments mirror the paper's two configurations:
+//
+//  1. only cold new-order records are frozen into Data Blocks while the
+//     workload keeps inserting (FreezeNewOrderCold), measuring the overhead
+//     of the hot/cold switch on the write path; and
+//  2. the whole database is frozen (FreezeAll) and only the read-only
+//     transactions run, measuring point-access overhead on compressed
+//     tuples (the paper reports ~9%).
+//
+// District sequence counters live in memory (HyPer updates them in place;
+// our storage would otherwise turn every new-order into a district
+// migration), and stock rows are updated via the engine's delete+insert
+// update path (§3).
+package tpcc
+
+import (
+	"fmt"
+
+	"datablocks/internal/core"
+	"datablocks/internal/index"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+	"datablocks/internal/xrand"
+)
+
+// Config scales the database. TPC-C specifies 10 districts/warehouse, 3000
+// customers/district and 100000 items; tests shrink those.
+type Config struct {
+	Warehouses        int
+	Districts         int
+	CustomersPerDist  int
+	Items             int
+	OrderLinesPerTxLo int
+	OrderLinesPerTxHi int
+	ChunkRows         int
+	Seed              uint64
+}
+
+// DefaultConfig returns the paper's 5-warehouse setup, scaled down one
+// order of magnitude so laptop benchmarks converge quickly.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:        5,
+		Districts:         10,
+		CustomersPerDist:  300,
+		Items:             10000,
+		OrderLinesPerTxLo: 5,
+		OrderLinesPerTxHi: 15,
+		ChunkRows:         1 << 14,
+		Seed:              0x7C9,
+	}
+}
+
+// DB is a TPC-C database plus its driver state.
+type DB struct {
+	cfg Config
+	rng *xrand.Rand
+
+	Customer  *storage.Relation
+	Item      *storage.Relation
+	Stock     *storage.Relation
+	Orders    *storage.Relation
+	NewOrder  *storage.Relation
+	OrderLine *storage.Relation
+
+	custIdx  *index.Hash // (w,d,c) -> tuple
+	itemIdx  *index.Hash // i -> tuple
+	stockIdx *index.Hash // (w,i) -> tuple
+	olIdx    *index.Hash // (w,d,o,ln) -> tuple
+
+	nextOID   []int64     // per (w,d): next order id (in-memory sequence)
+	lastOID   []int64     // per (w,d): last committed order id
+	orderIdx  *index.Hash // (w,d,o) -> orders tuple
+	txCounter int64
+}
+
+func (db *DB) dIdx(w, d int64) int64 { return w*int64(db.cfg.Districts) + d }
+
+func custKey(db *DB, w, d, c int64) int64 {
+	return (w*int64(db.cfg.Districts)+d)*int64(db.cfg.CustomersPerDist+1) + c
+}
+
+func stockKey(db *DB, w, i int64) int64 { return w*int64(db.cfg.Items+1) + i }
+
+func orderKey(db *DB, w, d, o int64) int64 {
+	return (w*int64(db.cfg.Districts)+d)*(1<<32) + o
+}
+
+func olKey(db *DB, w, d, o, ln int64) int64 {
+	return orderKey(db, w, d, o)*16 + ln
+}
+
+// New loads an initial database.
+func New(cfg Config) (*DB, error) {
+	db := &DB{cfg: cfg, rng: xrand.New(cfg.Seed)}
+	ic := func(name string) types.Column { return types.Column{Name: name, Kind: types.Int64} }
+	sc := func(name string) types.Column { return types.Column{Name: name, Kind: types.String} }
+
+	db.Customer = storage.NewRelation(types.NewSchema(
+		ic("c_w_id"), ic("c_d_id"), ic("c_id"), sc("c_name"), ic("c_balance"), ic("c_payment_cnt"),
+	), cfg.ChunkRows)
+	db.Item = storage.NewRelation(types.NewSchema(
+		ic("i_id"), sc("i_name"), ic("i_price"), sc("i_data"),
+	), cfg.ChunkRows)
+	db.Stock = storage.NewRelation(types.NewSchema(
+		ic("s_w_id"), ic("s_i_id"), ic("s_quantity"), ic("s_ytd"), ic("s_order_cnt"),
+	), cfg.ChunkRows)
+	db.Orders = storage.NewRelation(types.NewSchema(
+		ic("o_w_id"), ic("o_d_id"), ic("o_id"), ic("o_c_id"), ic("o_entry_d"), ic("o_ol_cnt"),
+	), cfg.ChunkRows)
+	db.NewOrder = storage.NewRelation(types.NewSchema(
+		ic("no_w_id"), ic("no_d_id"), ic("no_o_id"),
+	), cfg.ChunkRows)
+	db.OrderLine = storage.NewRelation(types.NewSchema(
+		ic("ol_w_id"), ic("ol_d_id"), ic("ol_o_id"), ic("ol_number"), ic("ol_i_id"), ic("ol_quantity"), ic("ol_amount"),
+	), cfg.ChunkRows)
+
+	db.custIdx = index.NewHash(cfg.Warehouses * cfg.Districts * cfg.CustomersPerDist)
+	db.itemIdx = index.NewHash(cfg.Items)
+	db.stockIdx = index.NewHash(cfg.Warehouses * cfg.Items)
+	db.olIdx = index.NewHash(1 << 16)
+	db.orderIdx = index.NewHash(1 << 14)
+	db.nextOID = make([]int64, cfg.Warehouses*cfg.Districts)
+	db.lastOID = make([]int64, cfg.Warehouses*cfg.Districts)
+
+	for i := 1; i <= cfg.Items; i++ {
+		tid, err := db.Item.Insert(types.Row{
+			types.IntValue(int64(i)),
+			types.StringValue(fmt.Sprintf("item-%06d", i)),
+			types.IntValue(db.rng.Range(100, 10000)),
+			types.StringValue("data"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := db.itemIdx.Insert(int64(i), tid); err != nil {
+			return nil, err
+		}
+	}
+	for w := 0; w < cfg.Warehouses; w++ {
+		for i := 1; i <= cfg.Items; i++ {
+			tid, err := db.Stock.Insert(types.Row{
+				types.IntValue(int64(w)), types.IntValue(int64(i)),
+				types.IntValue(db.rng.Range(10, 100)), types.IntValue(0), types.IntValue(0),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := db.stockIdx.Insert(stockKey(db, int64(w), int64(i)), tid); err != nil {
+				return nil, err
+			}
+		}
+		for d := 0; d < cfg.Districts; d++ {
+			for c := 1; c <= cfg.CustomersPerDist; c++ {
+				tid, err := db.Customer.Insert(types.Row{
+					types.IntValue(int64(w)), types.IntValue(int64(d)), types.IntValue(int64(c)),
+					types.StringValue(fmt.Sprintf("Cust-%d-%d-%04d", w, d, c)),
+					types.IntValue(0), types.IntValue(0),
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := db.custIdx.Insert(custKey(db, int64(w), int64(d), int64(c)), tid); err != nil {
+					return nil, err
+				}
+			}
+			db.nextOID[db.dIdx(int64(w), int64(d))] = 1
+		}
+	}
+	return db, nil
+}
+
+// NewOrderTx executes one new-order transaction: reads the customer and the
+// ordered items, inserts order/new-order/order-line rows, and updates stock
+// via delete+insert.
+func (db *DB) NewOrderTx() error {
+	cfg := db.cfg
+	w := int64(db.rng.Intn(cfg.Warehouses))
+	d := int64(db.rng.Intn(cfg.Districts))
+	c := db.rng.Range(1, int64(cfg.CustomersPerDist))
+	if _, ok := db.custIdx.Lookup(custKey(db, w, d, c)); !ok {
+		return fmt.Errorf("tpcc: customer (%d,%d,%d) missing", w, d, c)
+	}
+	di := db.dIdx(w, d)
+	oid := db.nextOID[di]
+	db.nextOID[di]++
+	nLines := db.rng.Range(int64(cfg.OrderLinesPerTxLo), int64(cfg.OrderLinesPerTxHi))
+
+	oTid, err := db.Orders.Insert(types.Row{
+		types.IntValue(w), types.IntValue(d), types.IntValue(oid), types.IntValue(c),
+		types.IntValue(db.txCounter), types.IntValue(nLines),
+	})
+	if err != nil {
+		return err
+	}
+	if err := db.orderIdx.Insert(orderKey(db, w, d, oid), oTid); err != nil {
+		return err
+	}
+	if _, err := db.NewOrder.Insert(types.Row{
+		types.IntValue(w), types.IntValue(d), types.IntValue(oid),
+	}); err != nil {
+		return err
+	}
+	for ln := int64(1); ln <= nLines; ln++ {
+		item := db.rng.Range(1, int64(cfg.Items))
+		iTid, ok := db.itemIdx.Lookup(item)
+		if !ok {
+			return fmt.Errorf("tpcc: item %d missing", item)
+		}
+		price, _ := db.Item.GetCol(iTid, 2)
+		qty := db.rng.Range(1, 10)
+		// Stock update: read-modify-write as delete + insert (§3).
+		sKey := stockKey(db, w, item)
+		sTid, ok := db.stockIdx.Lookup(sKey)
+		if !ok {
+			return fmt.Errorf("tpcc: stock (%d,%d) missing", w, item)
+		}
+		sRow, ok := db.Stock.Get(sTid)
+		if !ok {
+			return fmt.Errorf("tpcc: stock tuple vanished")
+		}
+		newQty := sRow[2].Int() - qty
+		if newQty < 10 {
+			newQty += 91
+		}
+		newTid, err := db.Stock.Update(sTid, types.Row{
+			sRow[0], sRow[1], types.IntValue(newQty),
+			types.IntValue(sRow[3].Int() + qty), types.IntValue(sRow[4].Int() + 1),
+		})
+		if err != nil {
+			return err
+		}
+		db.stockIdx.Update(sKey, newTid)
+
+		olTid, err := db.OrderLine.Insert(types.Row{
+			types.IntValue(w), types.IntValue(d), types.IntValue(oid), types.IntValue(ln),
+			types.IntValue(item), types.IntValue(qty), types.IntValue(qty * price.Int()),
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.olIdx.Insert(olKey(db, w, d, oid, ln), olTid); err != nil {
+			return err
+		}
+	}
+	db.lastOID[di] = oid
+	db.txCounter++
+	return nil
+}
+
+// OrderStatusTx executes one order-status transaction: customer point read,
+// last order read, and point reads of its order lines.
+func (db *DB) OrderStatusTx() (int64, error) {
+	cfg := db.cfg
+	w := int64(db.rng.Intn(cfg.Warehouses))
+	d := int64(db.rng.Intn(cfg.Districts))
+	c := db.rng.Range(1, int64(cfg.CustomersPerDist))
+	cTid, ok := db.custIdx.Lookup(custKey(db, w, d, c))
+	if !ok {
+		return 0, fmt.Errorf("tpcc: customer missing")
+	}
+	if _, ok := db.Customer.Get(cTid); !ok {
+		return 0, fmt.Errorf("tpcc: customer tuple missing")
+	}
+	oid := db.lastOID[db.dIdx(w, d)]
+	if oid == 0 {
+		return 0, nil // no orders yet in this district
+	}
+	oTid, ok := db.orderIdx.Lookup(orderKey(db, w, d, oid))
+	if !ok {
+		return 0, fmt.Errorf("tpcc: order missing")
+	}
+	oRow, ok := db.Orders.Get(oTid)
+	if !ok {
+		return 0, fmt.Errorf("tpcc: order tuple missing")
+	}
+	total := int64(0)
+	for ln := int64(1); ln <= oRow[5].Int(); ln++ {
+		olTid, ok := db.olIdx.Lookup(olKey(db, w, d, oid, ln))
+		if !ok {
+			return 0, fmt.Errorf("tpcc: order line missing")
+		}
+		amount, ok := db.OrderLine.GetCol(olTid, 6)
+		if !ok {
+			return 0, fmt.Errorf("tpcc: order line tuple missing")
+		}
+		total += amount.Int()
+	}
+	return total, nil
+}
+
+// StockLevelTx executes one stock-level transaction: the order lines of the
+// district's most recent orders are resolved and their stock entries
+// point-read, counting items below a threshold.
+func (db *DB) StockLevelTx() (int, error) {
+	cfg := db.cfg
+	w := int64(db.rng.Intn(cfg.Warehouses))
+	d := int64(db.rng.Intn(cfg.Districts))
+	last := db.lastOID[db.dIdx(w, d)]
+	low := 0
+	threshold := db.rng.Range(10, 20)
+	for oid := last; oid > 0 && oid > last-20; oid-- {
+		oTid, ok := db.orderIdx.Lookup(orderKey(db, w, d, oid))
+		if !ok {
+			continue
+		}
+		oRow, ok := db.Orders.Get(oTid)
+		if !ok {
+			continue
+		}
+		for ln := int64(1); ln <= oRow[5].Int(); ln++ {
+			olTid, ok := db.olIdx.Lookup(olKey(db, w, d, oid, ln))
+			if !ok {
+				continue
+			}
+			item, ok := db.OrderLine.GetCol(olTid, 4)
+			if !ok {
+				continue
+			}
+			sTid, ok := db.stockIdx.Lookup(stockKey(db, w, item.Int()))
+			if !ok {
+				continue
+			}
+			qty, ok := db.Stock.GetCol(sTid, 2)
+			if ok && qty.Int() < threshold {
+				low++
+			}
+		}
+	}
+	return low, nil
+}
+
+// FreezeNewOrderCold freezes all full new-order chunks, keeping the hot
+// tail writable — the paper's first experiment (§5.3: "only compressed old
+// neworder records into Data Blocks").
+func (db *DB) FreezeNewOrderCold() error {
+	return db.NewOrder.FreezeAll(core.FreezeOptions{SortBy: -1}, true)
+}
+
+// FreezeAll freezes every relation completely — the paper's second
+// experiment (read-only transactions on a fully compressed database).
+// Tuple identifiers survive unsorted freezing, so indexes stay valid.
+func (db *DB) FreezeAll() error {
+	for _, rel := range []*storage.Relation{db.Customer, db.Item, db.Stock, db.Orders, db.NewOrder, db.OrderLine} {
+		if rel.NumRows() == 0 {
+			continue
+		}
+		if err := rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemoryStats aggregates footprints across all relations.
+func (db *DB) MemoryStats() storage.MemStats {
+	var total storage.MemStats
+	for _, rel := range []*storage.Relation{db.Customer, db.Item, db.Stock, db.Orders, db.NewOrder, db.OrderLine} {
+		m := rel.MemoryStats()
+		total.HotBytes += m.HotBytes
+		total.FrozenBytes += m.FrozenBytes
+		total.HotChunks += m.HotChunks
+		total.FrozenChunks += m.FrozenChunks
+		total.Rows += m.Rows
+		total.DeletedRows += m.DeletedRows
+	}
+	return total
+}

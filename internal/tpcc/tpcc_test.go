@@ -1,0 +1,173 @@
+package tpcc
+
+import "testing"
+
+func testConfig() Config {
+	return Config{
+		Warehouses:        2,
+		Districts:         3,
+		CustomersPerDist:  50,
+		Items:             200,
+		OrderLinesPerTxLo: 3,
+		OrderLinesPerTxHi: 8,
+		ChunkRows:         256,
+		Seed:              42,
+	}
+}
+
+func TestLoadAndNewOrder(t *testing.T) {
+	db, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Item.NumRows() != 200 {
+		t.Fatalf("items = %d", db.Item.NumRows())
+	}
+	if db.Stock.NumRows() != 400 {
+		t.Fatalf("stock = %d", db.Stock.NumRows())
+	}
+	if db.Customer.NumRows() != 2*3*50 {
+		t.Fatalf("customers = %d", db.Customer.NumRows())
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.NewOrderTx(); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	if db.Orders.NumRows() != 200 || db.NewOrder.NumRows() != 200 {
+		t.Fatalf("orders/neworder = %d/%d", db.Orders.NumRows(), db.NewOrder.NumRows())
+	}
+	if db.OrderLine.NumRows() < 3*200 {
+		t.Fatalf("orderlines = %d", db.OrderLine.NumRows())
+	}
+	// Stock updates keep the live row count constant (delete + insert).
+	if db.Stock.NumRows() != 400 {
+		t.Fatalf("stock rows after updates = %d", db.Stock.NumRows())
+	}
+}
+
+func TestReadOnlyTransactions(t *testing.T) {
+	db, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.NewOrderTx(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotTotal := false
+	for i := 0; i < 100; i++ {
+		total, err := db.OrderStatusTx()
+		if err != nil {
+			t.Fatalf("order-status %d: %v", i, err)
+		}
+		if total > 0 {
+			gotTotal = true
+		}
+		if _, err := db.StockLevelTx(); err != nil {
+			t.Fatalf("stock-level %d: %v", i, err)
+		}
+	}
+	if !gotTotal {
+		t.Fatal("order-status never found an order")
+	}
+}
+
+func TestFreezeNewOrderColdKeepsWorkloadRunning(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChunkRows = 64 // force several neworder chunks
+	db, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := db.NewOrderTx(); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 99 {
+			if err := db.FreezeNewOrderCold(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stats := db.NewOrder.MemoryStats()
+	if stats.FrozenChunks == 0 {
+		t.Fatal("no neworder chunks frozen")
+	}
+	// Workload continues against the hot tail.
+	for i := 0; i < 50; i++ {
+		if err := db.NewOrderTx(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFreezeAllThenReadOnly(t *testing.T) {
+	// Realistic chunk size: with tiny blocks, per-block PSMA metadata
+	// dominates and compression cannot win (the Figure 10 left edge).
+	cfg := testConfig()
+	cfg.ChunkRows = 1 << 14
+	db, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if err := db.NewOrderTx(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.MemoryStats()
+	if err := db.FreezeAll(); err != nil {
+		t.Fatal(err)
+	}
+	after := db.MemoryStats()
+	if after.HotChunks != 0 {
+		t.Fatalf("hot chunks remain: %d", after.HotChunks)
+	}
+	if after.FrozenBytes >= before.HotBytes+before.FrozenBytes {
+		t.Fatalf("freezing did not shrink footprint: %d -> %d",
+			before.HotBytes+before.FrozenBytes, after.FrozenBytes)
+	}
+	// Read-only transactions work against the fully compressed database.
+	for i := 0; i < 100; i++ {
+		if _, err := db.OrderStatusTx(); err != nil {
+			t.Fatalf("order-status on frozen: %v", err)
+		}
+		if _, err := db.StockLevelTx(); err != nil {
+			t.Fatalf("stock-level on frozen: %v", err)
+		}
+	}
+	// And the write path still works: updates migrate tuples to hot.
+	for i := 0; i < 20; i++ {
+		if err := db.NewOrderTx(); err != nil {
+			t.Fatalf("new-order on frozen: %v", err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		db, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := db.NewOrderTx(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sum int64
+		for i := 0; i < 20; i++ {
+			v, err := db.OrderStatusTx()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,287 @@
+package tpch
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"datablocks/internal/exec"
+	"datablocks/internal/types"
+)
+
+// genTest builds a small database (SF 0.002 ≈ 3000 orders / ~12000
+// lineitems) and freezes everything except the hot tails.
+func genTest(t *testing.T, freeze bool) *DB {
+	t.Helper()
+	db, err := Generate(0.002, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freeze {
+		if err := db.FreezeAll(false, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestGenerateShapes(t *testing.T) {
+	db := genTest(t, false)
+	if db.Orders.NumRows() != 3000 {
+		t.Fatalf("orders = %d", db.Orders.NumRows())
+	}
+	n := db.Lineitem.NumRows()
+	if n < 3000 || n > 21000 {
+		t.Fatalf("lineitem = %d", n)
+	}
+	if db.Nation.NumRows() != 25 || db.Region.NumRows() != 5 {
+		t.Fatalf("nation/region = %d/%d", db.Nation.NumRows(), db.Region.NumRows())
+	}
+	// Determinism: regeneration produces identical data.
+	db2, err := Generate(0.002, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Lineitem.NumRows() != n {
+		t.Fatalf("regeneration differs: %d vs %d", db2.Lineitem.NumRows(), n)
+	}
+	for _, i := range []int{0, 100, n - 1} {
+		tid := tidFor(i, 1<<12)
+		a, _ := db.Lineitem.Get(tid)
+		b, _ := db2.Lineitem.Get(tid)
+		for c := range a {
+			if !a[c].Equal(b[c]) {
+				t.Fatalf("row %d col %d differs: %v vs %v", i, c, a[c], b[c])
+			}
+		}
+	}
+	// Foreign keys stay in range.
+	custRows := int64(db.Customer.NumRows())
+	for i := 0; i < 100; i++ {
+		row, ok := db.Orders.Get(tidFor(i, 1<<12))
+		if !ok {
+			t.Fatal("missing order")
+		}
+		ck := row[1].Int()
+		if ck < 1 || ck > custRows {
+			t.Fatalf("o_custkey %d out of range", ck)
+		}
+	}
+}
+
+func tidFor(i, chunk int) (tid struct {
+	Chunk uint32
+	Row   uint32
+}) {
+	tid.Chunk = uint32(i / chunk)
+	tid.Row = uint32(i % chunk)
+	return
+}
+
+func TestDatesAndDomains(t *testing.T) {
+	db := genTest(t, false)
+	lo, hi := types.DateToDays(1992, time.January, 1), types.DateToDays(1998, time.December, 31)
+	for _, ch := range db.Lineitem.Chunks() {
+		h := ch.Hot()
+		ship := h.Ints(db.li("l_shipdate"))
+		commit := h.Ints(db.li("l_commitdate"))
+		receipt := h.Ints(db.li("l_receiptdate"))
+		disc := h.Ints(db.li("l_discount"))
+		qty := h.Ints(db.li("l_quantity"))
+		for i := range ship {
+			if ship[i] < lo || ship[i] > hi || commit[i] < lo || receipt[i] < ship[i] {
+				t.Fatalf("date invariants violated at %d", i)
+			}
+			if disc[i] < 0 || disc[i] > 10 || qty[i] < 1 || qty[i] > 50 {
+				t.Fatalf("domain invariants violated at %d", i)
+			}
+		}
+	}
+}
+
+// TestQueriesAgreeAcrossModesAndStorage: every supported query returns the
+// same result in all four scan modes, on hot data and on frozen Data
+// Blocks, serial and parallel.
+func TestQueriesAgreeAcrossModesAndStorage(t *testing.T) {
+	hot := genTest(t, false)
+	cold := genTest(t, true)
+	modes := []exec.ScanMode{exec.ModeJIT, exec.ModeVectorized, exec.ModeVectorizedSARG, exec.ModeVectorizedSARGPSMA}
+	for _, q := range SupportedQueries {
+		var ref string
+		var refRows int
+		for _, db := range []*DB{hot, cold} {
+			for _, mode := range modes {
+				res, err := db.Query(q, exec.Options{Mode: mode})
+				if err != nil {
+					t.Fatalf("Q%d mode %v: %v", q, mode, err)
+				}
+				got := canonical(res)
+				if ref == "" {
+					ref = got
+					refRows = res.NumRows()
+					if refRows == 0 {
+						t.Fatalf("Q%d: empty result", q)
+					}
+					continue
+				}
+				if got != ref {
+					t.Fatalf("Q%d mode %v (frozen=%v) differs:\n%s\nvs\n%s", q, mode, db == cold, got, ref)
+				}
+			}
+		}
+		// Parallel run agrees too (floats rounded by canonical()).
+		res, err := cold.Query(q, exec.Options{Mode: exec.ModeVectorizedSARGPSMA, Parallelism: 2})
+		if err != nil {
+			t.Fatalf("Q%d parallel: %v", q, err)
+		}
+		if got := canonical(res); got != ref {
+			t.Fatalf("Q%d parallel differs", q)
+		}
+	}
+}
+
+// canonical renders a result with rounded floats, sorted rows.
+func canonical(r *exec.Result) string {
+	var rows []string
+	for i := 0; i < r.NumRows(); i++ {
+		var sb strings.Builder
+		for c := 0; c < r.NumCols(); c++ {
+			v := r.Value(c, i)
+			if c > 0 {
+				sb.WriteString("|")
+			}
+			if !v.IsNull() && v.Kind() == types.Float64 {
+				// round to 2 decimals to absorb summation-order noise
+				f := v.Float()
+				sb.WriteString(strings.TrimRight(strings.TrimRight(
+					formatF(f), "0"), "."))
+				continue
+			}
+			sb.WriteString(v.String())
+		}
+		rows = append(rows, sb.String())
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+func formatF(f float64) string {
+	// fixed 2-decimal formatting without fmt to keep rounding stable
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	scaled := int64(f*100 + 0.5)
+	s := ""
+	if neg {
+		s = "-"
+	}
+	return s + itoa(scaled/100) + "." + pad2(scaled%100)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func pad2(v int64) string {
+	if v < 10 {
+		return "0" + itoa(v)
+	}
+	return itoa(v)
+}
+
+func TestQ1Semantics(t *testing.T) {
+	db := genTest(t, true)
+	res, err := db.Query(1, exec.Options{Mode: exec.ModeVectorizedSARGPSMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1 groups by (returnflag, linestatus): A/F, N/F, N/O, R/F.
+	if res.NumRows() != 4 {
+		t.Fatalf("groups = %d, want 4", res.NumRows())
+	}
+	// count_order sums to the number of lineitems passing the date filter.
+	var total int64
+	for i := 0; i < res.NumRows(); i++ {
+		total += res.Cols[9].Ints[i]
+	}
+	if total == 0 || total > int64(db.Lineitem.NumRows()) {
+		t.Fatalf("count sum = %d", total)
+	}
+	// avg_disc must lie in [0, 0.10].
+	for i := 0; i < res.NumRows(); i++ {
+		if d := res.Cols[8].Floats[i]; d < 0 || d > 0.10 {
+			t.Fatalf("avg_disc = %g", d)
+		}
+	}
+}
+
+func TestQ6AgainstNaive(t *testing.T) {
+	db := genTest(t, true)
+	res, err := db.Query(6, exec.Options{Mode: exec.ModeVectorizedSARGPSMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	lo, hi := types.DateToDays(1994, time.January, 1), types.DateToDays(1994, time.December, 31)
+	for _, ch := range db.Lineitem.Chunks() {
+		blk := ch.Block()
+		for row := 0; row < blk.Rows(); row++ {
+			ship := blk.Int(db.li("l_shipdate"), row)
+			disc := blk.Int(db.li("l_discount"), row)
+			qty := blk.Int(db.li("l_quantity"), row)
+			if ship >= lo && ship <= hi && disc >= 5 && disc <= 7 && qty < 24 {
+				want += float64(blk.Int(db.li("l_extendedprice"), row)) / 100 * float64(disc) / 100
+			}
+		}
+	}
+	got := res.Cols[0].Floats[0]
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Q6 revenue = %g, want %g", got, want)
+	}
+}
+
+func TestUnsupportedQuery(t *testing.T) {
+	db := genTest(t, false)
+	if _, err := db.Query(2, exec.Options{}); err == nil {
+		t.Fatal("expected error for unsupported query")
+	}
+}
+
+func TestFreezeAllSorted(t *testing.T) {
+	db := genTest(t, false)
+	if err := db.FreezeAll(true, false); err != nil {
+		t.Fatal(err)
+	}
+	shipCol := db.li("l_shipdate")
+	for _, ch := range db.Lineitem.Chunks() {
+		blk := ch.Block()
+		prev := int64(-1 << 62)
+		for row := 0; row < blk.Rows(); row++ {
+			d := blk.Int(shipCol, row)
+			if d < prev {
+				t.Fatal("lineitem block not sorted by l_shipdate")
+			}
+			prev = d
+		}
+	}
+	// Queries still correct on sorted blocks.
+	res, err := db.Query(6, exec.Options{Mode: exec.ModeVectorizedSARGPSMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatal("Q6 failed on sorted blocks")
+	}
+}

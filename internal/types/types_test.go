@@ -1,0 +1,114 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchema(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "a", Kind: Int64},
+		Column{Name: "b", Kind: String, Nullable: true},
+	)
+	if s.NumColumns() != 2 {
+		t.Fatalf("NumColumns = %d", s.NumColumns())
+	}
+	if s.ColumnIndex("b") != 1 || s.ColumnIndex("missing") != -1 {
+		t.Fatal("ColumnIndex broken")
+	}
+	if s.MustColumn("a") != 0 {
+		t.Fatal("MustColumn broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustColumn should panic on missing column")
+		}
+	}()
+	s.MustColumn("missing")
+}
+
+func TestSchemaRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column accepted")
+		}
+	}()
+	NewSchema(Column{Name: "a", Kind: Int64}, Column{Name: "a", Kind: String})
+}
+
+func TestSchemaNames(t *testing.T) {
+	s := NewSchema(Column{Name: "x", Kind: Int64}, Column{Name: "y", Kind: Float64})
+	names := s.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if IntValue(7).Int() != 7 || FloatValue(1.5).Float() != 1.5 || StringValue("x").Str() != "x" {
+		t.Fatal("accessors broken")
+	}
+	n := NullValue(Int64)
+	if !n.IsNull() || n.Kind() != Int64 {
+		t.Fatal("null broken")
+	}
+	var zero Value
+	if !zero.IsZero() || IntValue(0).IsZero() {
+		t.Fatal("IsZero broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int() on string should panic")
+		}
+	}()
+	StringValue("x").Int()
+}
+
+func TestValueEqualCompare(t *testing.T) {
+	if !IntValue(3).Equal(IntValue(3)) || IntValue(3).Equal(IntValue(4)) {
+		t.Fatal("Equal broken")
+	}
+	if !NullValue(Int64).Equal(NullValue(Int64)) {
+		t.Fatal("NULL identity broken")
+	}
+	if NullValue(Int64).Equal(IntValue(0)) {
+		t.Fatal("NULL equals 0")
+	}
+	if IntValue(1).Compare(IntValue(2)) != -1 || StringValue("b").Compare(StringValue("a")) != 1 {
+		t.Fatal("Compare broken")
+	}
+	if FloatValue(1.5).Compare(FloatValue(1.5)) != 0 {
+		t.Fatal("float Compare broken")
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	f := func(off uint16) bool {
+		days := int64(off) // 1970..~2149
+		y, m, d := DaysToDate(days)
+		return DateToDays(y, m, d) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if DateToDays(1970, time.January, 1) != 0 {
+		t.Fatal("epoch broken")
+	}
+	if DateToDays(1998, time.September, 2) <= DateToDays(1994, time.January, 1) {
+		t.Fatal("ordering broken")
+	}
+}
+
+func TestCompareOpStrings(t *testing.T) {
+	for _, op := range []CompareOp{Eq, Ne, Lt, Le, Gt, Ge, Between, IsNull, IsNotNull, Prefix} {
+		if op.String() == "" {
+			t.Fatalf("empty String() for op %d", op)
+		}
+	}
+	for _, k := range []Kind{Int64, Float64, String} {
+		if k.String() == "" {
+			t.Fatal("empty Kind string")
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package vwise implements a Vectorwise-style compressed columnar baseline
+// (Zukowski et al. [39, 40]): PFOR (patched frame-of-reference),
+// PFOR-DELTA, and PDICT, with sub-byte bit-packed codes and exception
+// "patching" for outliers.
+//
+// The paper compares Data Blocks against this design in three places:
+// Table 1 (Vectorwise compresses ~25% smaller thanks to bit-packing and
+// patching), Table 2 (query processing on compressed Vectorwise storage is
+// *slower* than uncompressed because scans fully decompress and never
+// filter early), and Table 3 (point lookups run as scans, ~17/s). The
+// package therefore offers exactly those capabilities: compressed sizes,
+// full-column decompression for scans, and scan-based point lookups.
+package vwise
+
+import (
+	"fmt"
+	"sort"
+
+	"datablocks/internal/bitpack"
+)
+
+// Scheme identifies a Vectorwise compression method.
+type Scheme uint8
+
+const (
+	Raw Scheme = iota
+	PFOR
+	PFORDelta
+	PDICT
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Raw:
+		return "raw"
+	case PFOR:
+		return "pfor"
+	case PFORDelta:
+		return "pfor-delta"
+	case PDICT:
+		return "pdict"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// exceptionRate is the tolerated fraction of patched outliers; the bit
+// width is chosen so that at most this share of values become exceptions.
+const exceptionRate = 0.03
+
+// IntColumn is one compressed integer column.
+type IntColumn struct {
+	Scheme Scheme
+	N      int
+	Min    int64 // frame of reference
+	Packed *bitpack.Vector
+	ExcPos []uint32
+	ExcVal []int64
+	Dict   []int64
+	Raw    []int64
+}
+
+// EncodeInts compresses a column, choosing the smallest of PFOR,
+// PFOR-DELTA, PDICT and raw storage.
+func EncodeInts(values []int64) *IntColumn {
+	if len(values) == 0 {
+		return &IntColumn{Scheme: Raw}
+	}
+	candidates := []*IntColumn{
+		encodePFOR(values, false),
+		encodePFOR(values, true),
+		encodePDICT(values),
+	}
+	best := &IntColumn{Scheme: Raw, N: len(values), Raw: append([]int64(nil), values...)}
+	bestSize := best.CompressedSize()
+	for _, c := range candidates {
+		if c == nil {
+			continue
+		}
+		if s := c.CompressedSize(); s < bestSize {
+			best, bestSize = c, s
+		}
+	}
+	return best
+}
+
+// zigzag maps signed deltas to unsigned codes.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodePFOR builds a patched FOR column; with delta=true it encodes
+// zigzagged differences between consecutive values (PFOR-DELTA).
+func encodePFOR(values []int64, delta bool) *IntColumn {
+	codes := make([]uint64, len(values))
+	if delta {
+		prev := int64(0)
+		for i, v := range values {
+			codes[i] = zigzag(v - prev)
+			prev = v
+		}
+	} else {
+		min := values[0]
+		for _, v := range values {
+			if v < min {
+				min = v
+			}
+		}
+		for i, v := range values {
+			codes[i] = uint64(v) - uint64(min)
+		}
+	}
+	// Histogram of required bit widths; codes wider than 32 bits can only
+	// ever be exceptions.
+	var widthCount [34]int
+	for _, c := range codes {
+		w := bitsFor(c)
+		if w > 32 {
+			w = 33
+		}
+		widthCount[w]++
+	}
+	// Smallest width covering (1 - exceptionRate) of the values.
+	budget := int(float64(len(values)) * (1 - exceptionRate))
+	cum, bits := 0, 32
+	for b := 0; b <= 32; b++ {
+		cum += widthCount[b]
+		if cum >= budget {
+			bits = b
+			break
+		}
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	if bits > 32 {
+		return nil // codes too wide to bit-pack
+	}
+	max := uint64(1)<<uint(bits) - 1
+	packed := make([]uint32, len(values))
+	col := &IntColumn{Scheme: PFOR, N: len(values)}
+	if delta {
+		col.Scheme = PFORDelta
+	} else {
+		min := values[0]
+		for _, v := range values {
+			if v < min {
+				min = v
+			}
+		}
+		col.Min = min
+	}
+	for i, c := range codes {
+		if c > max {
+			col.ExcPos = append(col.ExcPos, uint32(i))
+			col.ExcVal = append(col.ExcVal, int64(c))
+			continue
+		}
+		packed[i] = uint32(c)
+	}
+	v, err := bitpack.Pack(packed, bits)
+	if err != nil {
+		return nil
+	}
+	col.Packed = v
+	return col
+}
+
+func encodePDICT(values []int64) *IntColumn {
+	dict := append([]int64(nil), values...)
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	w := 1
+	for i := 1; i < len(dict); i++ {
+		if dict[i] != dict[w-1] {
+			dict[w] = dict[i]
+			w++
+		}
+	}
+	dict = dict[:w]
+	if w > 1<<22 { // dictionary too large to be useful
+		return nil
+	}
+	bits := bitsFor(uint64(w - 1))
+	if bits == 0 {
+		bits = 1
+	}
+	idx := make(map[int64]uint32, w)
+	for i, d := range dict {
+		idx[d] = uint32(i)
+	}
+	packed := make([]uint32, len(values))
+	for i, v := range values {
+		packed[i] = idx[v]
+	}
+	pv, err := bitpack.Pack(packed, bits)
+	if err != nil {
+		return nil
+	}
+	return &IntColumn{Scheme: PDICT, N: len(values), Dict: dict, Packed: pv}
+}
+
+func bitsFor(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// Decompress materializes the whole column into out (length N) — the only
+// scan access path: Vectorwise "does not do any early filtering in scans
+// and fully decompresses all scanned column ranges" (§2).
+func (c *IntColumn) Decompress(out []int64) {
+	switch c.Scheme {
+	case Raw:
+		copy(out, c.Raw)
+	case PFOR:
+		tmp := make([]uint32, c.N)
+		c.Packed.UnpackAll(tmp)
+		for i, code := range tmp {
+			out[i] = int64(uint64(c.Min) + uint64(code))
+		}
+		for i, p := range c.ExcPos {
+			out[p] = int64(uint64(c.Min) + uint64(c.ExcVal[i]))
+		}
+	case PFORDelta:
+		tmp := make([]uint32, c.N)
+		c.Packed.UnpackAll(tmp)
+		deltas := make([]int64, c.N)
+		for i, code := range tmp {
+			deltas[i] = unzigzag(uint64(code))
+		}
+		for i, p := range c.ExcPos {
+			deltas[p] = unzigzag(uint64(c.ExcVal[i]))
+		}
+		prev := int64(0)
+		for i, d := range deltas {
+			prev += d
+			out[i] = prev
+		}
+	case PDICT:
+		tmp := make([]uint32, c.N)
+		c.Packed.UnpackAll(tmp)
+		for i, code := range tmp {
+			out[i] = c.Dict[code]
+		}
+	}
+}
+
+// CompressedSize returns the column footprint in bytes.
+func (c *IntColumn) CompressedSize() int {
+	size := 32
+	switch c.Scheme {
+	case Raw:
+		return size + 8*len(c.Raw)
+	case PDICT:
+		size += 8 * len(c.Dict)
+	}
+	if c.Packed != nil {
+		size += c.Packed.SizeBytes()
+	}
+	size += 12 * len(c.ExcPos)
+	return size
+}
+
+// StrColumn is a PDICT-compressed string column.
+type StrColumn struct {
+	N      int
+	Dict   []string
+	Packed *bitpack.Vector
+}
+
+// EncodeStrings dictionary-compresses a string column with bit-packed
+// codes.
+func EncodeStrings(values []string) *StrColumn {
+	dict := append([]string(nil), values...)
+	sort.Strings(dict)
+	w := 0
+	for i := range dict {
+		if i == 0 || dict[i] != dict[w-1] {
+			dict[w] = dict[i]
+			w++
+		}
+	}
+	dict = dict[:w]
+	bits := bitsFor(uint64(w - 1))
+	if bits == 0 {
+		bits = 1
+	}
+	idx := make(map[string]uint32, w)
+	for i, d := range dict {
+		idx[d] = uint32(i)
+	}
+	packed := make([]uint32, len(values))
+	for i, v := range values {
+		packed[i] = idx[v]
+	}
+	pv, _ := bitpack.Pack(packed, bits)
+	return &StrColumn{N: len(values), Dict: dict, Packed: pv}
+}
+
+// Decompress materializes all strings into out.
+func (c *StrColumn) Decompress(out []string) {
+	tmp := make([]uint32, c.N)
+	c.Packed.UnpackAll(tmp)
+	for i, code := range tmp {
+		out[i] = c.Dict[code]
+	}
+}
+
+// CompressedSize returns the column footprint in bytes.
+func (c *StrColumn) CompressedSize() int {
+	size := 32 + c.Packed.SizeBytes()
+	for _, s := range c.Dict {
+		size += len(s) + 4
+	}
+	return size
+}
+
+// FloatColumn stores doubles raw (Vectorwise's light-weight schemes target
+// integers; doubles rarely compress).
+type FloatColumn struct {
+	N      int
+	Values []float64
+}
+
+// EncodeFloats stores a double column.
+func EncodeFloats(values []float64) *FloatColumn {
+	return &FloatColumn{N: len(values), Values: append([]float64(nil), values...)}
+}
+
+// Decompress copies the values.
+func (c *FloatColumn) Decompress(out []float64) { copy(out, c.Values) }
+
+// CompressedSize returns the column footprint in bytes.
+func (c *FloatColumn) CompressedSize() int { return 32 + 8*c.N }

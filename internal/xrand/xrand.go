@@ -1,0 +1,53 @@
+// Package xrand provides a small, fast, deterministic PRNG (splitmix64)
+// shared by the workload generators, so every experiment is reproducible
+// bit-for-bit from its seed.
+package xrand
+
+// Rand is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0.
+type Rand struct{ state uint64 }
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a pseudo-random int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Range returns a pseudo-random int64 in [lo, hi] inclusive.
+func (r *Rand) Range(lo, hi int64) int64 { return lo + r.Int63n(hi-lo+1) }
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rand) Float64() float64 { return float64(r.Uint64()>>11) / (1 << 53) }
+
+// Pick returns a pseudo-random element of choices.
+func (r *Rand) Pick(choices []string) string { return choices[r.Intn(len(choices))] }
+
+// Shuffle permutes idx in place (Fisher–Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,73 @@
+package xrand
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestRanges(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Range(-5, 5); v < -5 || v > 5 {
+			t.Fatalf("Range out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestRangeCoversBounds(t *testing.T) {
+	r := New(9)
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Range(1, 3)] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("Range(1,3) did not cover all values: %v", seen)
+	}
+}
+
+func TestPickAndShuffle(t *testing.T) {
+	r := New(11)
+	choices := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		seen[r.Pick(choices)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick missed values: %v", seen)
+	}
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), vals...)
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatal("shuffle lost elements")
+	}
+	_ = orig
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
