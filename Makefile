@@ -1,0 +1,34 @@
+# Tier-1 verify plus the concurrency checks, one command each.
+#
+#   make ci        — everything the driver checks, in order
+#   make race      — full test suite under the race detector
+#   make stress    — just the concurrent OLTP/OLAP stress tests, raced
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check stress ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+stress:
+	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts' . ./internal/storage/
+
+ci: fmt-check vet build test race

@@ -1,4 +1,4 @@
-package datablocks
+package datablocks_test
 
 // One benchmark family per table and figure of the paper's evaluation.
 // Run with: go test -bench=. -benchmem

@@ -122,8 +122,29 @@ type DB struct {
 	tables map[string]*Table
 }
 
-// Open creates an empty in-memory database.
+// Open creates an empty in-memory database. Call Close to stop the
+// background compactors of tables created with WithAutoFreeze.
 func Open() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Close stops every table's background compactor and waits for in-flight
+// freezes to finish. It returns the first error a compactor encountered.
+// The data remains readable and writable after Close; only automatic
+// freezing stops.
+func (db *DB) Close() error {
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	var first error
+	for _, t := range tables {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // TableOption customizes table creation.
 type TableOption func(*Table)
@@ -138,6 +159,20 @@ func WithPrimaryKey(col string) TableOption {
 // maximum).
 func WithChunkRows(n int) TableOption {
 	return func(t *Table) { t.chunkRows = n }
+}
+
+// WithAutoFreeze runs a background compactor for the table: whenever at
+// least threshold chunks have filled up and fallen behind the insert tail,
+// the compactor freezes them into Data Blocks. Compression happens off the
+// write path and outside the relation lock, so OLTP writes, point lookups
+// and OLAP scans proceed while cold chunks are compressed — the hybrid
+// workload of §1. threshold < 1 is treated as 1 (freeze as soon as a chunk
+// seals). Stop the compactor with Table.Close or DB.Close.
+func WithAutoFreeze(threshold int) TableOption {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return func(t *Table) { t.autoFreeze = threshold }
 }
 
 // CreateTable registers a new table.
@@ -161,11 +196,18 @@ func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Tab
 	}
 	t.rel = storage.NewRelation(t.schema, t.chunkRows)
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("datablocks: table %q already exists", name)
 	}
 	db.tables[name] = t
+	db.mu.Unlock()
+	if t.autoFreeze > 0 {
+		t.freezeWake = make(chan struct{}, 1)
+		t.stop = make(chan struct{})
+		t.compactorDone = make(chan struct{})
+		go t.compact()
+	}
 	return t, nil
 }
 
@@ -189,7 +231,10 @@ func (db *DB) Tables() []string {
 }
 
 // Table is a chunked hybrid relation: hot uncompressed chunks plus frozen
-// Data Blocks.
+// Data Blocks. All methods are safe for concurrent use; write operations
+// (Insert, Delete, Update, BulkLoad) serialize on a table-level mutex so
+// the primary-key index and the relation stay consistent, while reads and
+// scans run lock-free against immutable chunk snapshots.
 type Table struct {
 	name      string
 	schema    *types.Schema
@@ -198,6 +243,19 @@ type Table struct {
 	pkCol     int
 	pk        *index.Hash
 	chunkRows int
+
+	// wmu serializes the two-step write operations that touch both the
+	// relation and the primary-key index.
+	wmu sync.Mutex
+
+	// Background compactor state (WithAutoFreeze).
+	autoFreeze    int
+	freezeWake    chan struct{}
+	stop          chan struct{}
+	compactorDone chan struct{}
+	closeOnce     sync.Once
+	compactMu     sync.Mutex
+	compactErr    error
 }
 
 // Name returns the table name.
@@ -214,15 +272,33 @@ func (t *Table) NumRows() int { return t.rel.NumRows() }
 
 // Insert appends a row, maintaining the primary-key index if present.
 func (t *Table) Insert(row Row) (TupleID, error) {
+	t.wmu.Lock()
+	if t.pk != nil {
+		if len(row) != t.schema.NumColumns() {
+			t.wmu.Unlock()
+			return TupleID{}, fmt.Errorf("datablocks: row has %d values, schema has %d", len(row), t.schema.NumColumns())
+		}
+		if row[t.pkCol].IsNull() {
+			t.wmu.Unlock()
+			return TupleID{}, fmt.Errorf("datablocks: primary key %q cannot be NULL", t.pkName)
+		}
+	}
 	tid, err := t.rel.Insert(row)
 	if err != nil {
+		t.wmu.Unlock()
 		return tid, err
 	}
 	if t.pk != nil {
 		if err := t.pk.Insert(row[t.pkCol].Int(), tid); err != nil {
 			t.rel.Delete(tid)
+			t.wmu.Unlock()
 			return TupleID{}, err
 		}
+	}
+	t.wmu.Unlock()
+	if tid.Chunk > 0 && tid.Row == 0 {
+		// First row of a fresh chunk: the previous tail just sealed.
+		t.wakeCompactor()
 	}
 	return tid, nil
 }
@@ -230,6 +306,9 @@ func (t *Table) Insert(row Row) (TupleID, error) {
 // BulkLoad appends pre-columnarized data (fast path for loaders) and
 // rebuilds the primary-key index if present.
 func (t *Table) BulkLoad(cols []core.ColumnData, n int) error {
+	t.wmu.Lock()
+	defer t.wakeCompactor()
+	defer t.wmu.Unlock()
 	if err := t.rel.BulkAppend(cols, n); err != nil {
 		return err
 	}
@@ -269,6 +348,8 @@ func (t *Table) Delete(key int64) bool {
 	if t.pk == nil {
 		return false
 	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	tid, ok := t.pk.Lookup(key)
 	if !ok {
 		return false
@@ -281,22 +362,43 @@ func (t *Table) Delete(key int64) bool {
 }
 
 // Update rewrites a row by primary key: delete + insert into the hot
-// region, repointing the index (§1).
+// region, repointing the index (§1). A failed update — unknown key, an
+// invalid row, or a new primary key that would collide with an existing
+// row — leaves both the tuple and the index unchanged.
 func (t *Table) Update(key int64, row Row) error {
 	if t.pk == nil {
 		return fmt.Errorf("datablocks: table %q has no primary key", t.name)
 	}
+	if len(row) != t.schema.NumColumns() {
+		return fmt.Errorf("datablocks: row has %d values, schema has %d", len(row), t.schema.NumColumns())
+	}
+	if row[t.pkCol].IsNull() {
+		return fmt.Errorf("datablocks: primary key %q cannot be NULL", t.pkName)
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	tid, ok := t.pk.Lookup(key)
 	if !ok {
 		return fmt.Errorf("datablocks: key %d not found", key)
+	}
+	newKey := row[t.pkCol].Int()
+	if newKey != key {
+		if _, taken := t.pk.Lookup(newKey); taken {
+			return fmt.Errorf("datablocks: update of key %d to %d collides with an existing row", key, newKey)
+		}
 	}
 	newTid, err := t.rel.Update(tid, row)
 	if err != nil {
 		return err
 	}
-	t.pk.Update(row[t.pkCol].Int(), newTid)
-	if row[t.pkCol].Int() != key {
+	t.pk.Update(newKey, newTid)
+	if newKey != key {
 		t.pk.Delete(key)
+	}
+	if newTid.Chunk > 0 && newTid.Row == 0 {
+		// The rewritten version opened a fresh chunk: the previous tail
+		// just sealed (updates append row versions like inserts do).
+		t.wakeCompactor()
 	}
 	return nil
 }
@@ -315,12 +417,15 @@ func (t *Table) FreezeAll() error {
 // FreezeSorted compresses every chunk, sorting each block by the named
 // column to sharpen PSMA pruning for clustered queries (§3.2, Figure 11).
 // The primary-key index is rebuilt because sorted freezing reassigns tuple
-// identifiers.
+// identifiers. Sorted freezing is stop-the-world: it must not overlap
+// writers or a background compactor (do not combine with WithAutoFreeze).
 func (t *Table) FreezeSorted(col string) error {
 	i := t.schema.ColumnIndex(col)
 	if i < 0 {
 		return fmt.Errorf("datablocks: unknown column %q", col)
 	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: i}, false); err != nil {
 		return err
 	}
@@ -328,6 +433,56 @@ func (t *Table) FreezeSorted(col string) error {
 		return t.pk.Rebuild(t.rel, t.pkCol)
 	}
 	return nil
+}
+
+// wakeCompactor nudges the background compactor without blocking the
+// write path; a pending wake-up is enough.
+func (t *Table) wakeCompactor() {
+	if t.freezeWake == nil {
+		return
+	}
+	select {
+	case t.freezeWake <- struct{}{}:
+	default:
+	}
+}
+
+// compact is the background compactor goroutine: it wakes whenever a hot
+// chunk seals behind the insert tail and freezes the backlog once it
+// reaches the configured threshold. Compression runs outside the relation
+// lock, so OLTP and OLAP traffic continue while it works.
+func (t *Table) compact() {
+	defer close(t.compactorDone)
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-t.freezeWake:
+		}
+		if t.rel.SealedHotChunks() < t.autoFreeze {
+			continue
+		}
+		if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
+			t.compactMu.Lock()
+			if t.compactErr == nil {
+				t.compactErr = err
+			}
+			t.compactMu.Unlock()
+		}
+	}
+}
+
+// Close stops the table's background compactor, if any, and waits for an
+// in-flight freeze to finish. It returns the first error the compactor
+// encountered. Close is idempotent; the table remains usable afterwards.
+func (t *Table) Close() error {
+	if t.autoFreeze > 0 {
+		t.closeOnce.Do(func() { close(t.stop) })
+		<-t.compactorDone
+	}
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	return t.compactErr
 }
 
 // Stats reports the table's memory footprint, split hot vs frozen.

@@ -1,7 +1,9 @@
 // Hybrid: OLTP and OLAP against the same database state (Figure 1).
 // Writers stream point inserts/updates into hot chunks while an analytical
-// query repeatedly scans the cold compressed Data Blocks, and cold chunks
-// keep being frozen in the background.
+// query repeatedly scans the cold compressed Data Blocks. Chunks that fall
+// behind the insert tail are frozen by the table's background compactor
+// (WithAutoFreeze); compression runs outside the relation lock, so neither
+// the writer nor the scanner stalls.
 package main
 
 import (
@@ -22,7 +24,7 @@ func main() {
 		{Name: "customer", Kind: datablocks.Int64},
 		{Name: "amount_cents", Kind: datablocks.Int64},
 		{Name: "region", Kind: datablocks.String},
-	}, datablocks.WithPrimaryKey("id"), datablocks.WithChunkRows(1<<13))
+	}, datablocks.WithPrimaryKey("id"), datablocks.WithChunkRows(1<<13), datablocks.WithAutoFreeze(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func main() {
 
 	const duration = 2 * time.Second
 	deadline := time.Now().Add(duration)
-	var writes, scans, freezes atomic.Int64
+	var writes, scans atomic.Int64
 	var wg sync.WaitGroup
 
 	wg.Add(1)
@@ -103,26 +105,18 @@ func main() {
 			scans.Add(1)
 		}
 	}()
-	wg.Add(1)
-	go func() { // background freezing of newly cold chunks
-		defer wg.Done()
-		for time.Now().Before(deadline) {
-			time.Sleep(100 * time.Millisecond)
-			if err := orders.Freeze(); err != nil {
-				log.Fatal(err)
-			}
-			freezes.Add(1)
-		}
-	}()
 	wg.Wait()
+	if err := db.Close(); err != nil { // stop the background compactor
+		log.Fatal(err)
+	}
 
 	res, err := datablocks.Query(olap, datablocks.QueryOptions{Mode: datablocks.ModeVectorizedSARGPSMA})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st = orders.Stats()
-	fmt.Printf("after %v mixed workload: %d writes, %d analytic scans, %d freeze passes\n",
-		duration, writes.Load(), scans.Load(), freezes.Load())
+	fmt.Printf("after %v mixed workload: %d writes, %d analytic scans (auto-freeze in background)\n",
+		duration, writes.Load(), scans.Load())
 	fmt.Printf("storage: %d frozen blocks (%s), %d hot chunks (%s), %d deleted row versions\n",
 		st.FrozenChunks, fmtBytes(st.FrozenBytes), st.HotChunks, fmtBytes(st.HotBytes), st.DeletedRows)
 	fmt.Println("revenue by region (orders >= $500):")

@@ -1,0 +1,3 @@
+module datablocks
+
+go 1.22

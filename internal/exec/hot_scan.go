@@ -15,7 +15,7 @@ import (
 // copied into a batch, and the batch is pushed tuple-at-a-time into the
 // compiled pipeline.
 
-func (d *scanDriver) vecHot(ch *storage.Chunk) error {
+func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 	h := ch.Hot()
 	n := h.Rows()
 	for from := 0; from < n; from += d.vecSize {

@@ -139,7 +139,10 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*T
 	if err != nil {
 		return err
 	}
-	chunks := scan.Rel.Chunks()
+	// One immutable snapshot drives the whole pipeline: compilation and
+	// every worker see the same chunk states even while writers and the
+	// background freezer keep mutating the relation.
+	chunks := scan.Rel.Snapshot()
 	workers := ex.opt.Parallelism
 	if workers > len(chunks) {
 		workers = len(chunks)
@@ -161,7 +164,7 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*T
 		if err != nil {
 			return err
 		}
-		d, err := ex.newScanDriver(scan, cons, c)
+		d, err := ex.newScanDriver(scan, cons, c, chunks)
 		if err != nil {
 			return err
 		}
@@ -178,16 +181,16 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*T
 		return nil
 	}
 	if workers == 1 {
-		for _, ch := range chunks {
-			if err := drivers[0].processChunk(ch); err != nil {
+		for i := range chunks {
+			if err := drivers[0].processChunk(&chunks[i]); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	work := make(chan *storage.Chunk, len(chunks))
-	for _, ch := range chunks {
-		work <- ch
+	work := make(chan *storage.ChunkView, len(chunks))
+	for i := range chunks {
+		work <- &chunks[i]
 	}
 	close(work)
 	var wg sync.WaitGroup
@@ -196,8 +199,8 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*T
 		wg.Add(1)
 		go func(d *scanDriver) {
 			defer wg.Done()
-			for ch := range work {
-				if err := d.processChunk(ch); err != nil {
+			for v := range work {
+				if err := d.processChunk(v); err != nil {
 					errCh <- err
 					return
 				}

@@ -61,7 +61,7 @@ type hotPath struct {
 	filter  boolFn
 }
 
-func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler) (*scanDriver, error) {
+func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler, chunks []storage.ChunkView) (*scanDriver, error) {
 	kinds, err := scan.OutKinds()
 	if err != nil {
 		return nil, err
@@ -96,7 +96,8 @@ func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler
 	if d.mode == ModeJIT {
 		d.jitHot = d.compileHotPath(c)
 		d.jitLayouts = make(map[string]*layoutPath)
-		for _, ch := range scan.Rel.Chunks() {
+		for i := range chunks {
+			ch := &chunks[i]
 			if ch.IsFrozen() {
 				key := ch.Block().LayoutKey()
 				if _, done := d.jitLayouts[key]; !done {
@@ -326,8 +327,10 @@ func compileAccessor(a *core.Attr, kind types.Kind, c *compiler) (blockAccessor,
 	return nil, fmt.Errorf("exec: unsupported kind %v", kind)
 }
 
-// processChunk runs the pipeline over one morsel.
-func (d *scanDriver) processChunk(ch *storage.Chunk) error {
+// processChunk runs the pipeline over one morsel. The chunk view is an
+// immutable snapshot: the driver never re-reads mutable relation state, so
+// concurrent inserts, deletes and hot→cold freezes cannot tear a scan.
+func (d *scanDriver) processChunk(ch *storage.ChunkView) error {
 	if ch.IsFrozen() {
 		if d.mode == ModeJIT {
 			return d.jitBlock(ch)
@@ -345,7 +348,7 @@ func (d *scanDriver) processChunk(ch *storage.Chunk) error {
 
 // jitBlock scans a frozen block tuple-at-a-time through the layout's
 // specialized code path.
-func (d *scanDriver) jitBlock(ch *storage.Chunk) error {
+func (d *scanDriver) jitBlock(ch *storage.ChunkView) error {
 	blk := ch.Block()
 	key := blk.LayoutKey()
 	lp := d.jitLayouts[key]
@@ -376,7 +379,7 @@ func (d *scanDriver) jitBlock(ch *storage.Chunk) error {
 }
 
 // jitHotChunk scans an uncompressed chunk tuple-at-a-time.
-func (d *scanDriver) jitHotChunk(ch *storage.Chunk) error {
+func (d *scanDriver) jitHotChunk(ch *storage.ChunkView) error {
 	h := ch.Hot()
 	t := d.tuple
 	n := h.Rows()
@@ -396,7 +399,7 @@ func (d *scanDriver) jitHotChunk(ch *storage.Chunk) error {
 
 // vecBlock scans a frozen block through the interpreted vectorized scan
 // (Figure 6, left path).
-func (d *scanDriver) vecBlock(ch *storage.Chunk) error {
+func (d *scanDriver) vecBlock(ch *storage.ChunkView) error {
 	spec := core.ScanSpec{
 		Project:    d.scan.Cols,
 		VectorSize: d.vecSize,

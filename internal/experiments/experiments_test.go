@@ -57,6 +57,16 @@ func TestTPCCSmall(t *testing.T) {
 	}
 }
 
+func TestHybridSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := Hybrid(&sb, 0.3, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "frozen chunks") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
 func TestFig5Small(t *testing.T) {
 	var sb strings.Builder
 	if err := Fig5(&sb, 16); err != nil {

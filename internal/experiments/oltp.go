@@ -3,8 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"datablocks"
 	"datablocks/internal/bench"
 	"datablocks/internal/core"
 	"datablocks/internal/exec"
@@ -185,6 +188,181 @@ func shuffleColumns(cols []core.ColumnData, n int) []core.ColumnData {
 		}
 	}
 	return out
+}
+
+// Hybrid exercises the paper's central claim (§1): OLTP writers and OLAP
+// scanners run *simultaneously* over one relation while the background
+// compactor freezes cold chunks into Data Blocks behind the insert tail.
+// Writers insert, update, delete and point-look-up rows in disjoint key
+// stripes; scanners sweep the table with vectorized and JIT scans across
+// the hot/frozen boundary. After the clock runs out the table is verified:
+// the live row count must equal what the writers left behind.
+func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
+	if writers < 1 {
+		writers = 1
+	}
+	if scanners < 1 {
+		scanners = 1
+	}
+	db := datablocks.Open()
+	tbl, err := db.CreateTable("orders",
+		[]datablocks.Column{
+			{Name: "id", Kind: datablocks.Int64},
+			{Name: "amount", Kind: datablocks.Float64},
+			{Name: "status", Kind: datablocks.String},
+		},
+		datablocks.WithPrimaryKey("id"),
+		datablocks.WithChunkRows(4096),
+		datablocks.WithAutoFreeze(1),
+	)
+	if err != nil {
+		return err
+	}
+
+	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	var (
+		inserts, updates, deletes, lookups, scans, scanned atomic.Int64
+		errMu                                              sync.Mutex
+		runErr                                             error
+		live                                               = make([]int64, writers)
+		wg                                                 sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
+	const stripe = int64(1) << 32
+	statuses := []string{"new", "paid", "shipped"}
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := xrand.New(uint64(0xB0B + g))
+			base := int64(g) * stripe
+			next := base
+			for time.Now().Before(deadline) {
+				switch r.Range(0, 10) {
+				case 0, 1, 2, 3, 4, 5: // insert a fresh key
+					key := next
+					next++
+					row := datablocks.Row{
+						datablocks.Int(key),
+						datablocks.Float(float64(key-base) / 2),
+						datablocks.Str(statuses[int(key%3)]),
+					}
+					if _, err := tbl.Insert(row); err != nil {
+						fail(fmt.Errorf("insert %d: %w", key, err))
+						return
+					}
+					live[g]++
+					inserts.Add(1)
+				case 6, 7: // update one of our own live keys in place
+					if next == base {
+						continue
+					}
+					key := base + r.Range(0, next-base-1)
+					row := datablocks.Row{
+						datablocks.Int(key),
+						datablocks.Float(-1),
+						datablocks.Str("updated"),
+					}
+					if err := tbl.Update(key, row); err == nil {
+						updates.Add(1)
+					}
+				case 8: // delete one of our own keys
+					if next == base {
+						continue
+					}
+					if tbl.Delete(base + r.Range(0, next-base-1)) {
+						live[g]--
+						deletes.Add(1)
+					}
+				default: // point lookup of the most recent own key
+					if next == base {
+						continue
+					}
+					if row, ok := tbl.Lookup(next - 1); ok {
+						if row[0].Int() != next-1 {
+							fail(fmt.Errorf("lookup %d returned id %d", next-1, row[0].Int()))
+							return
+						}
+						lookups.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+
+	modes := []datablocks.ScanMode{
+		datablocks.ModeVectorizedSARG,
+		datablocks.ModeVectorizedSARGPSMA,
+		datablocks.ModeJIT,
+	}
+	for s := 0; s < scanners; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; time.Now().Before(deadline); i++ {
+				res, err := tbl.Scan([]string{"id", "amount"},
+					[]datablocks.Pred{{Col: "amount", Op: datablocks.Ge, Lo: datablocks.Float(0)}},
+					datablocks.QueryOptions{Mode: modes[i%len(modes)]})
+				if err != nil {
+					fail(fmt.Errorf("scan: %w", err))
+					return
+				}
+				scans.Add(1)
+				scanned.Add(int64(res.NumRows()))
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("compactor: %w", err)
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	// Verify: the surviving rows must be exactly what the writers left.
+	want := int64(0)
+	for _, n := range live {
+		want += n
+	}
+	if got := int64(tbl.NumRows()); got != want {
+		return fmt.Errorf("hybrid: %d live rows, writers left %d", got, want)
+	}
+	res, err := tbl.Scan([]string{"id"}, nil, datablocks.QueryOptions{Mode: datablocks.ModeVectorizedSARG})
+	if err != nil {
+		return err
+	}
+	if int64(res.NumRows()) != want {
+		return fmt.Errorf("hybrid: final scan saw %d rows, want %d", res.NumRows(), want)
+	}
+
+	stats := tbl.Stats()
+	fmt.Fprintf(w, "Hybrid OLTP/OLAP (§1) — %d writers, %d scanners, %.1fs, auto-freeze on\n",
+		writers, scanners, seconds)
+	t := bench.NewTable("metric", "count", "per second")
+	rate := func(n int64) string {
+		if seconds <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", float64(n)/seconds)
+	}
+	t.AddRow("inserts", fmt.Sprint(inserts.Load()), rate(inserts.Load()))
+	t.AddRow("updates", fmt.Sprint(updates.Load()), rate(updates.Load()))
+	t.AddRow("deletes", fmt.Sprint(deletes.Load()), rate(deletes.Load()))
+	t.AddRow("point lookups", fmt.Sprint(lookups.Load()), rate(lookups.Load()))
+	t.AddRow("analytic scans", fmt.Sprint(scans.Load()), rate(scans.Load()))
+	t.AddRow("rows scanned", fmt.Sprint(scanned.Load()), rate(scanned.Load()))
+	t.Write(w)
+	fmt.Fprintf(w, "final state: %d live rows, %d frozen chunks (%d B compressed), %d hot chunks (%d B)\n",
+		tbl.NumRows(), stats.FrozenChunks, stats.FrozenBytes, stats.HotChunks, stats.HotBytes)
+	return nil
 }
 
 // TPCC reproduces the §5.3 experiments: (1) new-order throughput with cold

@@ -76,8 +76,9 @@ func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.m = make(map[int64]storage.TupleID, r.NumRows())
-	chunks := r.Chunks()
-	for ci, c := range chunks {
+	views := r.Snapshot()
+	for ci := range views {
+		c := &views[ci]
 		for row := 0; row < c.Rows(); row++ {
 			if c.IsDeleted(row) {
 				continue

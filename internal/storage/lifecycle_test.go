@@ -1,0 +1,406 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"datablocks/internal/core"
+	"datablocks/internal/types"
+)
+
+// TestUpdateValidatesBeforeDelete is the regression test for the
+// destructive Update path: a row that fails validation must leave the old
+// tuple untouched instead of deleting it.
+func TestUpdateValidatesBeforeDelete(t *testing.T) {
+	r := NewRelation(testSchema(), 0)
+	tid, err := r.Insert(mkRow(1, 1.5, "keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []types.Row{
+		{types.StringValue("wrong kind"), types.FloatValue(0), types.StringValue("x")}, // kind mismatch
+		{types.NullValue(types.Int64), types.FloatValue(0), types.StringValue("x")},    // NULL in non-nullable
+		mkRow(2, 2.0, "short")[:2], // wrong arity
+	}
+	for i, row := range bad {
+		if _, err := r.Update(tid, row); err == nil {
+			t.Fatalf("bad row %d: update succeeded", i)
+		}
+		got, ok := r.Get(tid)
+		if !ok {
+			t.Fatalf("bad row %d: tuple deleted by failed update", i)
+		}
+		if got[0].Int() != 1 || got[1].Float() != 1.5 || got[2].Str() != "keep" {
+			t.Fatalf("bad row %d: tuple mutated: %v", i, got)
+		}
+		if r.NumRows() != 1 {
+			t.Fatalf("bad row %d: NumRows = %d", i, r.NumRows())
+		}
+	}
+	// A valid update still works and is atomic: the old tid dies, the new
+	// one lives.
+	newTid, err := r.Update(tid, mkRow(1, 9.0, "moved"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(tid); ok {
+		t.Fatal("old tuple visible after update")
+	}
+	if got, ok := r.Get(newTid); !ok || got[1].Float() != 9.0 {
+		t.Fatalf("new tuple wrong: %v", got)
+	}
+	// Updating a dead tid fails without inserting anything.
+	if _, err := r.Update(tid, mkRow(1, 0, "x")); err == nil {
+		t.Fatal("update of deleted tuple succeeded")
+	}
+	if r.NumRows() != 1 {
+		t.Fatalf("NumRows = %d after failed update", r.NumRows())
+	}
+}
+
+// TestFreezeRunsOutsideRelationLock proves the freeze claim: while
+// core.Freeze is stalled mid-compression, inserts, point reads and
+// snapshots on the same relation must complete, and the chunk must report
+// the freezing state.
+func TestFreezeRunsOutsideRelationLock(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	orig := freezeBlock
+	freezeBlock = func(cols []core.ColumnData, n int, opts core.FreezeOptions) (*core.Block, error) {
+		close(started)
+		<-release
+		return orig(cols, n, opts)
+	}
+	defer func() { freezeBlock = orig }()
+
+	r := NewRelation(testSchema(), 100)
+	var tids []TupleID
+	for i := 0; i < 100; i++ {
+		tid, _ := r.Insert(mkRow(int64(i), float64(i), "x"))
+		tids = append(tids, tid)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.FreezeChunk(0, core.FreezeOptions{SortBy: -1}) }()
+	<-started
+
+	// Compression is in flight and the relation lock is free: every OLTP
+	// and snapshot operation below would deadlock (and time the test out)
+	// if FreezeChunk still held the write lock across core.Freeze.
+	if got := r.Chunk(0).State(); got != ChunkFreezing {
+		t.Fatalf("state during freeze = %v", got)
+	}
+	tid, err := r.Insert(mkRow(1000, 0, "during-freeze"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid.Chunk != 1 {
+		t.Fatalf("insert during freeze landed in chunk %d, want a fresh tail", tid.Chunk)
+	}
+	if row, ok := r.Get(tids[5]); !ok || row[0].Int() != 5 {
+		t.Fatal("hot payload unreadable during freeze")
+	}
+	if !r.Delete(tids[7]) {
+		t.Fatal("delete during freeze failed")
+	}
+	views := r.Snapshot()
+	if views[0].IsFrozen() {
+		t.Fatal("snapshot sees a block before install")
+	}
+	if views[0].Rows() != 100 {
+		t.Fatalf("snapshot rows = %d", views[0].Rows())
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Chunk(0).State(); got != ChunkFrozen {
+		t.Fatalf("state after freeze = %v", got)
+	}
+	// The delete that raced the freeze carried over into the frozen chunk.
+	if _, ok := r.Get(tids[7]); ok {
+		t.Fatal("tuple deleted during freeze visible after install")
+	}
+	for i, tid := range tids {
+		if i == 7 {
+			continue
+		}
+		row, ok := r.Get(tid)
+		if !ok || row[0].Int() != int64(i) {
+			t.Fatalf("tuple %d wrong after freeze", i)
+		}
+	}
+}
+
+// TestFreezeErrorRevertsClaim: a failing compression returns the chunk to
+// the hot state with its data intact.
+func TestFreezeErrorRevertsClaim(t *testing.T) {
+	orig := freezeBlock
+	freezeBlock = func(cols []core.ColumnData, n int, opts core.FreezeOptions) (*core.Block, error) {
+		return nil, fmt.Errorf("synthetic freeze failure")
+	}
+	r := NewRelation(testSchema(), 10)
+	tid, _ := r.Insert(mkRow(1, 1, "x"))
+	if err := r.FreezeChunk(0, core.FreezeOptions{SortBy: -1}); err == nil {
+		t.Fatal("freeze error swallowed")
+	}
+	freezeBlock = orig
+	if got := r.Chunk(0).State(); got != ChunkHot {
+		t.Fatalf("state after failed freeze = %v", got)
+	}
+	if row, ok := r.Get(tid); !ok || row[0].Int() != 1 {
+		t.Fatal("tuple lost by failed freeze")
+	}
+	// The chunk can be frozen for real afterwards.
+	if err := r.FreezeChunk(0, core.FreezeOptions{SortBy: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Chunk(0).IsFrozen() {
+		t.Fatal("chunk not frozen on retry")
+	}
+}
+
+// TestSnapshotStableDuringWrites: a ChunkView must not observe rows
+// appended or tuples deleted after the snapshot was taken.
+func TestSnapshotStableDuringWrites(t *testing.T) {
+	r := NewRelation(testSchema(), 1000)
+	var tids []TupleID
+	for i := 0; i < 10; i++ {
+		tid, _ := r.Insert(mkRow(int64(i), float64(i), "x"))
+		tids = append(tids, tid)
+	}
+	views := r.Snapshot()
+	for i := 10; i < 20; i++ {
+		r.Insert(mkRow(int64(i), float64(i), "x"))
+	}
+	r.Delete(tids[3])
+	if got := views[0].Rows(); got != 10 {
+		t.Fatalf("snapshot rows = %d after appends, want 10", got)
+	}
+	if views[0].IsDeleted(3) {
+		t.Fatal("snapshot observed a later delete")
+	}
+	if got := views[0].Hot().Ints(0); len(got) != 10 {
+		t.Fatalf("snapshot column length = %d", len(got))
+	}
+	fresh := r.Snapshot()
+	if fresh[0].Rows() != 20 || !fresh[0].IsDeleted(3) {
+		t.Fatal("fresh snapshot missed the writes")
+	}
+}
+
+// TestFreezeAllSnapshotsTail: FreezeAll decides the tail once; concurrent
+// appends cannot make it freeze the chunk receiving inserts.
+func TestFreezeAllConcurrentInserts(t *testing.T) {
+	r := NewRelation(testSchema(), 64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var inserted atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := r.Insert(mkRow(int64(i), float64(i), "x")); err != nil {
+				t.Error(err)
+				return
+			}
+			inserted.Add(1)
+		}
+	}()
+	// Interleave freeze passes with the insert stream until the writer has
+	// rolled over several chunks.
+	for i := 0; i < 50 || inserted.Load() < 1000; i++ {
+		if err := r.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// The tail that received the final insert must still be hot, every
+	// frozen chunk complete, and all tuples accounted for.
+	n := r.NumChunks()
+	if r.Chunk(n - 1).IsFrozen() {
+		t.Fatal("live tail was frozen")
+	}
+	if r.NumRows() != int(inserted.Load()) {
+		t.Fatalf("rows = %d, inserted %d", r.NumRows(), inserted.Load())
+	}
+	total := 0
+	for _, v := range r.Snapshot() {
+		total += v.LiveRows()
+	}
+	if total != int(inserted.Load()) {
+		t.Fatalf("snapshot rows = %d, inserted %d", total, inserted.Load())
+	}
+}
+
+// TestStorageStress races writers, readers, snapshots and background
+// freezes on one relation; run with -race it is the storage-layer
+// concurrency proof.
+func TestStorageStress(t *testing.T) {
+	r := NewRelation(testSchema(), 128)
+	const (
+		writers    = 4
+		perWriter  = 3000
+		keySpacing = 1 << 20
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Background freezer: continuously freeze everything behind the tail.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Scanners: sweep snapshots and read every visible value.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, v := range r.Snapshot() {
+					n := v.Rows()
+					live := 0
+					for row := 0; row < n; row++ {
+						if v.IsDeleted(row) {
+							continue
+						}
+						live++
+						if v.Value(0, row).IsNull() {
+							t.Error("NULL id in scan")
+							return
+						}
+					}
+					if live != v.LiveRows() {
+						// LiveRows may lag the bitmap copy by design only
+						// when deletes race the snapshot; both come from
+						// the same locked view, so they must agree.
+						t.Errorf("view live=%d bitmap=%d", v.LiveRows(), live)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Writers: insert / update / delete / read disjoint key stripes.
+	var deleted atomic.Int64
+	var writersWg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writersWg.Add(1)
+		go func(g int) {
+			defer writersWg.Done()
+			base := int64(g * keySpacing)
+			tids := make([]TupleID, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				tid, err := r.Insert(mkRow(base+int64(i), float64(i), "s"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tids = append(tids, tid)
+				switch i % 7 {
+				case 3:
+					nt, err := r.Update(tids[i/2], mkRow(base+int64(perWriter+i), 1, "u"))
+					if err == nil {
+						tids[i/2] = nt
+					}
+				case 5:
+					if r.Delete(tids[i/3]) {
+						deleted.Add(1)
+					}
+				case 6:
+					if _, ok := r.Get(tids[i]); !ok {
+						t.Errorf("fresh tuple %v unreadable", tids[i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Writers finish on their own; then stop the freezer and scanners.
+	writersWg.Wait()
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := r.NumRows(); got != writers*perWriter-int(deleted.Load()) {
+		t.Fatalf("NumRows = %d, want %d", got, writers*perWriter-int(deleted.Load()))
+	}
+	// Final integrity: freeze everything and re-verify counts.
+	if err := r.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range r.Snapshot() {
+		if !v.IsFrozen() {
+			t.Fatal("unfrozen chunk after final FreezeAll")
+		}
+		total += v.LiveRows()
+	}
+	if total != r.NumRows() {
+		t.Fatalf("frozen live rows %d != NumRows %d", total, r.NumRows())
+	}
+}
+
+// TestSortedFreezeRejectsConcurrentClaim: a sorted freeze must not tear a
+// chunk already claimed by the background path.
+func TestSortedFreezeRejectsConcurrentClaim(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	orig := freezeBlock
+	freezeBlock = func(cols []core.ColumnData, n int, opts core.FreezeOptions) (*core.Block, error) {
+		select {
+		case <-started:
+		default:
+			close(started)
+		}
+		<-release
+		return orig(cols, n, opts)
+	}
+	defer func() { freezeBlock = orig }()
+	r := NewRelation(testSchema(), 10)
+	for i := 0; i < 10; i++ {
+		r.Insert(mkRow(int64(i), 0, "x"))
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.FreezeChunk(0, core.FreezeOptions{SortBy: -1}) }()
+	<-started
+	if err := r.FreezeChunk(0, core.FreezeOptions{SortBy: 0}); err == nil {
+		t.Fatal("sorted freeze of a freezing chunk succeeded")
+	}
+	// The unsorted path treats a busy chunk as someone else's work: nil.
+	if err := r.FreezeChunk(0, core.FreezeOptions{SortBy: -1}); err != nil {
+		t.Fatalf("second unsorted freeze: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,17 +7,58 @@
 // Frozen tuples support only delete (a flag); updates are rewritten as a
 // delete plus an insert into the hot tail (§3). Tuple identifiers are
 // stable across (unsorted) freezing, so primary-key indexes survive.
+//
+// # Concurrency contract
+//
+// A Relation is safe for concurrent use. The operations that may overlap
+// freely are:
+//
+//   - OLTP writes: Insert, BulkAppend, Delete, Update (serialized
+//     internally on the relation lock, each O(1)).
+//   - OLTP reads: Get, GetCol (shared lock).
+//   - OLAP scans: Snapshot returns immutable ChunkViews; scan drivers
+//     iterate a snapshot and never re-read mutable chunk state.
+//   - Background freezing: FreezeChunk/FreezeAll with a negative SortBy
+//     run core.Freeze compression outside the relation lock, so inserts,
+//     lookups and scans proceed while a chunk is being compressed.
+//
+// Each chunk moves through a one-way state machine:
+//
+//	ChunkHot ──(claim, brief write lock)──► ChunkFreezing
+//	ChunkFreezing ──(compress outside lock, install)──► ChunkFrozen
+//	ChunkFreezing ──(compression error)──► ChunkHot
+//
+// A freezing chunk no longer accepts appends (the insert tail skips it and
+// rolls over to a fresh chunk), but its tuples remain readable from the hot
+// payload until the compressed block is installed with an atomic payload
+// swap; deletes during freezing land in the chunk's delete bitmap, which is
+// shared by the hot and frozen forms (tuple identifiers are stable).
+//
+// Sorted freezing (SortBy >= 0) reorders tuples and therefore invalidates
+// tuple identifiers; it runs stop-the-world under the relation write lock
+// and must not overlap other writers or a background compactor — quiesce
+// the relation first (see ROADMAP: sorted-freeze under concurrency).
+//
+// Lock-free access to a *Chunk (Relation.Chunk/Chunks) is safe for frozen
+// chunks and for the state/row-count accessors; reading the column data of
+// a chunk that is still hot while writers run requires a ChunkView from
+// Snapshot.
 package storage
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"datablocks/internal/core"
 	"datablocks/internal/simd"
 	"datablocks/internal/types"
 )
+
+// freezeBlock indirects core.Freeze so tests can stall compression and
+// prove it runs outside the relation lock.
+var freezeBlock = core.Freeze
 
 // TupleID addresses one tuple: a chunk ordinal and a row within the chunk.
 type TupleID struct {
@@ -25,9 +66,12 @@ type TupleID struct {
 	Row   uint32
 }
 
-// HotChunk is an uncompressed, append-only columnar chunk.
+// HotChunk is an uncompressed, append-only columnar chunk. Rows below the
+// published row count are immutable; the backing arrays are allocated at
+// full chunk capacity up front, so growing the chunk never reallocates
+// them.
 type HotChunk struct {
-	n    int
+	n    atomic.Int32
 	cols []hotCol
 }
 
@@ -40,16 +84,16 @@ type hotCol struct {
 }
 
 // Rows returns the number of tuples in the chunk (including deleted ones).
-func (h *HotChunk) Rows() int { return h.n }
+func (h *HotChunk) Rows() int { return int(h.n.Load()) }
 
 // Ints exposes an integer column for vectorized scans.
-func (h *HotChunk) Ints(col int) []int64 { return h.cols[col].ints[:h.n] }
+func (h *HotChunk) Ints(col int) []int64 { return h.cols[col].ints[:h.Rows()] }
 
 // Floats exposes a double column.
-func (h *HotChunk) Floats(col int) []float64 { return h.cols[col].floats[:h.n] }
+func (h *HotChunk) Floats(col int) []float64 { return h.cols[col].floats[:h.Rows()] }
 
 // Strs exposes a string column.
-func (h *HotChunk) Strs(col int) []string { return h.cols[col].strs[:h.n] }
+func (h *HotChunk) Strs(col int) []string { return h.cols[col].strs[:h.Rows()] }
 
 // Nulls exposes the column's null flags, or nil when the column holds no
 // NULLs.
@@ -57,7 +101,7 @@ func (h *HotChunk) Nulls(col int) []bool {
 	if h.cols[col].nulls == nil {
 		return nil
 	}
-	return h.cols[col].nulls[:h.n]
+	return h.cols[col].nulls[:h.Rows()]
 }
 
 // IsNull reports whether cell (col, row) is NULL.
@@ -82,29 +126,76 @@ func (h *HotChunk) Value(col, row int) types.Value {
 	}
 }
 
-// Chunk is one fixed-size slice of a relation: hot or frozen.
+// ChunkState is one station of the hot→cold lifecycle.
+type ChunkState uint32
+
+const (
+	// ChunkHot is uncompressed and, if it is the relation tail, writable.
+	ChunkHot ChunkState = iota
+	// ChunkFreezing is claimed by a freeze: still read from the hot
+	// payload, closed to appends, compression in flight.
+	ChunkFreezing
+	// ChunkFrozen is an immutable compressed Data Block.
+	ChunkFrozen
+)
+
+// String names the state for diagnostics.
+func (s ChunkState) String() string {
+	switch s {
+	case ChunkHot:
+		return "hot"
+	case ChunkFreezing:
+		return "freezing"
+	default:
+		return "frozen"
+	}
+}
+
+// chunkPayload is the storage behind a chunk: exactly one of hot, blk is
+// non-nil. It is swapped atomically when a freeze installs its block, so a
+// reader that loads the payload once observes a coherent chunk.
+type chunkPayload struct {
+	hot *HotChunk
+	blk *core.Block
+}
+
+// Chunk is one fixed-size slice of a relation: hot, freezing or frozen.
 type Chunk struct {
-	hot        *HotChunk
-	blk        *core.Block
+	state atomic.Uint32
+	pay   atomic.Pointer[chunkPayload]
+
+	// The delete bitmap is shared by the hot and frozen payloads (tuple
+	// identifiers survive unsorted freezing). Guarded by the relation
+	// lock; concurrent readers must use a ChunkView snapshot.
 	deleted    []uint64 // bit set = deleted; lazily allocated
 	numDeleted int
 }
 
+func newChunk(h *HotChunk) *Chunk {
+	c := &Chunk{}
+	c.pay.Store(&chunkPayload{hot: h})
+	return c
+}
+
+// State returns the chunk's lifecycle state.
+func (c *Chunk) State() ChunkState { return ChunkState(c.state.Load()) }
+
 // IsFrozen reports whether the chunk has been compressed into a Data Block.
-func (c *Chunk) IsFrozen() bool { return c.blk != nil }
+func (c *Chunk) IsFrozen() bool { return c.pay.Load().blk != nil }
 
 // Block returns the frozen Data Block, or nil for hot chunks.
-func (c *Chunk) Block() *core.Block { return c.blk }
+func (c *Chunk) Block() *core.Block { return c.pay.Load().blk }
 
 // Hot returns the uncompressed chunk, or nil for frozen chunks.
-func (c *Chunk) Hot() *HotChunk { return c.hot }
+func (c *Chunk) Hot() *HotChunk { return c.pay.Load().hot }
 
 // Rows returns the tuple count including deleted tuples.
 func (c *Chunk) Rows() int {
-	if c.blk != nil {
-		return c.blk.Rows()
+	p := c.pay.Load()
+	if p.blk != nil {
+		return p.blk.Rows()
 	}
-	return c.hot.n
+	return p.hot.Rows()
 }
 
 // LiveRows returns the tuple count excluding deleted tuples.
@@ -121,6 +212,60 @@ func (c *Chunk) Deleted() []uint64 {
 // IsDeleted reports whether the row carries the delete flag.
 func (c *Chunk) IsDeleted(row int) bool {
 	return c.deleted != nil && simd.BitmapGet(c.deleted, uint32(row))
+}
+
+// ChunkView is an immutable snapshot of one chunk, taken under the
+// relation lock by Relation.Snapshot. Scans capture a view once per chunk
+// and never observe concurrent appends, deletes or hot→frozen payload
+// swaps.
+type ChunkView struct {
+	hot        *HotChunk
+	blk        *core.Block
+	del        []uint64
+	numDeleted int
+}
+
+// IsFrozen reports whether the chunk was frozen at snapshot time.
+func (v *ChunkView) IsFrozen() bool { return v.blk != nil }
+
+// Block returns the frozen Data Block, or nil for hot views.
+func (v *ChunkView) Block() *core.Block { return v.blk }
+
+// Hot returns the snapshotted uncompressed chunk, or nil for frozen views.
+func (v *ChunkView) Hot() *HotChunk { return v.hot }
+
+// Rows returns the tuple count at snapshot time, including deleted tuples.
+func (v *ChunkView) Rows() int {
+	if v.blk != nil {
+		return v.blk.Rows()
+	}
+	return v.hot.Rows()
+}
+
+// LiveRows returns the tuple count excluding deleted tuples.
+func (v *ChunkView) LiveRows() int { return v.Rows() - v.numDeleted }
+
+// Deleted returns the snapshotted delete bitmap (nil when nothing was
+// deleted at snapshot time).
+func (v *ChunkView) Deleted() []uint64 {
+	if v.numDeleted == 0 {
+		return nil
+	}
+	return v.del
+}
+
+// IsDeleted reports whether the row carried the delete flag at snapshot
+// time.
+func (v *ChunkView) IsDeleted(row int) bool {
+	return v.del != nil && simd.BitmapGet(v.del, uint32(row))
+}
+
+// Value returns cell (col, row) of the snapshot as a dynamic value.
+func (v *ChunkView) Value(col, row int) types.Value {
+	if v.blk != nil {
+		return v.blk.Value(col, row)
+	}
+	return v.hot.Value(col, row)
 }
 
 // Relation is a chunked table: zero or more frozen chunks followed by hot
@@ -163,11 +308,44 @@ func (r *Relation) Chunk(i int) *Chunk {
 	return r.chunks[i]
 }
 
-// Chunks returns a snapshot of the chunk list for scans.
+// Chunks returns a snapshot of the chunk list. The *Chunk handles track
+// live state; concurrent scans should prefer Snapshot.
 func (r *Relation) Chunks() []*Chunk {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return append([]*Chunk(nil), r.chunks...)
+}
+
+// Snapshot captures an immutable view of every chunk for a scan. View i
+// corresponds to chunk ordinal i, so row positions remain valid TupleIDs.
+func (r *Relation) Snapshot() []ChunkView {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	views := make([]ChunkView, len(r.chunks))
+	for i, c := range r.chunks {
+		views[i] = c.viewLocked()
+	}
+	return views
+}
+
+// viewLocked snapshots one chunk. Caller holds at least the read lock,
+// which excludes appends, deletes and freeze installs, so the copied
+// headers, row count and delete bitmap are mutually consistent; rows below
+// the count are immutable afterwards.
+func (c *Chunk) viewLocked() ChunkView {
+	v := ChunkView{numDeleted: c.numDeleted}
+	if c.numDeleted > 0 {
+		v.del = append([]uint64(nil), c.deleted...)
+	}
+	p := c.pay.Load()
+	if p.blk != nil {
+		v.blk = p.blk
+		return v
+	}
+	snap := &HotChunk{cols: append([]hotCol(nil), p.hot.cols...)}
+	snap.n.Store(p.hot.n.Load())
+	v.hot = snap
+	return v
 }
 
 // NumRows returns the live tuple count.
@@ -194,46 +372,61 @@ func (r *Relation) newHotChunk() *HotChunk {
 }
 
 // tail returns the hot chunk receiving inserts, creating it if necessary.
-// Caller holds the write lock.
+// Freezing and frozen chunks are closed to appends, so claiming the tail
+// for a freeze rolls subsequent inserts over to a fresh chunk. Caller
+// holds the write lock.
 func (r *Relation) tail() (*Chunk, int) {
 	if n := len(r.chunks); n > 0 {
 		c := r.chunks[n-1]
-		if !c.IsFrozen() && c.hot.n < r.chunkCap {
+		if c.State() == ChunkHot && c.pay.Load().hot.Rows() < r.chunkCap {
 			return c, n - 1
 		}
 	}
-	c := &Chunk{hot: r.newHotChunk()}
+	c := newChunk(r.newHotChunk())
 	r.chunks = append(r.chunks, c)
 	return c, len(r.chunks) - 1
 }
 
-// Insert appends one tuple and returns its stable identifier.
-func (r *Relation) Insert(row types.Row) (TupleID, error) {
+// validateRow checks a row against the schema without touching storage, so
+// rejected rows leave the relation unchanged.
+func (r *Relation) validateRow(row types.Row) error {
 	if len(row) != r.schema.NumColumns() {
-		return TupleID{}, fmt.Errorf("storage: row has %d values, schema has %d", len(row), r.schema.NumColumns())
+		return fmt.Errorf("storage: row has %d values, schema has %d", len(row), r.schema.NumColumns())
 	}
-	// Validate before touching any column so a rejected row leaves the
-	// chunk unchanged.
 	for i, v := range row {
 		if v.IsNull() {
 			if !r.schema.Columns[i].Nullable {
-				return TupleID{}, fmt.Errorf("storage: NULL in non-nullable column %q", r.schema.Columns[i].Name)
+				return fmt.Errorf("storage: NULL in non-nullable column %q", r.schema.Columns[i].Name)
 			}
 			continue
 		}
 		if v.Kind() != r.schema.Columns[i].Kind {
-			return TupleID{}, fmt.Errorf("storage: column %q expects %v, got %v",
+			return fmt.Errorf("storage: column %q expects %v, got %v",
 				r.schema.Columns[i].Name, r.schema.Columns[i].Kind, v.Kind())
 		}
 	}
+	return nil
+}
+
+// Insert appends one tuple and returns its stable identifier.
+func (r *Relation) Insert(row types.Row) (TupleID, error) {
+	if err := r.validateRow(row); err != nil {
+		return TupleID{}, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.insertLocked(row), nil
+}
+
+// insertLocked appends a pre-validated row. Caller holds the write lock.
+func (r *Relation) insertLocked(row types.Row) TupleID {
 	c, ci := r.tail()
-	h := c.hot
+	h := c.pay.Load().hot
+	n := h.Rows()
 	for i, v := range row {
 		col := &h.cols[i]
 		if v.IsNull() && col.nulls == nil {
-			col.nulls = make([]bool, h.n, r.chunkCap)
+			col.nulls = make([]bool, n, r.chunkCap)
 		}
 		if col.nulls != nil {
 			col.nulls = append(col.nulls, v.IsNull())
@@ -259,9 +452,11 @@ func (r *Relation) Insert(row types.Row) (TupleID, error) {
 			}
 		}
 	}
-	h.n++
+	// Publish the row only after its values are in place: the row count is
+	// the watermark snapshots read.
+	h.n.Store(int32(n + 1))
 	r.live++
-	return TupleID{Chunk: uint32(ci), Row: uint32(h.n - 1)}, nil
+	return TupleID{Chunk: uint32(ci), Row: uint32(n)}
 }
 
 // BulkAppend loads n pre-columnarized tuples, splitting them across chunks.
@@ -275,8 +470,9 @@ func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
 	off := 0
 	for off < n {
 		c, _ := r.tail()
-		h := c.hot
-		span := r.chunkCap - h.n
+		h := c.pay.Load().hot
+		hn := h.Rows()
+		span := r.chunkCap - hn
 		if span > n-off {
 			span = n - off
 		}
@@ -301,7 +497,7 @@ func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
 				}
 				if hasNull || col.nulls != nil {
 					if col.nulls == nil {
-						col.nulls = make([]bool, h.n, r.chunkCap)
+						col.nulls = make([]bool, hn, r.chunkCap)
 					}
 					col.nulls = append(col.nulls, src.Nulls[off:off+span]...)
 				}
@@ -309,7 +505,7 @@ func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
 				col.nulls = append(col.nulls, make([]bool, span)...)
 			}
 		}
-		h.n += span
+		h.n.Store(int32(hn + span))
 		r.live += span
 		off += span
 	}
@@ -322,6 +518,11 @@ func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
 func (r *Relation) Delete(tid TupleID) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.deleteLocked(tid)
+}
+
+// deleteLocked flags a tuple under the write lock held by the caller.
+func (r *Relation) deleteLocked(tid TupleID) bool {
 	c, ok := r.chunkFor(tid)
 	if !ok {
 		return false
@@ -339,12 +540,19 @@ func (r *Relation) Delete(tid TupleID) bool {
 }
 
 // Update rewrites the tuple as delete + insert into the hot tail (§1) and
-// returns the tuple's new identifier.
+// returns the tuple's new identifier. The new row is validated before the
+// old tuple is touched, and the delete + insert pair happens atomically
+// under the relation lock, so a failed update leaves the tuple intact.
 func (r *Relation) Update(tid TupleID, row types.Row) (TupleID, error) {
-	if !r.Delete(tid) {
+	if err := r.validateRow(row); err != nil {
+		return TupleID{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.deleteLocked(tid) {
 		return TupleID{}, errors.New("storage: update of missing or deleted tuple")
 	}
-	return r.Insert(row)
+	return r.insertLocked(row), nil
 }
 
 func (r *Relation) chunkFor(tid TupleID) (*Chunk, bool) {
@@ -366,12 +574,13 @@ func (r *Relation) Get(tid TupleID) (types.Row, bool) {
 	if !ok || c.IsDeleted(int(tid.Row)) {
 		return nil, false
 	}
+	p := c.pay.Load()
 	row := make(types.Row, r.schema.NumColumns())
 	for i := range row {
-		if c.IsFrozen() {
-			row[i] = c.blk.Value(i, int(tid.Row))
+		if p.blk != nil {
+			row[i] = p.blk.Value(i, int(tid.Row))
 		} else {
-			row[i] = c.hot.Value(i, int(tid.Row))
+			row[i] = p.hot.Value(i, int(tid.Row))
 		}
 	}
 	return row, true
@@ -386,35 +595,120 @@ func (r *Relation) GetCol(tid TupleID, col int) (types.Value, bool) {
 	if !ok || c.IsDeleted(int(tid.Row)) {
 		return types.Value{}, false
 	}
-	if c.IsFrozen() {
-		return c.blk.Value(col, int(tid.Row)), true
+	p := c.pay.Load()
+	if p.blk != nil {
+		return p.blk.Value(col, int(tid.Row)), true
 	}
-	return c.hot.Value(col, int(tid.Row)), true
+	return p.hot.Value(col, int(tid.Row)), true
 }
 
 // FreezeChunk compresses chunk i into a Data Block. With a non-negative
 // SortBy, deleted tuples are compacted away and rows are reordered, which
 // invalidates tuple identifiers — callers must rebuild indexes (the paper's
-// freeze-with-sort likewise re-orders tuples, §3.2). Without sorting,
-// identifiers remain stable and the delete bitmap is carried over.
+// freeze-with-sort likewise re-orders tuples, §3.2), and the whole pass
+// runs under the relation write lock (stop-the-world).
+//
+// Without sorting — the OLTP hot→cold path — identifiers remain stable,
+// the delete bitmap is carried over, and compression runs outside the
+// relation lock: the chunk is claimed (hot→freezing) and its column data
+// snapshotted under a brief write lock, core.Freeze runs unlocked, and the
+// block is installed with an atomic payload swap. Concurrent inserts roll
+// over to a fresh tail chunk; reads and scans keep using the hot payload
+// until the swap. FreezeChunk returns nil when the chunk is already frozen
+// or claimed by a concurrent freeze.
 func (r *Relation) FreezeChunk(i int, opts core.FreezeOptions) error {
+	if opts.SortBy >= 0 {
+		return r.freezeChunkSorted(i, opts)
+	}
+	c, cols, n, err := r.beginFreeze(i)
+	if err != nil || c == nil {
+		return err
+	}
+	blk, err := freezeBlock(cols, n, opts)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		// Revert the claim: the chunk stays hot (and, no longer being the
+		// tail, simply remains an unfrozen non-tail chunk).
+		c.state.Store(uint32(ChunkHot))
+		return err
+	}
+	c.pay.Store(&chunkPayload{blk: blk})
+	c.state.Store(uint32(ChunkFrozen))
+	return nil
+}
+
+// beginFreeze claims chunk i for an unsorted freeze: under a brief write
+// lock it transitions hot→freezing and snapshots the hot column data. The
+// returned chunk is nil when the chunk is already frozen or freezing.
+func (r *Relation) beginFreeze(i int) (*Chunk, []core.ColumnData, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.chunks) {
+		return nil, nil, 0, fmt.Errorf("storage: chunk %d out of range", i)
+	}
+	c := r.chunks[i]
+	if c.State() != ChunkHot {
+		return nil, nil, 0, nil
+	}
+	h := c.pay.Load().hot
+	n := h.Rows()
+	if n == 0 {
+		return nil, nil, 0, errors.New("storage: cannot freeze empty chunk")
+	}
+	c.state.Store(uint32(ChunkFreezing))
+	// Rows below n are immutable and the freezing state bars further
+	// appends, so the snapshotted slice headers may be read without the
+	// lock while core.Freeze compresses them.
+	return c, hotColumns(h, n), n, nil
+}
+
+// hotColumns snapshots the first n rows of every column as freeze input.
+func hotColumns(h *HotChunk, n int) []core.ColumnData {
+	cols := make([]core.ColumnData, len(h.cols))
+	for ci := range h.cols {
+		col := &h.cols[ci]
+		cd := core.ColumnData{Kind: col.kind}
+		switch col.kind {
+		case types.Int64:
+			cd.Ints = col.ints[:n]
+		case types.Float64:
+			cd.Floats = col.floats[:n]
+		default:
+			cd.Strs = col.strs[:n]
+		}
+		if col.nulls != nil {
+			cd.Nulls = col.nulls[:n]
+		}
+		cols[ci] = cd
+	}
+	return cols
+}
+
+// freezeChunkSorted is the stop-the-world sorted freeze: deleted tuples are
+// compacted away and rows reordered under the relation write lock.
+func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if i < 0 || i >= len(r.chunks) {
 		return fmt.Errorf("storage: chunk %d out of range", i)
 	}
 	c := r.chunks[i]
-	if c.IsFrozen() {
+	switch c.State() {
+	case ChunkFrozen:
 		return nil
+	case ChunkFreezing:
+		return fmt.Errorf("storage: chunk %d is being frozen concurrently", i)
 	}
-	h := c.hot
-	if h.n == 0 {
+	h := c.pay.Load().hot
+	n := h.Rows()
+	if n == 0 {
 		return errors.New("storage: cannot freeze empty chunk")
 	}
-	n := h.n
+	total := n
 	var keep []uint32
-	if opts.SortBy >= 0 && c.numDeleted > 0 {
-		for row := 0; row < n; row++ {
+	if c.numDeleted > 0 {
+		for row := 0; row < total; row++ {
 			if !simd.BitmapGet(c.deleted, uint32(row)) {
 				keep = append(keep, uint32(row))
 			}
@@ -427,23 +721,23 @@ func (r *Relation) FreezeChunk(i int, opts core.FreezeOptions) error {
 		cd := core.ColumnData{Kind: col.kind}
 		switch col.kind {
 		case types.Int64:
-			cd.Ints = gatherI64(col.ints[:h.n], keep)
+			cd.Ints = gatherI64(col.ints[:total], keep)
 		case types.Float64:
-			cd.Floats = gatherF64(col.floats[:h.n], keep)
+			cd.Floats = gatherF64(col.floats[:total], keep)
 		default:
-			cd.Strs = gatherStr(col.strs[:h.n], keep)
+			cd.Strs = gatherStr(col.strs[:total], keep)
 		}
 		if col.nulls != nil {
-			cd.Nulls = gatherBool(col.nulls[:h.n], keep)
+			cd.Nulls = gatherBool(col.nulls[:total], keep)
 		}
 		cols[ci] = cd
 	}
-	blk, err := core.Freeze(cols, n, opts)
+	blk, err := freezeBlock(cols, n, opts)
 	if err != nil {
 		return err
 	}
-	c.blk = blk
-	c.hot = nil
+	c.pay.Store(&chunkPayload{blk: blk})
+	c.state.Store(uint32(ChunkFrozen))
 	if keep != nil {
 		c.deleted = nil
 		c.numDeleted = 0
@@ -451,21 +745,40 @@ func (r *Relation) FreezeChunk(i int, opts core.FreezeOptions) error {
 	return nil
 }
 
-// FreezeAll freezes every chunk except, optionally, the hot tail.
+// FreezeAll freezes every chunk except, optionally, the hot tail. The
+// chunk count and tail position are decided once, in a single lock
+// acquisition, so a concurrent insert that appends a chunk cannot cause
+// the old tail to be frozen or skipped inconsistently: chunks appended
+// after the snapshot are simply left for the next pass. Chunks already
+// frozen — or claimed by a concurrent unsorted freeze — are skipped.
 func (r *Relation) FreezeAll(opts core.FreezeOptions, keepHotTail bool) error {
-	last := r.NumChunks()
+	r.mu.RLock()
+	last := len(r.chunks)
+	r.mu.RUnlock()
 	if keepHotTail {
 		last--
 	}
 	for i := 0; i < last; i++ {
-		if r.Chunk(i).IsFrozen() {
-			continue
-		}
 		if err := r.FreezeChunk(i, opts); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// SealedHotChunks counts chunks that are closed to inserts (everything but
+// the tail) yet still uncompressed and unclaimed — the backlog a
+// background compactor should freeze.
+func (r *Relation) SealedHotChunks() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for i := 0; i+1 < len(r.chunks); i++ {
+		if r.chunks[i].State() == ChunkHot {
+			n++
+		}
+	}
+	return n
 }
 
 func gatherI64(src []int64, keep []uint32) []int64 {
@@ -527,7 +840,8 @@ func (m MemStats) TotalBytes() int { return m.HotBytes + m.FrozenBytes }
 
 // MemoryStats reports the relation's current footprint, separating hot
 // uncompressed storage from frozen Data Blocks (the quantity Table 1 and
-// Figure 10 measure).
+// Figure 10 measure). Freezing chunks still count as hot: their block has
+// not been installed yet.
 func (r *Relation) MemoryStats() MemStats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -535,25 +849,27 @@ func (r *Relation) MemoryStats() MemStats {
 	for _, c := range r.chunks {
 		m.DeletedRows += c.numDeleted
 		m.Rows += c.Rows()
-		if c.IsFrozen() {
+		p := c.pay.Load()
+		if p.blk != nil {
 			m.FrozenChunks++
-			m.FrozenBytes += c.blk.CompressedSize()
+			m.FrozenBytes += p.blk.CompressedSize()
 			continue
 		}
 		m.HotChunks++
-		h := c.hot
+		h := p.hot
+		hn := h.Rows()
 		for ci := range h.cols {
 			col := &h.cols[ci]
 			switch col.kind {
 			case types.Int64, types.Float64:
-				m.HotBytes += 8 * h.n
+				m.HotBytes += 8 * hn
 			default:
-				for _, s := range col.strs[:h.n] {
+				for _, s := range col.strs[:hn] {
 					m.HotBytes += len(s) + 16
 				}
 			}
 			if col.nulls != nil {
-				m.HotBytes += h.n
+				m.HotBytes += hn
 			}
 		}
 	}
