@@ -29,6 +29,6 @@ fmt-check:
 	fi
 
 stress:
-	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts' . ./internal/storage/
+	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts|TestUpdateLookupNoReadAnomaly|TestUpdateLookupStress' . ./internal/storage/
 
 ci: fmt-check vet build test race

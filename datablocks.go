@@ -22,6 +22,7 @@ package datablocks
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -234,7 +235,10 @@ func (db *DB) Tables() []string {
 // Data Blocks. All methods are safe for concurrent use; write operations
 // (Insert, Delete, Update, BulkLoad) serialize on a table-level mutex so
 // the primary-key index and the relation stay consistent, while reads and
-// scans run lock-free against immutable chunk snapshots.
+// scans run against epoch-pinned chunk snapshots: point lookups are
+// anomaly-free under concurrent updates (they resolve the pre- or
+// post-update version, never neither), and scans never observe row
+// versions committed after their snapshot epoch.
 type Table struct {
 	name      string
 	schema    *types.Schema
@@ -320,30 +324,72 @@ func (t *Table) BulkLoad(cols []core.ColumnData, n int) error {
 
 // Lookup resolves a primary key through the hash index: the OLTP point
 // access path. Works identically on hot and frozen tuples (§3.4).
+//
+// Lookups are anomaly-free under concurrent updates: the reader captures
+// the relation's write epoch *before* resolving the index record, then
+// reads the version visible at that epoch — the current tuple, or, while
+// an update is mid-flight (new version published but not yet committed,
+// or committed after the reader's epoch), the previous version. A key
+// that exists at all times therefore always resolves; a miss means the
+// key was absent or deleted at the reader's epoch.
 func (t *Table) Lookup(key int64) (Row, bool) {
 	if t.pk == nil {
 		return nil, false
 	}
-	tid, ok := t.pk.Lookup(key)
-	if !ok {
+	for {
+		// Epoch first, record second: the writer publishes the index
+		// record before it commits (mints the epoch), so a record newer
+		// than our epoch always still carries a previous version born at
+		// or before it — except in the doubly-stale case handled below.
+		e := t.rel.ReadEpoch()
+		rec, ok := t.pk.LookupRecord(key)
+		if !ok {
+			return nil, false
+		}
+		row, vis := t.rel.GetAt(rec.Cur, e)
+		if vis == storage.Visible {
+			return row, true
+		}
+		if rec.HasPrev {
+			prow, pvis := t.rel.GetAt(rec.Prev, e)
+			if pvis == storage.Visible {
+				return prow, true
+			}
+			if vis == storage.NotYetBorn && pvis == storage.NotYetBorn {
+				// Both versions postdate our epoch: the goroutine was
+				// descheduled between reading the epoch and the record
+				// while two commits landed. A fresh epoch resolves it.
+				runtime.Gosched()
+				continue
+			}
+		}
+		// Cur retired at or before our epoch (and any previous version
+		// even earlier): the key was genuinely deleted. A record without
+		// a previous version whose Cur is not yet born is a key created
+		// by an in-flight key-changing update — absent at our epoch.
 		return nil, false
 	}
-	return t.rel.Get(tid)
 }
 
 // LookupScan finds a row by scanning with a SARGable equality predicate —
 // Table 3's "no index" configuration, accelerated by SMAs/PSMAs when the
-// data is clustered.
-func (t *Table) LookupScan(col string, key int64, mode ScanMode) (Row, bool) {
+// data is clustered. A scan failure is reported as an error, distinct
+// from a clean miss.
+func (t *Table) LookupScan(col string, key int64, mode ScanMode) (Row, bool, error) {
 	res, err := t.Scan(t.schema.Names(), []Pred{{Col: col, Op: Eq, Lo: Int(key)}}, QueryOptions{Mode: mode})
-	if err != nil || res.NumRows() == 0 {
-		return nil, false
+	if err != nil {
+		return nil, false, err
 	}
-	return res.Row(0), true
+	if res.NumRows() == 0 {
+		return nil, false, nil
+	}
+	return res.Row(0), true, nil
 }
 
 // Delete removes a row by primary key (delete flag; frozen tuples keep
-// their slot).
+// their slot). The tuple is retired with a fresh write epoch before the
+// index entry goes away, so a concurrent reader either still sees the row
+// (its epoch predates the delete) or takes a legitimate miss.
 func (t *Table) Delete(key int64) bool {
 	if t.pk == nil {
 		return false
@@ -361,8 +407,13 @@ func (t *Table) Delete(key int64) bool {
 	return true
 }
 
-// Update rewrites a row by primary key: delete + insert into the hot
-// region, repointing the index (§1). A failed update — unknown key, an
+// Update rewrites a row by primary key with the anomaly-free three-step
+// protocol: the new version is appended as a pending (invisible) row, the
+// index record is repointed at it while retaining the previous version,
+// and the commit atomically — under one write epoch — makes the new
+// version visible and retires the old one. A concurrent Lookup resolves
+// the pre-update version up to the commit epoch and the post-update
+// version from it, never neither. A failed update — unknown key, an
 // invalid row, or a new primary key that would collide with an existing
 // row — leaves both the tuple and the index unchanged.
 func (t *Table) Update(key int64, row Row) error {
@@ -377,7 +428,7 @@ func (t *Table) Update(key int64, row Row) error {
 	}
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	tid, ok := t.pk.Lookup(key)
+	oldTid, ok := t.pk.Lookup(key)
 	if !ok {
 		return fmt.Errorf("datablocks: key %d not found", key)
 	}
@@ -387,11 +438,37 @@ func (t *Table) Update(key int64, row Row) error {
 			return fmt.Errorf("datablocks: update of key %d to %d collides with an existing row", key, newKey)
 		}
 	}
-	newTid, err := t.rel.Update(tid, row)
+	// Step 1: insert the new version, invisible to every reader.
+	newTid, err := t.rel.InsertPending(row)
 	if err != nil {
 		return err
 	}
-	t.pk.Update(newKey, newTid)
+	// Step 2: publish the new tuple identifier in the index. For an
+	// in-place update the record keeps the old version for readers whose
+	// epoch will predate the commit; for a key change the new key gets a
+	// fresh record (the old row never answered to it) and the old key
+	// keeps resolving the old version until the commit retires it.
+	if newKey == key {
+		t.pk.Publish(key, newTid)
+	} else if err := t.pk.Insert(newKey, newTid); err != nil {
+		t.rel.AbortPending(newTid)
+		return err
+	}
+	// Step 3: commit — one epoch births the new version and retires the
+	// old one.
+	epoch, ok := t.rel.CommitUpdate(oldTid, newTid)
+	if !ok {
+		// The old version vanished between lookup and commit; impossible
+		// while writes serialize on wmu, but keep the index consistent.
+		t.rel.AbortPending(newTid)
+		if newKey == key {
+			t.pk.Unpublish(key)
+		} else {
+			t.pk.Delete(newKey)
+		}
+		return fmt.Errorf("datablocks: key %d vanished during update", key)
+	}
+	t.pk.Seal(newKey, epoch)
 	if newKey != key {
 		t.pk.Delete(key)
 	}

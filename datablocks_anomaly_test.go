@@ -1,0 +1,183 @@
+package datablocks
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestUpdateLookupNoReadAnomaly is the regression test for the
+// update/lookup read anomaly: Table.Update used to retire the old row
+// version before repointing the primary-key index, so a concurrent Lookup
+// could resolve the stale tuple identifier, find it delete-flagged, and
+// miss a key that logically existed at all times. With epoch-versioned
+// reads a lookup must always return either the pre- or the post-update
+// version — never neither.
+func TestUpdateLookupNoReadAnomaly(t *testing.T) {
+	_, tbl := ordersTable(t)
+	const key = int64(42)
+	if _, err := tbl.Insert(Row{Int(key), Float(0), Str("v0")}); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	var (
+		misses  atomic.Int64
+		lookups atomic.Int64
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				row, ok := tbl.Lookup(key)
+				lookups.Add(1)
+				if !ok {
+					misses.Add(1)
+					continue
+				}
+				if row[0].Int() != key {
+					t.Errorf("lookup %d returned id %d", key, row[0].Int())
+					return
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; time.Now().Before(deadline); i++ {
+		if err := tbl.Update(key, Row{Int(key), Float(float64(i)), Str("vn")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := misses.Load(); n > 0 {
+		t.Fatalf("%d of %d lookups missed key %d while it was being updated",
+			n, lookups.Load(), key)
+	}
+}
+
+// TestUpdateLookupStress is the -race stress companion: several writers
+// update disjoint hot keys (both in place and with key changes) while
+// readers hammer point lookups on them; any transient miss of a live key
+// is a failure. Deletes of other keys and background freezing run
+// alongside to exercise the epoch machinery across the hot/frozen
+// boundary.
+func TestUpdateLookupStress(t *testing.T) {
+	db, tbl := ordersTable(t, WithChunkRows(256), WithAutoFreeze(1))
+	const (
+		writers = 4
+		rounds  = 2000
+		stripe  = int64(1) << 32
+	)
+	var (
+		wg, rwg sync.WaitGroup
+		stop    = make(chan struct{})
+	)
+	errCh := make(chan error, 2*writers)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	// One pinned hot key per writer, present from the start so readers may
+	// fail hard on any miss.
+	for g := 0; g < writers; g++ {
+		if _, err := tbl.Insert(Row{Int(int64(g) * stripe), Float(0), Str("pin")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g) * stripe
+			for i := 0; i < rounds; i++ {
+				// Hammer the pinned key with in-place updates.
+				if err := tbl.Update(base, Row{Int(base), Float(float64(i)), Str("upd")}); err != nil {
+					report(fmt.Errorf("pinned update %d: %w", base, err))
+					return
+				}
+				// Churn the writer's stripe: insert, key-changing update,
+				// delete — the non-pinned traffic the epochs must tolerate.
+				key := base + 1 + int64(i)
+				if _, err := tbl.Insert(Row{Int(key), Float(0), Str("new")}); err != nil {
+					report(fmt.Errorf("insert %d: %w", key, err))
+					return
+				}
+				switch i % 3 {
+				case 0:
+					moved := base + stripe/2 + int64(i)
+					if err := tbl.Update(key, Row{Int(moved), Float(1), Str("mv")}); err != nil {
+						report(fmt.Errorf("move %d->%d: %w", key, moved, err))
+						return
+					}
+				case 1:
+					if !tbl.Delete(key) {
+						report(fmt.Errorf("delete %d failed", key))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	for g := 0; g < writers; g++ {
+		rwg.Add(1)
+		go func(g int) {
+			defer rwg.Done()
+			base := int64(g) * stripe
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%64 == 63 {
+					runtime.Gosched() // let writers through under -race
+				}
+				row, ok := tbl.Lookup(base)
+				if !ok {
+					report(fmt.Errorf("pinned key %d missed", base))
+					return
+				}
+				if row[0].Int() != base {
+					report(fmt.Errorf("pinned key %d resolved to id %d", base, row[0].Int()))
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < writers; g++ {
+		if _, ok := tbl.Lookup(int64(g) * stripe); !ok {
+			t.Fatalf("pinned key of writer %d lost after the run", g)
+		}
+	}
+}

@@ -135,7 +135,10 @@ func TestLookupScanEqualsIndexedLookup(t *testing.T) {
 		if !ok {
 			t.Fatalf("indexed lookup %d failed", key)
 		}
-		got, ok := tbl.LookupScan("id", key, ModeVectorizedSARGPSMA)
+		got, ok, err := tbl.LookupScan("id", key, ModeVectorizedSARGPSMA)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			t.Fatalf("scan lookup %d failed", key)
 		}
@@ -145,8 +148,14 @@ func TestLookupScanEqualsIndexedLookup(t *testing.T) {
 			}
 		}
 	}
-	if _, ok := tbl.LookupScan("id", 99999, ModeVectorizedSARG); ok {
+	if _, ok, err := tbl.LookupScan("id", 99999, ModeVectorizedSARG); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("found missing key")
+	}
+	// A broken scan is an error, not a silent miss.
+	if _, _, err := tbl.LookupScan("no_such_col", 1, ModeVectorizedSARG); err == nil {
+		t.Fatal("scan error swallowed as a miss")
 	}
 }
 

@@ -34,9 +34,6 @@ type ScanSpec struct {
 	VectorSize int
 	// UsePSMA enables Positional-SMA scan-range narrowing.
 	UsePSMA bool
-	// Deleted is the chunk's delete bitmap (bit set = tuple deleted); it
-	// is owned by the storage layer because blocks are immutable.
-	Deleted []uint64
 }
 
 // predClass distinguishes how a compiled predicate is evaluated.
@@ -434,9 +431,6 @@ func (s *Scanner) NextMatches() ([]uint32, bool) {
 			for i := 1; i < len(s.preds) && len(m) > 0; i++ {
 				m = s.evalReduce(&s.preds[i], m)
 			}
-		}
-		if s.spec.Deleted != nil && len(m) > 0 {
-			m = simd.ReduceBitmap(s.spec.Deleted, false, m)
 		}
 		s.cur = hi
 		s.matches = m

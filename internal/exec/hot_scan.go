@@ -43,8 +43,11 @@ func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 		} else {
 			m = simd.Sequence(m, cnt, uint32(from))
 		}
-		if del := ch.Deleted(); del != nil && len(m) > 0 {
-			m = simd.ReduceBitmap(del, false, m)
+		if len(m) > 0 {
+			// Epoch-aware visibility: drops rows deleted at or before the
+			// snapshot cutoff and update versions born after it, reading
+			// the shared delete bitmap with atomic loads (zero-copy view).
+			m = ch.FilterVisible(m)
 		}
 		if d.ep != nil && len(m) > 0 {
 			m = d.earlyProbeHot(h, m)

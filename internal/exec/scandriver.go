@@ -398,13 +398,15 @@ func (d *scanDriver) jitHotChunk(ch *storage.ChunkView) error {
 }
 
 // vecBlock scans a frozen block through the interpreted vectorized scan
-// (Figure 6, left path).
+// (Figure 6, left path). Deleted tuples are filtered here through the
+// view's epoch cutoff rather than via ScanSpec.Deleted: the view shares
+// the live delete bitmap zero-copy, so raw word access inside the scanner
+// would race concurrent delete stamps.
 func (d *scanDriver) vecBlock(ch *storage.ChunkView) error {
 	spec := core.ScanSpec{
 		Project:    d.scan.Cols,
 		VectorSize: d.vecSize,
 		UsePSMA:    d.usePSMA,
-		Deleted:    ch.Deleted(),
 	}
 	if d.pushSARG {
 		spec.Preds = d.scan.Preds
@@ -417,6 +419,10 @@ func (d *scanDriver) vecBlock(ch *storage.ChunkView) error {
 		m, ok := sc.NextMatches()
 		if !ok {
 			return nil
+		}
+		m = ch.FilterVisible(m)
+		if len(m) == 0 {
+			continue
 		}
 		if d.ep != nil {
 			m = d.earlyProbeBlock(ch.Block(), m)

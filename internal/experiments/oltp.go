@@ -195,8 +195,12 @@ func shuffleColumns(cols []core.ColumnData, n int) []core.ColumnData {
 // compactor freezes cold chunks into Data Blocks behind the insert tail.
 // Writers insert, update, delete and point-look-up rows in disjoint key
 // stripes; scanners sweep the table with vectorized and JIT scans across
-// the hot/frozen boundary. After the clock runs out the table is verified:
-// the live row count must equal what the writers left behind.
+// the hot/frozen boundary. Each writer also pins one hot key that it
+// updates in place on every round while a dedicated reader hammers point
+// lookups on it: those keys exist at all times, so any lookup miss is a
+// read anomaly and fails the experiment (the epoch-versioned reads
+// guarantee). After the clock runs out the table is verified: the live
+// row count must equal what the writers left behind.
 func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 	if writers < 1 {
 		writers = 1
@@ -222,6 +226,7 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
 	var (
 		inserts, updates, deletes, lookups, scans, scanned atomic.Int64
+		pinnedLookups, pinnedMisses                        atomic.Int64
 		errMu                                              sync.Mutex
 		runErr                                             error
 		live                                               = make([]int64, writers)
@@ -237,6 +242,23 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 	const stripe = int64(1) << 32
 	statuses := []string{"new", "paid", "shipped"}
 
+	// One pinned hot key per writer, inserted before the clock starts: it
+	// is never deleted, so every lookup on it must succeed — a miss is the
+	// update/lookup read anomaly.
+	pinned := make([]int64, writers)
+	for g := range pinned {
+		pinned[g] = int64(g)*stripe + stripe - 1
+		row := datablocks.Row{
+			datablocks.Int(pinned[g]),
+			datablocks.Float(0),
+			datablocks.Str("pinned"),
+		}
+		if _, err := tbl.Insert(row); err != nil {
+			return err
+		}
+		live[g]++
+	}
+
 	for g := 0; g < writers; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -244,7 +266,19 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 			r := xrand.New(uint64(0xB0B + g))
 			base := int64(g) * stripe
 			next := base
-			for time.Now().Before(deadline) {
+			for round := 0; time.Now().Before(deadline); round++ {
+				// Update-heavy pressure on the pinned key: every round
+				// rewrites it while its reader hammers lookups.
+				row := datablocks.Row{
+					datablocks.Int(pinned[g]),
+					datablocks.Float(float64(round)),
+					datablocks.Str("pinned"),
+				}
+				if err := tbl.Update(pinned[g], row); err != nil {
+					fail(fmt.Errorf("pinned update %d: %w", pinned[g], err))
+					return
+				}
+				updates.Add(1)
 				switch r.Range(0, 10) {
 				case 0, 1, 2, 3, 4, 5: // insert a fresh key
 					key := next
@@ -292,6 +326,28 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 						}
 						lookups.Add(1)
 					}
+				}
+			}
+		}(g)
+	}
+
+	// Pinned-key readers: one per writer, asserting zero lost lookups
+	// while the key is being rewritten.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				row, ok := tbl.Lookup(pinned[g])
+				pinnedLookups.Add(1)
+				if !ok {
+					pinnedMisses.Add(1)
+					fail(fmt.Errorf("read anomaly: pinned key %d missed mid-update", pinned[g]))
+					return
+				}
+				if row[0].Int() != pinned[g] {
+					fail(fmt.Errorf("pinned key %d resolved to id %d", pinned[g], row[0].Int()))
+					return
 				}
 			}
 		}(g)
@@ -357,9 +413,12 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 	t.AddRow("updates", fmt.Sprint(updates.Load()), rate(updates.Load()))
 	t.AddRow("deletes", fmt.Sprint(deletes.Load()), rate(deletes.Load()))
 	t.AddRow("point lookups", fmt.Sprint(lookups.Load()), rate(lookups.Load()))
+	t.AddRow("pinned-key lookups", fmt.Sprint(pinnedLookups.Load()), rate(pinnedLookups.Load()))
 	t.AddRow("analytic scans", fmt.Sprint(scans.Load()), rate(scans.Load()))
 	t.AddRow("rows scanned", fmt.Sprint(scanned.Load()), rate(scanned.Load()))
 	t.Write(w)
+	fmt.Fprintf(w, "read anomalies on always-live keys: %d of %d lookups (must be 0)\n",
+		pinnedMisses.Load(), pinnedLookups.Load())
 	fmt.Fprintf(w, "final state: %d live rows, %d frozen chunks (%d B compressed), %d hot chunks (%d B)\n",
 		tbl.NumRows(), stats.FrozenChunks, stats.FrozenBytes, stats.HotChunks, stats.HotBytes)
 	return nil

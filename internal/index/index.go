@@ -2,6 +2,14 @@
 // contrasts with SMA/PSMA-narrowed scans in Table 3: a unique hash index
 // from an integer primary key to a stable tuple identifier.
 //
+// Entries are small version records — the current tuple identifier, the
+// previous one, and the write epoch at which the current version was
+// committed — repointed atomically under the index lock. Together with
+// the storage layer's epoch-aware point reads this closes the
+// update/lookup read anomaly: a reader that resolves a key mid-update
+// falls back from the current (not-yet-born) version to the previous one,
+// so a key that exists at all times never transiently misses.
+//
 // The index is maintained across inserts, deletes and (unsorted) freezes;
 // Table 3's "no index" configurations simply bypass it and fall back to
 // scans.
@@ -14,15 +22,28 @@ import (
 	"datablocks/internal/storage"
 )
 
+// Record is one version record of the index: the tuple identifier the key
+// currently resolves to, the identifier of the immediately preceding
+// version (valid while HasPrev), and the write epoch at which Cur was
+// committed. Epoch is zero for plain inserts and for a published-but-not-
+// yet-committed update (visibility is always decided by the storage
+// layer's stamps; the record epoch is diagnostic).
+type Record struct {
+	Cur     storage.TupleID
+	Prev    storage.TupleID
+	HasPrev bool
+	Epoch   uint64
+}
+
 // Hash is a unique index over an int64 key column.
 type Hash struct {
 	mu sync.RWMutex
-	m  map[int64]storage.TupleID
+	m  map[int64]Record
 }
 
 // NewHash creates an empty index, pre-sized for capacity entries.
 func NewHash(capacity int) *Hash {
-	return &Hash{m: make(map[int64]storage.TupleID, capacity)}
+	return &Hash{m: make(map[int64]Record, capacity)}
 }
 
 // Insert adds a key; duplicate keys are rejected (primary-key semantics).
@@ -32,15 +53,50 @@ func (h *Hash) Insert(key int64, tid storage.TupleID) error {
 	if _, dup := h.m[key]; dup {
 		return fmt.Errorf("index: duplicate key %d", key)
 	}
-	h.m[key] = tid
+	h.m[key] = Record{Cur: tid}
 	return nil
 }
 
-// Update repoints an existing key at a new tuple (after update =
-// delete+insert moved it to the hot region).
-func (h *Hash) Update(key int64, tid storage.TupleID) {
+// Publish atomically repoints a key at the new (still pending) version of
+// its tuple, retaining the old version for readers whose epoch predates
+// the commit. Step two of the update protocol: the caller has inserted
+// the pending row and commits it in storage *after* the publish, so a
+// reader always finds a visible version through either Cur or Prev.
+func (h *Hash) Publish(key int64, tid storage.TupleID) {
 	h.mu.Lock()
-	h.m[key] = tid
+	old := h.m[key]
+	h.m[key] = Record{Cur: tid, Prev: old.Cur, HasPrev: true}
+	h.mu.Unlock()
+}
+
+// Seal stamps the record with the write epoch at which its current
+// version committed (step four, after storage.CommitUpdate).
+func (h *Hash) Seal(key int64, epoch uint64) {
+	h.mu.Lock()
+	if rec, ok := h.m[key]; ok {
+		rec.Epoch = epoch
+		h.m[key] = rec
+	}
+	h.mu.Unlock()
+}
+
+// Repoint replaces a key's record with a fresh current version and no
+// history, for callers that rewrote the tuple with the storage layer's
+// *atomic* delete+insert (storage.Relation.Update) — there is no window
+// in which a reader needs the previous version, so none is retained.
+func (h *Hash) Repoint(key int64, tid storage.TupleID) {
+	h.mu.Lock()
+	h.m[key] = Record{Cur: tid}
+	h.mu.Unlock()
+}
+
+// Unpublish reverts a Publish whose commit never happened, restoring the
+// previous version as current. Defensive abort path.
+func (h *Hash) Unpublish(key int64) {
+	h.mu.Lock()
+	if rec, ok := h.m[key]; ok && rec.HasPrev {
+		h.m[key] = Record{Cur: rec.Prev}
+	}
 	h.mu.Unlock()
 }
 
@@ -55,12 +111,22 @@ func (h *Hash) Delete(key int64) bool {
 	return true
 }
 
-// Lookup resolves a key to its tuple identifier.
+// Lookup resolves a key to its current tuple identifier. Callers that
+// need anomaly-free reads under concurrent updates use LookupRecord and
+// fall back to the previous version by epoch.
 func (h *Hash) Lookup(key int64) (storage.TupleID, bool) {
 	h.mu.RLock()
-	tid, ok := h.m[key]
+	rec, ok := h.m[key]
 	h.mu.RUnlock()
-	return tid, ok
+	return rec.Cur, ok
+}
+
+// LookupRecord resolves a key to its full version record.
+func (h *Hash) LookupRecord(key int64) (Record, bool) {
+	h.mu.RLock()
+	rec, ok := h.m[key]
+	h.mu.RUnlock()
+	return rec, ok
 }
 
 // Len returns the number of indexed keys.
@@ -71,11 +137,12 @@ func (h *Hash) Len() int {
 }
 
 // Rebuild repopulates the index by scanning the key column of a relation.
-// Required after a sorted freeze, which reassigns tuple identifiers.
+// Required after a sorted freeze, which reassigns tuple identifiers (and
+// drops version history: rebuilt records have no previous version).
 func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.m = make(map[int64]storage.TupleID, r.NumRows())
+	h.m = make(map[int64]Record, r.NumRows())
 	views := r.Snapshot()
 	for ci := range views {
 		c := &views[ci]
@@ -98,7 +165,7 @@ func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 			if _, dup := h.m[key]; dup {
 				return fmt.Errorf("index: duplicate key %d during rebuild", key)
 			}
-			h.m[key] = storage.TupleID{Chunk: uint32(ci), Row: uint32(row)}
+			h.m[key] = Record{Cur: storage.TupleID{Chunk: uint32(ci), Row: uint32(row)}}
 		}
 	}
 	return nil

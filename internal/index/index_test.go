@@ -66,17 +66,72 @@ func TestDeleteAndUpdate(t *testing.T) {
 	if _, ok := h.Lookup(4); ok {
 		t.Fatal("deleted key found")
 	}
-	// Simulate update = delete + insert + index repoint.
+	// Simulate update = atomic delete + insert + index repoint.
 	tid, _ := h.Lookup(7)
 	newTid, err := r.Update(tid, types.Row{types.IntValue(7), types.IntValue(777)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h.Update(7, newTid)
+	h.Repoint(7, newTid)
 	got, _ := h.Lookup(7)
 	v, ok := r.GetCol(got, 1)
 	if !ok || v.Int() != 777 {
 		t.Fatal("index points at stale version")
+	}
+}
+
+// TestVersionRecordProtocol walks the three-step update protocol at the
+// index+storage level and checks that every intermediate state resolves a
+// visible version of the key through the record's Cur or Prev.
+func TestVersionRecordProtocol(t *testing.T) {
+	r, h := keyedRelation(t, 3, 0)
+
+	resolve := func(epoch uint64) (types.Row, bool) {
+		rec, ok := h.LookupRecord(1)
+		if !ok {
+			return nil, false
+		}
+		if row, vis := r.GetAt(rec.Cur, epoch); vis == storage.Visible {
+			return row, true
+		}
+		if rec.HasPrev {
+			if row, vis := r.GetAt(rec.Prev, epoch); vis == storage.Visible {
+				return row, true
+			}
+		}
+		return nil, false
+	}
+
+	e0 := r.ReadEpoch()
+	// Step 1: pending insert — invisible, old version still resolves.
+	newTid, err := r.InsertPending(types.Row{types.IntValue(1), types.IntValue(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row, ok := resolve(r.ReadEpoch()); !ok || row[1].Int() != 10 {
+		t.Fatalf("pre-publish resolve: %v %v", row, ok)
+	}
+	// Step 2: publish — Cur is pending, readers fall back to Prev.
+	h.Publish(1, newTid)
+	if row, ok := resolve(r.ReadEpoch()); !ok || row[1].Int() != 10 {
+		t.Fatalf("post-publish resolve: %v %v", row, ok)
+	}
+	// Step 3: commit — the epoch decides which version a reader sees.
+	oldRec, _ := h.LookupRecord(1)
+	epoch, ok := r.CommitUpdate(oldRec.Prev, newTid)
+	if !ok {
+		t.Fatal("commit failed")
+	}
+	h.Seal(1, epoch)
+	if row, ok := resolve(e0); !ok || row[1].Int() != 10 {
+		t.Fatalf("old-epoch resolve after commit: %v %v", row, ok)
+	}
+	if row, ok := resolve(r.ReadEpoch()); !ok || row[1].Int() != 11 {
+		t.Fatalf("new-epoch resolve after commit: %v %v", row, ok)
+	}
+	rec, _ := h.LookupRecord(1)
+	if rec.Epoch != epoch || !rec.HasPrev {
+		t.Fatalf("sealed record = %+v, want epoch %d with prev", rec, epoch)
 	}
 }
 

@@ -60,6 +60,164 @@ func TestUpdateValidatesBeforeDelete(t *testing.T) {
 	}
 }
 
+// TestEpochVisibility pins the GetAt contract: a reader at epoch E sees
+// exactly the rows born at or before E and not retired at or before E,
+// through inserts, deletes and the pending-update protocol.
+func TestEpochVisibility(t *testing.T) {
+	r := NewRelation(testSchema(), 0)
+	tid, err := r.Insert(mkRow(1, 1.0, "v0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := r.ReadEpoch()
+
+	// A pending version is invisible at every epoch; the old row stays.
+	pend, err := r.InsertPending(mkRow(1, 2.0, "v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, vis := r.GetAt(pend, r.ReadEpoch()); vis != NotYetBorn {
+		t.Fatalf("pending visibility = %v", vis)
+	}
+	if r.NumRows() != 1 {
+		t.Fatalf("NumRows with pending = %d", r.NumRows())
+	}
+	if got := r.Chunk(0).LiveRows(); got != 1 {
+		t.Fatalf("LiveRows with pending = %d", got)
+	}
+
+	// Commit: one epoch flips both versions.
+	e, ok := r.CommitUpdate(tid, pend)
+	if !ok {
+		t.Fatal("commit failed")
+	}
+	if row, vis := r.GetAt(tid, e0); vis != Visible || row[1].Float() != 1.0 {
+		t.Fatalf("old version at old epoch: %v %v", row, vis)
+	}
+	if _, vis := r.GetAt(pend, e0); vis != NotYetBorn {
+		t.Fatalf("new version at old epoch = %v, want not-yet-born", vis)
+	}
+	if _, vis := r.GetAt(tid, e); vis != Retired {
+		t.Fatalf("old version at commit epoch = %v, want retired", vis)
+	}
+	if row, vis := r.GetAt(pend, e); vis != Visible || row[1].Float() != 2.0 {
+		t.Fatalf("new version at commit epoch: %v %v", row, vis)
+	}
+	if r.NumRows() != 1 {
+		t.Fatalf("NumRows after commit = %d", r.NumRows())
+	}
+
+	// Deletes stamp their epoch: earlier readers keep the row.
+	eBefore := r.ReadEpoch()
+	if !r.Delete(pend) {
+		t.Fatal("delete failed")
+	}
+	if _, vis := r.GetAt(pend, eBefore); vis != Visible {
+		t.Fatalf("deleted row at pre-delete epoch = %v", vis)
+	}
+	if _, vis := r.GetAt(pend, r.ReadEpoch()); vis != Retired {
+		t.Fatalf("deleted row at current epoch = %v", vis)
+	}
+	if _, vis := r.GetAt(TupleID{Chunk: 99, Row: 0}, 0); vis != Absent {
+		t.Fatalf("bogus tid = %v", vis)
+	}
+
+	// The atomic Relation.Update stamps retire and birth with one epoch:
+	// a reader at any epoch sees exactly one of the two versions.
+	base, _ := r.Insert(mkRow(2, 5.0, "a"))
+	ePre := r.ReadEpoch()
+	moved, err := r.Update(base, mkRow(2, 6.0, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, vis := r.GetAt(base, ePre); vis != Visible {
+		t.Fatalf("old version at pre-update epoch = %v", vis)
+	}
+	if _, vis := r.GetAt(moved, ePre); vis != NotYetBorn {
+		t.Fatalf("new version at pre-update epoch = %v, want not-yet-born", vis)
+	}
+	eNow := r.ReadEpoch()
+	if _, vis := r.GetAt(base, eNow); vis != Retired {
+		t.Fatalf("old version at post-update epoch = %v", vis)
+	}
+	if _, vis := r.GetAt(moved, eNow); vis != Visible {
+		t.Fatalf("new version at post-update epoch = %v", vis)
+	}
+}
+
+// TestAbortPendingInvisible: an aborted pending version never becomes
+// visible and the old version survives, with counts intact.
+func TestAbortPendingInvisible(t *testing.T) {
+	r := NewRelation(testSchema(), 0)
+	tid, _ := r.Insert(mkRow(1, 1.0, "keep"))
+	pend, err := r.InsertPending(mkRow(1, 9.0, "dead"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AbortPending(pend)
+	if _, vis := r.GetAt(pend, r.ReadEpoch()); vis == Visible {
+		t.Fatal("aborted pending row visible")
+	}
+	if row, ok := r.Get(tid); !ok || row[1].Float() != 1.0 {
+		t.Fatalf("old version after abort: %v %v", row, ok)
+	}
+	if r.NumRows() != 1 {
+		t.Fatalf("NumRows after abort = %d", r.NumRows())
+	}
+	if got := r.Chunk(0).LiveRows(); got != 1 {
+		t.Fatalf("LiveRows after abort = %d", got)
+	}
+	total := 0
+	for _, v := range r.Snapshot() {
+		for row := 0; row < v.Rows(); row++ {
+			if !v.IsDeleted(row) {
+				total++
+			}
+		}
+	}
+	if total != 1 {
+		t.Fatalf("snapshot sees %d rows after abort", total)
+	}
+}
+
+// TestSnapshotCutoffExcludesLaterCommit: a snapshot taken mid-update (new
+// version pending) resolves the old version even when iterated after the
+// commit — the zero-copy view filters the shared bitmap and stamps by its
+// epoch cutoff.
+func TestSnapshotCutoffExcludesLaterCommit(t *testing.T) {
+	r := NewRelation(testSchema(), 0)
+	tid, _ := r.Insert(mkRow(1, 1.0, "old"))
+	pend, err := r.InsertPending(mkRow(1, 2.0, "new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := r.Snapshot() // old visible, new pending
+	if _, ok := r.CommitUpdate(tid, pend); !ok {
+		t.Fatal("commit failed")
+	}
+	v := &views[0]
+	if v.Rows() != 2 {
+		t.Fatalf("snapshot rows = %d", v.Rows())
+	}
+	if v.IsDeleted(int(tid.Row)) {
+		t.Fatal("snapshot lost the pre-commit version")
+	}
+	if !v.IsDeleted(int(pend.Row)) {
+		t.Fatal("snapshot sees the post-commit version")
+	}
+	if v.LiveRows() != 1 {
+		t.Fatalf("snapshot LiveRows = %d", v.LiveRows())
+	}
+	// A fresh snapshot sees exactly the flipped state.
+	fresh := r.Snapshot()
+	if !fresh[0].IsDeleted(int(tid.Row)) || fresh[0].IsDeleted(int(pend.Row)) {
+		t.Fatal("fresh snapshot did not flip to the new version")
+	}
+	if fresh[0].LiveRows() != 1 {
+		t.Fatalf("fresh LiveRows = %d", fresh[0].LiveRows())
+	}
+}
+
 // TestFreezeRunsOutsideRelationLock proves the freeze claim: while
 // core.Freeze is stalled mid-compression, inserts, point reads and
 // snapshots on the same relation must complete, and the chunk must report
@@ -271,6 +429,32 @@ func TestStorageStress(t *testing.T) {
 		}
 	}()
 
+	// Lock-free chunk accessors: the package doc promises Rows/LiveRows
+	// and the deleted count are safe without the relation lock (the
+	// counters are atomic). Run with -race this is the proof.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < r.NumChunks(); i++ {
+				c := r.Chunk(i)
+				if live, rows := c.LiveRows(), c.Rows(); live > rows {
+					t.Errorf("chunk %d: LiveRows %d > Rows %d", i, live, rows)
+					return
+				}
+				if c.NumDeleted() < 0 {
+					t.Errorf("chunk %d: negative delete count", i)
+					return
+				}
+			}
+		}
+	}()
+
 	// Scanners: sweep snapshots and read every visible value.
 	for s := 0; s < 2; s++ {
 		wg.Add(1)
@@ -328,6 +512,19 @@ func TestStorageStress(t *testing.T) {
 					nt, err := r.Update(tids[i/2], mkRow(base+int64(perWriter+i), 1, "u"))
 					if err == nil {
 						tids[i/2] = nt
+					}
+				case 4:
+					// Three-step epoch-versioned update of an own key.
+					victim := tids[i/4]
+					pend, err := r.InsertPending(mkRow(base+int64(2*perWriter+i), 2, "p"))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, ok := r.CommitUpdate(victim, pend); ok {
+						tids[i/4] = pend
+					} else {
+						r.AbortPending(pend)
 					}
 				case 5:
 					if r.Delete(tids[i/3]) {

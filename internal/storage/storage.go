@@ -13,14 +13,45 @@
 // A Relation is safe for concurrent use. The operations that may overlap
 // freely are:
 //
-//   - OLTP writes: Insert, BulkAppend, Delete, Update (serialized
+//   - OLTP writes: Insert, BulkAppend, Delete, Update and the three-step
+//     update protocol InsertPending/CommitUpdate/AbortPending (serialized
 //     internally on the relation lock, each O(1)).
-//   - OLTP reads: Get, GetCol (shared lock).
-//   - OLAP scans: Snapshot returns immutable ChunkViews; scan drivers
-//     iterate a snapshot and never re-read mutable chunk state.
+//   - OLTP reads: Get, GetCol, GetAt (shared lock).
+//   - OLAP scans: Snapshot returns ChunkViews pinned to an epoch cutoff;
+//     scan drivers iterate a snapshot and never observe row versions
+//     committed after the cutoff.
 //   - Background freezing: FreezeChunk/FreezeAll with a negative SortBy
 //     run core.Freeze compression outside the relation lock, so inserts,
 //     lookups and scans proceed while a chunk is being compressed.
+//
+// # Epoch-versioned reads
+//
+// The relation maintains a monotonically increasing write epoch. Every
+// delete stamps the retired row with the epoch that killed it, and every
+// committed update stamps the replacement row with the epoch it was born
+// at; both stamps are installed under one write-lock acquisition, so they
+// become visible atomically. A reader that captured epoch E therefore has
+// an exact visibility rule: a row is visible at E iff it was born at or
+// before E and not retired at or before E. GetAt evaluates that rule for
+// point reads and reports *why* an invisible row is invisible (not yet
+// born versus already retired), which is what lets an index with version
+// records fall back to the previous version of a tuple that is mid-update
+// — closing the update/lookup read anomaly: a key that exists at all
+// times resolves to either its pre- or its post-update version, never to
+// neither.
+//
+// The three-step update protocol orders the steps so that no read epoch
+// ever observes a gap: InsertPending appends the new version invisibly
+// (born at +inf), the caller publishes the new tuple identifier in its
+// index, and CommitUpdate atomically (one epoch) makes the new version
+// visible and retires the old one. Between the steps, readers resolve the
+// old version; after commit, the epoch decides.
+//
+// Snapshots are zero-copy: a ChunkView shares the chunk's delete bitmap
+// (word-level atomic access) and epoch stamps, and filters both by the
+// cutoff epoch captured at snapshot time. A delete or update committed
+// after the snapshot necessarily carries a later epoch, so the view keeps
+// reading the pre-mutation state without copying the bitmap.
 //
 // Each chunk moves through a one-way state machine:
 //
@@ -40,9 +71,9 @@
 // the relation first (see ROADMAP: sorted-freeze under concurrency).
 //
 // Lock-free access to a *Chunk (Relation.Chunk/Chunks) is safe for frozen
-// chunks and for the state/row-count accessors; reading the column data of
-// a chunk that is still hot while writers run requires a ChunkView from
-// Snapshot.
+// chunks and for the state/row-count accessors (Rows, LiveRows, Deleted
+// counts are atomic); reading the column data of a chunk that is still hot
+// while writers run requires a ChunkView from Snapshot.
 package storage
 
 import (
@@ -159,22 +190,51 @@ type chunkPayload struct {
 	blk *core.Block
 }
 
+// pendingEpoch is the birth stamp of a row inserted by InsertPending: it
+// sorts after every real epoch, so the row is invisible to all readers
+// until CommitUpdate overwrites the stamp with the commit epoch.
+const pendingEpoch = ^uint64(0)
+
 // Chunk is one fixed-size slice of a relation: hot, freezing or frozen.
 type Chunk struct {
 	state atomic.Uint32
 	pay   atomic.Pointer[chunkPayload]
 
 	// The delete bitmap is shared by the hot and frozen payloads (tuple
-	// identifiers survive unsorted freezing). Guarded by the relation
-	// lock; concurrent readers must use a ChunkView snapshot.
+	// identifiers survive unsorted freezing). It is mutated under the
+	// relation write lock with word-level atomic sets and may be read
+	// lock-free with atomic loads (bits are only ever set), so ChunkViews
+	// share it without copying.
 	deleted    []uint64 // bit set = deleted; lazily allocated
-	numDeleted int
+	numDeleted atomic.Int32
+	// pending counts rows inserted by InsertPending that have neither
+	// committed nor aborted yet.
+	pending atomic.Int32
+	// bornCount counts rows that ever received a birth stamp; zero lets
+	// point reads skip the born map entirely.
+	bornCount atomic.Int32
+	// retired maps row -> write epoch at which the row was delete-flagged;
+	// born maps row -> write epoch at which an update-created row became
+	// visible (pendingEpoch until its commit). Both are replaced wholesale
+	// by a sorted freeze, so in-flight views keep their own references.
+	retired *sync.Map
+	born    *sync.Map
 }
 
 func newChunk(h *HotChunk) *Chunk {
-	c := &Chunk{}
+	c := &Chunk{retired: &sync.Map{}, born: &sync.Map{}}
 	c.pay.Store(&chunkPayload{hot: h})
 	return c
+}
+
+// retiredAt returns the epoch at which row was delete-flagged. A set bit
+// with no stamp (impossible through the public API) is treated as retired
+// at epoch 0, i.e. invisible to everyone.
+func (c *Chunk) retiredAt(row uint32) uint64 {
+	if e, ok := c.retired.Load(row); ok {
+		return e.(uint64)
+	}
+	return 0
 }
 
 // State returns the chunk's lifecycle state.
@@ -198,31 +258,38 @@ func (c *Chunk) Rows() int {
 	return p.hot.Rows()
 }
 
-// LiveRows returns the tuple count excluding deleted tuples.
-func (c *Chunk) LiveRows() int { return c.Rows() - c.numDeleted }
-
-// Deleted returns the delete bitmap (nil when nothing was deleted).
-func (c *Chunk) Deleted() []uint64 {
-	if c.numDeleted == 0 {
-		return nil
-	}
-	return c.deleted
+// LiveRows returns the tuple count excluding deleted and pending tuples.
+// Like Rows it is safe to call lock-free: both counters are atomic.
+func (c *Chunk) LiveRows() int {
+	return c.Rows() - int(c.numDeleted.Load()) - int(c.pending.Load())
 }
 
-// IsDeleted reports whether the row carries the delete flag.
-func (c *Chunk) IsDeleted(row int) bool {
-	return c.deleted != nil && simd.BitmapGet(c.deleted, uint32(row))
-}
+// NumDeleted returns the number of delete-flagged tuples (atomic, safe
+// lock-free). Per-row delete state is only exposed through ChunkView,
+// whose epoch cutoff and atomic bitmap access make it safe without the
+// relation lock.
+func (c *Chunk) NumDeleted() int { return int(c.numDeleted.Load()) }
 
-// ChunkView is an immutable snapshot of one chunk, taken under the
+// ChunkView is a consistent snapshot of one chunk, taken under the
 // relation lock by Relation.Snapshot. Scans capture a view once per chunk
-// and never observe concurrent appends, deletes or hot→frozen payload
-// swaps.
+// and never observe concurrent appends, hot→frozen payload swaps, or row
+// versions committed after the snapshot.
+//
+// Views are zero-copy: the delete bitmap and epoch stamps are shared with
+// the live chunk and filtered through the cutoff epoch captured at
+// snapshot time. Deletes and update commits that land after the snapshot
+// carry epochs above the cutoff, so the view keeps resolving the
+// pre-mutation state without having copied anything.
 type ChunkView struct {
 	hot        *HotChunk
 	blk        *core.Block
-	del        []uint64
+	del        []uint64 // shared with the chunk; atomic word access only
+	retired    *sync.Map
+	born       *sync.Map
+	cutoff     uint64
 	numDeleted int
+	pending    int
+	bornCheck  bool
 }
 
 // IsFrozen reports whether the chunk was frozen at snapshot time.
@@ -242,22 +309,44 @@ func (v *ChunkView) Rows() int {
 	return v.hot.Rows()
 }
 
-// LiveRows returns the tuple count excluding deleted tuples.
-func (v *ChunkView) LiveRows() int { return v.Rows() - v.numDeleted }
+// LiveRows returns the tuple count visible at the view's epoch cutoff.
+func (v *ChunkView) LiveRows() int { return v.Rows() - v.numDeleted - v.pending }
 
-// Deleted returns the snapshotted delete bitmap (nil when nothing was
-// deleted at snapshot time).
-func (v *ChunkView) Deleted() []uint64 {
-	if v.numDeleted == 0 {
-		return nil
+// IsDeleted reports whether the row is invisible at the view's epoch
+// cutoff: delete-flagged at or before the cutoff, or born after it (a
+// pending or later-committed update version). The name predates the epoch
+// machinery; scan drivers use it to skip rows.
+func (v *ChunkView) IsDeleted(row int) bool { return !v.visible(uint32(row)) }
+
+func (v *ChunkView) visible(row uint32) bool {
+	if v.del != nil && simd.BitmapGetAtomic(v.del, row) {
+		if e, ok := v.retired.Load(row); !ok || e.(uint64) <= v.cutoff {
+			return false
+		}
 	}
-	return v.del
+	if v.bornCheck {
+		if b, ok := v.born.Load(row); ok && b.(uint64) > v.cutoff {
+			return false
+		}
+	}
+	return true
 }
 
-// IsDeleted reports whether the row carried the delete flag at snapshot
-// time.
-func (v *ChunkView) IsDeleted(row int) bool {
-	return v.del != nil && simd.BitmapGet(v.del, uint32(row))
+// FilterVisible compacts a match vector in place, keeping only positions
+// visible at the view's epoch cutoff. When the chunk had no deletes and
+// no in-flight updates at snapshot time this is free.
+func (v *ChunkView) FilterVisible(m []uint32) []uint32 {
+	if v.numDeleted == 0 && !v.bornCheck {
+		return m
+	}
+	w := 0
+	for _, p := range m {
+		if v.visible(p) {
+			m[w] = p
+			w++
+		}
+	}
+	return m[:w]
 }
 
 // Value returns cell (col, row) of the snapshot as a dynamic value.
@@ -276,6 +365,12 @@ type Relation struct {
 	chunkCap int
 	chunks   []*Chunk
 	live     int
+
+	// epoch is the monotonically increasing write epoch. Deletes and
+	// update commits bump it under the write lock and stamp the affected
+	// rows; readers capture it (ReadEpoch, Snapshot) to pin a visibility
+	// cutoff.
+	epoch atomic.Uint64
 }
 
 // NewRelation creates an empty relation. chunkCapacity caps rows per chunk;
@@ -316,27 +411,47 @@ func (r *Relation) Chunks() []*Chunk {
 	return append([]*Chunk(nil), r.chunks...)
 }
 
-// Snapshot captures an immutable view of every chunk for a scan. View i
-// corresponds to chunk ordinal i, so row positions remain valid TupleIDs.
+// ReadEpoch returns the current write epoch: the visibility cutoff a
+// point reader should capture *before* resolving an index entry, so that
+// the index publish/commit ordering guarantees it a visible version.
+func (r *Relation) ReadEpoch() uint64 { return r.epoch.Load() }
+
+// Snapshot captures a consistent view of every chunk for a scan, pinned
+// to the current write epoch. View i corresponds to chunk ordinal i, so
+// row positions remain valid TupleIDs. The views share the live delete
+// bitmap and epoch stamps (zero-copy); the cutoff keeps later mutations
+// invisible.
 func (r *Relation) Snapshot() []ChunkView {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	cutoff := r.epoch.Load()
 	views := make([]ChunkView, len(r.chunks))
 	for i, c := range r.chunks {
-		views[i] = c.viewLocked()
+		views[i] = c.viewLocked(cutoff)
 	}
 	return views
 }
 
-// viewLocked snapshots one chunk. Caller holds at least the read lock,
-// which excludes appends, deletes and freeze installs, so the copied
-// headers, row count and delete bitmap are mutually consistent; rows below
-// the count are immutable afterwards.
-func (c *Chunk) viewLocked() ChunkView {
-	v := ChunkView{numDeleted: c.numDeleted}
-	if c.numDeleted > 0 {
-		v.del = append([]uint64(nil), c.deleted...)
+// viewLocked snapshots one chunk at the given epoch cutoff. Caller holds
+// at least the read lock, which excludes appends, deletes, update commits
+// and freeze installs, so the captured headers, row count, delete count
+// and cutoff are mutually consistent; rows below the count are immutable
+// afterwards, and every mutation after the snapshot carries an epoch
+// above the cutoff.
+func (c *Chunk) viewLocked(cutoff uint64) ChunkView {
+	v := ChunkView{
+		del:        c.deleted,
+		retired:    c.retired,
+		born:       c.born,
+		cutoff:     cutoff,
+		numDeleted: int(c.numDeleted.Load()),
+		pending:    int(c.pending.Load()),
 	}
+	// Only rows that are pending right now can be born above the cutoff
+	// later (their commit epoch will exceed it); committed births are all
+	// at or below the current epoch. No pending rows means the view never
+	// needs the born map.
+	v.bornCheck = v.pending > 0
 	p := c.pay.Load()
 	if p.blk != nil {
 		v.blk = p.blk
@@ -420,9 +535,24 @@ func (r *Relation) Insert(row types.Row) (TupleID, error) {
 
 // insertLocked appends a pre-validated row. Caller holds the write lock.
 func (r *Relation) insertLocked(row types.Row) TupleID {
+	tid := r.appendLocked(row, false)
+	r.live++
+	return tid
+}
+
+// appendLocked appends a pre-validated row to the hot tail. A pending row
+// is stamped born-at-+inf *before* the row count is published, so no
+// reader or snapshot ever sees it until CommitUpdate re-stamps it. Caller
+// holds the write lock and adjusts the live count.
+func (r *Relation) appendLocked(row types.Row, pending bool) TupleID {
 	c, ci := r.tail()
 	h := c.pay.Load().hot
 	n := h.Rows()
+	if pending {
+		c.born.Store(uint32(n), pendingEpoch)
+		c.bornCount.Add(1)
+		c.pending.Add(1)
+	}
 	for i, v := range row {
 		col := &h.cols[i]
 		if v.IsNull() && col.nulls == nil {
@@ -455,7 +585,6 @@ func (r *Relation) insertLocked(row types.Row) TupleID {
 	// Publish the row only after its values are in place: the row count is
 	// the watermark snapshots read.
 	h.n.Store(int32(n + 1))
-	r.live++
 	return TupleID{Chunk: uint32(ci), Row: uint32(n)}
 }
 
@@ -512,47 +641,129 @@ func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
 	return nil
 }
 
-// Delete flags the tuple as deleted. Frozen tuples keep their slot (§3:
-// frozen records are marked with a flag); hot tuples likewise, preserving
-// tuple identifiers. It reports whether the tuple existed and was live.
+// Delete flags the tuple as deleted, stamping it with a fresh write
+// epoch. Frozen tuples keep their slot (§3: frozen records are marked
+// with a flag); hot tuples likewise, preserving tuple identifiers. It
+// reports whether the tuple existed and was live. Readers that captured
+// an earlier epoch keep seeing the tuple.
 func (r *Relation) Delete(tid TupleID) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.deleteLocked(tid)
 }
 
-// deleteLocked flags a tuple under the write lock held by the caller.
+// deleteLocked flags a tuple under the write lock held by the caller,
+// stamping it with a freshly minted epoch.
 func (r *Relation) deleteLocked(tid TupleID) bool {
 	c, ok := r.chunkFor(tid)
-	if !ok {
+	if !ok || !r.retireLocked(c, tid.Row, r.epoch.Add(1)) {
 		return false
 	}
+	r.live--
+	return true
+}
+
+// retireLocked stamps row as retired at epoch e and sets its delete bit.
+// The stamp is stored before the bit so a lock-free reader that observes
+// the bit always finds the epoch. Caller holds the write lock.
+func (r *Relation) retireLocked(c *Chunk, row uint32, e uint64) bool {
 	if c.deleted == nil {
 		c.deleted = make([]uint64, simd.BitmapWords(r.chunkCap))
 	}
-	if simd.BitmapGet(c.deleted, tid.Row) {
+	if simd.BitmapGetAtomic(c.deleted, row) {
 		return false
 	}
-	simd.BitmapSet(c.deleted, tid.Row)
-	c.numDeleted++
-	r.live--
+	c.retired.Store(row, e)
+	simd.BitmapSetAtomic(c.deleted, row)
+	c.numDeleted.Add(1)
 	return true
 }
 
 // Update rewrites the tuple as delete + insert into the hot tail (§1) and
 // returns the tuple's new identifier. The new row is validated before the
 // old tuple is touched, and the delete + insert pair happens atomically
-// under the relation lock, so a failed update leaves the tuple intact.
+// under the relation lock, so a failed update leaves the tuple intact and
+// no reader or snapshot ever sees both versions. (Callers that publish
+// tuple identifiers through an index want the three-step
+// InsertPending/CommitUpdate protocol instead, which keeps a version
+// visible across the index repoint.)
 func (r *Relation) Update(tid TupleID, row types.Row) (TupleID, error) {
 	if err := r.validateRow(row); err != nil {
 		return TupleID{}, err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !r.deleteLocked(tid) {
+	c, ok := r.chunkFor(tid)
+	if !ok {
 		return TupleID{}, errors.New("storage: update of missing or deleted tuple")
 	}
-	return r.insertLocked(row), nil
+	// One epoch retires the old version and births the new one, so a
+	// reader at any epoch sees exactly one of the two (the born stamp
+	// matters only to GetAt with a pre-update epoch; snapshots are
+	// already watermark-bounded).
+	e := r.epoch.Add(1)
+	if !r.retireLocked(c, tid.Row, e) {
+		return TupleID{}, errors.New("storage: update of missing or deleted tuple")
+	}
+	newTid := r.appendLocked(row, false)
+	nc := r.chunks[newTid.Chunk]
+	nc.born.Store(newTid.Row, e)
+	nc.bornCount.Add(1)
+	return newTid, nil
+}
+
+// InsertPending appends a new row version that is invisible to every
+// reader and snapshot (born at +inf) until CommitUpdate stamps it. It is
+// step one of the anomaly-free update protocol: insert the new version,
+// publish its identifier in the index, then commit. The pending row does
+// not count as live.
+func (r *Relation) InsertPending(row types.Row) (TupleID, error) {
+	if err := r.validateRow(row); err != nil {
+		return TupleID{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appendLocked(row, true), nil
+}
+
+// CommitUpdate atomically makes the pending row newTid visible and
+// retires oldTid, both stamped with the same freshly minted write epoch;
+// any reader epoch therefore sees exactly one of the two versions. It
+// returns the commit epoch, and false if oldTid is already dead or either
+// identifier is unknown (the caller should AbortPending the new version).
+func (r *Relation) CommitUpdate(oldTid, newTid TupleID) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nc, ok := r.chunkFor(newTid)
+	if !ok {
+		return 0, false
+	}
+	oc, ok := r.chunkFor(oldTid)
+	if !ok || (oc.deleted != nil && simd.BitmapGetAtomic(oc.deleted, oldTid.Row)) {
+		return 0, false
+	}
+	e := r.epoch.Add(1)
+	nc.born.Store(newTid.Row, e)
+	nc.pending.Add(-1)
+	r.retireLocked(oc, oldTid.Row, e)
+	// Live count is unchanged: the old version leaves, the new one enters.
+	return e, true
+}
+
+// AbortPending discards a pending row inserted by InsertPending: the row
+// keeps its slot but is retired at epoch 0, invisible to every reader
+// past and future. It must only be called on a row whose commit never
+// happened.
+func (r *Relation) AbortPending(tid TupleID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.chunkFor(tid)
+	if !ok {
+		return
+	}
+	if r.retireLocked(c, tid.Row, 0) {
+		c.pending.Add(-1)
+	}
 }
 
 func (r *Relation) chunkFor(tid TupleID) (*Chunk, bool) {
@@ -566,13 +777,57 @@ func (r *Relation) chunkFor(tid TupleID) (*Chunk, bool) {
 	return c, true
 }
 
-// Get materializes the tuple, or reports false if it is deleted or absent.
+// Visibility reports the outcome of an epoch-aware point read: either the
+// tuple is visible, or *why* it is not — the distinction an index needs
+// to decide between falling back to a previous version, retrying with a
+// fresh epoch, or reporting a true miss.
+type Visibility uint8
+
+const (
+	// Visible: the tuple was born at or before the read epoch and not
+	// retired at or before it.
+	Visible Visibility = iota
+	// NotYetBorn: the tuple version was committed after the read epoch
+	// (or is still pending). The reader should resolve the previous
+	// version, or retry with a fresh epoch if it has none.
+	NotYetBorn
+	// Retired: the tuple was delete-flagged at or before the read epoch.
+	Retired
+	// Absent: the tuple identifier does not address a row.
+	Absent
+)
+
+// String names the visibility for diagnostics.
+func (v Visibility) String() string {
+	switch v {
+	case Visible:
+		return "visible"
+	case NotYetBorn:
+		return "not-yet-born"
+	case Retired:
+		return "retired"
+	default:
+		return "absent"
+	}
+}
+
+// Get materializes the tuple at the current write epoch, or reports false
+// if it is deleted, pending or absent.
 func (r *Relation) Get(tid TupleID) (types.Row, bool) {
+	row, vis := r.GetAt(tid, r.epoch.Load())
+	return row, vis == Visible
+}
+
+// GetAt materializes the tuple as seen by a reader at epoch e: exactly
+// the version visible at that epoch — for a tuple mid-update, the pre- or
+// the post-commit version, never neither. The returned Visibility
+// explains an invisible result.
+func (r *Relation) GetAt(tid TupleID, e uint64) (types.Row, Visibility) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	c, ok := r.chunkFor(tid)
-	if !ok || c.IsDeleted(int(tid.Row)) {
-		return nil, false
+	c, vis := r.visibilityLocked(tid, e)
+	if vis != Visible {
+		return nil, vis
 	}
 	p := c.pay.Load()
 	row := make(types.Row, r.schema.NumColumns())
@@ -583,16 +838,16 @@ func (r *Relation) Get(tid TupleID) (types.Row, bool) {
 			row[i] = p.hot.Value(i, int(tid.Row))
 		}
 	}
-	return row, true
+	return row, Visible
 }
 
-// GetCol returns a single attribute of a tuple — the OLTP point access the
-// format is designed around (§3.4).
+// GetCol returns a single attribute of a tuple at the current write epoch
+// — the OLTP point access the format is designed around (§3.4).
 func (r *Relation) GetCol(tid TupleID, col int) (types.Value, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	c, ok := r.chunkFor(tid)
-	if !ok || c.IsDeleted(int(tid.Row)) {
+	c, vis := r.visibilityLocked(tid, r.epoch.Load())
+	if vis != Visible {
 		return types.Value{}, false
 	}
 	p := c.pay.Load()
@@ -600,6 +855,24 @@ func (r *Relation) GetCol(tid TupleID, col int) (types.Value, bool) {
 		return p.blk.Value(col, int(tid.Row)), true
 	}
 	return p.hot.Value(col, int(tid.Row)), true
+}
+
+// visibilityLocked resolves a tuple identifier and classifies its
+// visibility at epoch e. Caller holds at least the read lock.
+func (r *Relation) visibilityLocked(tid TupleID, e uint64) (*Chunk, Visibility) {
+	c, ok := r.chunkFor(tid)
+	if !ok {
+		return nil, Absent
+	}
+	if c.bornCount.Load() != 0 {
+		if b, ok := c.born.Load(tid.Row); ok && b.(uint64) > e {
+			return c, NotYetBorn
+		}
+	}
+	if c.deleted != nil && simd.BitmapGetAtomic(c.deleted, tid.Row) && c.retiredAt(tid.Row) <= e {
+		return c, Retired
+	}
+	return c, Visible
 }
 
 // FreezeChunk compresses chunk i into a Data Block. With a non-negative
@@ -705,9 +978,12 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	if n == 0 {
 		return errors.New("storage: cannot freeze empty chunk")
 	}
+	if c.pending.Load() != 0 {
+		return fmt.Errorf("storage: chunk %d has pending update versions; sorted freeze must not overlap writers", i)
+	}
 	total := n
 	var keep []uint32
-	if c.numDeleted > 0 {
+	if c.numDeleted.Load() > 0 {
 		for row := 0; row < total; row++ {
 			if !simd.BitmapGet(c.deleted, uint32(row)) {
 				keep = append(keep, uint32(row))
@@ -740,8 +1016,14 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	c.state.Store(uint32(ChunkFrozen))
 	if keep != nil {
 		c.deleted = nil
-		c.numDeleted = 0
+		c.numDeleted.Store(0)
 	}
+	// Row indexes were reassigned: the old epoch stamps are meaningless.
+	// Fresh maps are installed so in-flight views keep their own
+	// references to the pre-freeze state.
+	c.retired = &sync.Map{}
+	c.born = &sync.Map{}
+	c.bornCount.Store(0)
 	return nil
 }
 
@@ -754,10 +1036,25 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 func (r *Relation) FreezeAll(opts core.FreezeOptions, keepHotTail bool) error {
 	r.mu.RLock()
 	last := len(r.chunks)
-	r.mu.RUnlock()
 	if keepHotTail {
 		last--
 	}
+	// Sorted freezing reorders tuple identifiers chunk by chunk; validate
+	// every target chunk up front so a doomed pass fails before anything
+	// is reordered. The check is authoritative only under the caller's
+	// write exclusion (Table.FreezeSorted holds its write mutex; sorted
+	// freezing is documented stop-the-world) — a writer racing a direct
+	// Relation caller could still slip a pending row in after the check,
+	// which the per-chunk re-check in freezeChunkSorted then catches.
+	if opts.SortBy >= 0 {
+		for i := 0; i < last; i++ {
+			if r.chunks[i].pending.Load() != 0 {
+				r.mu.RUnlock()
+				return fmt.Errorf("storage: chunk %d has pending update versions; sorted freeze must not overlap writers", i)
+			}
+		}
+	}
+	r.mu.RUnlock()
 	for i := 0; i < last; i++ {
 		if err := r.FreezeChunk(i, opts); err != nil {
 			return err
@@ -847,7 +1144,7 @@ func (r *Relation) MemoryStats() MemStats {
 	defer r.mu.RUnlock()
 	var m MemStats
 	for _, c := range r.chunks {
-		m.DeletedRows += c.numDeleted
+		m.DeletedRows += int(c.numDeleted.Load())
 		m.Rows += c.Rows()
 		p := c.pay.Load()
 		if p.blk != nil {

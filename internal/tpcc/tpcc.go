@@ -234,7 +234,7 @@ func (db *DB) NewOrderTx() error {
 		if err != nil {
 			return err
 		}
-		db.stockIdx.Update(sKey, newTid)
+		db.stockIdx.Repoint(sKey, newTid)
 
 		olTid, err := db.OrderLine.Insert(types.Row{
 			types.IntValue(w), types.IntValue(d), types.IntValue(oid), types.IntValue(ln),
