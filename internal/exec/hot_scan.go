@@ -17,7 +17,9 @@ import (
 
 func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 	h := ch.Hot()
-	n := h.Rows()
+	// Iterate to the view's watermark: rows appended after the snapshot
+	// are not part of the view.
+	n := ch.Rows()
 	for from := 0; from < n; from += d.vecSize {
 		hi := from + d.vecSize
 		if hi > n {

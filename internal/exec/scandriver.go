@@ -337,7 +337,7 @@ func (d *scanDriver) processChunk(ch *storage.ChunkView) error {
 		}
 		return d.vecBlock(ch)
 	}
-	if ch.Hot().Rows() == 0 {
+	if ch.Rows() == 0 {
 		return nil
 	}
 	if d.mode == ModeJIT {
@@ -363,7 +363,7 @@ func (d *scanDriver) jitBlock(ch *storage.ChunkView) error {
 		d.jitLayouts[key] = lp
 	}
 	t := d.tuple
-	n := blk.Rows()
+	n := ch.Rows()
 	for row := 0; row < n; row++ {
 		if ch.IsDeleted(row) {
 			continue
@@ -382,7 +382,9 @@ func (d *scanDriver) jitBlock(ch *storage.ChunkView) error {
 func (d *scanDriver) jitHotChunk(ch *storage.ChunkView) error {
 	h := ch.Hot()
 	t := d.tuple
-	n := h.Rows()
+	// Iterate to the view's watermark: rows appended after the snapshot
+	// are not part of the view.
+	n := ch.Rows()
 	for row := 0; row < n; row++ {
 		if ch.IsDeleted(row) {
 			continue

@@ -62,10 +62,14 @@ func (h *Hash) Insert(key int64, tid storage.TupleID) error {
 // the commit. Step two of the update protocol: the caller has inserted
 // the pending row and commits it in storage *after* the publish, so a
 // reader always finds a visible version through either Cur or Prev.
+//
+// Publishing a key that is not in the index records no previous version:
+// fabricating one from the zero Record would let a Lookup fall back to
+// TupleID{0,0} and materialize an unrelated row.
 func (h *Hash) Publish(key int64, tid storage.TupleID) {
 	h.mu.Lock()
-	old := h.m[key]
-	h.m[key] = Record{Cur: tid, Prev: old.Cur, HasPrev: true}
+	old, ok := h.m[key]
+	h.m[key] = Record{Cur: tid, Prev: old.Cur, HasPrev: ok}
 	h.mu.Unlock()
 }
 
@@ -82,20 +86,32 @@ func (h *Hash) Seal(key int64, epoch uint64) {
 
 // Repoint replaces a key's record with a fresh current version and no
 // history, for callers that rewrote the tuple with the storage layer's
-// *atomic* delete+insert (storage.Relation.Update) — there is no window
-// in which a reader needs the previous version, so none is retained.
+// atomic delete+insert (storage.Relation.Update). It is only safe when
+// no reader resolves the key concurrently with the update: Update
+// retires the old version *before* Repoint installs the new identifier,
+// so a concurrent reader could resolve the stale identifier to a retired
+// row and transiently miss — exactly the anomaly the
+// Publish/CommitUpdate/Seal protocol exists to prevent. Use it for
+// single-threaded maintenance and benchmarks only.
 func (h *Hash) Repoint(key int64, tid storage.TupleID) {
 	h.mu.Lock()
 	h.m[key] = Record{Cur: tid}
 	h.mu.Unlock()
 }
 
-// Unpublish reverts a Publish whose commit never happened, restoring the
-// previous version as current. Defensive abort path.
+// Unpublish reverts a Publish whose commit never happened: the previous
+// version becomes current again, or — when the publish created the
+// record (no previous version) — the record is removed entirely, so the
+// aborted pending identifier cannot linger as a permanently invisible
+// current version. Defensive abort path.
 func (h *Hash) Unpublish(key int64) {
 	h.mu.Lock()
-	if rec, ok := h.m[key]; ok && rec.HasPrev {
-		h.m[key] = Record{Cur: rec.Prev}
+	if rec, ok := h.m[key]; ok {
+		if rec.HasPrev {
+			h.m[key] = Record{Cur: rec.Prev}
+		} else {
+			delete(h.m, key)
+		}
 	}
 	h.mu.Unlock()
 }

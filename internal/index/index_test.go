@@ -135,6 +135,44 @@ func TestVersionRecordProtocol(t *testing.T) {
 	}
 }
 
+// TestPublishAbsentKeyNoFabricatedPrev: publishing a key that is not in
+// the index must not invent a previous version out of the zero Record —
+// a reader falling back to Prev would materialize the unrelated live row
+// at TupleID{0,0}.
+func TestPublishAbsentKeyNoFabricatedPrev(t *testing.T) {
+	r, h := keyedRelation(t, 3, 0)
+	tid, err := r.InsertPending(types.Row{types.IntValue(99), types.IntValue(990)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish(99, tid)
+	rec, ok := h.LookupRecord(99)
+	if !ok {
+		t.Fatal("published key missing")
+	}
+	if rec.HasPrev {
+		t.Fatalf("publish of absent key fabricated previous version %v", rec.Prev)
+	}
+	if rec.Cur != tid {
+		t.Fatalf("Cur = %v, want %v", rec.Cur, tid)
+	}
+	// Aborting the publish must remove the record it created — otherwise
+	// the aborted pending tid lingers as a permanently invisible current
+	// version and blocks the key forever.
+	r.AbortPending(tid)
+	h.Unpublish(99)
+	if _, ok := h.LookupRecord(99); ok {
+		t.Fatal("unpublish left a dangling record for the created key")
+	}
+	liveTid, err := r.Insert(types.Row{types.IntValue(99), types.IntValue(991)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Insert(99, liveTid); err != nil {
+		t.Fatalf("key blocked after aborted publish: %v", err)
+	}
+}
+
 func TestRebuildAfterSortedFreeze(t *testing.T) {
 	r, h := keyedRelation(t, 200, 100)
 	// Sorted freeze reorders tuples; index must be rebuilt.

@@ -218,6 +218,52 @@ func TestSnapshotCutoffExcludesLaterCommit(t *testing.T) {
 	}
 }
 
+// TestSnapshotWatermarkExcludesLaterUpdate: a snapshot taken while the
+// chunk has no pending rows (bornCheck off) must stay consistent when an
+// update protocol run starts *after* it. The pending insert lands above
+// the captured row-count watermark, so the view never consults the born
+// map for it, and the commit retires the old version at an epoch above
+// the cutoff, so the view keeps the pre-update version — never zero and
+// never two versions of the key. Plain inserts after the snapshot are
+// likewise above the watermark.
+func TestSnapshotWatermarkExcludesLaterUpdate(t *testing.T) {
+	r := NewRelation(testSchema(), 0)
+	tid, _ := r.Insert(mkRow(1, 1.0, "old"))
+	views := r.Snapshot() // no pending rows: bornCheck is off
+
+	pend, err := r.InsertPending(mkRow(1, 2.0, "new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.CommitUpdate(tid, pend); !ok {
+		t.Fatal("commit failed")
+	}
+	r.Insert(mkRow(2, 3.0, "later"))
+
+	v := &views[0]
+	if v.Rows() != 1 {
+		t.Fatalf("snapshot rows = %d, want the watermark 1", v.Rows())
+	}
+	if v.IsDeleted(int(tid.Row)) {
+		t.Fatal("snapshot lost the pre-update version (retired above the cutoff)")
+	}
+	if v.LiveRows() != 1 {
+		t.Fatalf("snapshot LiveRows = %d", v.LiveRows())
+	}
+	// A fresh snapshot sees the post-update state: new version plus the
+	// later insert, old version dead.
+	fresh := r.Snapshot()
+	if fresh[0].Rows() != 3 {
+		t.Fatalf("fresh snapshot rows = %d", fresh[0].Rows())
+	}
+	if !fresh[0].IsDeleted(int(tid.Row)) || fresh[0].IsDeleted(int(pend.Row)) {
+		t.Fatal("fresh snapshot did not flip to the new version")
+	}
+	if fresh[0].LiveRows() != 2 {
+		t.Fatalf("fresh snapshot LiveRows = %d", fresh[0].LiveRows())
+	}
+}
+
 // TestFreezeRunsOutsideRelationLock proves the freeze claim: while
 // core.Freeze is stalled mid-compression, inserts, point reads and
 // snapshots on the same relation must complete, and the chunk must report

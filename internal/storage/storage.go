@@ -281,8 +281,15 @@ func (c *Chunk) NumDeleted() int { return int(c.numDeleted.Load()) }
 // carry epochs above the cutoff, so the view keeps resolving the
 // pre-mutation state without having copied anything.
 type ChunkView struct {
-	hot        *HotChunk
-	blk        *core.Block
+	hot *HotChunk
+	blk *core.Block
+	// rows is the row-count watermark captured under the relation lock:
+	// rows appended after the snapshot sit above it and are never
+	// consulted, which is what lets bornCheck stay false when the chunk
+	// had no pending rows at snapshot time (a later InsertPending or
+	// plain Insert lands above the watermark; a later CommitUpdate
+	// retires the old version at an epoch above the cutoff).
+	rows       int
 	del        []uint64 // shared with the chunk; atomic word access only
 	retired    *sync.Map
 	born       *sync.Map
@@ -301,16 +308,15 @@ func (v *ChunkView) Block() *core.Block { return v.blk }
 // Hot returns the snapshotted uncompressed chunk, or nil for frozen views.
 func (v *ChunkView) Hot() *HotChunk { return v.hot }
 
-// Rows returns the tuple count at snapshot time, including deleted tuples.
-func (v *ChunkView) Rows() int {
-	if v.blk != nil {
-		return v.blk.Rows()
-	}
-	return v.hot.Rows()
-}
+// Rows returns the row-count watermark captured at snapshot time,
+// including deleted tuples. Rows appended to the live chunk after the
+// snapshot sit above the watermark and are not part of the view.
+func (v *ChunkView) Rows() int { return v.rows }
 
 // LiveRows returns the tuple count visible at the view's epoch cutoff.
-func (v *ChunkView) LiveRows() int { return v.Rows() - v.numDeleted - v.pending }
+// Watermark, delete count and pending count were all captured under one
+// lock acquisition, so the value is internally consistent.
+func (v *ChunkView) LiveRows() int { return v.rows - v.numDeleted - v.pending }
 
 // IsDeleted reports whether the row is invisible at the view's epoch
 // cutoff: delete-flagged at or before the cutoff, or born after it (a
@@ -434,10 +440,11 @@ func (r *Relation) Snapshot() []ChunkView {
 
 // viewLocked snapshots one chunk at the given epoch cutoff. Caller holds
 // at least the read lock, which excludes appends, deletes, update commits
-// and freeze installs, so the captured headers, row count, delete count
-// and cutoff are mutually consistent; rows below the count are immutable
-// afterwards, and every mutation after the snapshot carries an epoch
-// above the cutoff.
+// and freeze installs, so the captured headers, row-count watermark,
+// delete count and cutoff are mutually consistent; rows below the
+// watermark are immutable afterwards, and every mutation after the
+// snapshot either lands above the watermark (appends) or carries an
+// epoch above the cutoff (deletes, update commits).
 func (c *Chunk) viewLocked(cutoff uint64) ChunkView {
 	v := ChunkView{
 		del:        c.deleted,
@@ -450,15 +457,22 @@ func (c *Chunk) viewLocked(cutoff uint64) ChunkView {
 	// Only rows that are pending right now can be born above the cutoff
 	// later (their commit epoch will exceed it); committed births are all
 	// at or below the current epoch. No pending rows means the view never
-	// needs the born map.
+	// needs the born map — a pending row inserted after the snapshot
+	// lands above the watermark and is excluded by the iteration bound.
 	v.bornCheck = v.pending > 0
 	p := c.pay.Load()
 	if p.blk != nil {
 		v.blk = p.blk
+		v.rows = p.blk.Rows()
 		return v
 	}
+	// The column copy pins the snapshot's slice headers (a later append
+	// may reallocate the lazily created null flags) and the watermark
+	// bounds every accessor, so the view never reads past snapshot state.
+	n := p.hot.n.Load()
+	v.rows = int(n)
 	snap := &HotChunk{cols: append([]hotCol(nil), p.hot.cols...)}
-	snap.n.Store(p.hot.n.Load())
+	snap.n.Store(n)
 	v.hot = snap
 	return v
 }

@@ -13,8 +13,10 @@
 //
 // District sequence counters live in memory (HyPer updates them in place;
 // our storage would otherwise turn every new-order into a district
-// migration), and stock rows are updated via the engine's delete+insert
-// update path (§3).
+// migration), and stock rows are rewritten through the anomaly-free
+// update protocol (pending insert, index publish, epoch commit), so a
+// concurrent point reader always resolves the pre- or post-update
+// version of a stock row, never neither (§3).
 package tpcc
 
 import (
@@ -175,8 +177,8 @@ func New(cfg Config) (*DB, error) {
 }
 
 // NewOrderTx executes one new-order transaction: reads the customer and the
-// ordered items, inserts order/new-order/order-line rows, and updates stock
-// via delete+insert.
+// ordered items, inserts order/new-order/order-line rows, and rewrites
+// stock through the anomaly-free update protocol.
 func (db *DB) NewOrderTx() error {
 	cfg := db.cfg
 	w := int64(db.rng.Intn(cfg.Warehouses))
@@ -213,7 +215,8 @@ func (db *DB) NewOrderTx() error {
 		}
 		price, _ := db.Item.GetCol(iTid, 2)
 		qty := db.rng.Range(1, 10)
-		// Stock update: read-modify-write as delete + insert (§3).
+		// Stock update: read-modify-write, rewritten as a new row version
+		// through the three-step update protocol (§3).
 		sKey := stockKey(db, w, item)
 		sTid, ok := db.stockIdx.Lookup(sKey)
 		if !ok {
@@ -227,14 +230,24 @@ func (db *DB) NewOrderTx() error {
 		if newQty < 10 {
 			newQty += 91
 		}
-		newTid, err := db.Stock.Update(sTid, types.Row{
+		// Anomaly-free rewrite: pending insert, index publish, commit.
+		// A reader that resolves sKey mid-update falls back from the
+		// not-yet-born new version to the previous one.
+		newTid, err := db.Stock.InsertPending(types.Row{
 			sRow[0], sRow[1], types.IntValue(newQty),
 			types.IntValue(sRow[3].Int() + qty), types.IntValue(sRow[4].Int() + 1),
 		})
 		if err != nil {
 			return err
 		}
-		db.stockIdx.Repoint(sKey, newTid)
+		db.stockIdx.Publish(sKey, newTid)
+		epoch, ok := db.Stock.CommitUpdate(sTid, newTid)
+		if !ok {
+			db.Stock.AbortPending(newTid)
+			db.stockIdx.Unpublish(sKey)
+			return fmt.Errorf("tpcc: stock (%d,%d) vanished during update", w, item)
+		}
+		db.stockIdx.Seal(sKey, epoch)
 
 		olTid, err := db.OrderLine.Insert(types.Row{
 			types.IntValue(w), types.IntValue(d), types.IntValue(oid), types.IntValue(ln),
