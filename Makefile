@@ -1,12 +1,15 @@
 # Tier-1 verify plus the concurrency checks, one command each.
 #
-#   make ci        — everything the driver checks, in order
-#   make race      — full test suite under the race detector
-#   make stress    — just the concurrent OLTP/OLAP stress tests, raced
+#   make ci          — everything the driver checks, in order
+#   make race        — full test suite under the race detector
+#   make stress      — just the concurrent OLTP/OLAP stress tests, raced
+#   make bench-evict — eviction/reload benchmarks, one iteration each
+#   make fuzz-short  — every fuzz target for FUZZTIME (default 60s) each
 
 GO ?= go
+FUZZTIME ?= 60s
 
-.PHONY: all build test race vet fmt-check stress ci
+.PHONY: all build test race vet fmt-check stress bench-evict fuzz-short ci
 
 all: ci
 
@@ -29,6 +32,15 @@ fmt-check:
 	fi
 
 stress:
-	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts|TestUpdateLookupNoReadAnomaly|TestUpdateLookupStress' . ./internal/storage/
+	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts|TestUpdateLookupNoReadAnomaly|TestUpdateLookupStress|TestConcurrentEvictReloadStress' . ./internal/storage/
 
-ci: fmt-check vet build test race
+# One iteration is enough to exercise the evict→reload path on every PR;
+# use -benchtime=10x locally for actual numbers.
+bench-evict:
+	$(GO) test -run '^$$' -bench=Evict -benchtime=1x ./...
+
+# go test fuzzes one target per invocation: list each explicitly.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz=FuzzUnmarshalBlock -fuzztime=$(FUZZTIME) ./internal/core
+
+ci: fmt-check vet build test race bench-evict fuzz-short

@@ -7,8 +7,8 @@
 //
 //	dbrepro [flags] <experiment>
 //
-// Experiments: table1 table2 table3 tpcc hybrid fig5 fig8 fig9 fig10 fig11
-// fig12 fig13 flights all
+// Experiments: table1 table2 table3 tpcc hybrid coldstore fig5 fig8 fig9
+// fig10 fig11 fig12 fig13 flights all
 package main
 
 import (
@@ -28,9 +28,11 @@ func main() {
 		txCount  = flag.Int("tx", 20_000, "transactions for tpcc")
 		parallel = flag.Int("parallel", 1, "query parallelism")
 		combos   = flag.Int("combos", 4096, "max storage-layout combinations for fig5")
-		seconds  = flag.Float64("seconds", 2, "wall time for the hybrid experiment")
-		writers  = flag.Int("writers", 4, "OLTP writer goroutines for hybrid")
-		scanners = flag.Int("scanners", 2, "OLAP scanner goroutines for hybrid")
+		seconds  = flag.Float64("seconds", 2, "wall time for the hybrid/coldstore experiments")
+		writers  = flag.Int("writers", 4, "OLTP writer goroutines for hybrid/coldstore")
+		scanners = flag.Int("scanners", 2, "OLAP scanner goroutines for hybrid/coldstore")
+		coldRows = flag.Int("coldrows", 120_000, "preloaded rows for coldstore")
+		budget   = flag.Int64("budget", 128<<10, "frozen-block memory budget in bytes for coldstore")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dbrepro [flags] <experiment>\n\nexperiments:\n")
@@ -39,6 +41,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  table3   point-access throughput (Table 3)\n")
 		fmt.Fprintf(os.Stderr, "  tpcc     TPC-C throughput (§5.3)\n")
 		fmt.Fprintf(os.Stderr, "  hybrid   concurrent OLTP writers + OLAP scans + background freezing (§1)\n")
+		fmt.Fprintf(os.Stderr, "  coldstore larger-than-RAM: disk-backed eviction under a memory budget (§1)\n")
 		fmt.Fprintf(os.Stderr, "  fig5     compile-time explosion (Figure 5)\n")
 		fmt.Fprintf(os.Stderr, "  fig8     SIMD find-matches speedup (Figure 8)\n")
 		fmt.Fprintf(os.Stderr, "  fig9     SIMD reduce-matches (Figure 9)\n")
@@ -68,6 +71,8 @@ func main() {
 			return experiments.TPCC(w, *txCount)
 		case "hybrid":
 			return experiments.Hybrid(w, *seconds, *writers, *scanners)
+		case "coldstore":
+			return experiments.ColdStore(w, *coldRows, *seconds, *writers, *scanners, *budget)
 		case "fig5":
 			return experiments.Fig5(w, *combos)
 		case "fig8":
@@ -92,7 +97,7 @@ func main() {
 	}
 	name := flag.Arg(0)
 	if name == "all" {
-		for _, e := range []string{"table1", "table2", "table3", "tpcc", "hybrid", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "flights"} {
+		for _, e := range []string{"table1", "table2", "table3", "tpcc", "hybrid", "coldstore", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "flights"} {
 			fmt.Fprintf(w, "==== %s ====\n", e)
 			if err := run(e); err != nil {
 				fmt.Fprintf(os.Stderr, "dbrepro %s: %v\n", e, err)

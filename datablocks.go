@@ -22,10 +22,12 @@ package datablocks
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 
+	"datablocks/internal/blockstore"
 	"datablocks/internal/core"
 	"datablocks/internal/exec"
 	"datablocks/internal/index"
@@ -47,6 +49,9 @@ type (
 	CompareOp = types.CompareOp
 	// MemStats summarizes a table's memory footprint.
 	MemStats = storage.MemStats
+	// ColdStats summarizes a table's cold-store traffic (evictions,
+	// reloads, residency against the budget, on-disk footprint).
+	ColdStats = storage.ColdStats
 	// TupleID is a stable tuple identifier.
 	TupleID = storage.TupleID
 	// Result is a materialized query result.
@@ -119,13 +124,20 @@ var (
 
 // DB is a collection of named tables.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	defaults []TableOption
 }
 
-// Open creates an empty in-memory database. Call Close to stop the
-// background compactors of tables created with WithAutoFreeze.
-func Open() *DB { return &DB{tables: make(map[string]*Table)} }
+// Open creates an empty database. Table options passed here become
+// defaults for every CreateTable, applied before the table's own options
+// — e.g. Open(WithBlockStore(dir), WithMemoryBudget(64<<20)) gives every
+// table a cold block store under dir/<table> with a 64 MiB residency
+// budget. Call Close to stop background compactors, flush frozen blocks
+// to their stores and release them.
+func Open(defaults ...TableOption) *DB {
+	return &DB{tables: make(map[string]*Table), defaults: defaults}
+}
 
 // Close stops every table's background compactor and waits for in-flight
 // freezes to finish. It returns the first error a compactor encountered.
@@ -176,9 +188,34 @@ func WithAutoFreeze(threshold int) TableOption {
 	return func(t *Table) { t.autoFreeze = threshold }
 }
 
-// CreateTable registers a new table.
+// WithBlockStore attaches a disk-backed cold block store rooted at
+// dir/<table>: frozen chunks become evictable to secondary storage and
+// are transparently reloaded (and pinned) when scans or point lookups
+// touch them. On its own the store only fills on Table.Close (flush) or
+// manual eviction; combine with WithMemoryBudget for automatic
+// temperature-driven eviction, and with WithAutoFreeze to keep the
+// frozen set growing behind the insert tail.
+func WithBlockStore(dir string) TableOption {
+	return func(t *Table) { t.storeDir = dir }
+}
+
+// WithMemoryBudget bounds the RAM resident set of frozen Data Blocks to
+// bytes: whenever freezing or reloading pushes past the budget, the
+// background compactor evicts the coldest unpinned blocks — by observed
+// scan/lookup access, not chunk age — to the block store. Requires
+// WithBlockStore. The budget governs compressed frozen payloads; the
+// uncompressed hot tail and in-flight pinned blocks are outside it.
+func WithMemoryBudget(bytes int64) TableOption {
+	return func(t *Table) { t.memBudget = bytes }
+}
+
+// CreateTable registers a new table. The DB's default options (see Open)
+// are applied first, then the table's own.
 func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Table, error) {
 	t := &Table{name: name, schema: types.NewSchema(cols...)}
+	for _, opt := range db.defaults {
+		opt(t)
+	}
 	for _, opt := range opts {
 		opt(t)
 	}
@@ -196,14 +233,28 @@ func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Tab
 		t.pkCol = -1
 	}
 	t.rel = storage.NewRelation(t.schema, t.chunkRows)
+	if t.memBudget > 0 && t.storeDir == "" {
+		return nil, fmt.Errorf("datablocks: WithMemoryBudget on table %q requires WithBlockStore", name)
+	}
+	if t.storeDir != "" {
+		bs, err := blockstore.Open(filepath.Join(t.storeDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("datablocks: table %q: %w", name, err)
+		}
+		t.bs = bs
+		t.rel.SetBlockStore(bs, t.memBudget, t.wakeCompactor)
+	}
 	db.mu.Lock()
 	if _, dup := db.tables[name]; dup {
 		db.mu.Unlock()
+		if t.bs != nil {
+			t.bs.Close()
+		}
 		return nil, fmt.Errorf("datablocks: table %q already exists", name)
 	}
 	db.tables[name] = t
 	db.mu.Unlock()
-	if t.autoFreeze > 0 {
+	if t.autoFreeze > 0 || t.memBudget > 0 {
 		t.freezeWake = make(chan struct{}, 1)
 		t.stop = make(chan struct{})
 		t.compactorDone = make(chan struct{})
@@ -247,6 +298,11 @@ type Table struct {
 	pkCol     int
 	pk        *index.Hash
 	chunkRows int
+
+	// Cold block store state (WithBlockStore / WithMemoryBudget).
+	storeDir  string
+	memBudget int64
+	bs        *blockstore.Store
 
 	// wmu serializes the two-step write operations that touch both the
 	// relation and the primary-key index.
@@ -524,10 +580,13 @@ func (t *Table) wakeCompactor() {
 	}
 }
 
-// compact is the background compactor goroutine: it wakes whenever a hot
-// chunk seals behind the insert tail and freezes the backlog once it
-// reaches the configured threshold. Compression runs outside the relation
-// lock, so OLTP and OLAP traffic continue while it works.
+// compact is the background compactor goroutine. It wakes whenever a hot
+// chunk seals behind the insert tail — freezing the backlog once it
+// reaches the configured threshold — and whenever freezing or a reload
+// pushes the resident frozen set over the memory budget, evicting the
+// coldest unpinned blocks to the store until the budget holds again.
+// Compression, spill and reload all run outside the relation lock, so
+// OLTP and OLAP traffic continue while it works.
 func (t *Table) compact() {
 	defer close(t.compactorDone)
 	for {
@@ -536,34 +595,63 @@ func (t *Table) compact() {
 			return
 		case <-t.freezeWake:
 		}
-		if t.rel.SealedHotChunks() < t.autoFreeze {
-			continue
-		}
-		if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
-			t.compactMu.Lock()
-			if t.compactErr == nil {
-				t.compactErr = err
+		if t.autoFreeze > 0 && t.rel.SealedHotChunks() >= t.autoFreeze {
+			if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
+				t.noteCompactErr(err)
 			}
-			t.compactMu.Unlock()
+		}
+		if t.memBudget > 0 {
+			if _, err := t.rel.EvictUnderBudget(); err != nil {
+				t.noteCompactErr(err)
+			}
 		}
 	}
 }
 
-// Close stops the table's background compactor, if any, and waits for an
-// in-flight freeze to finish. It returns the first error the compactor
-// encountered. Close is idempotent; the table remains usable afterwards.
+func (t *Table) noteCompactErr(err error) {
+	t.compactMu.Lock()
+	if t.compactErr == nil {
+		t.compactErr = err
+	}
+	t.compactMu.Unlock()
+}
+
+// Close stops the table's background compactor, if any, waits for an
+// in-flight freeze or eviction pass to finish, flushes every frozen block
+// that was never spilled to the block store (so the store holds a
+// complete cold copy of the frozen set) and releases the store. It
+// returns the first error the compactor, the flush or a block reload
+// encountered. Close is idempotent; the table remains usable afterwards
+// — evicted chunks keep reloading through the store.
 func (t *Table) Close() error {
-	if t.autoFreeze > 0 {
+	if t.autoFreeze > 0 || t.memBudget > 0 {
 		t.closeOnce.Do(func() { close(t.stop) })
 		<-t.compactorDone
+	}
+	if t.bs != nil {
+		if err := t.rel.FlushFrozen(); err != nil {
+			t.noteCompactErr(err)
+		}
+		if err := t.bs.Close(); err != nil {
+			t.noteCompactErr(err)
+		}
+	}
+	if err := t.rel.LoadError(); err != nil {
+		t.noteCompactErr(err)
 	}
 	t.compactMu.Lock()
 	defer t.compactMu.Unlock()
 	return t.compactErr
 }
 
-// Stats reports the table's memory footprint, split hot vs frozen.
+// Stats reports the table's memory footprint, split hot vs frozen vs
+// evicted.
 func (t *Table) Stats() MemStats { return t.rel.MemoryStats() }
+
+// ColdStats reports the table's cold-store traffic: eviction and reload
+// counts, RAM residency against the budget, and the on-disk footprint.
+// All zero when the table has no block store.
+func (t *Table) ColdStats() ColdStats { return t.rel.ColdStatsSnapshot() }
 
 // Pred is a SARGable predicate referencing columns by name.
 type Pred struct {

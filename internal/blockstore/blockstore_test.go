@@ -1,0 +1,224 @@
+package blockstore
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"datablocks/internal/core"
+	"datablocks/internal/types"
+)
+
+func testBlock(t testing.TB, n int, base int64) *core.Block {
+	t.Helper()
+	ints := make([]int64, n)
+	strs := make([]string, n)
+	for i := range ints {
+		ints[i] = base + int64(i)
+		strs[i] = []string{"red", "green", "blue"}[i%3]
+	}
+	blk, err := core.Freeze([]core.ColumnData{
+		{Kind: types.Int64, Ints: ints},
+		{Kind: types.String, Strs: strs},
+	}, n, core.FreezeOptions{SortBy: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blk
+}
+
+var testKinds = []types.Kind{types.Int64, types.String}
+
+func TestStorePutLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := testBlock(t, 100, 1000)
+	h, err := s.Put(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(h, testKinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != blk.Rows() {
+		t.Fatalf("rows %d, want %d", got.Rows(), blk.Rows())
+	}
+	for row := 0; row < blk.Rows(); row++ {
+		if got.Int(0, row) != blk.Int(0, row) || got.Str(1, row) != blk.Str(1, row) {
+			t.Fatalf("row %d differs after reload", row)
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Loads != 1 || st.Blocks != 1 || st.DiskBytes <= 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestStoreLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(0, testKinds); err == nil {
+		t.Fatal("zero handle load succeeded")
+	}
+	if _, err := s.Load(99, testKinds); err == nil {
+		t.Fatal("missing block load succeeded")
+	}
+	h, err := s.Put(testBlock(t, 50, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file on disk: the CRC must reject it at reload.
+	path := s.path(h)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(h, testKinds); err == nil {
+		t.Fatal("corrupt block load succeeded")
+	}
+	// The zero handle is rejected before touching disk; the missing file
+	// and the corrupt file each count as a load error.
+	if got := s.Stats().LoadErrors; got != 2 {
+		t.Fatalf("LoadErrors = %d, want 2", got)
+	}
+}
+
+func TestStoreReopenResumesHandles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s1.Put(testBlock(t, 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s2.Put(testBlock(t, 10, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 <= h1 {
+		t.Fatalf("reopened store reused handle space: %d then %d", h1, h2)
+	}
+	// Both blocks must still load through the reopened store.
+	for _, h := range []Handle{h1, h2} {
+		if _, err := s2.Load(h, testKinds); err != nil {
+			t.Fatalf("load %d: %v", h, err)
+		}
+	}
+	if got := s2.handlesByID(); len(got) != 2 {
+		t.Fatalf("reopened store sees %d blocks, want 2", len(got))
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Put(testBlock(t, 10, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(h, testKinds); err == nil {
+		t.Fatal("removed block still loads")
+	}
+	if st := s.Stats(); st.Blocks != 0 || st.DiskBytes != 0 {
+		t.Fatalf("stats after remove: %+v", st)
+	}
+}
+
+// fakeOwner implements Owner for cache tests.
+type fakeOwner struct {
+	temp   atomic.Uint64
+	pinned atomic.Bool
+}
+
+func (f *fakeOwner) Temperature() uint64 { return f.temp.Load() }
+func (f *fakeOwner) Pinned() bool        { return f.pinned.Load() }
+
+func TestCacheVictimsColdestFirst(t *testing.T) {
+	c := NewCache(250)
+	owners := make([]*fakeOwner, 4)
+	for i := range owners {
+		owners[i] = &fakeOwner{}
+		owners[i].temp.Store(uint64(10 * (i + 1))) // owner 0 is coldest
+		c.Insert(owners[i], 100)
+	}
+	if got := c.Used(); got != 400 {
+		t.Fatalf("used %d, want 400", got)
+	}
+	if !c.OverBudget() {
+		t.Fatal("400 bytes against a 250 budget is not over budget?")
+	}
+	victims := c.Victims()
+	if len(victims) != 2 {
+		t.Fatalf("%d victims to shed 150 bytes of 100-byte blocks, want 2", len(victims))
+	}
+	if victims[0] != owners[0] || victims[1] != owners[1] {
+		t.Fatal("victims are not the two coldest owners")
+	}
+	for _, v := range victims {
+		c.Drop(v)
+	}
+	if c.OverBudget() {
+		t.Fatalf("still over budget after evictions: %d", c.Used())
+	}
+	if st := c.Stats(); st.Evictions != 2 || st.Resident != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheSkipsPinnedOwners(t *testing.T) {
+	c := NewCache(100)
+	cold, hot := &fakeOwner{}, &fakeOwner{}
+	hot.temp.Store(99)
+	cold.pinned.Store(true) // coldest, but in use by a scan
+	c.Insert(cold, 80)
+	c.Insert(hot, 80)
+	victims := c.Victims()
+	if len(victims) != 1 || victims[0] != hot {
+		t.Fatalf("expected only the unpinned owner as victim, got %d", len(victims))
+	}
+}
+
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	c := NewCache(0)
+	o := &fakeOwner{}
+	c.Insert(o, 1<<40)
+	if c.OverBudget() || c.Victims() != nil {
+		t.Fatal("unbounded cache nominated victims")
+	}
+}
+
+func TestCacheReinsertUpdatesSize(t *testing.T) {
+	c := NewCache(0)
+	o := &fakeOwner{}
+	c.Insert(o, 100)
+	c.Insert(o, 60)
+	if got := c.Used(); got != 60 {
+		t.Fatalf("used %d after re-insert, want 60", got)
+	}
+	c.Drop(o)
+	c.Drop(o) // second drop is a no-op
+	if got := c.Used(); got != 0 {
+		t.Fatalf("used %d after drop, want 0", got)
+	}
+}

@@ -1,0 +1,145 @@
+package blockstore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Owner is the cache's view of the chunk that serves a resident block:
+// its observed access count (temperature) and whether a reader currently
+// pins its payload in RAM. The storage layer implements it with its
+// chunks; the cache never touches the block itself.
+type Owner interface {
+	// Temperature is a monotone access counter, bumped by every scan or
+	// point lookup that touches the owner's block.
+	Temperature() uint64
+	// Pinned reports whether an in-flight reader holds the payload; a
+	// pinned owner is never nominated for eviction.
+	Pinned() bool
+}
+
+// Cache tracks which frozen blocks are resident in RAM against a byte
+// budget and nominates eviction victims coldest-first. It deliberately
+// does not own the block payloads: the storage layer installs and drops
+// them under its own locks, reporting residency changes here — so a block
+// is counted exactly once, whether it is serving scans out of its chunk
+// or has just been reloaded from the store.
+type Cache struct {
+	budget int64
+
+	mu   sync.Mutex
+	res  map[Owner]int64
+	used int64
+
+	evictions atomic.Int64
+}
+
+// CacheStats summarizes cache occupancy and churn.
+type CacheStats struct {
+	BudgetBytes   int64
+	ResidentBytes int64
+	Resident      int
+	Evictions     int64
+}
+
+// NewCache creates a residency cache with the given byte budget; a budget
+// of zero or less means unbounded (no victim is ever nominated).
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, res: make(map[Owner]int64)}
+}
+
+// Budget returns the configured byte budget (<= 0: unbounded).
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Used returns the resident bytes currently accounted for.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Insert records that an owner's block is resident with the given
+// footprint. Re-inserting an already resident owner updates its size.
+func (c *Cache) Insert(o Owner, bytes int64) {
+	c.mu.Lock()
+	if old, ok := c.res[o]; ok {
+		c.used -= old
+	}
+	c.res[o] = bytes
+	c.used += bytes
+	c.mu.Unlock()
+}
+
+// Drop records that an owner's block left RAM (evicted, or the owner went
+// away). Dropping a non-resident owner is a no-op.
+func (c *Cache) Drop(o Owner) {
+	c.mu.Lock()
+	if bytes, ok := c.res[o]; ok {
+		c.used -= bytes
+		delete(c.res, o)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// OverBudget reports whether the resident set exceeds the budget.
+func (c *Cache) OverBudget() bool {
+	if c.budget <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used > c.budget
+}
+
+// Victims nominates unpinned owners, coldest first by temperature, whose
+// combined eviction would bring the resident set back under budget. The
+// caller performs the actual evictions (some may fail benignly — a reader
+// can pin a victim after nomination) and reports them back through Drop.
+func (c *Cache) Victims() []Owner {
+	if c.budget <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	shed := c.used - c.budget
+	if shed <= 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	type cand struct {
+		o     Owner
+		bytes int64
+		temp  uint64
+	}
+	cands := make([]cand, 0, len(c.res))
+	for o, bytes := range c.res {
+		if o.Pinned() {
+			continue
+		}
+		cands = append(cands, cand{o, bytes, o.Temperature()})
+	}
+	c.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].temp < cands[j].temp })
+	var out []Owner
+	for _, v := range cands {
+		if shed <= 0 {
+			break
+		}
+		out = append(out, v.o)
+		shed -= v.bytes
+	}
+	return out
+}
+
+// Stats returns a snapshot of cache occupancy and eviction count.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		BudgetBytes:   c.budget,
+		ResidentBytes: c.used,
+		Resident:      len(c.res),
+		Evictions:     c.evictions.Load(),
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"datablocks/internal/compress"
@@ -17,11 +18,22 @@ import (
 // string section) and the sections themselves. Blocks carry no schema —
 // replicating it per block would waste space (§3) — so deserialization
 // takes the column kinds from the caller.
+//
+// Version 2 appends a CRC32-C (Castagnoli) checksum over everything after
+// the fixed header to the header itself, so a block reloaded from
+// secondary storage detects on-disk corruption at load time instead of
+// surfacing it as wrong query results. Every offset and length read from
+// the buffer is additionally bounds-checked: a truncated or corrupt buffer
+// that happens to carry a valid checksum is rejected with an error, never
+// a panic.
 
 const (
-	blockMagic   = 0x4B4C4244 // "DBLK"
-	blockVersion = 1
-	headerSize   = 16
+	blockMagic = 0x4B4C4244 // "DBLK"
+	// blockVersion 2 = v1 layout plus a CRC32-C field in the header
+	// (header grew 16 → 24 bytes). v1 buffers are rejected.
+	blockVersion = 2
+	headerSize   = 24
+	crcOffset    = 16 // CRC32-C over buf[headerSize:]
 	attrHdrSize  = 64
 	// dataSlack is appended to code vectors so 8-byte SWAR loads at the
 	// tail stay in bounds.
@@ -33,6 +45,10 @@ const (
 	flagPSMA
 	flagAllNull
 )
+
+// crcTable is the Castagnoli polynomial table (CRC32-C, hardware
+// accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // MarshalBinary flattens the block into a self-contained byte buffer.
 func (b *Block) MarshalBinary() ([]byte, error) {
@@ -151,11 +167,53 @@ func (b *Block) MarshalBinary() ([]byte, error) {
 			}
 		}
 	}
+	binary.LittleEndian.PutUint32(buf[crcOffset:], crc32.Checksum(buf[headerSize:], crcTable))
 	return buf, nil
 }
 
+// section bounds-checks one serialized section and returns it. off and
+// length come straight from the (untrusted) buffer.
+func section(buf []byte, off uint32, length int, what string) ([]byte, error) {
+	end := int(off) + length
+	if length < 0 || int(off) < headerSize || end > len(buf) || end < int(off) {
+		return nil, fmt.Errorf("core: %s section [%d:%d] outside buffer of %d bytes", what, off, end, len(buf))
+	}
+	return buf[off:end], nil
+}
+
+// checkCodes verifies every code of a dictionary-compressed vector indexes
+// an existing dictionary entry, so a logically corrupt (but checksum-valid)
+// buffer cannot cause an out-of-range access on first point access.
+func checkCodes(data []byte, n, width, dictLen int, attr int) error {
+	for i := 0; i < n; i++ {
+		if c := readUintAt(data, i, width); c >= uint64(dictLen) {
+			return fmt.Errorf("core: attribute %d: row %d code %d exceeds dictionary of %d", attr, i, c, dictLen)
+		}
+	}
+	return nil
+}
+
+// readUintAt mirrors simd.ReadUint for the validated widths 1, 2, 4, 8.
+func readUintAt(data []byte, idx, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(data[idx])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(data[idx*2:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(data[idx*4:]))
+	default:
+		return binary.LittleEndian.Uint64(data[idx*8:])
+	}
+}
+
+func validWidth(w int) bool { return w == 1 || w == 2 || w == 4 || w == 8 }
+
 // UnmarshalBlock reconstructs a block from a flat buffer produced by
-// MarshalBinary. kinds supplies the schema the block itself does not carry.
+// MarshalBinary. kinds supplies the schema the block itself does not
+// carry. The buffer is untrusted: the checksum is verified and every
+// offset, length and code read from it is bounds-checked, so a truncated
+// or corrupt buffer yields an error instead of a panic or wrong results.
 func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
 	if len(buf) < headerSize {
 		return nil, errors.New("core: buffer too short")
@@ -166,10 +224,19 @@ func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
 	if v := binary.LittleEndian.Uint32(buf[4:]); v != blockVersion {
 		return nil, fmt.Errorf("core: unsupported version %d", v)
 	}
+	if want, got := binary.LittleEndian.Uint32(buf[crcOffset:]), crc32.Checksum(buf[headerSize:], crcTable); want != got {
+		return nil, fmt.Errorf("core: checksum mismatch: header says %08x, payload is %08x", want, got)
+	}
 	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	if n < 1 || n > MaxRows {
+		return nil, fmt.Errorf("core: block size %d out of range (1..%d)", n, MaxRows)
+	}
 	attrCount := int(binary.LittleEndian.Uint32(buf[12:]))
 	if attrCount != len(kinds) {
 		return nil, fmt.Errorf("core: block has %d attributes, schema has %d", attrCount, len(kinds))
+	}
+	if headerSize+attrCount*attrHdrSize > len(buf) {
+		return nil, fmt.Errorf("core: %d attribute headers do not fit in %d bytes", attrCount, len(buf))
 	}
 	b := &Block{n: n, attrs: make([]Attr, attrCount)}
 	for i := 0; i < attrCount; i++ {
@@ -180,9 +247,15 @@ func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
 			return nil, fmt.Errorf("core: attribute %d kind %v, schema says %v", i, a.Kind, kinds[i])
 		}
 		scheme := compress.Scheme(h[1])
+		if scheme > compress.Truncation {
+			return nil, fmt.Errorf("core: attribute %d: unknown scheme %d", i, h[1])
+		}
 		width := int(h[2])
 		flags := h[3]
 		a.NullCount = int(binary.LittleEndian.Uint32(h[4:]))
+		if a.NullCount > n {
+			return nil, fmt.Errorf("core: attribute %d: %d nulls in %d rows", i, a.NullCount, n)
+		}
 		min := binary.LittleEndian.Uint64(h[8:])
 		max := binary.LittleEndian.Uint64(h[16:])
 		single := binary.LittleEndian.Uint64(h[24:])
@@ -195,23 +268,65 @@ func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
 		validityOff := binary.LittleEndian.Uint32(h[56:])
 		psmaOff := binary.LittleEndian.Uint32(h[60:])
 
+		// wantData is the exact code-vector size the scheme implies; the
+		// accessors index data by row*width, so anything shorter would be
+		// an out-of-range access waiting for its first point read.
+		wantData := func(perRow int) error {
+			if dataLen != n*perRow {
+				return fmt.Errorf("core: attribute %d: data section is %d bytes, %d rows of width %d need %d",
+					i, dataLen, n, perRow, n*perRow)
+			}
+			return nil
+		}
+		dataSec, err := section(buf, dataOff, dataLen, "data")
+		if err != nil {
+			return nil, err
+		}
 		var data []byte
 		if dataLen > 0 {
 			data = make([]byte, dataLen+dataSlack)
-			copy(data, buf[dataOff:int(dataOff)+dataLen])
+			copy(data, dataSec)
 		}
 		switch a.Kind {
 		case types.Int64:
+			switch scheme {
+			case compress.SingleValue:
+				if err := wantData(0); err != nil {
+					return nil, err
+				}
+			case compress.Uncompressed:
+				width = 8
+				if err := wantData(8); err != nil {
+					return nil, err
+				}
+			default: // Truncation, Dictionary
+				if !validWidth(width) {
+					return nil, fmt.Errorf("core: attribute %d: invalid code width %d", i, width)
+				}
+				if err := wantData(width); err != nil {
+					return nil, err
+				}
+			}
 			v := &compress.IntVector{
 				Scheme: scheme, Width: width, N: n,
 				AllNull: flags&flagAllNull != 0,
 				Min:     int64(min), Max: int64(max), Single: int64(single),
 				Data: data,
 			}
-			if dictCount > 0 {
+			if scheme == compress.Dictionary {
+				if dictCount < 1 {
+					return nil, fmt.Errorf("core: attribute %d: dictionary scheme with empty dictionary", i)
+				}
+				dictSec, err := section(buf, dictOff, 8*dictCount, "dictionary")
+				if err != nil {
+					return nil, err
+				}
+				if err := checkCodes(data, n, width, dictCount, i); err != nil {
+					return nil, err
+				}
 				v.Dict = make([]int64, dictCount)
 				for j := range v.Dict {
-					v.Dict[j] = int64(binary.LittleEndian.Uint64(buf[int(dictOff)+8*j:]))
+					v.Dict[j] = int64(binary.LittleEndian.Uint64(dictSec[8*j:]))
 				}
 			}
 			a.Ints = v
@@ -221,11 +336,18 @@ func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
 				AllNull: flags&flagAllNull != 0,
 				Min:     floatFromBits(min), Max: floatFromBits(max), Single: floatFromBits(single),
 			}
-			if scheme == compress.Uncompressed {
+			switch scheme {
+			case compress.SingleValue:
+			case compress.Uncompressed:
+				if err := wantData(8); err != nil {
+					return nil, err
+				}
 				v.Values = make([]float64, n)
 				for j := range v.Values {
 					v.Values[j] = floatFromBits(binary.LittleEndian.Uint64(data[j*8:]))
 				}
+			default:
+				return nil, fmt.Errorf("core: attribute %d: scheme %v not valid for doubles", i, scheme)
 			}
 			a.Floats = v
 		case types.String:
@@ -234,19 +356,46 @@ func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
 				AllNull: flags&flagAllNull != 0,
 				Data:    data,
 			}
-			off := int(strOff)
-			if strCount > 0 {
-				v.Dict = make([]string, strCount)
-				for j := range v.Dict {
-					l := int(binary.LittleEndian.Uint32(buf[off:]))
-					off += 4
-					v.Dict[j] = string(buf[off : off+l])
-					off += l
+			switch scheme {
+			case compress.SingleValue:
+				if err := wantData(0); err != nil {
+					return nil, err
 				}
-			} else {
-				l := int(binary.LittleEndian.Uint32(buf[off:]))
-				off += 4
-				v.Single = string(buf[off : off+l])
+				s, _, err := readString(buf, int(strOff), i)
+				if err != nil {
+					return nil, err
+				}
+				v.Single = s
+			case compress.Dictionary:
+				if strCount < 1 {
+					return nil, fmt.Errorf("core: attribute %d: string dictionary is empty", i)
+				}
+				// Every dictionary entry occupies at least its 4-byte length
+				// prefix; bound the count against the buffer before the
+				// allocation, or a crafted count OOMs instead of erroring.
+				if int(strOff)+4*strCount > len(buf) {
+					return nil, fmt.Errorf("core: attribute %d: %d dictionary strings cannot fit in %d bytes", i, strCount, len(buf))
+				}
+				if !validWidth(width) {
+					return nil, fmt.Errorf("core: attribute %d: invalid code width %d", i, width)
+				}
+				if err := wantData(width); err != nil {
+					return nil, err
+				}
+				if err := checkCodes(data, n, width, strCount, i); err != nil {
+					return nil, err
+				}
+				v.Dict = make([]string, strCount)
+				off := int(strOff)
+				for j := range v.Dict {
+					s, next, err := readString(buf, off, i)
+					if err != nil {
+						return nil, err
+					}
+					v.Dict[j], off = s, next
+				}
+			default:
+				return nil, fmt.Errorf("core: attribute %d: scheme %v not valid for strings", i, scheme)
 			}
 			a.Strs = v
 		default:
@@ -254,22 +403,50 @@ func UnmarshalBlock(buf []byte, kinds []types.Kind) (*Block, error) {
 		}
 		if flags&flagValidity != 0 {
 			words := (n + 63) / 64
+			sec, err := section(buf, validityOff, 8*words, "validity")
+			if err != nil {
+				return nil, err
+			}
 			a.Validity = make([]uint64, words)
 			for j := range a.Validity {
-				a.Validity[j] = binary.LittleEndian.Uint64(buf[int(validityOff)+8*j:])
+				a.Validity[j] = binary.LittleEndian.Uint64(sec[8*j:])
 			}
 		}
 		if flags&flagPSMA != 0 {
+			if !validWidth(width) {
+				return nil, fmt.Errorf("core: attribute %d: PSMA with invalid width %d", i, width)
+			}
 			t := psma.NewEmpty(width)
+			sec, err := section(buf, psmaOff, 8*t.NumSlots(), "psma")
+			if err != nil {
+				return nil, err
+			}
 			for s := 0; s < t.NumSlots(); s++ {
-				begin := binary.LittleEndian.Uint32(buf[int(psmaOff)+8*s:])
-				end := binary.LittleEndian.Uint32(buf[int(psmaOff)+8*s+4:])
+				begin := binary.LittleEndian.Uint32(sec[8*s:])
+				end := binary.LittleEndian.Uint32(sec[8*s+4:])
+				if end > uint32(n) || begin > end {
+					return nil, fmt.Errorf("core: attribute %d: PSMA slot %d range [%d,%d) exceeds %d rows", i, s, begin, end, n)
+				}
 				t.SetSlotRange(s, psma.Range{Begin: begin, End: end})
 			}
 			a.Psma = t
 		}
 	}
 	return b, nil
+}
+
+// readString decodes one length-prefixed string at off, returning the
+// string and the offset just past it.
+func readString(buf []byte, off, attr int) (string, int, error) {
+	if off < headerSize || off+4 > len(buf) {
+		return "", 0, fmt.Errorf("core: attribute %d: string length at %d outside buffer of %d bytes", attr, off, len(buf))
+	}
+	l := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if l < 0 || off+l > len(buf) {
+		return "", 0, fmt.Errorf("core: attribute %d: string of %d bytes at %d outside buffer of %d bytes", attr, l, off, len(buf))
+	}
+	return string(buf[off : off+l]), off + l, nil
 }
 
 func floatBits(f float64) uint64     { return math.Float64bits(f) }

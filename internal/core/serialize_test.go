@@ -1,0 +1,342 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"datablocks/internal/compress"
+	"datablocks/internal/types"
+)
+
+// mkNulls builds a null mask: "none", "some" (every third row), "all".
+func mkNulls(n int, mode string) []bool {
+	switch mode {
+	case "none":
+		return nil
+	case "all":
+		nulls := make([]bool, n)
+		for i := range nulls {
+			nulls[i] = true
+		}
+		return nulls
+	default: // some
+		nulls := make([]bool, n)
+		for i := 0; i < n; i += 3 {
+			nulls[i] = true
+		}
+		return nulls
+	}
+}
+
+// serializeCase produces one column engineered to freeze into a specific
+// compression scheme.
+type serializeCase struct {
+	name   string
+	kind   types.Kind
+	scheme compress.Scheme
+	gen    func(n int) ColumnData
+}
+
+func serializeCases() []serializeCase {
+	return []serializeCase{
+		{"int/single", types.Int64, compress.SingleValue, func(n int) ColumnData {
+			ints := make([]int64, n)
+			for i := range ints {
+				ints[i] = 42
+			}
+			return ColumnData{Kind: types.Int64, Ints: ints}
+		}},
+		{"int/trunc1", types.Int64, compress.Truncation, func(n int) ColumnData {
+			ints := make([]int64, n)
+			for i := range ints {
+				ints[i] = 1000 + int64(i%200)
+			}
+			return ColumnData{Kind: types.Int64, Ints: ints}
+		}},
+		{"int/trunc2", types.Int64, compress.Truncation, func(n int) ColumnData {
+			ints := make([]int64, n)
+			for i := range ints {
+				ints[i] = int64(i * 7 % 60000)
+			}
+			return ColumnData{Kind: types.Int64, Ints: ints}
+		}},
+		{"int/trunc4", types.Int64, compress.Truncation, func(n int) ColumnData {
+			ints := make([]int64, n)
+			for i := range ints {
+				ints[i] = int64(i) * 1_000_003
+			}
+			return ColumnData{Kind: types.Int64, Ints: ints}
+		}},
+		{"int/dict", types.Int64, compress.Dictionary, func(n int) ColumnData {
+			// Two distinct values spread wider than 4-byte truncation can
+			// reach, so the dictionary wins.
+			ints := make([]int64, n)
+			for i := range ints {
+				if i%2 == 0 {
+					ints[i] = -1 << 40
+				} else {
+					ints[i] = 1 << 40
+				}
+			}
+			return ColumnData{Kind: types.Int64, Ints: ints}
+		}},
+		{"int/uncompressed", types.Int64, compress.Uncompressed, func(n int) ColumnData {
+			// Pseudo-random full-width values: truncation needs 8 bytes and
+			// the dictionary is as large as the data.
+			ints := make([]int64, n)
+			x := uint64(0x9E3779B97F4A7C15)
+			for i := range ints {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				ints[i] = int64(x)
+			}
+			return ColumnData{Kind: types.Int64, Ints: ints}
+		}},
+		{"float/single", types.Float64, compress.SingleValue, func(n int) ColumnData {
+			fs := make([]float64, n)
+			for i := range fs {
+				fs[i] = 3.25
+			}
+			return ColumnData{Kind: types.Float64, Floats: fs}
+		}},
+		{"float/uncompressed", types.Float64, compress.Uncompressed, func(n int) ColumnData {
+			fs := make([]float64, n)
+			for i := range fs {
+				fs[i] = float64(i) * 0.5
+			}
+			return ColumnData{Kind: types.Float64, Floats: fs}
+		}},
+		{"str/single", types.String, compress.SingleValue, func(n int) ColumnData {
+			ss := make([]string, n)
+			for i := range ss {
+				ss[i] = "constant"
+			}
+			return ColumnData{Kind: types.String, Strs: ss}
+		}},
+		{"str/dict", types.String, compress.Dictionary, func(n int) ColumnData {
+			words := []string{"alpha", "bravo", "charlie", "delta", ""}
+			ss := make([]string, n)
+			for i := range ss {
+				ss[i] = words[i%len(words)]
+			}
+			return ColumnData{Kind: types.String, Strs: ss}
+		}},
+	}
+}
+
+// TestSerializeRoundTripMatrix round-trips every compression scheme ×
+// {no nulls, some nulls, all nulls} × {PSMA on, off} through
+// MarshalBinary/UnmarshalBlock and compares the blocks cell by cell.
+func TestSerializeRoundTripMatrix(t *testing.T) {
+	const n = 512
+	for _, tc := range serializeCases() {
+		for _, nullMode := range []string{"none", "some", "all"} {
+			for _, noPSMA := range []bool{false, true} {
+				name := tc.name + "/nulls=" + nullMode
+				if noPSMA {
+					name += "/nopsma"
+				}
+				t.Run(name, func(t *testing.T) {
+					col := tc.gen(n)
+					col.Nulls = mkNulls(n, nullMode)
+					blk, err := Freeze([]ColumnData{col}, n, FreezeOptions{SortBy: -1, NoPSMA: noPSMA})
+					if err != nil {
+						t.Fatalf("freeze: %v", err)
+					}
+					if nullMode == "none" && blk.Scheme(0) != tc.scheme {
+						t.Fatalf("expected scheme %v, got %v (bad test setup)", tc.scheme, blk.Scheme(0))
+					}
+					if nullMode == "all" && blk.Scheme(0) != compress.SingleValue {
+						t.Fatalf("all-null column froze to %v, want single-value", blk.Scheme(0))
+					}
+					buf, err := blk.MarshalBinary()
+					if err != nil {
+						t.Fatalf("marshal: %v", err)
+					}
+					got, err := UnmarshalBlock(buf, []types.Kind{tc.kind})
+					if err != nil {
+						t.Fatalf("unmarshal: %v", err)
+					}
+					if got.Rows() != blk.Rows() || got.Scheme(0) != blk.Scheme(0) {
+						t.Fatalf("rows/scheme mismatch: %d/%v vs %d/%v",
+							got.Rows(), got.Scheme(0), blk.Rows(), blk.Scheme(0))
+					}
+					if (got.Attr(0).Psma == nil) != (blk.Attr(0).Psma == nil) {
+						t.Fatalf("PSMA presence changed across round-trip")
+					}
+					if got.Attr(0).NullCount != blk.Attr(0).NullCount {
+						t.Fatalf("null count %d, want %d", got.Attr(0).NullCount, blk.Attr(0).NullCount)
+					}
+					for row := 0; row < n; row++ {
+						want, have := blk.Value(0, row), got.Value(0, row)
+						if want.IsNull() != have.IsNull() {
+							t.Fatalf("row %d: null mismatch", row)
+						}
+						if !want.IsNull() && want.String() != have.String() {
+							t.Fatalf("row %d: %v != %v", row, have, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// patchCRC recomputes the v2 checksum after a test mutated the buffer, so
+// the mutation reaches the structural validation it targets.
+func patchCRC(buf []byte) {
+	if len(buf) >= headerSize {
+		binary.LittleEndian.PutUint32(buf[crcOffset:],
+			crc32.Checksum(buf[headerSize:], crcTable))
+	}
+}
+
+func mustMarshalBlock(t *testing.T) ([]byte, []types.Kind) {
+	t.Helper()
+	const n = 256
+	ints := make([]int64, n)
+	strs := make([]string, n)
+	for i := range ints {
+		ints[i] = int64(i)
+		strs[i] = []string{"x", "y", "z"}[i%3]
+	}
+	blk, err := Freeze([]ColumnData{
+		{Kind: types.Int64, Ints: ints},
+		{Kind: types.String, Strs: strs},
+	}, n, FreezeOptions{SortBy: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := blk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf, []types.Kind{types.Int64, types.String}
+}
+
+// TestUnmarshalDetectsCorruption flips payload bytes and checks the CRC
+// rejects the buffer (the satellite guarantee: corruption is an error at
+// reload, not a wrong query result).
+func TestUnmarshalDetectsCorruption(t *testing.T) {
+	buf, kinds := mustMarshalBlock(t)
+	if _, err := UnmarshalBlock(buf, kinds); err != nil {
+		t.Fatalf("pristine buffer rejected: %v", err)
+	}
+	for _, off := range []int{headerSize, headerSize + 7, len(buf) / 2, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[off] ^= 0xFF
+		if _, err := UnmarshalBlock(bad, kinds); err == nil {
+			t.Fatalf("corrupt byte at %d went undetected", off)
+		}
+	}
+}
+
+// TestUnmarshalTruncated slices the buffer at every prefix length and
+// requires an error, never a panic — including when the checksum is fixed
+// up so structural validation, not the CRC, must catch the damage.
+func TestUnmarshalTruncated(t *testing.T) {
+	buf, kinds := mustMarshalBlock(t)
+	for l := 0; l < len(buf); l += 13 {
+		trunc := append([]byte(nil), buf[:l]...)
+		if _, err := UnmarshalBlock(trunc, kinds); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", l)
+		}
+		patchCRC(trunc)
+		if _, err := UnmarshalBlock(trunc, kinds); err == nil {
+			t.Fatalf("truncation to %d bytes (CRC patched) went undetected", l)
+		}
+	}
+}
+
+// TestUnmarshalRejectsBadStructure corrupts individual header fields with
+// a valid checksum, so each structural bound must fire.
+func TestUnmarshalRejectsBadStructure(t *testing.T) {
+	buf, kinds := mustMarshalBlock(t)
+	mutate := func(name string, f func(b []byte)) {
+		bad := append([]byte(nil), buf...)
+		f(bad)
+		patchCRC(bad)
+		if _, err := UnmarshalBlock(bad, kinds); err == nil {
+			t.Fatalf("%s went undetected", name)
+		}
+	}
+	mutate("bad version", func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 1) })
+	mutate("zero rows", func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 0) })
+	mutate("huge rows", func(b []byte) { binary.LittleEndian.PutUint32(b[8:], MaxRows+1) })
+	mutate("attr count", func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 3) })
+	mutate("data offset past end", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[headerSize+40:], uint32(len(b)))
+	})
+	mutate("data length past end", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[headerSize+44:], uint32(len(b)))
+	})
+	mutate("bogus scheme", func(b []byte) { b[headerSize+1] = 200 })
+	mutate("huge string dictionary count", func(b []byte) {
+		// Attribute 1 is the string dictionary: a crafted count must be
+		// rejected by a bound check, not by a multi-GiB allocation.
+		binary.LittleEndian.PutUint32(b[headerSize+attrHdrSize+52:], 0xFFFFFFF0)
+	})
+	mutate("string dict code out of range", func(b []byte) {
+		// Attribute 1 is the string dictionary; its first code byte lives
+		// at its data offset. 3 dictionary entries → code 250 is invalid.
+		h := b[headerSize+attrHdrSize:]
+		dataOff := binary.LittleEndian.Uint32(h[40:])
+		b[dataOff] = 250
+	})
+}
+
+// FuzzUnmarshalBlock feeds mutated buffers through UnmarshalBlock. The
+// harness re-stamps the checksum so the fuzzer reaches the structural
+// validation behind it; any input that parses must then be fully readable
+// without panicking.
+func FuzzUnmarshalBlock(f *testing.F) {
+	const n = 64
+	kinds := []types.Kind{types.Int64, types.Float64, types.String}
+	seed := func(nullMode string, noPSMA bool) []byte {
+		ints := make([]int64, n)
+		floats := make([]float64, n)
+		strs := make([]string, n)
+		for i := range ints {
+			ints[i] = int64(i % 17)
+			floats[i] = float64(i) / 3
+			strs[i] = []string{"a", "bb", "ccc"}[i%3]
+		}
+		blk, err := Freeze([]ColumnData{
+			{Kind: types.Int64, Ints: ints, Nulls: mkNulls(n, nullMode)},
+			{Kind: types.Float64, Floats: floats},
+			{Kind: types.String, Strs: strs, Nulls: mkNulls(n, nullMode)},
+		}, n, FreezeOptions{SortBy: -1, NoPSMA: noPSMA})
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf, err := blk.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return buf
+	}
+	f.Add(seed("none", false))
+	f.Add(seed("some", false))
+	f.Add(seed("all", true))
+	f.Add([]byte{})
+	f.Add(make([]byte, headerSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := append([]byte(nil), data...)
+		patchCRC(buf)
+		blk, err := UnmarshalBlock(buf, kinds)
+		if err != nil {
+			return
+		}
+		// A buffer that parses must be safely readable end to end.
+		for col := 0; col < blk.NumAttrs(); col++ {
+			for row := 0; row < blk.Rows(); row++ {
+				_ = blk.Value(col, row)
+			}
+		}
+		if _, err := blk.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal of valid block failed: %v", err)
+		}
+	})
+}

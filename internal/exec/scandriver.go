@@ -98,7 +98,10 @@ func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler
 		d.jitLayouts = make(map[string]*layoutPath)
 		for i := range chunks {
 			ch := &chunks[i]
-			if ch.IsFrozen() {
+			// Evicted chunks have no resident block to compile against;
+			// their layout path is compiled lazily when the scan acquires
+			// (reloads) the block.
+			if ch.IsFrozen() && ch.Block() != nil {
 				key := ch.Block().LayoutKey()
 				if _, done := d.jitLayouts[key]; !done {
 					lp, err := d.compileLayout(ch.Block(), c)
@@ -330,8 +333,15 @@ func compileAccessor(a *core.Attr, kind types.Kind, c *compiler) (blockAccessor,
 // processChunk runs the pipeline over one morsel. The chunk view is an
 // immutable snapshot: the driver never re-reads mutable relation state, so
 // concurrent inserts, deletes and hot→cold freezes cannot tear a scan.
+// Frozen views are acquired first — pinning the block in RAM, reloading
+// it from the block store when the chunk was evicted — so the budget
+// evictor cannot pull the block out from under the scan.
 func (d *scanDriver) processChunk(ch *storage.ChunkView) error {
 	if ch.IsFrozen() {
+		if err := ch.Acquire(); err != nil {
+			return err
+		}
+		defer ch.Release()
 		if d.mode == ModeJIT {
 			return d.jitBlock(ch)
 		}

@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datablocks"
+	"datablocks/internal/bench"
+	"datablocks/internal/xrand"
+)
+
+// ColdStore exercises the larger-than-RAM path the paper's eviction story
+// promises (§1: cold blocks move to secondary storage yet stay
+// query-able): a table whose frozen set far exceeds its memory budget
+// serves concurrent OLTP writers and OLAP scanners while the background
+// compactor freezes sealed chunks, spills the coldest blocks to the disk
+// store and reloads them on demand — scans and point lookups pin blocks
+// through the cache, so every sweep forces reload churn.
+//
+// Correctness is checked against ground truth: every writer draws its
+// operations from a deterministic per-stripe sequence, so after the clock
+// runs out the same rounds are replayed serially into an unbounded
+// in-memory table. The budgeted run must match it exactly — live row
+// count, COUNT/SUM aggregates over full scans, the pinned hot keys each
+// writer rewrote every round, and a sample sweep of point lookups across
+// the whole keyspace — and must report eviction and reload counts > 0,
+// or the experiment fails.
+func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, budget int64) error {
+	if writers < 1 {
+		writers = 1
+	}
+	if scanners < 1 {
+		scanners = 1
+	}
+	if rows < writers*1000 {
+		rows = writers * 1000
+	}
+	if budget <= 0 {
+		budget = 128 << 10
+	}
+	dir, err := os.MkdirTemp("", "coldstore-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cols := []datablocks.Column{
+		{Name: "id", Kind: datablocks.Int64},
+		{Name: "amount", Kind: datablocks.Float64},
+		{Name: "status", Kind: datablocks.String},
+	}
+	const chunkRows = 2048
+	cold := datablocks.Open()
+	tbl, err := cold.CreateTable("events", cols,
+		datablocks.WithPrimaryKey("id"),
+		datablocks.WithChunkRows(chunkRows),
+		datablocks.WithAutoFreeze(1),
+		datablocks.WithBlockStore(dir),
+		datablocks.WithMemoryBudget(budget),
+	)
+	if err != nil {
+		return err
+	}
+	// Idempotent safety net: the error returns below (preload, replay,
+	// verification) must not leak the background compactor while the
+	// deferred RemoveAll deletes its store directory; the explicit Close
+	// after the concurrent phase still reports the first real error.
+	defer cold.Close()
+
+	// Disjoint key stripes keep each writer's sequence independent, which
+	// is what makes the concurrent run replayable.
+	const stripe = int64(1) << 32
+	statuses := []string{"new", "paid", "shipped"}
+	mkRow := func(key int64, amount float64) datablocks.Row {
+		return datablocks.Row{
+			datablocks.Int(key),
+			datablocks.Float(amount),
+			datablocks.Str(statuses[int(key%3)]),
+		}
+	}
+
+	// applyRound replays one operation round of writer g. next tracks the
+	// first unused key of the stripe; the round index doubles as the
+	// pinned key's payload so the final pinned row proves the last update
+	// won. Deterministic: all decisions come from r, all state from the
+	// stripe itself.
+	pinnedKey := func(g int) int64 { return int64(g)*stripe + stripe - 1 }
+	applyRound := func(t *datablocks.Table, g, round int, r *xrand.Rand, next *int64) error {
+		if err := t.Update(pinnedKey(g), datablocks.Row{
+			datablocks.Int(pinnedKey(g)),
+			datablocks.Float(float64(round)),
+			datablocks.Str("pinned"),
+		}); err != nil {
+			return fmt.Errorf("pinned update: %w", err)
+		}
+		base := int64(g) * stripe
+		switch r.Range(0, 9) {
+		case 0, 1, 2, 3, 4, 5: // insert a fresh key
+			key := *next
+			*next++
+			if _, err := t.Insert(mkRow(key, float64(key-base)/2)); err != nil {
+				return fmt.Errorf("insert %d: %w", key, err)
+			}
+		case 6, 7: // rewrite one of our own keys (may be deleted: no-op)
+			if *next == base {
+				return nil
+			}
+			key := base + r.Range(0, *next-base-1)
+			_ = t.Update(key, mkRow(key, -0.5))
+		case 8: // delete one of our own keys (may already be gone)
+			if *next == base {
+				return nil
+			}
+			t.Delete(base + r.Range(0, *next-base-1))
+		default: // point lookup (keeps the rng streams aligned on replay)
+			if *next == base {
+				return nil
+			}
+			key := base + r.Range(0, *next-base-1)
+			if row, ok := t.Lookup(key); ok && row[0].Int() != key {
+				return fmt.Errorf("lookup %d resolved id %d", key, row[0].Int())
+			}
+		}
+		return nil
+	}
+
+	// Preload: dataset ≫ budget, split across stripes, plus the pinned
+	// keys. The auto-freeze compactor seals and freezes chunks behind the
+	// loader; the budget evictor starts spilling immediately.
+	perStripe := rows / writers
+	nextKeys := make([]int64, writers)
+	for g := 0; g < writers; g++ {
+		base := int64(g) * stripe
+		for i := 0; i < perStripe; i++ {
+			key := base + int64(i)
+			if _, err := tbl.Insert(mkRow(key, float64(i)/2)); err != nil {
+				return err
+			}
+		}
+		nextKeys[g] = base + int64(perStripe)
+		if _, err := tbl.Insert(datablocks.Row{
+			datablocks.Int(pinnedKey(g)),
+			datablocks.Float(-1),
+			datablocks.Str("pinned"),
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Concurrent phase: writers churn their stripes, scanners sweep the
+	// table (reloading evicted blocks as they go), a reader hammers the
+	// pinned keys. Misses on always-live keys fail the run.
+	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		runErr   error
+		rounds   = make([]int, writers)
+		scans    atomic.Int64
+		scanned  atomic.Int64
+		pinReads atomic.Int64
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := xrand.New(uint64(0xC01D + g))
+			next := nextKeys[g]
+			for round := 0; time.Now().Before(deadline); round++ {
+				if err := applyRound(tbl, g, round, r, &next); err != nil {
+					fail(fmt.Errorf("writer %d round %d: %w", g, round, err))
+					return
+				}
+				rounds[g]++
+			}
+		}(g)
+	}
+	for s := 0; s < scanners; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			modes := []datablocks.ScanMode{
+				datablocks.ModeVectorizedSARG,
+				datablocks.ModeVectorizedSARGPSMA,
+				datablocks.ModeJIT,
+			}
+			for i := s; time.Now().Before(deadline); i++ {
+				res, err := tbl.Scan([]string{"id", "amount"},
+					[]datablocks.Pred{{Col: "amount", Op: datablocks.Ge, Lo: datablocks.Float(0)}},
+					datablocks.QueryOptions{Mode: modes[i%len(modes)]})
+				if err != nil {
+					fail(fmt.Errorf("scan: %w", err))
+					return
+				}
+				scans.Add(1)
+				scanned.Add(int64(res.NumRows()))
+			}
+		}(s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			g := i % writers
+			row, ok := tbl.Lookup(pinnedKey(g))
+			pinReads.Add(1)
+			if !ok {
+				fail(fmt.Errorf("read anomaly: pinned key %d missed mid-update", pinnedKey(g)))
+				return
+			}
+			if row[0].Int() != pinnedKey(g) {
+				fail(fmt.Errorf("pinned key %d resolved id %d", pinnedKey(g), row[0].Int()))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := cold.Close(); err != nil {
+		return fmt.Errorf("cold table close: %w", err)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	// Snapshot the cold-store counters before the verification sweeps
+	// below add their own (post-budget, compactor stopped) reload churn.
+	cs := tbl.ColdStats()
+	st := tbl.Stats()
+
+	// Ground truth: an unbounded in-memory table, same preload, same
+	// rounds replayed serially from the same seeds.
+	hot := datablocks.Open()
+	truth, err := hot.CreateTable("events", cols,
+		datablocks.WithPrimaryKey("id"),
+		datablocks.WithChunkRows(chunkRows),
+	)
+	if err != nil {
+		return err
+	}
+	for g := 0; g < writers; g++ {
+		base := int64(g) * stripe
+		for i := 0; i < perStripe; i++ {
+			key := base + int64(i)
+			if _, err := truth.Insert(mkRow(key, float64(i)/2)); err != nil {
+				return err
+			}
+		}
+		if _, err := truth.Insert(datablocks.Row{
+			datablocks.Int(pinnedKey(g)),
+			datablocks.Float(-1),
+			datablocks.Str("pinned"),
+		}); err != nil {
+			return err
+		}
+	}
+	for g := 0; g < writers; g++ {
+		r := xrand.New(uint64(0xC01D + g))
+		next := nextKeys[g]
+		for round := 0; round < rounds[g]; round++ {
+			if err := applyRound(truth, g, round, r, &next); err != nil {
+				return fmt.Errorf("replay writer %d round %d: %w", g, round, err)
+			}
+		}
+	}
+
+	// Equivalence: live counts, full-scan aggregates, pinned keys, and a
+	// sampled point-lookup sweep across every stripe.
+	aggregate := func(t *datablocks.Table) (int, int64, float64, error) {
+		res, err := t.Scan([]string{"id", "amount"}, nil,
+			datablocks.QueryOptions{Mode: datablocks.ModeVectorizedSARG})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		var sumID int64
+		var sumAmount float64 // halves of small ints: exact in binary, order-free
+		for i := 0; i < res.NumRows(); i++ {
+			sumID += res.Value(0, i).Int()
+			sumAmount += res.Value(1, i).Float()
+		}
+		return res.NumRows(), sumID, sumAmount, nil
+	}
+	gotN, gotID, gotAmt, err := aggregate(tbl)
+	if err != nil {
+		return err
+	}
+	wantN, wantID, wantAmt, err := aggregate(truth)
+	if err != nil {
+		return err
+	}
+	if tbl.NumRows() != truth.NumRows() || gotN != wantN || gotID != wantID || gotAmt != wantAmt {
+		return fmt.Errorf("coldstore diverged from ground truth: rows %d/%d, scanned %d/%d, sum(id) %d/%d, sum(amount) %g/%g",
+			tbl.NumRows(), truth.NumRows(), gotN, wantN, gotID, wantID, gotAmt, wantAmt)
+	}
+	for g := 0; g < writers; g++ {
+		a, okA := tbl.Lookup(pinnedKey(g))
+		b, okB := truth.Lookup(pinnedKey(g))
+		if !okA || !okB || a[1].Float() != b[1].Float() {
+			return fmt.Errorf("pinned key %d diverged: %v vs %v", pinnedKey(g), a, b)
+		}
+	}
+	sampled, sampleMismatch := 0, 0
+	for g := 0; g < writers; g++ {
+		base := int64(g) * stripe
+		for key := base; key < nextKeys[g]; key += 97 {
+			a, okA := tbl.Lookup(key)
+			b, okB := truth.Lookup(key)
+			sampled++
+			if okA != okB || (okA && (a[1].Float() != b[1].Float() || a[2].Str() != b[2].Str())) {
+				sampleMismatch++
+			}
+		}
+	}
+	if sampleMismatch > 0 {
+		return fmt.Errorf("%d of %d sampled point lookups diverged from ground truth", sampleMismatch, sampled)
+	}
+
+	if cs.Evictions == 0 || cs.Reloads == 0 {
+		return fmt.Errorf("no eviction/reload churn (evictions %d, reloads %d): dataset did not exceed the budget",
+			cs.Evictions, cs.Reloads)
+	}
+
+	fmt.Fprintf(w, "Cold block store — dataset ≫ budget (%d rows, %s budget), %d writers, %d scanners, %.1fs\n",
+		rows, fmtBytes(budget), writers, scanners, seconds)
+	t := bench.NewTable("metric", "value")
+	totalRounds := 0
+	for _, r := range rounds {
+		totalRounds += r
+	}
+	t.AddRow("live rows", fmt.Sprint(tbl.NumRows()))
+	t.AddRow("writer rounds", fmt.Sprint(totalRounds))
+	t.AddRow("analytic scans", fmt.Sprint(scans.Load()))
+	t.AddRow("rows scanned", fmt.Sprint(scanned.Load()))
+	t.AddRow("pinned-key lookups", fmt.Sprint(pinReads.Load()))
+	t.AddRow("block evictions", fmt.Sprint(cs.Evictions))
+	t.AddRow("block reloads", fmt.Sprint(cs.Reloads))
+	t.AddRow("resident frozen bytes", fmtBytes(cs.ResidentBytes))
+	t.AddRow("memory budget", fmtBytes(cs.BudgetBytes))
+	t.AddRow("store blocks / bytes", fmt.Sprintf("%d / %s", cs.StoredBlocks, fmtBytes(cs.DiskBytes)))
+	t.AddRow("evicted chunks (end)", fmt.Sprint(st.EvictedChunks))
+	t.Write(w)
+	fmt.Fprintf(w, "aggregates, pinned keys and %d sampled lookups match the unbounded-memory run exactly\n", sampled)
+	return nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

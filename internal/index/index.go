@@ -162,6 +162,13 @@ func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 	views := r.Snapshot()
 	for ci := range views {
 		c := &views[ci]
+		// Pin the view's block in RAM (reloading it from the block store
+		// when the chunk is evicted) for this chunk's key sweep only —
+		// holding all pins to the end would force the whole frozen set
+		// resident at once, defeating the memory budget.
+		if err := c.Acquire(); err != nil {
+			return err
+		}
 		for row := 0; row < c.Rows(); row++ {
 			if c.IsDeleted(row) {
 				continue
@@ -179,10 +186,12 @@ func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 				key = c.Hot().Ints(keyCol)[row]
 			}
 			if _, dup := h.m[key]; dup {
+				c.Release()
 				return fmt.Errorf("index: duplicate key %d during rebuild", key)
 			}
 			h.m[key] = Record{Cur: storage.TupleID{Chunk: uint32(ci), Row: uint32(row)}}
 		}
+		c.Release()
 	}
 	return nil
 }

@@ -23,6 +23,11 @@
 //   - Background freezing: FreezeChunk/FreezeAll with a negative SortBy
 //     run core.Freeze compression outside the relation lock, so inserts,
 //     lookups and scans proceed while a chunk is being compressed.
+//   - Background eviction: EvictChunk/EvictUnderBudget spill frozen
+//     blocks to the block store and drop their payloads; reads of
+//     evicted chunks transparently reload and pin them (see "Eviction,
+//     pinning and reload" below). Spill and reload I/O run outside the
+//     relation lock.
 //
 // # Epoch-versioned reads
 //
@@ -53,17 +58,51 @@
 // after the snapshot necessarily carries a later epoch, so the view keeps
 // reading the pre-mutation state without copying the bitmap.
 //
-// Each chunk moves through a one-way state machine:
+// Each chunk moves through a state machine that is one-way up to the
+// frozen station and oscillates between the last two when a block store
+// is attached (SetBlockStore):
 //
 //	ChunkHot ──(claim, brief write lock)──► ChunkFreezing
 //	ChunkFreezing ──(compress outside lock, install)──► ChunkFrozen
 //	ChunkFreezing ──(compression error)──► ChunkHot
+//	ChunkFrozen ──(spill to store, drop payload)──► ChunkEvicted
+//	ChunkEvicted ──(reload from store, reinstall payload)──► ChunkFrozen
 //
 // A freezing chunk no longer accepts appends (the insert tail skips it and
 // rolls over to a fresh chunk), but its tuples remain readable from the hot
 // payload until the compressed block is installed with an atomic payload
 // swap; deletes during freezing land in the chunk's delete bitmap, which is
 // shared by the hot and frozen forms (tuple identifiers are stable).
+//
+// # Eviction, pinning and reload
+//
+// An evicted chunk keeps everything mutable in RAM — the delete bitmap,
+// epoch stamps and counters — and drops only the immutable compressed
+// payload, replaced by a handle into the block store. Reads stay
+// transparent: point reads (GetAt/GetCol) and scans (via ChunkView.Acquire)
+// pin the block, reloading it from the store first when it is not
+// resident. The rules:
+//
+//   - Reload I/O runs outside the relation lock (single-flighted per
+//     chunk), so writers and other readers proceed while a block streams
+//     in from disk; the reloaded payload is re-installed with an atomic
+//     payload swap under the write lock (Evicted → Frozen).
+//   - A reader pins (Chunk.pins) before loading the payload pointer and
+//     unpins when done; the evictor skips pinned chunks, so an in-flight
+//     scan cannot have its block evicted underneath it. Blocks are
+//     immutable, so the residual race — an eviction nominated just before
+//     a pin lands — at worst leaves the reader on a privately retained
+//     copy while the budget accounting already dropped it; it can never
+//     produce a torn read.
+//   - Eviction (EvictChunk/EvictUnderBudget) only targets ChunkFrozen
+//     chunks with a zero pin count; the first eviction of a chunk
+//     serializes the block into the store, later ones reuse the file.
+//   - Every scan and point-lookup touch bumps the chunk's access counter;
+//     the block cache evicts coldest-first by that temperature whenever
+//     the resident set exceeds the configured byte budget.
+//   - A failed reload (I/O error, corrupt or truncated block file) is an
+//     error, never silent data: scans propagate it, point reads report
+//     Unavailable and record it on the relation (LoadError).
 //
 // Sorted freezing (SortBy >= 0) reorders tuples and therefore invalidates
 // tuple identifiers; it runs stop-the-world under the relation write lock
@@ -82,6 +121,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"datablocks/internal/blockstore"
 	"datablocks/internal/core"
 	"datablocks/internal/simd"
 	"datablocks/internal/types"
@@ -166,8 +206,13 @@ const (
 	// ChunkFreezing is claimed by a freeze: still read from the hot
 	// payload, closed to appends, compression in flight.
 	ChunkFreezing
-	// ChunkFrozen is an immutable compressed Data Block.
+	// ChunkFrozen is an immutable compressed Data Block resident in RAM.
 	ChunkFrozen
+	// ChunkEvicted is a frozen chunk whose compressed payload has been
+	// spilled to the block store and dropped from RAM; only a handle (and
+	// the mutable delete/epoch state) remains. Reads transparently reload
+	// and pin the block through the store, moving it back to ChunkFrozen.
+	ChunkEvicted
 )
 
 // String names the state for diagnostics.
@@ -177,14 +222,18 @@ func (s ChunkState) String() string {
 		return "hot"
 	case ChunkFreezing:
 		return "freezing"
+	case ChunkEvicted:
+		return "evicted"
 	default:
 		return "frozen"
 	}
 }
 
-// chunkPayload is the storage behind a chunk: exactly one of hot, blk is
-// non-nil. It is swapped atomically when a freeze installs its block, so a
-// reader that loads the payload once observes a coherent chunk.
+// chunkPayload is the storage behind a chunk: at most one of hot, blk is
+// non-nil; both are nil while the chunk is evicted (its block lives in
+// the block store). It is swapped atomically when a freeze installs its
+// block, an eviction drops it, or a reload re-installs it, so a reader
+// that loads the payload once observes a coherent chunk.
 type chunkPayload struct {
 	hot *HotChunk
 	blk *core.Block
@@ -219,7 +268,35 @@ type Chunk struct {
 	// by a sorted freeze, so in-flight views keep their own references.
 	retired *sync.Map
 	born    *sync.Map
+
+	// loadMu serializes the chunk's traffic with the block store: the
+	// spill of an eviction and the single-flight reload of a read both
+	// hold it, so concurrent readers of an evicted chunk do one disk read,
+	// not one each. It also guards handle. Lock order: loadMu before the
+	// relation lock, never the other way around.
+	loadMu sync.Mutex
+	// handle addresses the serialized block in the relation's store once
+	// the chunk has been spilled at least once (zero = never spilled).
+	handle blockstore.Handle
+	// pins counts in-flight readers of the frozen payload; eviction skips
+	// pinned chunks (see the package doc's pin rules).
+	pins atomic.Int32
+	// access is the chunk's temperature: bumped on every scan snapshot and
+	// point-lookup touch, consumed by the cache's coldest-first policy.
+	access atomic.Uint64
+	// frozenRows/frozenBytes mirror the installed block's row count and
+	// compressed size so they stay answerable while the payload is
+	// evicted.
+	frozenRows  atomic.Int32
+	frozenBytes atomic.Int64
 }
+
+// Temperature returns the chunk's access count (blockstore.Owner).
+func (c *Chunk) Temperature() uint64 { return c.access.Load() }
+
+// Pinned reports whether a reader currently pins the chunk's payload
+// (blockstore.Owner).
+func (c *Chunk) Pinned() bool { return c.pins.Load() != 0 }
 
 func newChunk(h *HotChunk) *Chunk {
 	c := &Chunk{retired: &sync.Map{}, born: &sync.Map{}}
@@ -240,22 +317,35 @@ func (c *Chunk) retiredAt(row uint32) uint64 {
 // State returns the chunk's lifecycle state.
 func (c *Chunk) State() ChunkState { return ChunkState(c.state.Load()) }
 
-// IsFrozen reports whether the chunk has been compressed into a Data Block.
-func (c *Chunk) IsFrozen() bool { return c.pay.Load().blk != nil }
+// IsFrozen reports whether the chunk has been compressed into a Data
+// Block. It is derived from the state machine, not from payload presence:
+// an evicted chunk is frozen even though its in-RAM block pointer is nil.
+func (c *Chunk) IsFrozen() bool {
+	s := c.State()
+	return s == ChunkFrozen || s == ChunkEvicted
+}
 
-// Block returns the frozen Data Block, or nil for hot chunks.
+// Block returns the frozen Data Block while it is resident in RAM, or nil
+// for hot and evicted chunks. Callers that must read an evicted chunk's
+// block go through a pinned path instead (GetAt/GetCol, or a ChunkView
+// with Acquire), which reloads it from the block store.
 func (c *Chunk) Block() *core.Block { return c.pay.Load().blk }
 
 // Hot returns the uncompressed chunk, or nil for frozen chunks.
 func (c *Chunk) Hot() *HotChunk { return c.pay.Load().hot }
 
-// Rows returns the tuple count including deleted tuples.
+// Rows returns the tuple count including deleted tuples. For evicted
+// chunks the count survives in frozenRows, so identifier resolution and
+// statistics never need the payload.
 func (c *Chunk) Rows() int {
 	p := c.pay.Load()
 	if p.blk != nil {
 		return p.blk.Rows()
 	}
-	return p.hot.Rows()
+	if p.hot != nil {
+		return p.hot.Rows()
+	}
+	return int(c.frozenRows.Load())
 }
 
 // LiveRows returns the tuple count excluding deleted and pending tuples.
@@ -283,6 +373,16 @@ func (c *Chunk) NumDeleted() int { return int(c.numDeleted.Load()) }
 type ChunkView struct {
 	hot *HotChunk
 	blk *core.Block
+	// frozen records the chunk's compression status at snapshot time; for
+	// an evicted chunk it is true while blk stays nil until Acquire
+	// reloads the block.
+	frozen bool
+	// chunk and rel are set when the view may need the pin/reload path: a
+	// block store is attached (a resident block can be evicted mid-scan)
+	// or the chunk was already evicted at snapshot time.
+	chunk   *Chunk
+	rel     *Relation
+	release func()
 	// rows is the row-count watermark captured under the relation lock:
 	// rows appended after the snapshot sit above it and are never
 	// consulted, which is what lets bornCheck stay false when the chunk
@@ -299,11 +399,42 @@ type ChunkView struct {
 	bornCheck  bool
 }
 
-// IsFrozen reports whether the chunk was frozen at snapshot time.
-func (v *ChunkView) IsFrozen() bool { return v.blk != nil }
+// IsFrozen reports whether the chunk was frozen (possibly evicted) at
+// snapshot time.
+func (v *ChunkView) IsFrozen() bool { return v.frozen }
 
-// Block returns the frozen Data Block, or nil for hot views.
+// Block returns the frozen Data Block, or nil for hot views — and for
+// evicted views until Acquire has pinned the block back into RAM.
 func (v *ChunkView) Block() *core.Block { return v.blk }
+
+// Acquire pins the view's frozen block in RAM for the duration of a scan,
+// reloading it from the block store first when the chunk is evicted (the
+// I/O runs outside the relation lock). It is a no-op for hot views and
+// for frozen views of a relation without a block store, whose blocks can
+// never leave RAM. Each successful Acquire must be paired with Release;
+// while pinned, the budget evictor will not touch the chunk.
+func (v *ChunkView) Acquire() error {
+	if !v.frozen || v.chunk == nil || v.release != nil {
+		return nil
+	}
+	blk, unpin, err := v.rel.pinBlock(v.chunk)
+	if err != nil {
+		v.rel.noteLoadError(err)
+		return err
+	}
+	v.blk = blk
+	v.release = unpin
+	return nil
+}
+
+// Release unpins a block pinned by Acquire. Safe to call on any view,
+// any number of times.
+func (v *ChunkView) Release() {
+	if v.release != nil {
+		v.release()
+		v.release = nil
+	}
+}
 
 // Hot returns the snapshotted uncompressed chunk, or nil for frozen views.
 func (v *ChunkView) Hot() *HotChunk { return v.hot }
@@ -377,6 +508,23 @@ type Relation struct {
 	// rows; readers capture it (ReadEpoch, Snapshot) to pin a visibility
 	// cutoff.
 	epoch atomic.Uint64
+
+	// Cold block store state (SetBlockStore). store persists serialized
+	// frozen blocks; cache tracks which are resident in RAM against the
+	// byte budget; kinds is the schema handed to deserialization;
+	// overBudget nudges the owner's compactor when an install pushes the
+	// resident set past the budget. All four are set once, before
+	// concurrent use.
+	store      *blockstore.Store
+	cache      *blockstore.Cache
+	kinds      []types.Kind
+	overBudget func()
+
+	evictions atomic.Int64
+	reloads   atomic.Int64
+
+	loadErrMu sync.Mutex
+	loadErr   error
 }
 
 // NewRelation creates an empty relation. chunkCapacity caps rows per chunk;
@@ -433,7 +581,7 @@ func (r *Relation) Snapshot() []ChunkView {
 	cutoff := r.epoch.Load()
 	views := make([]ChunkView, len(r.chunks))
 	for i, c := range r.chunks {
-		views[i] = c.viewLocked(cutoff)
+		views[i] = r.viewLocked(c, cutoff)
 	}
 	return views
 }
@@ -445,7 +593,8 @@ func (r *Relation) Snapshot() []ChunkView {
 // watermark are immutable afterwards, and every mutation after the
 // snapshot either lands above the watermark (appends) or carries an
 // epoch above the cutoff (deletes, update commits).
-func (c *Chunk) viewLocked(cutoff uint64) ChunkView {
+func (r *Relation) viewLocked(c *Chunk, cutoff uint64) ChunkView {
+	c.access.Add(1) // scan touch: temperature for the eviction policy
 	v := ChunkView{
 		del:        c.deleted,
 		retired:    c.retired,
@@ -461,9 +610,16 @@ func (c *Chunk) viewLocked(cutoff uint64) ChunkView {
 	// lands above the watermark and is excluded by the iteration bound.
 	v.bornCheck = v.pending > 0
 	p := c.pay.Load()
-	if p.blk != nil {
+	if p.hot == nil {
+		// Frozen (blk set) or evicted (blk nil until Acquire reloads it).
+		v.frozen = true
 		v.blk = p.blk
-		v.rows = p.blk.Rows()
+		v.rows = c.Rows()
+		if r.store != nil {
+			// With a store attached the block can be evicted mid-scan (or
+			// already is): give the view the pin/reload hook.
+			v.chunk, v.rel = c, r
+		}
 		return v
 	}
 	// The column copy pins the snapshot's slice headers (a later append
@@ -809,6 +965,11 @@ const (
 	Retired
 	// Absent: the tuple identifier does not address a row.
 	Absent
+	// Unavailable: the tuple is visible but its evicted block could not
+	// be reloaded from the block store (I/O error or corruption). The
+	// failure is recorded on the relation — see LoadError — so it cannot
+	// be mistaken for a clean miss.
+	Unavailable
 )
 
 // String names the visibility for diagnostics.
@@ -820,6 +981,8 @@ func (v Visibility) String() string {
 		return "not-yet-born"
 	case Retired:
 		return "retired"
+	case Unavailable:
+		return "unavailable"
 	default:
 		return "absent"
 	}
@@ -835,40 +998,76 @@ func (r *Relation) Get(tid TupleID) (types.Row, bool) {
 // GetAt materializes the tuple as seen by a reader at epoch e: exactly
 // the version visible at that epoch — for a tuple mid-update, the pre- or
 // the post-commit version, never neither. The returned Visibility
-// explains an invisible result.
+// explains an invisible result. For evicted chunks the block is pinned
+// and reloaded outside the relation lock; a reload failure reports
+// Unavailable (and LoadError), never a fabricated miss.
 func (r *Relation) GetAt(tid TupleID, e uint64) (types.Row, Visibility) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	c, vis := r.visibilityLocked(tid, e)
 	if vis != Visible {
+		r.mu.RUnlock()
 		return nil, vis
 	}
-	p := c.pay.Load()
+	c.access.Add(1) // lookup touch
 	row := make(types.Row, r.schema.NumColumns())
-	for i := range row {
-		if p.blk != nil {
-			row[i] = p.blk.Value(i, int(tid.Row))
-		} else {
-			row[i] = p.hot.Value(i, int(tid.Row))
+	p := c.pay.Load()
+	if p.hot != nil || (p.blk != nil && r.store == nil) {
+		// Hot, or frozen with no store attached (the payload cannot leave
+		// RAM): materialize under the read lock as before.
+		defer r.mu.RUnlock()
+		for i := range row {
+			if p.blk != nil {
+				row[i] = p.blk.Value(i, int(tid.Row))
+			} else {
+				row[i] = p.hot.Value(i, int(tid.Row))
+			}
 		}
+		return row, Visible
+	}
+	// Frozen with a store (evictable) or already evicted: drop the lock
+	// and read through a pin. Visibility cannot regress — the stamps that
+	// decided it are monotone in the epoch and frozen rows never move.
+	r.mu.RUnlock()
+	blk, unpin, err := r.pinBlock(c)
+	if err != nil {
+		r.noteLoadError(err)
+		return nil, Unavailable
+	}
+	defer unpin()
+	for i := range row {
+		row[i] = blk.Value(i, int(tid.Row))
 	}
 	return row, Visible
 }
 
 // GetCol returns a single attribute of a tuple at the current write epoch
-// — the OLTP point access the format is designed around (§3.4).
+// — the OLTP point access the format is designed around (§3.4). Like
+// GetAt it reads evicted chunks through a pinned reload outside the
+// relation lock; a reload failure reports a miss and records LoadError.
 func (r *Relation) GetCol(tid TupleID, col int) (types.Value, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	c, vis := r.visibilityLocked(tid, r.epoch.Load())
 	if vis != Visible {
+		r.mu.RUnlock()
 		return types.Value{}, false
 	}
+	c.access.Add(1) // lookup touch
 	p := c.pay.Load()
-	if p.blk != nil {
-		return p.blk.Value(col, int(tid.Row)), true
+	if p.hot != nil || (p.blk != nil && r.store == nil) {
+		defer r.mu.RUnlock()
+		if p.blk != nil {
+			return p.blk.Value(col, int(tid.Row)), true
+		}
+		return p.hot.Value(col, int(tid.Row)), true
 	}
-	return p.hot.Value(col, int(tid.Row)), true
+	r.mu.RUnlock()
+	blk, unpin, err := r.pinBlock(c)
+	if err != nil {
+		r.noteLoadError(err)
+		return types.Value{}, false
+	}
+	defer unpin()
+	return blk.Value(col, int(tid.Row)), true
 }
 
 // visibilityLocked resolves a tuple identifier and classifies its
@@ -913,15 +1112,16 @@ func (r *Relation) FreezeChunk(i int, opts core.FreezeOptions) error {
 	}
 	blk, err := freezeBlock(cols, n, opts)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if err != nil {
 		// Revert the claim: the chunk stays hot (and, no longer being the
 		// tail, simply remains an unfrozen non-tail chunk).
 		c.state.Store(uint32(ChunkHot))
+		r.mu.Unlock()
 		return err
 	}
-	c.pay.Store(&chunkPayload{blk: blk})
-	c.state.Store(uint32(ChunkFrozen))
+	r.installBlockLocked(c, blk)
+	r.mu.Unlock()
+	r.maybeWakeEvictor()
 	return nil
 }
 
@@ -982,7 +1182,7 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	}
 	c := r.chunks[i]
 	switch c.State() {
-	case ChunkFrozen:
+	case ChunkFrozen, ChunkEvicted:
 		return nil
 	case ChunkFreezing:
 		return fmt.Errorf("storage: chunk %d is being frozen concurrently", i)
@@ -1026,8 +1226,7 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	if err != nil {
 		return err
 	}
-	c.pay.Store(&chunkPayload{blk: blk})
-	c.state.Store(uint32(ChunkFrozen))
+	r.installBlockLocked(c, blk)
 	if keep != nil {
 		c.deleted = nil
 		c.numDeleted.Store(0)
@@ -1136,17 +1335,272 @@ func gatherBool(src []bool, keep []uint32) []bool {
 	return out
 }
 
-// MemStats summarizes a relation's footprint.
-type MemStats struct {
-	HotBytes     int
-	FrozenBytes  int
-	HotChunks    int
-	FrozenChunks int
-	Rows         int
-	DeletedRows  int
+// SetBlockStore attaches a disk-backed block store: frozen blocks become
+// evictable to it, tracked against budget bytes of RAM residency (<= 0:
+// unbounded — manual EvictChunk only). wake, if non-nil, is invoked
+// (without locks held) whenever installing a block pushes the resident
+// set over budget, so a background compactor can run EvictUnderBudget.
+// SetBlockStore must be called before the relation sees concurrent use;
+// blocks frozen before the call are accounted as resident.
+func (r *Relation) SetBlockStore(store *blockstore.Store, budget int64, wake func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = store
+	r.cache = blockstore.NewCache(budget)
+	r.overBudget = wake
+	r.kinds = make([]types.Kind, r.schema.NumColumns())
+	for i, col := range r.schema.Columns {
+		r.kinds[i] = col.Kind
+	}
+	for _, c := range r.chunks {
+		if blk := c.pay.Load().blk; blk != nil {
+			size := int64(blk.CompressedSize())
+			c.frozenRows.Store(int32(blk.Rows()))
+			c.frozenBytes.Store(size)
+			r.cache.Insert(c, size)
+		}
+	}
 }
 
-// TotalBytes returns the combined footprint.
+// installBlockLocked installs a compressed block as chunk c's payload —
+// the single place a chunk becomes (or returns to) ChunkFrozen — and
+// registers it with the residency cache. Caller holds the write lock.
+func (r *Relation) installBlockLocked(c *Chunk, blk *core.Block) {
+	size := int64(blk.CompressedSize())
+	c.frozenRows.Store(int32(blk.Rows()))
+	c.frozenBytes.Store(size)
+	c.pay.Store(&chunkPayload{blk: blk})
+	c.state.Store(uint32(ChunkFrozen))
+	if r.cache != nil {
+		r.cache.Insert(c, size)
+	}
+}
+
+// maybeWakeEvictor nudges the owner's compactor when the resident frozen
+// set exceeds the budget. Called without locks held.
+func (r *Relation) maybeWakeEvictor() {
+	if r.overBudget != nil && r.cache != nil && r.cache.OverBudget() {
+		r.overBudget()
+	}
+}
+
+// pinBlock pins chunk c's compressed payload in RAM and returns it with
+// the matching unpin. If the chunk is evicted the block is reloaded from
+// the store first — outside the relation lock, single-flighted per chunk
+// so concurrent readers share one disk read — and re-installed with an
+// atomic payload swap (Evicted → Frozen). The caller must not hold the
+// relation lock.
+func (r *Relation) pinBlock(c *Chunk) (*core.Block, func(), error) {
+	unpin := func() { c.pins.Add(-1) }
+	c.pins.Add(1)
+	if p := c.pay.Load(); p.blk != nil {
+		return p.blk, unpin, nil
+	}
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	if p := c.pay.Load(); p.blk != nil {
+		// Another reader reloaded the block while we waited.
+		return p.blk, unpin, nil
+	}
+	if r.store == nil || c.handle == 0 {
+		c.pins.Add(-1)
+		return nil, nil, errors.New("storage: evicted chunk has no block store handle")
+	}
+	blk, err := r.store.Load(c.handle, r.kinds)
+	if err != nil {
+		c.pins.Add(-1)
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	r.installBlockLocked(c, blk)
+	r.mu.Unlock()
+	r.reloads.Add(1)
+	r.maybeWakeEvictor()
+	return blk, unpin, nil
+}
+
+// EvictChunk spills chunk i's frozen block to the store (the first
+// eviction serializes it; later ones reuse the stored file) and drops the
+// in-RAM payload (Frozen → Evicted). It reports false without error when
+// the chunk is not evictable right now: not frozen, already evicted, or
+// pinned by an in-flight reader.
+func (r *Relation) EvictChunk(i int) (bool, error) {
+	r.mu.RLock()
+	if i < 0 || i >= len(r.chunks) {
+		r.mu.RUnlock()
+		return false, fmt.Errorf("storage: chunk %d out of range", i)
+	}
+	c := r.chunks[i]
+	r.mu.RUnlock()
+	return r.evictChunk(c)
+}
+
+func (r *Relation) evictChunk(c *Chunk) (bool, error) {
+	if r.store == nil {
+		return false, errors.New("storage: no block store configured")
+	}
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	if c.State() != ChunkFrozen || c.pins.Load() != 0 {
+		return false, nil
+	}
+	blk := c.pay.Load().blk
+	if blk == nil {
+		return false, nil
+	}
+	if c.handle == 0 {
+		// Spill outside the relation lock: the block is immutable.
+		h, err := r.store.Put(blk)
+		if err != nil {
+			return false, err
+		}
+		c.handle = h
+	}
+	r.mu.Lock()
+	if c.pins.Load() != 0 {
+		// A reader pinned the block between the check and the lock; leave
+		// it resident and let the next eviction pass retry.
+		r.mu.Unlock()
+		return false, nil
+	}
+	c.pay.Store(&chunkPayload{})
+	c.state.Store(uint32(ChunkEvicted))
+	r.mu.Unlock()
+	if r.cache != nil {
+		r.cache.Drop(c)
+	}
+	r.evictions.Add(1)
+	return true, nil
+}
+
+// EvictUnderBudget evicts unpinned frozen chunks, coldest first by access
+// temperature, until the resident frozen set fits the budget (or nothing
+// evictable remains). It returns the number of chunks evicted. Safe to
+// call concurrently with readers and writers; typically driven by the
+// background compactor on the over-budget wake.
+//
+// The work per call is bounded: with readers concurrently reloading the
+// blocks being shed, an unbounded drain-to-budget loop would spin as long
+// as the reload churn lasts, so after a few rounds the call returns and
+// relies on the next over-budget wake to continue.
+func (r *Relation) EvictUnderBudget() (int, error) {
+	if r.cache == nil {
+		return 0, nil
+	}
+	n := 0
+	for round := 0; round < 4; round++ {
+		victims := r.cache.Victims()
+		if len(victims) == 0 {
+			return n, nil
+		}
+		progress := false
+		for _, o := range victims {
+			ok, err := r.evictChunk(o.(*Chunk))
+			if err != nil {
+				return n, err
+			}
+			if ok {
+				n++
+				progress = true
+			}
+		}
+		if !progress || !r.cache.OverBudget() {
+			// Everything nominated is pinned (retry on a later wake), or
+			// the budget is met.
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// FlushFrozen writes every frozen block that has never been spilled to
+// the block store, without evicting anything — the Close-time flush that
+// makes the store a complete cold copy of the relation's frozen set.
+func (r *Relation) FlushFrozen() error {
+	if r.store == nil {
+		return nil
+	}
+	for _, c := range r.Chunks() {
+		c.loadMu.Lock()
+		if c.handle == 0 && c.State() == ChunkFrozen {
+			if blk := c.pay.Load().blk; blk != nil {
+				h, err := r.store.Put(blk)
+				if err != nil {
+					c.loadMu.Unlock()
+					return err
+				}
+				c.handle = h
+			}
+		}
+		c.loadMu.Unlock()
+	}
+	return nil
+}
+
+// noteLoadError records the first block-store reload failure, so a point
+// read that had to report a miss is distinguishable from data loss.
+func (r *Relation) noteLoadError(err error) {
+	r.loadErrMu.Lock()
+	if r.loadErr == nil {
+		r.loadErr = err
+	}
+	r.loadErrMu.Unlock()
+}
+
+// LoadError returns the first block-store reload failure, or nil.
+func (r *Relation) LoadError() error {
+	r.loadErrMu.Lock()
+	defer r.loadErrMu.Unlock()
+	return r.loadErr
+}
+
+// ColdStats summarizes the relation's cold-store traffic.
+type ColdStats struct {
+	// Evictions and Reloads count Frozen→Evicted and Evicted→Frozen
+	// transitions.
+	Evictions, Reloads int64
+	// ResidentBytes is the compressed frozen set currently in RAM;
+	// BudgetBytes the configured ceiling (0: unbounded).
+	ResidentBytes, BudgetBytes int64
+	// StoredBlocks/DiskBytes describe the store's on-disk footprint.
+	StoredBlocks int
+	DiskBytes    int64
+}
+
+// ColdStatsSnapshot reports eviction/reload counts and residency. Zero
+// values when no block store is attached.
+func (r *Relation) ColdStatsSnapshot() ColdStats {
+	s := ColdStats{
+		Evictions: r.evictions.Load(),
+		Reloads:   r.reloads.Load(),
+	}
+	if r.cache != nil {
+		cs := r.cache.Stats()
+		s.ResidentBytes, s.BudgetBytes = cs.ResidentBytes, cs.BudgetBytes
+	}
+	if r.store != nil {
+		ss := r.store.Stats()
+		s.StoredBlocks, s.DiskBytes = ss.Blocks, ss.DiskBytes
+	}
+	return s
+}
+
+// MemStats summarizes a relation's footprint. FrozenBytes covers only
+// blocks resident in RAM; EvictedBytes is the compressed size of blocks
+// currently living in the block store instead.
+type MemStats struct {
+	HotBytes      int
+	FrozenBytes   int
+	EvictedBytes  int
+	HotChunks     int
+	FrozenChunks  int
+	EvictedChunks int
+	Rows          int
+	DeletedRows   int
+}
+
+// TotalBytes returns the combined in-RAM footprint (evicted blocks are
+// on disk and excluded).
 func (m MemStats) TotalBytes() int { return m.HotBytes + m.FrozenBytes }
 
 // MemoryStats reports the relation's current footprint, separating hot
@@ -1164,6 +1618,11 @@ func (r *Relation) MemoryStats() MemStats {
 		if p.blk != nil {
 			m.FrozenChunks++
 			m.FrozenBytes += p.blk.CompressedSize()
+			continue
+		}
+		if p.hot == nil {
+			m.EvictedChunks++
+			m.EvictedBytes += int(c.frozenBytes.Load())
 			continue
 		}
 		m.HotChunks++
