@@ -5,11 +5,14 @@
 #   make stress      — just the concurrent OLTP/OLAP stress tests, raced
 #   make bench-evict — eviction/reload benchmarks, one iteration each
 #   make fuzz-short  — every fuzz target for FUZZTIME (default 60s) each
+#   make examples    — build every example; run quickstart (incl. durable
+#                      reopen) against a temp dir
+#   make linkcheck   — verify local links in README/ARCHITECTURE/ROADMAP
 
 GO ?= go
 FUZZTIME ?= 60s
 
-.PHONY: all build test race vet fmt-check stress bench-evict fuzz-short ci
+.PHONY: all build test race vet fmt-check stress bench-evict fuzz-short examples linkcheck ci
 
 all: ci
 
@@ -43,4 +46,16 @@ bench-evict:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz=FuzzUnmarshalBlock -fuzztime=$(FUZZTIME) ./internal/core
 
-ci: fmt-check vet build test race bench-evict fuzz-short
+# Build every example and run quickstart end to end — it creates a durable
+# database in a temp dir, closes it and reopens it, so the documented
+# create → close → reopen flow is exercised on every CI run.
+examples:
+	$(GO) build ./examples/...
+	@dir=$$(mktemp -d); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./examples/quickstart "$$dir"
+
+linkcheck:
+	$(GO) test -run TestMarkdownDocLinks .
+
+ci: fmt-check vet build test race bench-evict fuzz-short examples linkcheck

@@ -7,8 +7,8 @@
 //
 //	dbrepro [flags] <experiment>
 //
-// Experiments: table1 table2 table3 tpcc hybrid coldstore fig5 fig8 fig9
-// fig10 fig11 fig12 fig13 flights all
+// Experiments: table1 table2 table3 tpcc hybrid coldstore restart fig5
+// fig8 fig9 fig10 fig11 fig12 fig13 flights all
 package main
 
 import (
@@ -42,6 +42,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  tpcc     TPC-C throughput (§5.3)\n")
 		fmt.Fprintf(os.Stderr, "  hybrid   concurrent OLTP writers + OLAP scans + background freezing (§1)\n")
 		fmt.Fprintf(os.Stderr, "  coldstore larger-than-RAM: disk-backed eviction under a memory budget (§1)\n")
+		fmt.Fprintf(os.Stderr, "  restart  durable reopen: close a dataset ≫ budget, reopen from disk, verify equivalence\n")
 		fmt.Fprintf(os.Stderr, "  fig5     compile-time explosion (Figure 5)\n")
 		fmt.Fprintf(os.Stderr, "  fig8     SIMD find-matches speedup (Figure 8)\n")
 		fmt.Fprintf(os.Stderr, "  fig9     SIMD reduce-matches (Figure 9)\n")
@@ -73,6 +74,8 @@ func main() {
 			return experiments.Hybrid(w, *seconds, *writers, *scanners)
 		case "coldstore":
 			return experiments.ColdStore(w, *coldRows, *seconds, *writers, *scanners, *budget)
+		case "restart":
+			return experiments.Restart(w, *coldRows, *budget)
 		case "fig5":
 			return experiments.Fig5(w, *combos)
 		case "fig8":
@@ -97,7 +100,7 @@ func main() {
 	}
 	name := flag.Arg(0)
 	if name == "all" {
-		for _, e := range []string{"table1", "table2", "table3", "tpcc", "hybrid", "coldstore", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "flights"} {
+		for _, e := range []string{"table1", "table2", "table3", "tpcc", "hybrid", "coldstore", "restart", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "flights"} {
 			fmt.Fprintf(w, "==== %s ====\n", e)
 			if err := run(e); err != nil {
 				fmt.Fprintf(os.Stderr, "dbrepro %s: %v\n", e, err)

@@ -14,14 +14,17 @@
 // interpreted vectorized scan layer.
 //
 // The top-level API covers table management, OLTP operations (insert,
-// point lookup, delete, update), freezing, predicate scans and a physical
-// query-plan layer (joins, aggregation, ordering). See the examples
-// directory for end-to-end usage and DESIGN.md for the paper-to-module
-// map.
+// point lookup, delete, update), freezing, predicate scans, a physical
+// query-plan layer (joins, aggregation, ordering) and durable databases
+// (OpenPath: a versioned on-disk catalog plus per-table block manifests
+// make the data directory survive process restarts). See the examples
+// directory for end-to-end usage and ARCHITECTURE.md for the
+// paper-to-module map and the on-disk format.
 package datablocks
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -122,11 +125,21 @@ var (
 	BetweenE = exec.BetweenE
 )
 
-// DB is a collection of named tables.
+// DB is a collection of named tables. A DB is either in-memory (Open) —
+// tables live for the process, block stores are spill caches — or durable
+// (OpenPath): the database owns a directory holding a versioned,
+// CRC-protected catalog and per-table manifests, and Close makes the
+// directory a complete, reopenable image of every table's frozen data.
 type DB struct {
 	mu       sync.RWMutex
 	tables   map[string]*Table
 	defaults []TableOption
+
+	// dir is the durable root of an OpenPath database ("" for Open).
+	dir string
+	// catMu serializes catalog generation bumps and writes.
+	catMu  sync.Mutex
+	catGen uint64
 }
 
 // Open creates an empty database. Table options passed here become
@@ -139,10 +152,73 @@ func Open(defaults ...TableOption) *DB {
 	return &DB{tables: make(map[string]*Table), defaults: defaults}
 }
 
+// OpenPath opens (or creates) a durable database rooted at dir. Every
+// table — recovered or created later — keeps its frozen Data Blocks under
+// dir/<table> together with a generation-stamped manifest, and the
+// directory root carries the table catalog, so a process restart
+// reconstructs the full table set: OpenPath reads the newest catalog
+// generation that verifies, rebuilds each table with every frozen chunk in
+// the evicted state (block payloads are reloaded lazily on first touch),
+// rebuilds primary-key indexes by streaming keys from the manifest's
+// blocks, and garbage-collects block files a previous generation or an
+// interrupted write left unreferenced.
+//
+// Durability covers frozen data: freezes, flushes and Close write the
+// manifest atomically, and DB.Close freezes the hot tail first, so a clean
+// close reopens to exactly the pre-close contents. Rows still hot at a
+// crash are lost (there is no write-ahead log yet; see ROADMAP), and write
+// epochs restart at zero on reopen.
+//
+// The defaults are table options applied to recovered and newly created
+// tables alike — use them for runtime tuning such as WithAutoFreeze and
+// WithMemoryBudget. Structural options of recovered tables (schema,
+// primary key, chunk capacity) come from the catalog and override the
+// defaults. A corrupt or torn newest catalog/manifest generation falls
+// back to the previous one; a missing catalog opens an empty database.
+func OpenPath(dir string, defaults ...TableOption) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("datablocks: %w", err)
+	}
+	db := &DB{tables: make(map[string]*Table), defaults: defaults, dir: dir}
+	cat, err := blockstore.LoadCatalog(dir)
+	if err != nil {
+		return nil, fmt.Errorf("datablocks: open %s: %w", dir, err)
+	}
+	if cat == nil {
+		return db, nil
+	}
+	db.catGen = cat.Generation
+	blockstore.PruneCatalogs(dir, cat.Generation)
+	for _, ct := range cat.Tables {
+		// The catalog's structural record is authoritative, applied after
+		// the defaults: WithPrimaryKey(ct.PrimaryKey) deliberately runs
+		// even when empty, so a DB-level WithPrimaryKey default cannot
+		// graft a primary key onto a table that never had one.
+		opts := []TableOption{WithChunkRows(ct.ChunkRows), WithPrimaryKey(ct.PrimaryKey)}
+		if _, err := db.createTable(ct.Name, ct.Columns, true, opts...); err != nil {
+			return nil, fmt.Errorf("datablocks: recover table %q: %w", ct.Name, err)
+		}
+	}
+	return db, nil
+}
+
 // Close stops every table's background compactor and waits for in-flight
-// freezes to finish. It returns the first error a compactor encountered.
-// The data remains readable and writable after Close; only automatic
-// freezing stops.
+// freezes to finish. For a durable database (OpenPath) it then freezes
+// each table's hot tail, flushes the frozen set to the block store, writes
+// each table's manifest and a fresh catalog generation — making the
+// directory a complete image of the database for the next OpenPath. For
+// an in-memory database, tables whose block store was a pure spill cache
+// (never persisted) reload their evicted blocks into RAM and the store's
+// files are garbage-collected: the directory holds nothing a future
+// process could use, so nothing is left behind. Note the memory
+// implication: the reload re-inflates the table's whole frozen set past
+// any WithMemoryBudget, which is what keeps the table readable after the
+// files are gone — for datasets that genuinely cannot fit in RAM, make
+// the table durable (OpenPath or WithRecover) so Close keeps the blocks
+// on disk instead.
+//
+// Close returns the first error encountered. The data remains readable
+// and writable after Close; only automatic freezing stops.
 func (db *DB) Close() error {
 	db.mu.RLock()
 	tables := make([]*Table, 0, len(db.tables))
@@ -155,8 +231,49 @@ func (db *DB) Close() error {
 		if err := t.Close(); err != nil && first == nil {
 			first = err
 		}
+		if !t.persist && t.bs != nil {
+			if err := t.dropStoreFiles(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if db.dir != "" {
+		db.mu.RLock()
+		err := db.writeCatalogLocked()
+		db.mu.RUnlock()
+		if err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
+}
+
+// writeCatalogLocked persists a fresh catalog generation listing every
+// durable table. Caller holds db.mu (read or write).
+func (db *DB) writeCatalogLocked() error {
+	cat := &blockstore.Catalog{}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
+		if !t.persist {
+			continue
+		}
+		cat.Tables = append(cat.Tables, blockstore.CatalogTable{
+			Name:       t.name,
+			Columns:    t.schema.Columns,
+			PrimaryKey: t.pkName,
+			ChunkRows:  t.rel.ChunkCapacity(),
+		})
+	}
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	db.catGen++
+	cat.Generation = db.catGen
+	return blockstore.WriteCatalog(db.dir, cat)
 }
 
 // TableOption customizes table creation.
@@ -164,6 +281,8 @@ type TableOption func(*Table)
 
 // WithPrimaryKey maintains a unique hash index on the named int64 column,
 // enabling indexed point lookups (Table 3's "PK index" configurations).
+// An empty name clears a primary key applied by an earlier option (e.g. a
+// database-wide default).
 func WithPrimaryKey(col string) TableOption {
 	return func(t *Table) { t.pkName = col }
 }
@@ -209,15 +328,51 @@ func WithMemoryBudget(bytes int64) TableOption {
 	return func(t *Table) { t.memBudget = bytes }
 }
 
+// WithRecover makes the table durable in its block store directory
+// without a database-level catalog: CreateTable recovers the frozen chunk
+// sequence from the directory's newest valid manifest generation (if one
+// exists), rebuilds the primary-key index by streaming keys from the
+// stored blocks, garbage-collects unreferenced block files, and from then
+// on persists a fresh manifest on every freeze, flush and Close. Requires
+// WithBlockStore; the schema, primary key and chunk capacity passed to
+// CreateTable must match the ones the manifest was written with (a
+// durable database opened with OpenPath gets all of this from its catalog
+// instead). Tables without WithRecover treat their block store as a spill
+// cache owned by this process: DB.Close garbage-collects its files.
+func WithRecover() TableOption {
+	return func(t *Table) {
+		t.persist = true
+		t.recoverOnOpen = true
+	}
+}
+
 // CreateTable registers a new table. The DB's default options (see Open)
-// are applied first, then the table's own.
+// are applied first, then the table's own. In a durable database
+// (OpenPath) the table automatically keeps its frozen blocks under the
+// database directory and is registered in the on-disk catalog.
 func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Table, error) {
-	t := &Table{name: name, schema: types.NewSchema(cols...)}
+	return db.createTable(name, cols, false, opts...)
+}
+
+// createTable is the shared construction path of CreateTable and catalog
+// recovery (fromCatalog): the latter skips the catalog write — the table
+// definition just came from it. It holds db.mu across store opening and
+// manifest recovery so two racing creations of the same name cannot both
+// run recovery (and its garbage collection) against one directory.
+func (db *DB) createTable(name string, cols []Column, fromCatalog bool, opts ...TableOption) (*Table, error) {
+	t := &Table{name: name, schema: types.NewSchema(cols...), sortBy: -1}
 	for _, opt := range db.defaults {
 		opt(t)
 	}
 	for _, opt := range opts {
 		opt(t)
+	}
+	if db.dir != "" {
+		// Durable database: the table's blocks live under the database
+		// root, it is listed in the catalog, and reopen recovers it.
+		t.storeDir = db.dir
+		t.persist = true
+		t.recoverOnOpen = true
 	}
 	if t.pkName != "" {
 		i := t.schema.ColumnIndex(t.pkName)
@@ -236,6 +391,14 @@ func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Tab
 	if t.memBudget > 0 && t.storeDir == "" {
 		return nil, fmt.Errorf("datablocks: WithMemoryBudget on table %q requires WithBlockStore", name)
 	}
+	if t.recoverOnOpen && t.storeDir == "" {
+		return nil, fmt.Errorf("datablocks: WithRecover on table %q requires WithBlockStore", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("datablocks: table %q already exists", name)
+	}
 	if t.storeDir != "" {
 		bs, err := blockstore.Open(filepath.Join(t.storeDir, name))
 		if err != nil {
@@ -243,17 +406,19 @@ func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Tab
 		}
 		t.bs = bs
 		t.rel.SetBlockStore(bs, t.memBudget, t.wakeCompactor)
-	}
-	db.mu.Lock()
-	if _, dup := db.tables[name]; dup {
-		db.mu.Unlock()
-		if t.bs != nil {
-			t.bs.Close()
+		if t.recoverOnOpen {
+			if err := t.recoverFromManifest(); err != nil {
+				return nil, fmt.Errorf("datablocks: table %q: %w", name, err)
+			}
 		}
-		return nil, fmt.Errorf("datablocks: table %q already exists", name)
 	}
 	db.tables[name] = t
-	db.mu.Unlock()
+	if t.persist && !fromCatalog && db.dir != "" {
+		if err := db.writeCatalogLocked(); err != nil {
+			delete(db.tables, name)
+			return nil, fmt.Errorf("datablocks: table %q: %w", name, err)
+		}
+	}
 	if t.autoFreeze > 0 || t.memBudget > 0 {
 		t.freezeWake = make(chan struct{}, 1)
 		t.stop = make(chan struct{})
@@ -261,6 +426,74 @@ func (db *DB) CreateTable(name string, cols []Column, opts ...TableOption) (*Tab
 		go t.compact()
 	}
 	return t, nil
+}
+
+// recoverFromManifest rebuilds the table from its block directory's newest
+// valid manifest generation: every frozen chunk is restored evicted
+// (payload reloaded lazily on first touch), the primary-key index is
+// rebuilt by streaming keys from the stored blocks one at a time, and
+// block files left unreferenced — superseded generations, writes a crash
+// orphaned — are garbage-collected along with stale manifest records.
+// When no manifest exists the table starts empty and any stray block
+// files are cleared: nothing referenced them.
+func (t *Table) recoverFromManifest() error {
+	dir := t.bs.Dir()
+	man, err := blockstore.LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	keep := make(map[blockstore.Handle]bool)
+	if man != nil {
+		t.manGen = man.Generation
+		t.sortBy = man.SortBy
+		for _, mc := range man.Chunks {
+			keep[mc.Handle] = true
+		}
+		blockstore.PruneManifests(dir, man.Generation)
+	} else {
+		blockstore.PruneManifests(dir, 0)
+	}
+	if _, err := t.bs.Retain(keep); err != nil {
+		return err
+	}
+	if man == nil {
+		return nil
+	}
+	for i, mc := range man.Chunks {
+		if err := t.rel.RestoreEvicted(mc.Handle, mc.Rows, mc.Bytes, mc.Deleted, mc.NumDeleted); err != nil {
+			return fmt.Errorf("manifest chunk %d: %w", i, err)
+		}
+	}
+	if t.pk != nil {
+		if err := t.pk.Rebuild(t.rel, t.pkCol); err != nil {
+			return err
+		}
+	}
+	if t.memBudget > 0 {
+		// The index rebuild reloaded blocks one at a time but released
+		// only the pins, not the payloads: trim the resident set back
+		// under the budget before the table goes live, so reopening never
+		// starts over budget.
+		if _, err := t.rel.EvictUnderBudget(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropStoreFiles clears a spill-cache block store at DB.Close: evicted
+// blocks are reloaded into RAM first (the table stays fully readable),
+// then every block file is removed and the directory is deleted if
+// nothing else lives in it. Never called for durable tables.
+func (t *Table) dropStoreFiles() error {
+	if err := t.rel.UnevictAll(); err != nil {
+		return err
+	}
+	if _, err := t.bs.Retain(nil); err != nil {
+		return err
+	}
+	os.Remove(t.bs.Dir()) // best effort: fails when non-store files remain
+	return nil
 }
 
 // Table returns a table by name, or nil.
@@ -303,6 +536,16 @@ type Table struct {
 	storeDir  string
 	memBudget int64
 	bs        *blockstore.Store
+
+	// Durability state (WithRecover / OpenPath). persist: freezes, flushes
+	// and Close write a manifest generation; recoverOnOpen: CreateTable
+	// rebuilds the table from the newest valid manifest. sortBy records
+	// the column of the last sorted freeze (-1 unsorted) for the manifest.
+	persist       bool
+	recoverOnOpen bool
+	manMu         sync.Mutex
+	manGen        uint64
+	sortBy        int
 
 	// wmu serializes the two-step write operations that touch both the
 	// relation and the primary-key index.
@@ -537,14 +780,23 @@ func (t *Table) Update(key int64, row Row) error {
 }
 
 // Freeze compresses all full chunks into Data Blocks, keeping the hot tail
-// writable. Tuple identifiers (and the PK index) remain valid.
+// writable. Tuple identifiers (and the PK index) remain valid. On a
+// durable table the newly frozen blocks are flushed to the store and a
+// fresh manifest generation is written before Freeze returns.
 func (t *Table) Freeze() error {
-	return t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, true)
+	if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
+		return err
+	}
+	return t.persistFrozen()
 }
 
-// FreezeAll compresses every chunk, including the tail.
+// FreezeAll compresses every chunk, including the tail, and persists the
+// manifest on durable tables like Freeze.
 func (t *Table) FreezeAll() error {
-	return t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false)
+	if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+		return err
+	}
+	return t.persistFrozen()
 }
 
 // FreezeSorted compresses every chunk, sorting each block by the named
@@ -563,9 +815,37 @@ func (t *Table) FreezeSorted(col string) error {
 		return err
 	}
 	if t.pk != nil {
-		return t.pk.Rebuild(t.rel, t.pkCol)
+		if err := t.pk.Rebuild(t.rel, t.pkCol); err != nil {
+			return err
+		}
 	}
-	return nil
+	// sortBy is read by manifest writes (compactor checkpoints included):
+	// update it under the same lock.
+	t.manMu.Lock()
+	t.sortBy = i
+	t.manMu.Unlock()
+	return t.persistFrozen()
+}
+
+// persistFrozen makes the current frozen set durable on a persistent
+// table: every frozen block that has never been spilled is flushed to the
+// store, then a fresh manifest generation is written atomically. A no-op
+// for non-durable tables.
+func (t *Table) persistFrozen() error {
+	if !t.persist || t.bs == nil {
+		return nil
+	}
+	if err := t.rel.FlushFrozen(); err != nil {
+		return err
+	}
+	t.manMu.Lock()
+	defer t.manMu.Unlock()
+	t.manGen++
+	return blockstore.WriteManifest(t.bs.Dir(), &blockstore.Manifest{
+		Generation: t.manGen,
+		SortBy:     t.sortBy,
+		Chunks:     t.rel.ManifestChunks(),
+	})
 }
 
 // wakeCompactor nudges the background compactor without blocking the
@@ -598,6 +878,10 @@ func (t *Table) compact() {
 		if t.autoFreeze > 0 && t.rel.SealedHotChunks() >= t.autoFreeze {
 			if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, true); err != nil {
 				t.noteCompactErr(err)
+			} else if err := t.persistFrozen(); err != nil {
+				// Durable tables checkpoint every background freeze, so a
+				// crash loses at most the hot tail since the last pass.
+				t.noteCompactErr(err)
 			}
 		}
 		if t.memBudget > 0 {
@@ -619,17 +903,31 @@ func (t *Table) noteCompactErr(err error) {
 // Close stops the table's background compactor, if any, waits for an
 // in-flight freeze or eviction pass to finish, flushes every frozen block
 // that was never spilled to the block store (so the store holds a
-// complete cold copy of the frozen set) and releases the store. It
-// returns the first error the compactor, the flush or a block reload
-// encountered. Close is idempotent; the table remains usable afterwards
-// — evicted chunks keep reloading through the store.
+// complete cold copy of the frozen set) and releases the store. On a
+// durable table (OpenPath / WithRecover) Close first freezes the hot tail
+// and then writes a fresh manifest generation, so a clean close leaves
+// the directory a complete image: reopening recovers exactly the closed
+// contents. It returns the first error the compactor, the flush, the
+// manifest write or a block reload encountered. Close is idempotent; the
+// table remains usable afterwards — evicted chunks keep reloading through
+// the store.
 func (t *Table) Close() error {
 	if t.autoFreeze > 0 || t.memBudget > 0 {
 		t.closeOnce.Do(func() { close(t.stop) })
 		<-t.compactorDone
 	}
 	if t.bs != nil {
-		if err := t.rel.FlushFrozen(); err != nil {
+		if t.persist {
+			// Freeze the tail so the manifest covers every row: recovery
+			// reads frozen chunks only (crash durability for hot rows
+			// needs a WAL; see ROADMAP).
+			if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+				t.noteCompactErr(err)
+			}
+			if err := t.persistFrozen(); err != nil {
+				t.noteCompactErr(err)
+			}
+		} else if err := t.rel.FlushFrozen(); err != nil {
 			t.noteCompactErr(err)
 		}
 		if err := t.bs.Close(); err != nil {

@@ -1,0 +1,44 @@
+package datablocks
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links: [text](target).
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownDocLinks is the repo's link check (run by `make linkcheck`
+// and therefore `make ci`): every local link in the user-facing documents
+// must point at a file that exists. External links are only checked for a
+// scheme, not fetched — CI must not depend on the network.
+func TestMarkdownDocLinks(t *testing.T) {
+	docs := []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md"}
+	for _, doc := range docs {
+		buf, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("required document missing: %v", err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			// Drop an intra-document anchor; a bare anchor targets doc
+			// itself and needs no file check.
+			path := target
+			if i := strings.IndexByte(path, '#'); i >= 0 {
+				path = path[:i]
+			}
+			if path == "" {
+				continue
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: broken link %q: %v", doc, target, err)
+			}
+		}
+	}
+}

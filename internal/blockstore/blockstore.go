@@ -16,6 +16,28 @@
 // load through the serialized format's CRC32-C. It stores payload bytes
 // only; which chunk a handle belongs to is the owner's (the relation's)
 // bookkeeping, exactly like the paper's blocks, which carry no schema.
+//
+// # Durability and garbage collection
+//
+// The package also defines the durable metadata records that make a store
+// directory a restart-recoverable database image (see manifest.go): a
+// CRC-protected, generation-stamped catalog (table registry, database
+// root) and per-table manifest (frozen chunk sequence, block directory).
+// The contract:
+//
+//   - A block file is durable the moment Put returns (fsync before
+//     rename), but it is *reachable* only once a manifest generation
+//     references its handle. Writers therefore order: put blocks first,
+//     write the manifest second.
+//   - Record writes are atomic and keep the previous generation as a
+//     fallback; loaders pick the newest generation that verifies, so a
+//     torn write reads as the previous generation, never a half state.
+//   - At recovery, block files not referenced by the surviving manifest
+//     generation are garbage — a crash between Put and the manifest
+//     write, or a superseded generation — and must be removed with
+//     Retain, passing the manifest's handle set. A store that was never
+//     given a manifest (a pure spill cache) is cleared the same way with
+//     an empty handle set when its owner is done with it.
 package blockstore
 
 import (
@@ -132,6 +154,9 @@ func (s *Store) Put(blk *core.Block) (Handle, error) {
 	if err := os.Rename(tmp.Name(), dst); err != nil {
 		return 0, fmt.Errorf("blockstore: %w", err)
 	}
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	s.sizes[h] = int64(len(buf))
 	s.mu.Unlock()
@@ -161,6 +186,33 @@ func (s *Store) Load(h Handle, kinds []types.Kind) (*core.Block, error) {
 	s.loads.Add(1)
 	s.bytesIn.Add(int64(len(buf)))
 	return blk, nil
+}
+
+// Retain removes every stored block whose handle is not in keep — the
+// manifest-driven garbage collection — plus stray temp files left by
+// interrupted writes. With an empty (or nil) keep set it clears the store
+// entirely. It returns the number of block files removed.
+func (s *Store) Retain(keep map[Handle]bool) (int, error) {
+	removed := 0
+	for _, h := range s.handlesByID() {
+		if keep[h] {
+			continue
+		}
+		if err := s.Remove(h); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return removed, fmt.Errorf("blockstore: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+	return removed, nil
 }
 
 // Remove deletes a stored block.

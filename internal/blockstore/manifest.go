@@ -1,0 +1,489 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datablocks/internal/core"
+	"datablocks/internal/types"
+)
+
+// The durable metadata of a database is two kinds of record file, both
+// versioned, generation-stamped and CRC32-C protected:
+//
+//   - The catalog (catalog-<gen>.dbc, in the database root) lists every
+//     table: name, schema, primary key and chunk capacity. It is what
+//     OpenPath needs to reconstruct the table set before any data is read.
+//   - The manifest (manifest-<gen>.dbm, in a table's block directory)
+//     lists the table's frozen chunks in order: the block handle that
+//     reloads each chunk, its row count, its delete bitmap, and the sort
+//     column of the last sorted freeze.
+//
+// Records are never updated in place. Each write serializes the whole
+// record, writes it to a temp file, fsyncs and renames it to a fresh
+// generation-numbered name, then removes generations older than the
+// immediately preceding one. Readers pick the highest generation whose
+// checksum and structure verify, so a torn or truncated write (a crash
+// mid-rename, a chopped file) falls back to the previous generation —
+// never to a half state. Block files referenced by neither the surviving
+// manifest generation nor anything else are garbage (an eviction or flush
+// that raced a crash before its manifest write) and are removed at
+// recovery time via Store.Retain.
+
+const (
+	// FormatVersion is the on-disk format version of catalog and manifest
+	// records. Blocks themselves carry their own version (core: v2 adds
+	// the payload CRC32-C).
+	FormatVersion = 1
+
+	manifestMagic = 0x4D4C4244 // "DBLM"
+	catalogMagic  = 0x434C4244 // "DBLC"
+
+	// Record header: magic u32 | version u32 | generation u64 | crc u32
+	// (CRC32-C over the payload that follows the header).
+	recHdrSize = 20
+
+	manifestPrefix = "manifest-"
+	manifestExt    = ".dbm"
+	catalogPrefix  = "catalog-"
+	catalogExt     = ".dbc"
+)
+
+// recCRC is the Castagnoli table shared by catalog and manifest records
+// (same polynomial the serialized blocks use).
+var recCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ManifestChunk describes one frozen chunk of a table: the handle that
+// reloads its block, its row count, and its delete state. Rows pending an
+// uncommitted update at manifest time are recorded as deleted — their
+// commit never becomes durable, so recovery must not resurrect them.
+type ManifestChunk struct {
+	Handle     Handle
+	Rows       int
+	NumDeleted int
+	// Bytes is the block's compressed in-RAM size, so recovery can account
+	// residency against the memory budget without loading the payload.
+	Bytes int64
+	// Deleted is the chunk's delete bitmap (bit set = deleted), trimmed to
+	// Rows; nil when no row is deleted.
+	Deleted []uint64
+}
+
+// Manifest is the durable description of a table's frozen chunk sequence.
+type Manifest struct {
+	// Generation is the record's monotonically increasing write stamp; the
+	// highest generation that verifies wins at load time.
+	Generation uint64
+	// SortBy is the column the blocks were last freeze-sorted by, or -1.
+	SortBy int
+	// Chunks lists the frozen chunks in relation order. Hot chunks are not
+	// recorded: recovery covers frozen data only (see ARCHITECTURE.md).
+	Chunks []ManifestChunk
+}
+
+// CatalogTable is one table entry of the catalog.
+type CatalogTable struct {
+	Name       string
+	Columns    []types.Column
+	PrimaryKey string // "" when the table has no primary key
+	ChunkRows  int
+}
+
+// Catalog is the durable table registry of a database directory.
+type Catalog struct {
+	Generation uint64
+	Tables     []CatalogTable
+}
+
+// genFile is one generation-stamped record file on disk.
+type genFile struct {
+	gen  uint64
+	path string
+}
+
+// genFiles lists dir's prefix<gen-hex>ext files, newest generation first.
+// A missing directory reads as empty.
+func genFiles(dir, prefix, ext string) []genFile {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []genFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ext), 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, genFile{g, filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gen > out[j].gen })
+	return out
+}
+
+// writeRecord atomically persists one generation of a record: temp file,
+// fsync, rename to prefix<gen-hex>ext — then prunes generations older than
+// gen-1 (the immediately preceding generation is kept as the torn-write
+// fallback).
+func writeRecord(dir, prefix, ext string, magic uint32, gen uint64, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	buf := make([]byte, recHdrSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], FormatVersion)
+	binary.LittleEndian.PutUint64(buf[8:], gen)
+	binary.LittleEndian.PutUint32(buf[16:], crc32.Checksum(payload, recCRC))
+	copy(buf[recHdrSize:], payload)
+
+	dst := filepath.Join(dir, fmt.Sprintf("%s%016x%s", prefix, gen, ext))
+	tmp, err := os.CreateTemp(dir, prefix+"*.tmp")
+	if err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("blockstore: write %s: %w", dst, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("blockstore: sync %s: %w", dst, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("blockstore: close %s: %w", dst, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	for _, f := range genFiles(dir, prefix, ext) {
+		if f.gen+1 < gen {
+			os.Remove(f.path)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// survives power loss — without it the file contents are durable but the
+// name may not be, and an acknowledged record or block could vanish.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("blockstore: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("blockstore: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// loadRecord reads and verifies one record file, returning its generation
+// and payload. Any defect — wrong magic or version, short file, checksum
+// mismatch — is an error; callers fall back to an older generation.
+func loadRecord(path string, magic uint32) (uint64, []byte, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < recHdrSize {
+		return 0, nil, fmt.Errorf("blockstore: %s: truncated record (%d bytes)", path, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic {
+		return 0, nil, fmt.Errorf("blockstore: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != FormatVersion {
+		return 0, nil, fmt.Errorf("blockstore: %s: unsupported format version %d", path, v)
+	}
+	gen := binary.LittleEndian.Uint64(buf[8:])
+	if want, got := binary.LittleEndian.Uint32(buf[16:]), crc32.Checksum(buf[recHdrSize:], recCRC); want != got {
+		return 0, nil, fmt.Errorf("blockstore: %s: checksum mismatch (header %08x, payload %08x)", path, want, got)
+	}
+	return gen, buf[recHdrSize:], nil
+}
+
+// recReader is a bounds-checked cursor over a record payload: the CRC
+// guards against bit rot, the reader against structurally impossible
+// values, so a defective payload reads as an error, never a panic.
+type recReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *recReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("blockstore: record payload: %s at offset %d of %d", what, r.off, len(r.buf))
+	}
+}
+
+func (r *recReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *recReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *recReader) byte() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *recReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("truncated string")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func encodeManifest(m *Manifest) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(m.SortBy)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Chunks)))
+	for i := range m.Chunks {
+		c := &m.Chunks[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Handle))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Rows))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.NumDeleted))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Bytes))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Deleted)))
+		for _, w := range c.Deleted {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	return buf
+}
+
+func decodeManifest(payload []byte) (*Manifest, error) {
+	r := &recReader{buf: payload}
+	m := &Manifest{SortBy: int(int32(r.u32()))}
+	count := int(r.u32())
+	for i := 0; i < count && r.err == nil; i++ {
+		c := ManifestChunk{
+			Handle:     Handle(r.u64()),
+			Rows:       int(r.u32()),
+			NumDeleted: int(r.u32()),
+			Bytes:      int64(r.u64()),
+		}
+		words := int(r.u32())
+		if r.err != nil {
+			break
+		}
+		if c.Handle == 0 || c.Rows < 1 || c.Rows > core.MaxRows {
+			return nil, fmt.Errorf("blockstore: manifest chunk %d: handle %d, %d rows out of range", i, c.Handle, c.Rows)
+		}
+		if c.NumDeleted > c.Rows {
+			return nil, fmt.Errorf("blockstore: manifest chunk %d: %d deleted of %d rows", i, c.NumDeleted, c.Rows)
+		}
+		if words > (c.Rows+63)/64 {
+			return nil, fmt.Errorf("blockstore: manifest chunk %d: %d bitmap words for %d rows", i, words, c.Rows)
+		}
+		if words > 0 {
+			c.Deleted = make([]uint64, words)
+			for w := range c.Deleted {
+				c.Deleted[w] = r.u64()
+			}
+		}
+		m.Chunks = append(m.Chunks, c)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("blockstore: manifest payload has %d trailing bytes", len(payload)-r.off)
+	}
+	return m, nil
+}
+
+func encodeCatalog(c *Catalog) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Tables)))
+	for i := range c.Tables {
+		t := &c.Tables[i]
+		buf = appendStr(buf, t.Name)
+		buf = appendStr(buf, t.PrimaryKey)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.ChunkRows))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Columns)))
+		for _, col := range t.Columns {
+			buf = append(buf, byte(col.Kind))
+			if col.Nullable {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+			buf = appendStr(buf, col.Name)
+		}
+	}
+	return buf
+}
+
+func decodeCatalog(payload []byte) (*Catalog, error) {
+	r := &recReader{buf: payload}
+	c := &Catalog{}
+	count := int(r.u32())
+	for i := 0; i < count && r.err == nil; i++ {
+		t := CatalogTable{
+			Name:       r.str(),
+			PrimaryKey: r.str(),
+			ChunkRows:  int(r.u32()),
+		}
+		cols := int(r.u32())
+		for j := 0; j < cols && r.err == nil; j++ {
+			kind := types.Kind(r.byte())
+			nullable := r.byte() != 0
+			name := r.str()
+			if kind > types.String {
+				return nil, fmt.Errorf("blockstore: catalog table %q: column %q has unknown kind %d", t.Name, name, kind)
+			}
+			t.Columns = append(t.Columns, types.Column{Name: name, Kind: kind, Nullable: nullable})
+		}
+		if r.err == nil {
+			if t.Name == "" || len(t.Columns) == 0 {
+				return nil, fmt.Errorf("blockstore: catalog table %d is empty", i)
+			}
+			c.Tables = append(c.Tables, t)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("blockstore: catalog payload has %d trailing bytes", len(payload)-r.off)
+	}
+	return c, nil
+}
+
+// WriteManifest atomically persists one generation of a table's manifest
+// into dir (the table's block directory). The caller owns the generation
+// counter and must increase it monotonically; the immediately preceding
+// generation is retained on disk as the torn-write fallback, older ones
+// are pruned.
+func WriteManifest(dir string, m *Manifest) error {
+	return writeRecord(dir, manifestPrefix, manifestExt, manifestMagic, m.Generation, encodeManifest(m))
+}
+
+// LoadManifest returns the newest manifest generation in dir that verifies
+// (checksum and structure), or (nil, nil) when the directory holds no
+// manifest files at all. Torn, truncated or corrupt newer generations are
+// skipped — recovery falls back to the previous generation, never to a
+// half state. When manifest files exist but none of them verifies,
+// LoadManifest returns an error: the table demonstrably had durable state,
+// so treating it as empty would let recovery garbage-collect intact block
+// files and escalate record corruption into data loss. Use PruneManifests
+// after a successful load to clear the skipped files.
+func LoadManifest(dir string) (*Manifest, error) {
+	var newestErr error
+	for _, f := range genFiles(dir, manifestPrefix, manifestExt) {
+		gen, payload, err := loadRecord(f.path, manifestMagic)
+		if err == nil {
+			var m *Manifest
+			if m, err = decodeManifest(payload); err == nil {
+				m.Generation = gen
+				return m, nil
+			}
+		}
+		if newestErr == nil {
+			newestErr = err
+		}
+	}
+	return nil, refuseIfAllCorrupt("manifest", dir, newestErr)
+}
+
+// refuseIfAllCorrupt turns "record files exist but none verifies" into an
+// error (nil when the directory simply held no records).
+func refuseIfAllCorrupt(kind, dir string, newestErr error) error {
+	if newestErr == nil {
+		return nil
+	}
+	return fmt.Errorf("blockstore: %s records exist in %s but none verifies (newest: %w); refusing to recover as empty", kind, dir, newestErr)
+}
+
+// PruneManifests removes every manifest generation other than keep (with
+// keep zero: all of them). Recovery calls it after choosing a generation,
+// so superseded and corrupt records do not accumulate.
+func PruneManifests(dir string, keep uint64) {
+	for _, f := range genFiles(dir, manifestPrefix, manifestExt) {
+		if keep == 0 || f.gen != keep {
+			os.Remove(f.path)
+		}
+	}
+}
+
+// WriteCatalog atomically persists one generation of the database catalog
+// into dir (the database root). Generation discipline is the caller's, as
+// with WriteManifest.
+func WriteCatalog(dir string, c *Catalog) error {
+	return writeRecord(dir, catalogPrefix, catalogExt, catalogMagic, c.Generation, encodeCatalog(c))
+}
+
+// LoadCatalog returns the newest catalog generation in dir that verifies,
+// (nil, nil) when dir holds no catalog files, or an error when catalog
+// files exist but none verifies — the semantics of LoadManifest, for the
+// database root.
+func LoadCatalog(dir string) (*Catalog, error) {
+	var newestErr error
+	for _, f := range genFiles(dir, catalogPrefix, catalogExt) {
+		gen, payload, err := loadRecord(f.path, catalogMagic)
+		if err == nil {
+			var c *Catalog
+			if c, err = decodeCatalog(payload); err == nil {
+				c.Generation = gen
+				return c, nil
+			}
+		}
+		if newestErr == nil {
+			newestErr = err
+		}
+	}
+	return nil, refuseIfAllCorrupt("catalog", dir, newestErr)
+}
+
+// PruneCatalogs removes every catalog generation other than keep (with
+// keep zero: all of them).
+func PruneCatalogs(dir string, keep uint64) {
+	for _, f := range genFiles(dir, catalogPrefix, catalogExt) {
+		if keep == 0 || f.gen != keep {
+			os.Remove(f.path)
+		}
+	}
+}

@@ -264,6 +264,23 @@ func (b *Block) IsNull(col, row int) bool {
 // decompression of one cell (§3.4).
 func (b *Block) Int(col, row int) int64 { return b.attrs[col].Ints.Get(row) }
 
+// AppendInts appends all rows of integer attribute col to dst and returns
+// the extended slice — the bulk decode used when an index rebuild streams
+// a key column out of a (possibly just reloaded) block. NULL rows append
+// their underlying code's value; callers filter them with IsNull.
+func (b *Block) AppendInts(col int, dst []int64) []int64 {
+	v := b.attrs[col].Ints
+	if cap(dst)-len(dst) < b.n {
+		grown := make([]int64, len(dst), len(dst)+b.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for row := 0; row < b.n; row++ {
+		dst = append(dst, v.Get(row))
+	}
+	return dst
+}
+
 // Float performs a positional point access on a double attribute.
 func (b *Block) Float(col, row int) float64 { return b.attrs[col].Floats.Get(row) }
 

@@ -226,16 +226,18 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 		}
 	}()
 	wg.Wait()
+	// Snapshot the cold-store counters at the end of the concurrent phase:
+	// DB.Close below reloads every evicted block and garbage-collects the
+	// spill cache (the store was never persisted), and the verification
+	// sweeps add churn of their own — both would skew the report.
+	cs := tbl.ColdStats()
+	st := tbl.Stats()
 	if err := cold.Close(); err != nil {
 		return fmt.Errorf("cold table close: %w", err)
 	}
 	if runErr != nil {
 		return runErr
 	}
-	// Snapshot the cold-store counters before the verification sweeps
-	// below add their own (post-budget, compactor stopped) reload churn.
-	cs := tbl.ColdStats()
-	st := tbl.Stats()
 
 	// Ground truth: an unbounded in-memory table, same preload, same
 	// rounds replayed serially from the same seeds.

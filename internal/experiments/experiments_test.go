@@ -82,6 +82,21 @@ func TestColdStoreSmall(t *testing.T) {
 	}
 }
 
+func TestRestartSmall(t *testing.T) {
+	var sb strings.Builder
+	// 10k rows against a 32 KiB budget: the frozen set cannot fit in RAM,
+	// so the reopened database must answer out of the block store.
+	if err := Restart(&sb, 10_000, 32<<10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"chunks recovered", "block reloads after reopen", "match the pre-restart run exactly"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
 func TestFig5Small(t *testing.T) {
 	var sb strings.Builder
 	if err := Fig5(&sb, 16); err != nil {

@@ -154,12 +154,17 @@ func (h *Hash) Len() int {
 
 // Rebuild repopulates the index by scanning the key column of a relation.
 // Required after a sorted freeze, which reassigns tuple identifiers (and
-// drops version history: rebuilt records have no previous version).
+// drops version history: rebuilt records have no previous version), and
+// the bulk path recovery uses to reconstruct the index at reopen: chunks
+// restored from a durable manifest stream their keys one block at a time
+// through the pin/reload machinery, so the whole frozen set never has to
+// be resident at once.
 func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.m = make(map[int64]Record, r.NumRows())
 	views := r.Snapshot()
+	var scratch []int64 // per-chunk bulk decode buffer, reused across chunks
 	for ci := range views {
 		c := &views[ci]
 		// Pin the view's block in RAM (reloading it from the block store
@@ -169,22 +174,30 @@ func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 		if err := c.Acquire(); err != nil {
 			return err
 		}
+		frozen := c.IsFrozen()
+		var keys []int64
+		if frozen {
+			// Decode the key column once per block instead of one point
+			// access per row: the bulk rebuild path at recovery time.
+			scratch = c.Block().AppendInts(keyCol, scratch[:0])
+			keys = scratch
+		} else {
+			// Hot columns are already flat; read them in place (never via
+			// the scratch buffer, which would alias live column storage).
+			keys = c.Hot().Ints(keyCol)
+		}
 		for row := 0; row < c.Rows(); row++ {
 			if c.IsDeleted(row) {
 				continue
 			}
-			var key int64
-			if c.IsFrozen() {
+			if frozen {
 				if c.Block().IsNull(keyCol, row) {
 					continue
 				}
-				key = c.Block().Int(keyCol, row)
-			} else {
-				if c.Hot().IsNull(keyCol, row) {
-					continue
-				}
-				key = c.Hot().Ints(keyCol)[row]
+			} else if c.Hot().IsNull(keyCol, row) {
+				continue
 			}
+			key := keys[row]
 			if _, dup := h.m[key]; dup {
 				c.Release()
 				return fmt.Errorf("index: duplicate key %d during rebuild", key)

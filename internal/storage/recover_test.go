@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"testing"
+
+	"datablocks/internal/core"
+	"datablocks/internal/simd"
+)
+
+// TestManifestRestoreRoundTrip drives the relation-level half of durable
+// reopen: a frozen relation's ManifestChunks snapshot, restored with
+// RestoreEvicted into a fresh relation over the same store, must answer
+// point reads identically — deleted rows stay deleted (retired at epoch
+// zero), live rows materialize after a lazy reload.
+func TestManifestRestoreRoundTrip(t *testing.T) {
+	const chunkRows, nChunks = 128, 3
+	store := openTestStore(t)
+	r := NewRelation(testSchema(), chunkRows)
+	r.SetBlockStore(store, 0, nil)
+	for i := 0; i < chunkRows*nChunks; i++ {
+		if _, err := r.Insert(mkRow(int64(i), float64(i)/2, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a few rows across chunks, then flush and snapshot.
+	deleted := []TupleID{{Chunk: 0, Row: 3}, {Chunk: 1, Row: 0}, {Chunk: 2, Row: 127}}
+	for _, tid := range deleted {
+		if !r.Delete(tid) {
+			t.Fatalf("delete %v failed", tid)
+		}
+	}
+	if err := r.FlushFrozen(); err != nil {
+		t.Fatal(err)
+	}
+	chunks := r.ManifestChunks()
+	if len(chunks) != nChunks {
+		t.Fatalf("manifest has %d chunks, want %d", len(chunks), nChunks)
+	}
+
+	r2 := NewRelation(testSchema(), chunkRows)
+	r2.SetBlockStore(store, 0, nil)
+	for _, mc := range chunks {
+		if err := r2.RestoreEvicted(mc.Handle, mc.Rows, mc.Bytes, mc.Deleted, mc.NumDeleted); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := r2.NumRows(), r.NumRows(); got != want {
+		t.Fatalf("restored live rows %d, want %d", got, want)
+	}
+	for i := 0; i < nChunks; i++ {
+		if s := r2.Chunk(i).State(); s != ChunkEvicted {
+			t.Fatalf("restored chunk %d state %v, want evicted", i, s)
+		}
+	}
+	for i := 0; i < chunkRows*nChunks; i++ {
+		tid := TupleID{Chunk: uint32(i / chunkRows), Row: uint32(i % chunkRows)}
+		row, ok := r2.Get(tid)
+		wasDeleted := false
+		for _, d := range deleted {
+			if d == tid {
+				wasDeleted = true
+			}
+		}
+		if wasDeleted {
+			if ok {
+				t.Fatalf("deleted tuple %v resurrected as %v", tid, row)
+			}
+			continue
+		}
+		if !ok || row[0].Int() != int64(i) {
+			t.Fatalf("tuple %v = %v, %v", tid, row, ok)
+		}
+	}
+}
+
+// TestManifestChunksMarksPendingDeleted: a row pending an uncommitted
+// update at manifest time must be recorded as deleted — its commit epoch
+// would not survive a restart, so recovery must never resurrect it.
+func TestManifestChunksMarksPendingDeleted(t *testing.T) {
+	const chunkRows = 64
+	store := openTestStore(t)
+	r := NewRelation(testSchema(), chunkRows)
+	r.SetBlockStore(store, 0, nil)
+	for i := 0; i < chunkRows-1; i++ {
+		if _, err := r.Insert(mkRow(int64(i), 0, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pendTid, err := r.InsertPending(mkRow(999, 0, "pending"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushFrozen(); err != nil {
+		t.Fatal(err)
+	}
+	chunks := r.ManifestChunks()
+	if len(chunks) != 1 {
+		t.Fatalf("manifest has %d chunks, want 1", len(chunks))
+	}
+	mc := chunks[0]
+	if mc.NumDeleted != 1 {
+		t.Fatalf("manifest records %d deleted rows, want the pending row", mc.NumDeleted)
+	}
+	if !simd.BitmapGet(mc.Deleted, pendTid.Row) {
+		t.Fatalf("pending row %d not marked deleted in the manifest bitmap", pendTid.Row)
+	}
+
+	r2 := NewRelation(testSchema(), chunkRows)
+	r2.SetBlockStore(store, 0, nil)
+	if err := r2.RestoreEvicted(mc.Handle, mc.Rows, mc.Bytes, mc.Deleted, mc.NumDeleted); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.Get(pendTid); ok {
+		t.Fatal("pending row resurrected after restore")
+	}
+	if got := r2.NumRows(); got != chunkRows-1 {
+		t.Fatalf("restored live rows %d, want %d", got, chunkRows-1)
+	}
+}
+
+// TestRestoreEvictedValidation: structurally impossible restores are
+// rejected before they can corrupt the relation.
+func TestRestoreEvictedValidation(t *testing.T) {
+	r := NewRelation(testSchema(), 64)
+	if err := r.RestoreEvicted(1, 10, 0, nil, 0); err == nil {
+		t.Fatal("restore without a block store accepted")
+	}
+	r.SetBlockStore(openTestStore(t), 0, nil)
+	if err := r.RestoreEvicted(0, 10, 0, nil, 0); err == nil {
+		t.Fatal("zero handle accepted")
+	}
+	if err := r.RestoreEvicted(1, 65, 0, nil, 0); err == nil {
+		t.Fatal("rows beyond chunk capacity accepted")
+	}
+	if err := r.RestoreEvicted(1, 10, 0, nil, 11); err == nil {
+		t.Fatal("numDeleted > rows accepted")
+	}
+}
+
+// TestUnevictAllReloadsEverything: after UnevictAll no chunk is evicted
+// and reads work without the store (the spill-cache GC path at DB.Close).
+func TestUnevictAllReloadsEverything(t *testing.T) {
+	r, tids := newColdRelation(t, 64, 3, 0)
+	if err := r.FlushFrozen(); err != nil {
+		t.Fatal(err)
+	}
+	evictAll(t, r)
+	if err := r.UnevictAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.NumChunks(); i++ {
+		if s := r.Chunk(i).State(); s != ChunkFrozen {
+			t.Fatalf("chunk %d state %v after UnevictAll", i, s)
+		}
+	}
+	for i, tid := range tids {
+		if i%17 != 0 {
+			continue
+		}
+		row, ok := r.Get(tid)
+		if !ok || row[0].Int() != int64(i) {
+			t.Fatalf("tuple %v = %v, %v", tid, row, ok)
+		}
+	}
+}

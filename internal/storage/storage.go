@@ -104,6 +104,35 @@
 //     error, never silent data: scans propagate it, point reads report
 //     Unavailable and record it on the relation (LoadError).
 //
+// # Recovery
+//
+// A relation can be rebuilt from a durable manifest (see
+// blockstore.Manifest): each frozen chunk is restored with RestoreEvicted
+// in manifest order, in the evicted state — the payload stays in the block
+// store until the first read touches it. The preconditions are strict and
+// unchecked beyond what the functions validate themselves:
+//
+//   - SetBlockStore must already have been called, and the relation must
+//     not yet see concurrent use: restoration is part of construction.
+//   - Chunks are restored before any insert, so restored ordinals are
+//     dense and precede the new hot tail. Tuple identifiers from the
+//     previous process lifetime are NOT preserved in general (hot chunks
+//     were not recovered), which is why indexes must be rebuilt by
+//     streaming keys from the restored chunks, not loaded from a cache.
+//   - The chunk capacity must be at least the restored row counts — reopen
+//     a relation with the chunk capacity it was created with (the durable
+//     catalog records it).
+//   - Epoch stamps are not persisted: the write epoch restarts at zero,
+//     restored deletes read as retired-at-zero (invisible to everyone),
+//     and rows that were pending an uncommitted update at manifest time
+//     were recorded as deleted by ManifestChunks. Cross-restart epoch
+//     continuity is therefore not provided; see ROADMAP.
+//
+// ManifestChunks is the writer-side half: it snapshots the frozen set
+// (handles, row counts, delete bitmaps) under the relation lock for a
+// manifest write, after FlushFrozen has given every frozen block a store
+// handle.
+//
 // Sorted freezing (SortBy >= 0) reorders tuples and therefore invalidates
 // tuple identifiers; it runs stop-the-world under the relation write lock
 // and must not overlap other writers or a background compactor — quiesce
@@ -118,6 +147,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -272,12 +302,14 @@ type Chunk struct {
 	// loadMu serializes the chunk's traffic with the block store: the
 	// spill of an eviction and the single-flight reload of a read both
 	// hold it, so concurrent readers of an evicted chunk do one disk read,
-	// not one each. It also guards handle. Lock order: loadMu before the
-	// relation lock, never the other way around.
+	// not one each. Lock order: loadMu before the relation lock, never the
+	// other way around.
 	loadMu sync.Mutex
 	// handle addresses the serialized block in the relation's store once
 	// the chunk has been spilled at least once (zero = never spilled).
-	handle blockstore.Handle
+	// Writers hold loadMu; it is atomic so manifest snapshots can read it
+	// under the relation lock alone.
+	handle atomic.Uint64
 	// pins counts in-flight readers of the frozen payload; eviction skips
 	// pinned chunks (see the package doc's pin rules).
 	pins atomic.Int32
@@ -1402,11 +1434,12 @@ func (r *Relation) pinBlock(c *Chunk) (*core.Block, func(), error) {
 		// Another reader reloaded the block while we waited.
 		return p.blk, unpin, nil
 	}
-	if r.store == nil || c.handle == 0 {
+	h := blockstore.Handle(c.handle.Load())
+	if r.store == nil || h == 0 {
 		c.pins.Add(-1)
 		return nil, nil, errors.New("storage: evicted chunk has no block store handle")
 	}
-	blk, err := r.store.Load(c.handle, r.kinds)
+	blk, err := r.store.Load(h, r.kinds)
 	if err != nil {
 		c.pins.Add(-1)
 		return nil, nil, err
@@ -1448,13 +1481,13 @@ func (r *Relation) evictChunk(c *Chunk) (bool, error) {
 	if blk == nil {
 		return false, nil
 	}
-	if c.handle == 0 {
+	if c.handle.Load() == 0 {
 		// Spill outside the relation lock: the block is immutable.
 		h, err := r.store.Put(blk)
 		if err != nil {
 			return false, err
 		}
-		c.handle = h
+		c.handle.Store(uint64(h))
 	}
 	r.mu.Lock()
 	if c.pins.Load() != 0 {
@@ -1522,17 +1555,136 @@ func (r *Relation) FlushFrozen() error {
 	}
 	for _, c := range r.Chunks() {
 		c.loadMu.Lock()
-		if c.handle == 0 && c.State() == ChunkFrozen {
+		if c.handle.Load() == 0 && c.State() == ChunkFrozen {
 			if blk := c.pay.Load().blk; blk != nil {
 				h, err := r.store.Put(blk)
 				if err != nil {
 					c.loadMu.Unlock()
 					return err
 				}
-				c.handle = h
+				c.handle.Store(uint64(h))
 			}
 		}
 		c.loadMu.Unlock()
+	}
+	return nil
+}
+
+// RestoreEvicted appends a chunk recovered from a durable manifest, in the
+// evicted state: no payload in RAM, only the store handle, the row count,
+// the compressed size and the delete bitmap. The first read that touches
+// the chunk reloads its block lazily. Preconditions (see the package doc's
+// recovery section): a block store is attached, the relation sees no
+// concurrent use yet, and chunks are restored in manifest order before any
+// insert. Deleted rows are restored without epoch stamps, i.e. retired at
+// epoch zero — invisible to every reader of the new process lifetime.
+func (r *Relation) RestoreEvicted(h blockstore.Handle, rows int, bytes int64, deleted []uint64, numDeleted int) error {
+	if r.store == nil {
+		return errors.New("storage: RestoreEvicted without a block store")
+	}
+	if h == 0 {
+		return errors.New("storage: RestoreEvicted with zero handle")
+	}
+	if rows < 1 || rows > r.chunkCap {
+		return fmt.Errorf("storage: restored chunk has %d rows, chunk capacity is %d (was the table reopened with a different chunk size?)", rows, r.chunkCap)
+	}
+	if numDeleted < 0 || numDeleted > rows {
+		return fmt.Errorf("storage: restored chunk has %d deleted of %d rows", numDeleted, rows)
+	}
+	c := &Chunk{retired: &sync.Map{}, born: &sync.Map{}}
+	c.pay.Store(&chunkPayload{})
+	c.state.Store(uint32(ChunkEvicted))
+	c.handle.Store(uint64(h))
+	c.frozenRows.Store(int32(rows))
+	c.frozenBytes.Store(bytes)
+	if len(deleted) > 0 || numDeleted > 0 {
+		c.deleted = make([]uint64, simd.BitmapWords(r.chunkCap))
+		copy(c.deleted, deleted)
+		c.numDeleted.Store(int32(numDeleted))
+	}
+	r.mu.Lock()
+	r.chunks = append(r.chunks, c)
+	r.live += rows - numDeleted
+	r.mu.Unlock()
+	return nil
+}
+
+// ManifestChunks snapshots the relation's frozen set for a manifest write:
+// every frozen (or evicted) chunk that has a store handle, in relation
+// order, with its delete bitmap trimmed to the row count. Rows pending an
+// uncommitted update are recorded as deleted — their commit epoch would
+// not survive the restart, so recovery must treat them as never visible.
+// Chunks still hot or freezing, and frozen chunks not yet flushed to the
+// store, are skipped: run FlushFrozen first so the manifest covers the
+// whole frozen set.
+func (r *Relation) ManifestChunks() []blockstore.ManifestChunk {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]blockstore.ManifestChunk, 0, len(r.chunks))
+	for _, c := range r.chunks {
+		if !c.IsFrozen() {
+			continue
+		}
+		h := blockstore.Handle(c.handle.Load())
+		if h == 0 {
+			continue
+		}
+		rows := c.Rows()
+		mc := blockstore.ManifestChunk{
+			Handle: h,
+			Rows:   rows,
+			Bytes:  c.frozenBytes.Load(),
+		}
+		words := simd.BitmapWords(rows)
+		nd := 0
+		if c.deleted != nil && c.numDeleted.Load() > 0 {
+			mc.Deleted = make([]uint64, words)
+			for w := range mc.Deleted {
+				mc.Deleted[w] = atomic.LoadUint64(&c.deleted[w])
+			}
+			for _, w := range mc.Deleted {
+				nd += bits.OnesCount64(w)
+			}
+		}
+		if c.pending.Load() > 0 {
+			c.born.Range(func(k, v any) bool {
+				if v.(uint64) != pendingEpoch {
+					return true
+				}
+				row := k.(uint32)
+				if int(row) >= rows {
+					return true
+				}
+				if mc.Deleted == nil {
+					mc.Deleted = make([]uint64, words)
+				}
+				if !simd.BitmapGet(mc.Deleted, row) {
+					simd.BitmapSet(mc.Deleted, row)
+					nd++
+				}
+				return true
+			})
+		}
+		mc.NumDeleted = nd
+		out = append(out, mc)
+	}
+	return out
+}
+
+// UnevictAll reloads every evicted chunk's block back into RAM. It is the
+// inverse of draining to the store: used when the store is about to go
+// away (a spill cache being garbage-collected at close) and the relation
+// must keep serving reads from memory alone.
+func (r *Relation) UnevictAll() error {
+	for _, c := range r.Chunks() {
+		if c.State() != ChunkEvicted {
+			continue
+		}
+		_, unpin, err := r.pinBlock(c)
+		if err != nil {
+			return err
+		}
+		unpin()
 	}
 	return nil
 }
