@@ -4,6 +4,11 @@
 #   make race        — full test suite under the race detector
 #   make stress      — just the concurrent OLTP/OLAP stress tests, raced
 #   make bench-evict — eviction/reload benchmarks, one iteration each
+#   make bench-json  — full benchmark suite, one iteration each, as JSON
+#                      events in BENCH_$(BENCH_PR).json (committed so future
+#                      PRs can diff perf against this one)
+#   make bench-smoke — one-iteration run of the consume-path and TPC-H
+#                      benchmarks, so the suite can't bit-rot
 #   make fuzz-short  — every fuzz target for FUZZTIME (default 60s) each
 #   make examples    — build every example; run quickstart (incl. durable
 #                      reopen) against a temp dir
@@ -11,8 +16,9 @@
 
 GO ?= go
 FUZZTIME ?= 60s
+BENCH_PR ?= 5
 
-.PHONY: all build test race vet fmt-check stress bench-evict fuzz-short examples linkcheck ci
+.PHONY: all build test race vet fmt-check stress bench-evict bench-json bench-smoke fuzz-short examples linkcheck ci
 
 all: ci
 
@@ -35,12 +41,26 @@ fmt-check:
 	fi
 
 stress:
-	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts|TestUpdateLookupNoReadAnomaly|TestUpdateLookupStress|TestConcurrentEvictReloadStress' . ./internal/storage/
+	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts|TestUpdateLookupNoReadAnomaly|TestUpdateLookupStress|TestConcurrentEvictReloadStress|TestParallelBatchQueryUnderWrites' . ./internal/storage/
 
 # One iteration is enough to exercise the evict→reload path on every PR;
 # use -benchtime=10x locally for actual numbers.
 bench-evict:
 	$(GO) test -run '^$$' -bench=Evict -benchtime=1x ./...
+
+# Machine-readable perf baseline: every paper benchmark, one iteration,
+# emitted as test2json events. Committed as BENCH_<PR>.json so the next
+# PR can diff its numbers against this one. Use -benchtime=10x locally
+# when the absolute numbers matter more than the trajectory.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -count=1 -json . > BENCH_$(BENCH_PR).json
+
+# Cheap CI guard: the consume-path (batch vs tuple) and TPC-H benchmark
+# families must at least still run.
+# Note: go test splits -bench on '/' into per-level regexes, so the
+# second level anchors Q1|Q6 for both families.
+bench-smoke:
+	$(GO) test -run '^$$' -bench='ConsumePath|Table2TPCH/(Q1|Q6)$$' -benchtime=1x .
 
 # go test fuzzes one target per invocation: list each explicitly.
 fuzz-short:
@@ -58,4 +78,4 @@ examples:
 linkcheck:
 	$(GO) test -run TestMarkdownDocLinks .
 
-ci: fmt-check vet build test race bench-evict fuzz-short examples linkcheck
+ci: fmt-check vet build test race bench-evict bench-smoke fuzz-short examples linkcheck

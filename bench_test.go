@@ -604,3 +604,31 @@ func BenchmarkSerialize(b *testing.B) {
 	})
 	b.ReportMetric(float64(len(buf)), "bytes/block")
 }
+
+// BenchmarkConsumePath isolates the consume side of vectorized scans: the
+// same query, same scan mode, same frozen Data Blocks — once with the
+// batch-at-a-time pipeline (vectorized aggregation/materialization) and
+// once forced onto the tuple-at-a-time fallback chain. Q1 is the
+// aggregation-heavy extreme (nearly all tuples qualify), Q6 the selective
+// sum; the batch/tuple ratio is the PR 5 acceptance metric.
+func BenchmarkConsumePath(b *testing.B) {
+	_, cold, _ := benchDBs(b)
+	for _, q := range []int{1, 6} {
+		for _, mode := range []exec.ScanMode{exec.ModeVectorized, exec.ModeVectorizedSARG} {
+			for _, tuple := range []bool{true, false} {
+				path := "batch"
+				if tuple {
+					path = "tuple"
+				}
+				b.Run(fmt.Sprintf("Q%d/%s/%s", q, mode, path), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						opt := exec.Options{Mode: mode, TupleAtATime: tuple}
+						if _, err := cold.Query(q, opt); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -26,7 +26,7 @@ func main() {
 		rounds   = flag.Int("rounds", 3, "measurement rounds (median reported)")
 		lookups  = flag.Int("lookups", 20_000, "point lookups for table3")
 		txCount  = flag.Int("tx", 20_000, "transactions for tpcc")
-		parallel = flag.Int("parallel", 1, "query parallelism")
+		parallel = flag.Int("parallel", 0, "query parallelism (<=0: all of GOMAXPROCS)")
 		combos   = flag.Int("combos", 4096, "max storage-layout combinations for fig5")
 		seconds  = flag.Float64("seconds", 2, "wall time for the hybrid/coldstore experiments")
 		writers  = flag.Int("writers", 4, "OLTP writer goroutines for hybrid/coldstore")

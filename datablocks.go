@@ -293,6 +293,19 @@ func WithChunkRows(n int) TableOption {
 	return func(t *Table) { t.chunkRows = n }
 }
 
+// WithParallelism sets the table's default morsel parallelism: Scan,
+// LookupScan and Table.Query split their work across up to n workers when
+// the caller's QueryOptions leave Parallelism at zero. n <= 0 selects
+// runtime.GOMAXPROCS(0) at query time. Passed to Open it becomes the
+// database-wide default for every table. Callers can always override per
+// query via QueryOptions.Parallelism (1 forces serial execution).
+func WithParallelism(n int) TableOption {
+	return func(t *Table) {
+		t.defaultPar = n
+		t.hasDefaultPar = true
+	}
+}
+
 // WithAutoFreeze runs a background compactor for the table: whenever at
 // least threshold chunks have filled up and fallen behind the insert tail,
 // the compactor freezes them into Data Blocks. Compression happens off the
@@ -531,6 +544,11 @@ type Table struct {
 	pkCol     int
 	pk        *index.Hash
 	chunkRows int
+
+	// Default morsel parallelism for queries that leave
+	// QueryOptions.Parallelism at zero (WithParallelism).
+	defaultPar    int
+	hasDefaultPar bool
 
 	// Cold block store state (WithBlockStore / WithMemoryBudget).
 	storeDir  string
@@ -1007,7 +1025,28 @@ func (t *Table) Scan(cols []string, preds []Pred, opt QueryOptions) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return exec.Run(plan, opt)
+	return exec.Run(plan, t.applyDefaults(opt))
+}
+
+// Query executes an arbitrary physical plan with the table's default
+// options (morsel parallelism) applied where the caller left them unset.
+// Use this instead of the package-level Query when the plan's driving scan
+// belongs to this table and its WithParallelism default should take effect.
+func (t *Table) Query(plan Node, opt QueryOptions) (*Result, error) {
+	return exec.Run(plan, t.applyDefaults(opt))
+}
+
+// applyDefaults resolves the table-level query defaults: a zero
+// Parallelism picks up WithParallelism (n <= 0 meaning all of GOMAXPROCS).
+func (t *Table) applyDefaults(opt QueryOptions) QueryOptions {
+	if opt.Parallelism == 0 && t.hasDefaultPar {
+		if t.defaultPar > 0 {
+			opt.Parallelism = t.defaultPar
+		} else {
+			opt.Parallelism = runtime.GOMAXPROCS(0)
+		}
+	}
+	return opt
 }
 
 // Query executes an arbitrary physical plan.

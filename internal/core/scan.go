@@ -469,6 +469,19 @@ func (s *Scanner) evalReduce(p *compiledPred, m []uint32) []uint32 {
 	}
 }
 
+// UnpackColumn materializes one projected attribute (index k into the
+// projection) at the given positions. It is the building block of lazy
+// (late-materializing) scans: the consumer unpacks predicate columns
+// first, thins the match vector, and only pays decompression of the
+// remaining columns for surviving tuples.
+func (s *Scanner) UnpackColumn(batch *Batch, k int, m []uint32) {
+	if cap(batch.Cols) < len(s.spec.Project) {
+		batch.Cols = make([]BatchCol, len(s.spec.Project))
+	}
+	batch.Cols = batch.Cols[:len(s.spec.Project)]
+	s.unpackCol(batch, k, m)
+}
+
 // unpack materializes the projected attributes of the matched positions
 // into the batch (§3.4 "unpacking matches").
 func (s *Scanner) unpack(batch *Batch, m []uint32) {
@@ -478,34 +491,39 @@ func (s *Scanner) unpack(batch *Batch, m []uint32) {
 		batch.Cols = make([]BatchCol, len(s.spec.Project))
 	}
 	batch.Cols = batch.Cols[:len(s.spec.Project)]
-	for k, col := range s.spec.Project {
-		a := &s.b.attrs[col]
-		bc := &batch.Cols[k]
-		bc.Kind = a.Kind
-		switch a.Kind {
-		case types.Int64:
-			bc.Ints = resizeI64(bc.Ints, len(m))
-			a.Ints.Gather(m, bc.Ints)
-		case types.Float64:
-			bc.Floats = resizeF64(bc.Floats, len(m))
-			a.Floats.Gather(m, bc.Floats)
-		default:
-			bc.Strs = resizeStr(bc.Strs, len(m))
-			a.Strs.Gather(m, bc.Strs)
+	for k := range s.spec.Project {
+		s.unpackCol(batch, k, m)
+	}
+}
+
+func (s *Scanner) unpackCol(batch *Batch, k int, m []uint32) {
+	col := s.spec.Project[k]
+	a := &s.b.attrs[col]
+	bc := &batch.Cols[k]
+	bc.Kind = a.Kind
+	switch a.Kind {
+	case types.Int64:
+		bc.Ints = resizeI64(bc.Ints, len(m))
+		a.Ints.Gather(m, bc.Ints)
+	case types.Float64:
+		bc.Floats = resizeF64(bc.Floats, len(m))
+		a.Floats.Gather(m, bc.Floats)
+	default:
+		bc.Strs = resizeStr(bc.Strs, len(m))
+		a.Strs.Gather(m, bc.Strs)
+	}
+	switch {
+	case a.Validity != nil:
+		bc.Nulls = resizeBool(bc.Nulls, len(m))
+		for i, p := range m {
+			bc.Nulls[i] = !simd.BitmapGet(a.Validity, p)
 		}
-		switch {
-		case a.Validity != nil:
-			bc.Nulls = resizeBool(bc.Nulls, len(m))
-			for i, p := range m {
-				bc.Nulls[i] = !simd.BitmapGet(a.Validity, p)
-			}
-		case s.attrAllNull(col):
-			bc.Nulls = resizeBool(bc.Nulls, len(m))
-			for i := range bc.Nulls {
-				bc.Nulls[i] = true
-			}
-		default:
-			bc.Nulls = nil
+	case s.attrAllNull(col):
+		bc.Nulls = resizeBool(bc.Nulls, len(m))
+		for i := range bc.Nulls {
+			bc.Nulls[i] = true
 		}
+	default:
+		bc.Nulls = nil
 	}
 }

@@ -1,0 +1,517 @@
+package exec
+
+import (
+	"encoding/binary"
+
+	"datablocks/internal/core"
+	"datablocks/internal/simd"
+	"datablocks/internal/types"
+)
+
+// This file lowers an operator chain into a batch-at-a-time consumer — the
+// vectorized twin of compileChain. Where the tuple chain pushes one record
+// file through fused closures, the batch chain hands whole core.Batch
+// vectors from operator to operator: filters compact the batch with a
+// selection vector, maps evaluate their expressions column-at-a-time, and
+// join probes hash whole key vectors against the build table before
+// gathering the joined output columnar-wise.
+//
+// Every operator's output batch owns its buffers (reused across calls), so
+// downstream in-place compaction can never corrupt an upstream vector.
+
+// batchConsumer consumes one batch. The batch's buffers are only valid for
+// the duration of the call.
+type batchConsumer func(*core.Batch)
+
+// compileBatchChain lowers the chain above the scan into a batch consumer
+// feeding down. It returns errVecUnsupported (or an expression-compile
+// error) when some operator cannot run batch-at-a-time; the caller then
+// falls back to the tuple chain.
+func (ex *executor) compileBatchChain(n Node, down batchConsumer, c *compiler) (batchConsumer, error) {
+	switch n := n.(type) {
+	case *ScanNode:
+		return down, nil
+	case *FilterNode:
+		kinds, err := n.Child.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		vc := &vcompiler{kinds: kinds, stats: c.stats}
+		mask, err := vc.compileMask(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		f := &batchFilter{mask: mask, down: down}
+		return ex.compileBatchChain(n.Child, f.consume, c)
+	case *MapNode:
+		m, err := ex.compileBatchMap(n, down, c)
+		if err != nil {
+			return nil, err
+		}
+		return ex.compileBatchChain(n.Child, m.consume, c)
+	case *JoinNode:
+		j, err := ex.compileBatchJoin(n, down, c)
+		if err != nil {
+			return nil, err
+		}
+		return ex.compileBatchChain(n.Probe, j.consume, c)
+	default:
+		return nil, errVecUnsupported
+	}
+}
+
+// vconjunct is one top-level conjunct of a scan's residual condition,
+// compiled as a vectorized mask, plus the scan-output columns it reads.
+// The lazy scan unpacks exactly those columns before evaluating it.
+type vconjunct struct {
+	cols []int
+	mask vecMaskFn
+}
+
+// splitConjuncts flattens the ∧-spine of an expression.
+func splitConjuncts(e Expr, out []Expr) []Expr {
+	if l, ok := e.(Logic); ok && l.Op == '&' {
+		out = splitConjuncts(l.L, out)
+		return splitConjuncts(l.R, out)
+	}
+	return append(out, e)
+}
+
+// exprCols collects the distinct column ordinals an expression references,
+// in first-reference order.
+func exprCols(e Expr, cols []int) []int {
+	add := func(idx int) []int {
+		for _, c := range cols {
+			if c == idx {
+				return cols
+			}
+		}
+		return append(cols, idx)
+	}
+	switch e := e.(type) {
+	case ColRef:
+		cols = add(e.Idx)
+	case Binary:
+		cols = exprCols(e.L, cols)
+		cols = exprCols(e.R, cols)
+	case Compare:
+		cols = exprCols(e.L, cols)
+		cols = exprCols(e.R, cols)
+		if e.R2 != nil {
+			cols = exprCols(e.R2, cols)
+		}
+	case Logic:
+		cols = exprCols(e.L, cols)
+		if e.R != nil {
+			cols = exprCols(e.R, cols)
+		}
+	case IsNullExpr:
+		cols = exprCols(e.E, cols)
+	case If:
+		cols = exprCols(e.Cond, cols)
+		cols = exprCols(e.Then, cols)
+		cols = exprCols(e.Else, cols)
+	}
+	return cols
+}
+
+// batchFilter drops batch rows failing the compiled mask by compacting the
+// batch in place.
+type batchFilter struct {
+	mask vecMaskFn
+	sel  []uint32
+	down batchConsumer
+}
+
+func (f *batchFilter) consume(b *core.Batch) {
+	f.sel = filterBatch(b, f.mask(b), f.sel)
+	if b.N > 0 {
+		f.down(b)
+	}
+}
+
+// filterBatch compacts b to the rows where mask is true, reusing sel as
+// scratch; it returns the (possibly regrown) scratch slice.
+func filterBatch(b *core.Batch, mask []bool, sel []uint32) []uint32 {
+	sel = resizeU32(sel, b.N)[:0]
+	for i := 0; i < b.N; i++ {
+		if mask[i] {
+			sel = append(sel, uint32(i))
+		}
+	}
+	if len(sel) < b.N {
+		compactBatchSel(b, sel)
+	}
+	return sel
+}
+
+// compactBatchSel keeps only the selected rows of b, in order, in place.
+func compactBatchSel(b *core.Batch, sel []uint32) {
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		switch c.Kind {
+		case types.Int64:
+			for i, p := range sel {
+				c.Ints[i] = c.Ints[p]
+			}
+			c.Ints = c.Ints[:len(sel)]
+		case types.Float64:
+			for i, p := range sel {
+				c.Floats[i] = c.Floats[p]
+			}
+			c.Floats = c.Floats[:len(sel)]
+		default:
+			for i, p := range sel {
+				c.Strs[i] = c.Strs[p]
+			}
+			c.Strs = c.Strs[:len(sel)]
+		}
+		if c.Nulls != nil {
+			for i, p := range sel {
+				c.Nulls[i] = c.Nulls[p]
+			}
+			c.Nulls = c.Nulls[:len(sel)]
+		}
+	}
+	if len(b.Pos) > 0 {
+		for i, p := range sel {
+			b.Pos[i] = b.Pos[p]
+		}
+		b.Pos = b.Pos[:len(sel)]
+	}
+	b.N = len(sel)
+}
+
+// batchMap computes a new batch layout column-at-a-time. Output columns
+// are always copied into map-owned buffers (a ColRef projection could
+// otherwise alias one source column twice, which would break downstream
+// in-place compaction).
+type batchMap struct {
+	setters []func(in *core.Batch, out *core.BatchCol)
+	out     core.Batch
+	down    batchConsumer
+}
+
+func (ex *executor) compileBatchMap(n *MapNode, down batchConsumer, c *compiler) (*batchMap, error) {
+	kinds, err := n.Child.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	vc := &vcompiler{kinds: kinds, stats: c.stats}
+	m := &batchMap{down: down}
+	m.out.Cols = make([]core.BatchCol, len(n.Exprs))
+	for _, e := range n.Exprs {
+		k, err := e.resultKind(kinds)
+		if err != nil {
+			return nil, err
+		}
+		switch k {
+		case types.Int64:
+			f, err := vc.compileInt(e)
+			if err != nil {
+				return nil, err
+			}
+			m.setters = append(m.setters, func(in *core.Batch, out *core.BatchCol) {
+				vals, nulls := f(in)
+				out.Kind = types.Int64
+				out.Ints = resizeI64(out.Ints, in.N)
+				copy(out.Ints, vals)
+				out.Nulls = copyNulls(out.Nulls, nulls, in.N)
+			})
+		case types.Float64:
+			f, err := vc.compileFloat(e)
+			if err != nil {
+				return nil, err
+			}
+			m.setters = append(m.setters, func(in *core.Batch, out *core.BatchCol) {
+				vals, nulls := f(in)
+				out.Kind = types.Float64
+				out.Floats = resizeF64(out.Floats, in.N)
+				copy(out.Floats, vals)
+				out.Nulls = copyNulls(out.Nulls, nulls, in.N)
+			})
+		default:
+			f, err := vc.compileStr(e)
+			if err != nil {
+				return nil, err
+			}
+			m.setters = append(m.setters, func(in *core.Batch, out *core.BatchCol) {
+				vals, nulls := f(in)
+				out.Kind = types.String
+				out.Strs = resizeStr(out.Strs, in.N)
+				copy(out.Strs, vals)
+				out.Nulls = copyNulls(out.Nulls, nulls, in.N)
+			})
+		}
+	}
+	return m, nil
+}
+
+func copyNulls(dst, src []bool, n int) []bool {
+	if src == nil {
+		return nil
+	}
+	dst = resizeBool(dst, n)
+	copy(dst, src[:n])
+	return dst
+}
+
+func (m *batchMap) consume(b *core.Batch) {
+	m.out.N = b.N
+	m.out.Pos = append(m.out.Pos[:0], b.Pos...)
+	for i, set := range m.setters {
+		set(b, &m.out.Cols[i])
+	}
+	m.down(&m.out)
+}
+
+// batchJoinProbe probes the build hash table with a whole batch of keys,
+// collecting (probe row, build row) match pairs and gathering the joined
+// output columnar-wise (inner joins), or compacting the probe batch by its
+// match mask (semi/anti joins).
+type batchJoinProbe struct {
+	ht         *hashTable
+	node       *JoinNode
+	buildKinds []types.Kind
+	np         int // probe column count
+	down       batchConsumer
+
+	intKey bool // single int64 key: hash without byte encoding
+
+	out      core.Batch
+	pairsP   []uint32
+	pairsB   []int32
+	mask     []bool
+	sel      []uint32
+	keyBuf   []byte
+	vscratch []byte
+}
+
+func (ex *executor) compileBatchJoin(n *JoinNode, down batchConsumer, c *compiler) (*batchJoinProbe, error) {
+	ht := ex.builds[n]
+	if ht == nil {
+		// compileOnly never materializes builds (and rejects joins).
+		return nil, errVecUnsupported
+	}
+	probeKinds, err := n.Probe.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	j := &batchJoinProbe{ht: ht, node: n, np: len(probeKinds), down: down}
+	j.intKey = len(n.ProbeKeys) == 1 && ht.keyKinds[0] == types.Int64
+	if n.Kind == InnerJoin {
+		j.buildKinds, err = n.Build.OutKinds()
+		if err != nil {
+			return nil, err
+		}
+		j.out.Cols = make([]core.BatchCol, j.np+len(j.buildKinds))
+	}
+	c.emit()
+	return j, nil
+}
+
+func (j *batchJoinProbe) consume(b *core.Batch) {
+	if j.node.Kind == InnerJoin {
+		j.consumeInner(b)
+		return
+	}
+	j.consumeSemiAnti(b)
+}
+
+// matchPairs fills pairsP/pairsB with the verified matches of the batch,
+// bucket order per probe row — the same emission order as the tuple path.
+func (j *batchJoinProbe) matchPairs(b *core.Batch) {
+	j.pairsP = j.pairsP[:0]
+	j.pairsB = j.pairsB[:0]
+	ht := j.ht
+	if j.intKey {
+		col := &b.Cols[j.node.ProbeKeys[0]]
+		bc := &ht.build.Cols[ht.keyCols[0]]
+		for r := 0; r < b.N; r++ {
+			if col.Nulls != nil && col.Nulls[r] {
+				continue
+			}
+			v := col.Ints[r]
+			h := simd.Mix64(uint64(v))
+			if !ht.testTag(h) {
+				continue
+			}
+			for _, row := range ht.buckets[h] {
+				if bc.Ints[row] == v {
+					j.pairsP = append(j.pairsP, uint32(r))
+					j.pairsB = append(j.pairsB, row)
+				}
+			}
+		}
+		return
+	}
+	for r := 0; r < b.N; r++ {
+		key := j.encodeKey(b, r)
+		if key == nil {
+			continue
+		}
+		for _, row := range ht.lookup(key) {
+			if j.verify(key, row) {
+				j.pairsP = append(j.pairsP, uint32(r))
+				j.pairsB = append(j.pairsB, row)
+			}
+		}
+	}
+}
+
+func (j *batchJoinProbe) consumeInner(b *core.Batch) {
+	j.matchPairs(b)
+	if len(j.pairsP) == 0 {
+		return
+	}
+	out := &j.out
+	out.N = len(j.pairsP)
+	out.Pos = out.Pos[:0]
+	// Probe columns: gather by probe row index.
+	for i := 0; i < j.np; i++ {
+		gatherBatchCol(&out.Cols[i], &b.Cols[i], j.pairsP)
+	}
+	// Build columns: gather from the materialized build result.
+	for bi := range j.buildKinds {
+		gatherResultCol(&out.Cols[j.np+bi], &j.ht.build.Cols[bi], j.pairsB)
+	}
+	j.down(out)
+}
+
+func (j *batchJoinProbe) consumeSemiAnti(b *core.Batch) {
+	wantMatch := j.node.Kind == SemiJoin
+	j.mask = resizeBool(j.mask, b.N)
+	ht := j.ht
+	if j.intKey {
+		col := &b.Cols[j.node.ProbeKeys[0]]
+		bc := &ht.build.Cols[ht.keyCols[0]]
+		for r := 0; r < b.N; r++ {
+			if col.Nulls != nil && col.Nulls[r] {
+				// NULL keys never match: semi drops, anti keeps.
+				j.mask[r] = !wantMatch
+				continue
+			}
+			v := col.Ints[r]
+			matched := false
+			if h := simd.Mix64(uint64(v)); ht.testTag(h) {
+				for _, row := range ht.buckets[h] {
+					if bc.Ints[row] == v {
+						matched = true
+						break
+					}
+				}
+			}
+			j.mask[r] = matched == wantMatch
+		}
+	} else {
+		for r := 0; r < b.N; r++ {
+			key := j.encodeKey(b, r)
+			if key == nil {
+				j.mask[r] = !wantMatch
+				continue
+			}
+			matched := false
+			for _, row := range ht.lookup(key) {
+				if j.verify(key, row) {
+					matched = true
+					break
+				}
+			}
+			j.mask[r] = matched == wantMatch
+		}
+	}
+	j.sel = filterBatch(b, j.mask, j.sel)
+	if b.N > 0 {
+		j.down(b)
+	}
+}
+
+// encodeKey serializes the probe key of batch row r; nil marks a NULL key.
+func (j *batchJoinProbe) encodeKey(b *core.Batch, r int) []byte {
+	buf := j.keyBuf[:0]
+	for i, c := range j.node.ProbeKeys {
+		col := &b.Cols[c]
+		if col.Nulls != nil && col.Nulls[r] {
+			return nil
+		}
+		buf = appendKeyCell(buf, j.ht.keyKinds[i], col, r)
+	}
+	j.keyBuf = buf
+	return buf
+}
+
+func (j *batchJoinProbe) verify(key []byte, row int32) bool {
+	ok, grown := j.ht.verify(key, row, j.vscratch)
+	j.vscratch = grown
+	return ok
+}
+
+// appendKeyCell serializes one batch cell with the same encoding the tuple
+// path's encodeProbeKey uses, so both probe paths hash identically.
+func appendKeyCell(buf []byte, kind types.Kind, col *core.BatchCol, r int) []byte {
+	switch kind {
+	case types.Int64:
+		return binary.LittleEndian.AppendUint64(buf, uint64(col.Ints[r]))
+	case types.Float64:
+		return binary.LittleEndian.AppendUint64(buf, floatKeyBits(col.Floats[r]))
+	default:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(col.Strs[r])))
+		return append(buf, col.Strs[r]...)
+	}
+}
+
+func gatherBatchCol(dst, src *core.BatchCol, idx []uint32) {
+	n := len(idx)
+	dst.Kind = src.Kind
+	switch src.Kind {
+	case types.Int64:
+		dst.Ints = resizeI64(dst.Ints, n)
+		for i, p := range idx {
+			dst.Ints[i] = src.Ints[p]
+		}
+	case types.Float64:
+		dst.Floats = resizeF64(dst.Floats, n)
+		for i, p := range idx {
+			dst.Floats[i] = src.Floats[p]
+		}
+	default:
+		dst.Strs = resizeStr(dst.Strs, n)
+		for i, p := range idx {
+			dst.Strs[i] = src.Strs[p]
+		}
+	}
+	if src.Nulls != nil {
+		dst.Nulls = resizeBool(dst.Nulls, n)
+		for i, p := range idx {
+			dst.Nulls[i] = src.Nulls[p]
+		}
+	} else {
+		dst.Nulls = nil
+	}
+}
+
+func gatherResultCol(dst *core.BatchCol, src *ResultCol, rows []int32) {
+	n := len(rows)
+	dst.Kind = src.Kind
+	switch src.Kind {
+	case types.Int64:
+		dst.Ints = resizeI64(dst.Ints, n)
+		for i, p := range rows {
+			dst.Ints[i] = src.Ints[p]
+		}
+	case types.Float64:
+		dst.Floats = resizeF64(dst.Floats, n)
+		for i, p := range rows {
+			dst.Floats[i] = src.Floats[p]
+		}
+	default:
+		dst.Strs = resizeStr(dst.Strs, n)
+		for i, p := range rows {
+			dst.Strs[i] = src.Strs[p]
+		}
+	}
+	dst.Nulls = resizeBool(dst.Nulls, n)
+	for i, p := range rows {
+		dst.Nulls[i] = src.Nulls[p]
+	}
+}

@@ -3,10 +3,13 @@ package exec
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"datablocks/internal/blockstore"
 	"datablocks/internal/core"
 	"datablocks/internal/storage"
 	"datablocks/internal/types"
@@ -508,5 +511,195 @@ func TestPredicateColumnMustBeProjected(t *testing.T) {
 	}
 	if _, err := Run(plan, Options{Mode: ModeVectorizedSARG}); err == nil {
 		t.Fatal("expected error for unprojected predicate column")
+	}
+}
+
+// requireExactResult compares rendered results including row order; serial
+// executions are deterministic, so the batch and tuple paths must agree
+// exactly.
+func requireExactResult(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	if a.String() != b.String() {
+		t.Fatalf("%s: results differ:\n%s\nvs\n%s", name, a.String(), b.String())
+	}
+}
+
+// TestBatchSinksMatchTupleExactly drives the batch-at-a-time consume path
+// against the tuple-at-a-time fallback over aggregation shapes the TPC-H
+// subset does not cover: nullable string group-bys, float and multi-column
+// group keys, COUNT(col), MIN/MAX over every kind, and residual filters in
+// non-pushdown mode.
+func TestBatchSinksMatchTupleExactly(t *testing.T) {
+	rel := ordersRel(t, 30000, 1<<13, 2) // frozen blocks + hot tail
+	plans := map[string]func() Node{
+		"group-by-string": func() Node {
+			return &AggNode{
+				Child:   &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}},
+				GroupBy: []int{2},
+				Aggs: []AggSpec{
+					{Func: AggCount},
+					{Func: AggCountCol, Arg: Col(2)},
+					{Func: AggSum, Arg: Col(1)},
+					{Func: AggAvg, Arg: Col(3)},
+					{Func: AggMin, Arg: Col(0)},
+					{Func: AggMax, Arg: Col(1)},
+					{Func: AggMin, Arg: Col(2)},
+					{Func: AggMax, Arg: Col(2)},
+				},
+			}
+		},
+		"group-by-float-and-int": func() Node {
+			return &AggNode{
+				Child: &FilterNode{
+					Child: &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}},
+					Cond:  Cmp(types.Lt, Col(1), CFloat(50)),
+				},
+				GroupBy: []int{1, 3},
+				Aggs:    []AggSpec{{Func: AggCount}, {Func: AggMax, Arg: Col(0)}},
+			}
+		},
+		"no-group-by": func() Node {
+			return &AggNode{
+				Child: &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}, Preds: []core.Predicate{
+					{Col: 3, Op: types.Between, Lo: types.IntValue(5), Hi: types.IntValue(40)},
+				}},
+				Aggs: []AggSpec{
+					{Func: AggCount},
+					{Func: AggCountCol, Arg: Col(2)},
+					{Func: AggSum, Arg: Mul(Col(1), Col(3))},
+					{Func: AggAvg, Arg: Col(1)},
+					{Func: AggMin, Arg: Col(2)},
+					{Func: AggMax, Arg: Col(2)},
+					{Func: AggMin, Arg: Col(1)},
+					{Func: AggMax, Arg: Col(3)},
+				},
+			}
+		},
+		"materialize-with-map": func() Node {
+			return &MapNode{
+				Child: &FilterNode{
+					Child: &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}},
+					Cond: Or(
+						Cmp(types.Eq, Col(2), CStr("paid")),
+						IsNullExpr{E: Col(2)},
+					),
+				},
+				// Duplicate column references: the batch map must not alias
+				// one buffer twice (downstream compaction safety).
+				Exprs: []Expr{Col(0), Col(0), Add(Col(0), Col(3)), Col(2)},
+			}
+		},
+	}
+	for _, mode := range []ScanMode{ModeVectorized, ModeVectorizedSARG, ModeVectorizedSARGPSMA} {
+		for name, mk := range plans {
+			batch, err := Run(mk(), Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s %v batch: %v", name, mode, err)
+			}
+			tuple, err := Run(mk(), Options{Mode: mode, TupleAtATime: true})
+			if err != nil {
+				t.Fatalf("%s %v tuple: %v", name, mode, err)
+			}
+			if batch.NumRows() == 0 {
+				t.Fatalf("%s %v: empty result", name, mode)
+			}
+			requireExactResult(t, fmt.Sprintf("%s %v", name, mode), tuple, batch)
+			small, err := Run(mk(), Options{Mode: mode, VectorSize: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireExactResult(t, fmt.Sprintf("%s %v vec300", name, mode), tuple, small)
+		}
+	}
+}
+
+// TestBatchJoinStringKeysAndNulls exercises the byte-key batch probe path
+// (non-integer join keys) including NULL probe keys, for inner, semi and
+// anti joins, against the tuple path.
+func TestBatchJoinStringKeysAndNulls(t *testing.T) {
+	orders := ordersRel(t, 12000, 1<<12, 2)
+	// Build side keyed by status strings; "open" appears twice so inner
+	// joins emit multiple matches per probe row.
+	schema := types.NewSchema(
+		types.Column{Name: "status", Kind: types.String},
+		types.Column{Name: "weight", Kind: types.Int64},
+	)
+	build := storage.NewRelation(schema, 1<<12)
+	cols := []core.ColumnData{
+		{Kind: types.String, Strs: []string{"open", "paid", "open", "missing"}},
+		{Kind: types.Int64, Ints: []int64{1, 2, 3, 4}},
+	}
+	if err := build.BulkAppend(cols, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []JoinKind{InnerJoin, SemiJoin, AntiJoin} {
+		mk := func() Node {
+			return &JoinNode{
+				Build:     &ScanNode{Rel: build, Cols: []int{0, 1}},
+				Probe:     &ScanNode{Rel: orders, Cols: []int{0, 2, 3}},
+				BuildKeys: []int{0},
+				ProbeKeys: []int{1}, // status: nullable string key
+				Kind:      kind,
+			}
+		}
+		for _, mode := range []ScanMode{ModeVectorized, ModeVectorizedSARG} {
+			batch, err := Run(mk(), Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuple, err := Run(mk(), Options{Mode: mode, TupleAtATime: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch.NumRows() == 0 {
+				t.Fatalf("join kind %v: empty result", kind)
+			}
+			requireExactResult(t, fmt.Sprintf("join kind %v %v", kind, mode), tuple, batch)
+		}
+	}
+}
+
+// TestParallelErrorStopsWorkers: when one morsel fails, the pipeline must
+// return the error, and the shared cancellation flag must keep the
+// remaining workers from draining the whole backlog.
+func TestParallelErrorStopsWorkers(t *testing.T) {
+	const chunkRows = 1 << 10
+	rel := ordersRel(t, 400*chunkRows, chunkRows, 1) // chunk 0 frozen
+	// Fault-inject exactly one morsel: evict the frozen chunk to a block
+	// store, then destroy the store directory so its reload fails.
+	dir := t.TempDir()
+	bs, err := blockstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.SetBlockStore(bs, 0, nil)
+	if err := rel.FlushFrozen(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := rel.EvictChunk(0); err != nil || !ok {
+		t.Fatalf("evict: ok=%v err=%v", ok, err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	plan := &ScanNode{Rel: rel, Cols: []int{0, 3}}
+	var consumed atomic.Int64
+	ex := &executor{
+		opt:    Options{Mode: ModeVectorizedSARG, Parallelism: 2, VectorSize: core.DefaultVectorSize},
+		builds: make(map[*JoinNode]*hashTable),
+	}
+	err = ex.runPipeline(plan, func(*compiler) (pipeSink, error) {
+		return pipeSink{tuple: func(*Tuple) { consumed.Add(1) }}, nil
+	})
+	if err == nil {
+		t.Fatal("expected the broken chunk's reload error to propagate")
+	}
+	// The failing chunk is first in the queue, so one worker errors almost
+	// immediately; the other must stop at the flag instead of draining the
+	// remaining ~399 chunks. Allow generous slack for morsels already in
+	// flight when the flag flips.
+	total := int64(400 * chunkRows)
+	if got := consumed.Load(); got > total/2 {
+		t.Fatalf("workers consumed %d of %d rows after the error; cancellation is not stopping the backlog", got, total)
 	}
 }

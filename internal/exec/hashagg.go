@@ -4,24 +4,30 @@ import (
 	"encoding/binary"
 	"math"
 
+	"datablocks/internal/core"
+	"datablocks/internal/simd"
 	"datablocks/internal/types"
 )
 
-// aggState accumulates the aggregates of one group.
-type aggState struct {
-	key    types.Row // group-by values
-	counts []int64   // per agg: rows (Count) or non-null inputs
-	sums   []float64
-	minI   []int64
-	maxI   []int64
-	minF   []float64
-	maxF   []float64
-	minS   []string
-	maxS   []string
-	seen   []bool // per agg: any non-null input (for Min/Max/Avg NULL results)
-}
-
-// aggregator is a per-worker hash-aggregation sink.
+// aggregator is a per-worker hash-aggregation sink. Group state is
+// columnar — flat accumulator arrays indexed [aggregate][group id] — so the
+// batch-at-a-time path can fold whole argument vectors with the simd
+// kernels instead of chasing a per-group state struct per row.
+//
+// Two consume paths feed it:
+//
+//   - consume (tuple-at-a-time): serializes the group-by values into a
+//     byte key and resolves the group id through byteIDs. Used by the JIT
+//     pipeline and as the fallback when vectorization is unavailable.
+//   - consumeBatch (batch-at-a-time): hashes the group-by columns
+//     column-wise into a group-id vector (verified against the stored
+//     keys, so hash collisions cannot merge distinct groups), evaluates
+//     each aggregate argument as a vector, and scatter-folds it with the
+//     simd grouping kernels. Aggregations without GROUP BY skip the hash
+//     step entirely and fold straight into group 0 — no map in the loop.
+//
+// Both paths fold rows in scan order into the same accumulators, so their
+// results are bit-identical.
 type aggregator struct {
 	node     *AggNode
 	inKinds  []types.Kind
@@ -29,20 +35,72 @@ type aggregator struct {
 	argF     []floatFn
 	argS     []strFn
 	argKinds []types.Kind
-	groups   map[string]*aggState
-	order    []*aggState // insertion order for deterministic output
-	keyBuf   []byte
+
+	// Vectorized argument evaluation slots; populated by vectorize, nil
+	// when the aggregator runs tuple-at-a-time only. Aggregates with an
+	// identical (argument expression, evaluation kind) share a slot, so
+	// e.g. SUM(x) and AVG(x) evaluate x once per batch.
+	argSlot  []int // per agg; -1 for COUNT(*)
+	slotKind []types.Kind
+	slotI    []vecIntFn
+	slotF    []vecFloatFn
+	slotS    []vecStrFn
+	// Per-batch evaluation cache, one entry per slot (slices alias the
+	// slot closures' scratch; valid until the next batch).
+	slotValsI [][]int64
+	slotValsF [][]float64
+	slotValsS [][]string
+	slotNulls [][]bool
+
+	// Columnar accumulators, indexed [agg][gid].
+	counts [][]int64
+	sums   [][]float64
+	minI   [][]int64
+	maxI   [][]int64
+	minF   [][]float64
+	maxF   [][]float64
+	minS   [][]string
+	maxS   [][]string
+	seen   [][]bool
+
+	keys   []types.Row // group-by values per group id, in first-seen order
+	keyEnc []string    // canonical byte encoding per group id (merge identity)
+
+	// Raw group-by key columns, indexed [group-by ordinal][gid]: the batch
+	// path verifies hash hits against these flat arrays instead of boxing
+	// through types.Value. Floats are stored as their bit patterns.
+	gbNull [][]bool
+	gbInt  [][]int64
+	gbStr  [][]string
+
+	byteIDs map[string]uint32   // canonical key → gid (tuple path, merge)
+	hashIDs map[uint64]uint32   // batch path: group-key hash → first gid
+	hashDup map[uint64][]uint32 // batch path: same-hash overflow gids (rare)
+
+	keyBuf []byte
+	gids   []uint32
+	hashes []uint64
 }
 
 func newAggregator(node *AggNode, inKinds []types.Kind, c *compiler) (*aggregator, error) {
+	n := len(node.Aggs)
 	a := &aggregator{
 		node:     node,
 		inKinds:  inKinds,
-		groups:   make(map[string]*aggState),
-		argI:     make([]intFn, len(node.Aggs)),
-		argF:     make([]floatFn, len(node.Aggs)),
-		argS:     make([]strFn, len(node.Aggs)),
-		argKinds: make([]types.Kind, len(node.Aggs)),
+		argI:     make([]intFn, n),
+		argF:     make([]floatFn, n),
+		argS:     make([]strFn, n),
+		argKinds: make([]types.Kind, n),
+		counts:   make([][]int64, n),
+		sums:     make([][]float64, n),
+		minI:     make([][]int64, n),
+		maxI:     make([][]int64, n),
+		minF:     make([][]float64, n),
+		maxF:     make([][]float64, n),
+		minS:     make([][]string, n),
+		maxS:     make([][]string, n),
+		seen:     make([][]bool, n),
+		byteIDs:  make(map[string]uint32),
 	}
 	for i, spec := range node.Aggs {
 		if spec.Func == AggCount {
@@ -86,7 +144,139 @@ func newAggregator(node *AggNode, inKinds []types.Kind, c *compiler) (*aggregato
 	return a, nil
 }
 
-// consume folds one tuple into the hash table.
+// vectorize compiles the batch-at-a-time argument evaluators, deduplicating
+// identical arguments into shared slots. An error means some aggregate
+// argument cannot be vectorized; the caller falls back to the tuple path.
+func (a *aggregator) vectorize(stats *CompileStats) error {
+	type slotKey struct {
+		e    Expr
+		kind types.Kind
+	}
+	vc := &vcompiler{kinds: a.inKinds, stats: stats}
+	a.argSlot = make([]int, len(a.node.Aggs))
+	seen := make(map[slotKey]int)
+	for i, spec := range a.node.Aggs {
+		if spec.Func == AggCount {
+			a.argSlot[i] = -1
+			continue
+		}
+		// Evaluation kind: SUM/AVG fold doubles whatever the argument's
+		// kind; the rest evaluate in the argument's own kind.
+		kind := a.argKinds[i]
+		if spec.Func == AggSum || spec.Func == AggAvg {
+			kind = types.Float64
+		}
+		k := slotKey{e: spec.Arg, kind: kind}
+		if id, ok := seen[k]; ok {
+			a.argSlot[i] = id
+			continue
+		}
+		id := len(a.slotKind)
+		var err error
+		var fI vecIntFn
+		var fF vecFloatFn
+		var fS vecStrFn
+		switch kind {
+		case types.Int64:
+			fI, err = vc.compileInt(spec.Arg)
+		case types.Float64:
+			fF, err = vc.compileFloat(spec.Arg)
+		default:
+			fS, err = vc.compileStr(spec.Arg)
+		}
+		if err != nil {
+			a.argSlot = nil
+			a.slotKind, a.slotI, a.slotF, a.slotS = nil, nil, nil, nil
+			return err
+		}
+		a.slotKind = append(a.slotKind, kind)
+		a.slotI = append(a.slotI, fI)
+		a.slotF = append(a.slotF, fF)
+		a.slotS = append(a.slotS, fS)
+		seen[k] = id
+		a.argSlot[i] = id
+	}
+	n := len(a.slotKind)
+	a.slotValsI = make([][]int64, n)
+	a.slotValsF = make([][]float64, n)
+	a.slotValsS = make([][]string, n)
+	a.slotNulls = make([][]bool, n)
+	a.hashIDs = make(map[uint64]uint32)
+	return nil
+}
+
+// evalSlots evaluates every distinct aggregate argument once for the batch.
+func (a *aggregator) evalSlots(b *core.Batch) {
+	for s, kind := range a.slotKind {
+		switch kind {
+		case types.Int64:
+			a.slotValsI[s], a.slotNulls[s] = a.slotI[s](b)
+		case types.Float64:
+			a.slotValsF[s], a.slotNulls[s] = a.slotF[s](b)
+		default:
+			a.slotValsS[s], a.slotNulls[s] = a.slotS[s](b)
+		}
+	}
+}
+
+func (a *aggregator) numGroups() int { return len(a.keys) }
+
+// newGroup appends a zeroed accumulator slot for a fresh group, registers
+// its canonical byte key for merging and its raw key cells for batch-path
+// verification.
+func (a *aggregator) newGroup(key types.Row, enc string) uint32 {
+	gid := uint32(len(a.keys))
+	a.keys = append(a.keys, key)
+	a.keyEnc = append(a.keyEnc, enc)
+	a.byteIDs[enc] = gid
+	if a.gbNull == nil && len(a.node.GroupBy) > 0 {
+		ng := len(a.node.GroupBy)
+		a.gbNull = make([][]bool, ng)
+		a.gbInt = make([][]int64, ng)
+		a.gbStr = make([][]string, ng)
+	}
+	for i, g := range a.node.GroupBy {
+		v := key[i]
+		a.gbNull[i] = append(a.gbNull[i], v.IsNull())
+		switch a.inKinds[g] {
+		case types.Int64:
+			var raw int64
+			if !v.IsNull() {
+				raw = v.Int()
+			}
+			a.gbInt[i] = append(a.gbInt[i], raw)
+			a.gbStr[i] = append(a.gbStr[i], "")
+		case types.Float64:
+			var raw int64
+			if !v.IsNull() {
+				raw = int64(math.Float64bits(v.Float()))
+			}
+			a.gbInt[i] = append(a.gbInt[i], raw)
+			a.gbStr[i] = append(a.gbStr[i], "")
+		default:
+			var raw string
+			if !v.IsNull() {
+				raw = v.Str()
+			}
+			a.gbInt[i] = append(a.gbInt[i], 0)
+			a.gbStr[i] = append(a.gbStr[i], raw)
+		}
+	}
+	for i := range a.node.Aggs {
+		a.counts[i] = append(a.counts[i], 0)
+		a.sums[i] = append(a.sums[i], 0)
+		a.minI[i] = append(a.minI[i], 0)
+		a.maxI[i] = append(a.maxI[i], 0)
+		a.minF[i] = append(a.minF[i], 0)
+		a.maxF[i] = append(a.maxF[i], 0)
+		a.minS[i] = append(a.minS[i], "")
+		a.maxS[i] = append(a.maxS[i], "")
+		a.seen[i] = append(a.seen[i], false)
+	}
+	return gid
+}
+
+// consume folds one tuple into the hash table (tuple-at-a-time path).
 func (a *aggregator) consume(t *Tuple) {
 	key := a.keyBuf[:0]
 	for _, g := range a.node.GroupBy {
@@ -106,65 +296,52 @@ func (a *aggregator) consume(t *Tuple) {
 		}
 	}
 	a.keyBuf = key
-	st, ok := a.groups[string(key)]
+	gid, ok := a.byteIDs[string(key)]
 	if !ok {
-		st = a.newState(t)
-		a.groups[string(key)] = st
-		a.order = append(a.order, st)
+		gid = a.newGroup(a.keyFromTuple(t), string(key))
 	}
-	a.fold(st, t)
+	a.fold(gid, t)
 }
 
-func (a *aggregator) newState(t *Tuple) *aggState {
-	n := len(a.node.Aggs)
-	st := &aggState{
-		key:    make(types.Row, len(a.node.GroupBy)),
-		counts: make([]int64, n),
-		sums:   make([]float64, n),
-		minI:   make([]int64, n),
-		maxI:   make([]int64, n),
-		minF:   make([]float64, n),
-		maxF:   make([]float64, n),
-		minS:   make([]string, n),
-		maxS:   make([]string, n),
-		seen:   make([]bool, n),
-	}
+// keyFromTuple materializes the group-by values of a tuple.
+func (a *aggregator) keyFromTuple(t *Tuple) types.Row {
+	key := make(types.Row, len(a.node.GroupBy))
 	for i, g := range a.node.GroupBy {
 		if t.Nulls[g] {
-			st.key[i] = types.NullValue(a.inKinds[g])
+			key[i] = types.NullValue(a.inKinds[g])
 			continue
 		}
 		switch a.inKinds[g] {
 		case types.Int64:
-			st.key[i] = types.IntValue(t.Ints[g])
+			key[i] = types.IntValue(t.Ints[g])
 		case types.Float64:
-			st.key[i] = types.FloatValue(t.Floats[g])
+			key[i] = types.FloatValue(t.Floats[g])
 		default:
-			st.key[i] = types.StringValue(t.Strs[g])
+			key[i] = types.StringValue(t.Strs[g])
 		}
 	}
-	return st
+	return key
 }
 
-func (a *aggregator) fold(st *aggState, t *Tuple) {
+func (a *aggregator) fold(gid uint32, t *Tuple) {
 	for i, spec := range a.node.Aggs {
 		switch spec.Func {
 		case AggCount:
-			st.counts[i]++
+			a.counts[i][gid]++
 		case AggCountCol:
 			if _, null := a.anyArg(i, t); !null {
-				st.counts[i]++
+				a.counts[i][gid]++
 			}
 		case AggSum, AggAvg:
 			v, null := a.argF[i](t)
 			if null {
 				continue
 			}
-			st.sums[i] += v
-			st.counts[i]++
-			st.seen[i] = true
+			a.sums[i][gid] += v
+			a.counts[i][gid]++
+			a.seen[i][gid] = true
 		case AggMin, AggMax:
-			a.foldMinMax(st, i, spec.Func, t)
+			a.foldMinMax(gid, i, t)
 		}
 	}
 }
@@ -184,21 +361,21 @@ func (a *aggregator) anyArg(i int, t *Tuple) (any, bool) {
 	}
 }
 
-func (a *aggregator) foldMinMax(st *aggState, i int, f AggFunc, t *Tuple) {
+func (a *aggregator) foldMinMax(gid uint32, i int, t *Tuple) {
 	switch a.argKinds[i] {
 	case types.Int64:
 		v, null := a.argI[i](t)
 		if null {
 			return
 		}
-		if !st.seen[i] {
-			st.minI[i], st.maxI[i] = v, v
+		if !a.seen[i][gid] {
+			a.minI[i][gid], a.maxI[i][gid] = v, v
 		} else {
-			if v < st.minI[i] {
-				st.minI[i] = v
+			if v < a.minI[i][gid] {
+				a.minI[i][gid] = v
 			}
-			if v > st.maxI[i] {
-				st.maxI[i] = v
+			if v > a.maxI[i][gid] {
+				a.maxI[i][gid] = v
 			}
 		}
 	case types.Float64:
@@ -206,14 +383,14 @@ func (a *aggregator) foldMinMax(st *aggState, i int, f AggFunc, t *Tuple) {
 		if null {
 			return
 		}
-		if !st.seen[i] {
-			st.minF[i], st.maxF[i] = v, v
+		if !a.seen[i][gid] {
+			a.minF[i][gid], a.maxF[i][gid] = v, v
 		} else {
-			if v < st.minF[i] {
-				st.minF[i] = v
+			if v < a.minF[i][gid] {
+				a.minF[i][gid] = v
 			}
-			if v > st.maxF[i] {
-				st.maxF[i] = v
+			if v > a.maxF[i][gid] {
+				a.maxF[i][gid] = v
 			}
 		}
 	default:
@@ -221,98 +398,378 @@ func (a *aggregator) foldMinMax(st *aggState, i int, f AggFunc, t *Tuple) {
 		if null {
 			return
 		}
-		if !st.seen[i] {
-			st.minS[i], st.maxS[i] = v, v
+		if !a.seen[i][gid] {
+			a.minS[i][gid], a.maxS[i][gid] = v, v
 		} else {
-			if v < st.minS[i] {
-				st.minS[i] = v
+			if v < a.minS[i][gid] {
+				a.minS[i][gid] = v
 			}
-			if v > st.maxS[i] {
-				st.maxS[i] = v
+			if v > a.maxS[i][gid] {
+				a.maxS[i][gid] = v
 			}
 		}
 	}
-	st.seen[i] = true
+	a.seen[i][gid] = true
 }
 
-// merge folds another worker's partial states into this aggregator
-// (re-aggregation across morsels, cf. morsel-driven parallelism [20]).
-func (a *aggregator) merge(o *aggregator) {
-	for keyStr, ost := range o.groups {
-		st, ok := a.groups[keyStr]
-		if !ok {
-			a.groups[keyStr] = ost
-			a.order = append(a.order, ost)
+// nullKeyHash is the hash contribution of a NULL group-by cell.
+const nullKeyHash = 0x9e3779b97f4a7c15
+
+// consumeBatch folds a whole batch (batch-at-a-time path).
+func (a *aggregator) consumeBatch(b *core.Batch) {
+	if b.N == 0 {
+		return
+	}
+	a.evalSlots(b)
+	if len(a.node.GroupBy) == 0 {
+		a.foldBatchSingle(b)
+		return
+	}
+	gids := a.assignGroups(b)
+	for i, spec := range a.node.Aggs {
+		slot := a.argSlot[i]
+		switch spec.Func {
+		case AggCount:
+			simd.GroupCount(a.counts[i], gids)
+		case AggCountCol:
+			simd.GroupCountNotNull(a.counts[i], gids, a.slotNulls[slot])
+		case AggSum, AggAvg:
+			simd.GroupSumFloat64(a.sums[i], a.counts[i], a.seen[i], gids, a.slotValsF[slot], a.slotNulls[slot])
+		case AggMin, AggMax:
+			a.foldBatchMinMax(i, slot, gids)
+		}
+	}
+}
+
+// foldBatchSingle is the no-GROUP-BY fast path: one global group, folded
+// column-at-a-time with the sequential simd kernels — no hash table at all.
+func (a *aggregator) foldBatchSingle(b *core.Batch) {
+	if len(a.keys) == 0 {
+		a.newGroup(types.Row{}, "")
+	}
+	n := b.N
+	for i, spec := range a.node.Aggs {
+		slot := a.argSlot[i]
+		switch spec.Func {
+		case AggCount:
+			a.counts[i][0] += int64(n)
+		case AggCountCol:
+			a.counts[i][0] += simd.CountNotNull(n, a.slotNulls[slot])
+		case AggSum, AggAvg:
+			s, cnt := simd.SumFloat64(a.sums[i][0], a.slotValsF[slot], a.slotNulls[slot])
+			a.sums[i][0] = s
+			a.counts[i][0] += cnt
+			if cnt > 0 {
+				a.seen[i][0] = true
+			}
+		case AggMin, AggMax:
+			switch a.argKinds[i] {
+			case types.Int64:
+				mn, mx, any := simd.MinMaxInt64(a.slotValsI[slot], a.slotNulls[slot])
+				if !any {
+					continue
+				}
+				if !a.seen[i][0] {
+					a.minI[i][0], a.maxI[i][0], a.seen[i][0] = mn, mx, true
+					continue
+				}
+				if mn < a.minI[i][0] {
+					a.minI[i][0] = mn
+				}
+				if mx > a.maxI[i][0] {
+					a.maxI[i][0] = mx
+				}
+			case types.Float64:
+				mn, mx, any := simd.MinMaxFloat64(a.slotValsF[slot], a.slotNulls[slot])
+				if !any {
+					continue
+				}
+				if !a.seen[i][0] {
+					a.minF[i][0], a.maxF[i][0], a.seen[i][0] = mn, mx, true
+					continue
+				}
+				if mn < a.minF[i][0] {
+					a.minF[i][0] = mn
+				}
+				if mx > a.maxF[i][0] {
+					a.maxF[i][0] = mx
+				}
+			default:
+				vals, nulls := a.slotValsS[slot], a.slotNulls[slot]
+				for r := 0; r < n; r++ {
+					if nulls != nil && nulls[r] {
+						continue
+					}
+					v := vals[r]
+					if !a.seen[i][0] {
+						a.minS[i][0], a.maxS[i][0], a.seen[i][0] = v, v, true
+						continue
+					}
+					if v < a.minS[i][0] {
+						a.minS[i][0] = v
+					}
+					if v > a.maxS[i][0] {
+						a.maxS[i][0] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+func (a *aggregator) foldBatchMinMax(i, slot int, gids []uint32) {
+	switch a.argKinds[i] {
+	case types.Int64:
+		simd.GroupMinMaxInt64(a.minI[i], a.maxI[i], a.seen[i], gids, a.slotValsI[slot], a.slotNulls[slot])
+	case types.Float64:
+		simd.GroupMinMaxFloat64(a.minF[i], a.maxF[i], a.seen[i], gids, a.slotValsF[slot], a.slotNulls[slot])
+	default:
+		vals, nulls := a.slotValsS[slot], a.slotNulls[slot]
+		mins, maxs, seen := a.minS[i], a.maxS[i], a.seen[i]
+		for r, g := range gids {
+			if nulls != nil && nulls[r] {
+				continue
+			}
+			v := vals[r]
+			if !seen[g] {
+				mins[g], maxs[g], seen[g] = v, v, true
+				continue
+			}
+			if v < mins[g] {
+				mins[g] = v
+			}
+			if v > maxs[g] {
+				maxs[g] = v
+			}
+		}
+	}
+}
+
+// assignGroups computes the group id of every batch row: the group-by
+// columns are hashed column-at-a-time into one combined hash per row, and
+// each hash resolves to a group id verified against the stored key values
+// (so a collision can never merge two distinct groups). New groups are
+// created in row order, matching the tuple path's first-seen order.
+func (a *aggregator) assignGroups(b *core.Batch) []uint32 {
+	n := b.N
+	a.hashes = resizeU64(a.hashes, n)
+	a.gids = resizeU32(a.gids, n)
+	hs := a.hashes
+	for ci, g := range a.node.GroupBy {
+		col := &b.Cols[g]
+		nulls := col.Nulls
+		first := ci == 0
+		switch a.inKinds[g] {
+		case types.Int64:
+			for r := 0; r < n; r++ {
+				hv := uint64(nullKeyHash)
+				if nulls == nil || !nulls[r] {
+					hv = simd.Mix64(uint64(col.Ints[r]))
+				}
+				if first {
+					hs[r] = hv
+				} else {
+					hs[r] = simd.Mix64(hs[r] ^ hv)
+				}
+			}
+		case types.Float64:
+			for r := 0; r < n; r++ {
+				hv := uint64(nullKeyHash)
+				if nulls == nil || !nulls[r] {
+					hv = simd.Mix64(math.Float64bits(col.Floats[r]))
+				}
+				if first {
+					hs[r] = hv
+				} else {
+					hs[r] = simd.Mix64(hs[r] ^ hv)
+				}
+			}
+		default:
+			for r := 0; r < n; r++ {
+				hv := uint64(nullKeyHash)
+				if nulls == nil || !nulls[r] {
+					hv = simd.HashStr(col.Strs[r])
+				}
+				if first {
+					hs[r] = hv
+				} else {
+					hs[r] = simd.Mix64(hs[r] ^ hv)
+				}
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		h := hs[r]
+		gid, ok := a.hashIDs[h]
+		if ok && a.groupRowMatches(gid, b, r) {
+			a.gids[r] = gid
 			continue
+		}
+		if ok {
+			found := false
+			for _, g2 := range a.hashDup[h] {
+				if a.groupRowMatches(g2, b, r) {
+					gid, found = g2, true
+					break
+				}
+			}
+			if !found {
+				gid = a.newGroupFromBatch(b, r)
+				if a.hashDup == nil {
+					a.hashDup = make(map[uint64][]uint32)
+				}
+				a.hashDup[h] = append(a.hashDup[h], gid)
+			}
+			a.gids[r] = gid
+			continue
+		}
+		gid = a.newGroupFromBatch(b, r)
+		a.hashIDs[h] = gid
+		a.gids[r] = gid
+	}
+	return a.gids[:n]
+}
+
+// groupRowMatches verifies that batch row r's group-by values equal the
+// stored key of gid, against the flat raw-key arrays. Floats compare by
+// bit pattern, matching the byte-key encoding of the tuple path.
+func (a *aggregator) groupRowMatches(gid uint32, b *core.Batch, r int) bool {
+	for i, g := range a.node.GroupBy {
+		col := &b.Cols[g]
+		null := col.Nulls != nil && col.Nulls[r]
+		if a.gbNull[i][gid] != null {
+			return false
+		}
+		if null {
+			continue
+		}
+		switch a.inKinds[g] {
+		case types.Int64:
+			if a.gbInt[i][gid] != col.Ints[r] {
+				return false
+			}
+		case types.Float64:
+			if a.gbInt[i][gid] != int64(math.Float64bits(col.Floats[r])) {
+				return false
+			}
+		default:
+			if a.gbStr[i][gid] != col.Strs[r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// newGroupFromBatch creates a group from batch row r, registering the same
+// canonical byte key the tuple path would have produced.
+func (a *aggregator) newGroupFromBatch(b *core.Batch, r int) uint32 {
+	key := make(types.Row, len(a.node.GroupBy))
+	enc := a.keyBuf[:0]
+	for i, g := range a.node.GroupBy {
+		col := &b.Cols[g]
+		if col.Nulls != nil && col.Nulls[r] {
+			key[i] = types.NullValue(a.inKinds[g])
+			enc = append(enc, 0)
+			continue
+		}
+		enc = append(enc, 1)
+		switch a.inKinds[g] {
+		case types.Int64:
+			key[i] = types.IntValue(col.Ints[r])
+			enc = binary.LittleEndian.AppendUint64(enc, uint64(col.Ints[r]))
+		case types.Float64:
+			key[i] = types.FloatValue(col.Floats[r])
+			enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(col.Floats[r]))
+		default:
+			key[i] = types.StringValue(col.Strs[r])
+			enc = binary.LittleEndian.AppendUint32(enc, uint32(len(col.Strs[r])))
+			enc = append(enc, col.Strs[r]...)
+		}
+	}
+	a.keyBuf = enc
+	return a.newGroup(key, string(enc))
+}
+
+// merge folds another worker's partial groups into this aggregator, in the
+// other worker's first-seen group order (re-aggregation across morsels,
+// cf. morsel-driven parallelism [20]).
+func (a *aggregator) merge(o *aggregator) {
+	for g := 0; g < o.numGroups(); g++ {
+		og := uint32(g)
+		gid, ok := a.byteIDs[o.keyEnc[g]]
+		if !ok {
+			gid = a.newGroup(o.keys[g], o.keyEnc[g])
 		}
 		for i, spec := range a.node.Aggs {
 			switch spec.Func {
 			case AggCount, AggCountCol:
-				st.counts[i] += ost.counts[i]
+				a.counts[i][gid] += o.counts[i][og]
 			case AggSum, AggAvg:
-				st.sums[i] += ost.sums[i]
-				st.counts[i] += ost.counts[i]
-				st.seen[i] = st.seen[i] || ost.seen[i]
+				a.sums[i][gid] += o.sums[i][og]
+				a.counts[i][gid] += o.counts[i][og]
+				a.seen[i][gid] = a.seen[i][gid] || o.seen[i][og]
 			case AggMin, AggMax:
-				if !ost.seen[i] {
+				if !o.seen[i][og] {
 					continue
 				}
-				if !st.seen[i] {
-					st.minI[i], st.maxI[i] = ost.minI[i], ost.maxI[i]
-					st.minF[i], st.maxF[i] = ost.minF[i], ost.maxF[i]
-					st.minS[i], st.maxS[i] = ost.minS[i], ost.maxS[i]
-					st.seen[i] = true
+				if !a.seen[i][gid] {
+					a.minI[i][gid], a.maxI[i][gid] = o.minI[i][og], o.maxI[i][og]
+					a.minF[i][gid], a.maxF[i][gid] = o.minF[i][og], o.maxF[i][og]
+					a.minS[i][gid], a.maxS[i][gid] = o.minS[i][og], o.maxS[i][og]
+					a.seen[i][gid] = true
 					continue
 				}
-				if ost.minI[i] < st.minI[i] {
-					st.minI[i] = ost.minI[i]
+				if o.minI[i][og] < a.minI[i][gid] {
+					a.minI[i][gid] = o.minI[i][og]
 				}
-				if ost.maxI[i] > st.maxI[i] {
-					st.maxI[i] = ost.maxI[i]
+				if o.maxI[i][og] > a.maxI[i][gid] {
+					a.maxI[i][gid] = o.maxI[i][og]
 				}
-				if ost.minF[i] < st.minF[i] {
-					st.minF[i] = ost.minF[i]
+				if o.minF[i][og] < a.minF[i][gid] {
+					a.minF[i][gid] = o.minF[i][og]
 				}
-				if ost.maxF[i] > st.maxF[i] {
-					st.maxF[i] = ost.maxF[i]
+				if o.maxF[i][og] > a.maxF[i][gid] {
+					a.maxF[i][gid] = o.maxF[i][og]
 				}
-				if ost.minS[i] < st.minS[i] {
-					st.minS[i] = ost.minS[i]
+				if o.minS[i][og] < a.minS[i][gid] {
+					a.minS[i][gid] = o.minS[i][og]
 				}
-				if ost.maxS[i] > st.maxS[i] {
-					st.maxS[i] = ost.maxS[i]
+				if o.maxS[i][og] > a.maxS[i][gid] {
+					a.maxS[i][gid] = o.maxS[i][og]
 				}
 			}
 		}
 	}
 }
 
-// finalize renders the aggregation result.
+// finalize renders the aggregation result in first-seen group order.
 func (a *aggregator) finalize(outKinds []types.Kind) *Result {
 	res := NewResult(outKinds)
 	ng := len(a.node.GroupBy)
 	row := make(types.Row, len(outKinds))
-	for _, st := range a.order {
-		copy(row, st.key)
+	for g := 0; g < a.numGroups(); g++ {
+		gid := uint32(g)
+		copy(row, a.keys[g])
 		for i, spec := range a.node.Aggs {
 			c := ng + i
 			switch spec.Func {
 			case AggCount, AggCountCol:
-				row[c] = types.IntValue(st.counts[i])
+				row[c] = types.IntValue(a.counts[i][gid])
 			case AggSum:
-				if !st.seen[i] {
+				if !a.seen[i][gid] {
 					row[c] = types.NullValue(types.Float64)
 				} else {
-					row[c] = types.FloatValue(st.sums[i])
+					row[c] = types.FloatValue(a.sums[i][gid])
 				}
 			case AggAvg:
-				if st.counts[i] == 0 {
+				if a.counts[i][gid] == 0 {
 					row[c] = types.NullValue(types.Float64)
 				} else {
-					row[c] = types.FloatValue(st.sums[i] / float64(st.counts[i]))
+					row[c] = types.FloatValue(a.sums[i][gid] / float64(a.counts[i][gid]))
 				}
 			case AggMin, AggMax:
-				if !st.seen[i] {
+				if !a.seen[i][gid] {
 					row[c] = types.NullValue(outKinds[c])
 					continue
 				}
@@ -320,21 +777,21 @@ func (a *aggregator) finalize(outKinds []types.Kind) *Result {
 				switch a.argKinds[i] {
 				case types.Int64:
 					if isMin {
-						row[c] = types.IntValue(st.minI[i])
+						row[c] = types.IntValue(a.minI[i][gid])
 					} else {
-						row[c] = types.IntValue(st.maxI[i])
+						row[c] = types.IntValue(a.maxI[i][gid])
 					}
 				case types.Float64:
 					if isMin {
-						row[c] = types.FloatValue(st.minF[i])
+						row[c] = types.FloatValue(a.minF[i][gid])
 					} else {
-						row[c] = types.FloatValue(st.maxF[i])
+						row[c] = types.FloatValue(a.maxF[i][gid])
 					}
 				default:
 					if isMin {
-						row[c] = types.StringValue(st.minS[i])
+						row[c] = types.StringValue(a.minS[i][gid])
 					} else {
-						row[c] = types.StringValue(st.maxS[i])
+						row[c] = types.StringValue(a.maxS[i][gid])
 					}
 				}
 			}
@@ -342,4 +799,11 @@ func (a *aggregator) finalize(outKinds []types.Kind) *Result {
 		res.appendRow(row)
 	}
 	return res
+}
+
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"datablocks/internal/simd"
 	"datablocks/internal/types"
 )
 
@@ -100,17 +101,18 @@ func (ht *hashTable) lookup(key []byte) []int32 {
 }
 
 // verify checks that the build row's key equals the probe key byte-wise.
-func (ht *hashTable) verify(key []byte, row int32, scratch []byte) bool {
+// It returns the (possibly regrown) scratch buffer for reuse.
+func (ht *hashTable) verify(key []byte, row int32, scratch []byte) (bool, []byte) {
 	bk := ht.encodeBuildKey(scratch[:0], int(row))
 	if len(bk) != len(key) {
-		return false
+		return false, bk
 	}
 	for i := range bk {
 		if bk[i] != key[i] {
-			return false
+			return false, bk
 		}
 	}
-	return true
+	return true, bk
 }
 
 func (ht *hashTable) setTag(h uint64) {
@@ -130,15 +132,10 @@ func (ht *hashTable) testTagInt(key int64) bool {
 	return ht.testTag(hashInt(uint64(key)))
 }
 
-// hashInt is a finalized multiplicative hash (splitmix64 finalizer).
-func hashInt(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// hashInt is a finalized multiplicative hash (splitmix64 finalizer); it
+// lives in the simd package so the vectorized batch kernels agree with the
+// scalar hash table and its tag filter.
+func hashInt(x uint64) uint64 { return simd.Mix64(x) }
 
 // hashBytes hashes an encoded key. Single 8-byte keys (the common integer
 // join key) take the finalizer fast path so that testTagInt agrees with the

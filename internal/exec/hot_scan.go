@@ -58,6 +58,12 @@ func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 		if len(m) == 0 {
 			continue
 		}
+		if d.bcons != nil {
+			d.lazyPush(m, func(col int, m []uint32) {
+				d.gatherHotCol(h, col, m)
+			})
+			continue
+		}
 		d.gatherHot(h, m)
 		d.pushBatch()
 	}
@@ -259,52 +265,59 @@ func (d *scanDriver) gatherHot(h *storage.HotChunk, m []uint32) {
 	b := &d.batch
 	b.N = len(m)
 	b.Pos = append(b.Pos[:0], m...)
+	for i := range d.scan.Cols {
+		d.gatherHotCol(h, i, m)
+	}
+}
+
+// gatherHotCol copies one projected column's matched rows into the batch.
+func (d *scanDriver) gatherHotCol(h *storage.HotChunk, k int, m []uint32) {
+	b := &d.batch
 	if cap(b.Cols) < len(d.scan.Cols) {
 		b.Cols = make([]core.BatchCol, len(d.scan.Cols))
 	}
 	b.Cols = b.Cols[:len(d.scan.Cols)]
-	for i, relCol := range d.scan.Cols {
-		bc := &b.Cols[i]
-		bc.Kind = d.kinds[i]
-		switch d.kinds[i] {
-		case types.Int64:
-			if cap(bc.Ints) < len(m) {
-				bc.Ints = make([]int64, len(m))
-			}
-			bc.Ints = bc.Ints[:len(m)]
-			col := h.Ints(relCol)
-			for j, p := range m {
-				bc.Ints[j] = col[p]
-			}
-		case types.Float64:
-			if cap(bc.Floats) < len(m) {
-				bc.Floats = make([]float64, len(m))
-			}
-			bc.Floats = bc.Floats[:len(m)]
-			col := h.Floats(relCol)
-			for j, p := range m {
-				bc.Floats[j] = col[p]
-			}
-		default:
-			if cap(bc.Strs) < len(m) {
-				bc.Strs = make([]string, len(m))
-			}
-			bc.Strs = bc.Strs[:len(m)]
-			col := h.Strs(relCol)
-			for j, p := range m {
-				bc.Strs[j] = col[p]
-			}
+	relCol := d.scan.Cols[k]
+	bc := &b.Cols[k]
+	bc.Kind = d.kinds[k]
+	switch d.kinds[k] {
+	case types.Int64:
+		if cap(bc.Ints) < len(m) {
+			bc.Ints = make([]int64, len(m))
 		}
-		if nulls := h.Nulls(relCol); nulls != nil {
-			if cap(bc.Nulls) < len(m) {
-				bc.Nulls = make([]bool, len(m))
-			}
-			bc.Nulls = bc.Nulls[:len(m)]
-			for j, p := range m {
-				bc.Nulls[j] = nulls[p]
-			}
-		} else {
-			bc.Nulls = nil
+		bc.Ints = bc.Ints[:len(m)]
+		col := h.Ints(relCol)
+		for j, p := range m {
+			bc.Ints[j] = col[p]
 		}
+	case types.Float64:
+		if cap(bc.Floats) < len(m) {
+			bc.Floats = make([]float64, len(m))
+		}
+		bc.Floats = bc.Floats[:len(m)]
+		col := h.Floats(relCol)
+		for j, p := range m {
+			bc.Floats[j] = col[p]
+		}
+	default:
+		if cap(bc.Strs) < len(m) {
+			bc.Strs = make([]string, len(m))
+		}
+		bc.Strs = bc.Strs[:len(m)]
+		col := h.Strs(relCol)
+		for j, p := range m {
+			bc.Strs[j] = col[p]
+		}
+	}
+	if nulls := h.Nulls(relCol); nulls != nil {
+		if cap(bc.Nulls) < len(m) {
+			bc.Nulls = make([]bool, len(m))
+		}
+		bc.Nulls = bc.Nulls[:len(m)]
+		for j, p := range m {
+			bc.Nulls[j] = nulls[p]
+		}
+	} else {
+		bc.Nulls = nil
 	}
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"datablocks/internal/core"
 	"datablocks/internal/storage"
@@ -17,7 +18,14 @@ type Options struct {
 	// invocation (Appendix A); 0 selects the 8192 default.
 	VectorSize int
 	// Parallelism is the number of morsel workers; <=1 runs serially.
+	// Each worker compiles its own consumer chain and drives whole chunks
+	// (morsels); partial sink states are merged when all workers finish.
 	Parallelism int
+	// TupleAtATime forces the tuple-at-a-time consume path even in
+	// vectorized modes, disabling the batch sinks. Used by equivalence
+	// tests and benchmarks to isolate the batch pipeline's contribution;
+	// JIT mode is always tuple-at-a-time regardless.
+	TupleAtATime bool
 	// Stats, when non-nil, receives code-generation counters.
 	Stats *CompileStats
 }
@@ -85,15 +93,23 @@ func (ex *executor) run(n Node) (*Result, error) {
 			mu   sync.Mutex
 			aggs []*aggregator
 		)
-		err = ex.runPipeline(n.Child, func(c *compiler) (func(*Tuple), error) {
+		err = ex.runPipeline(n.Child, func(c *compiler) (pipeSink, error) {
 			a, err := newAggregator(n, inKinds, &compiler{kinds: inKinds, stats: c.stats})
 			if err != nil {
-				return nil, err
+				return pipeSink{}, err
 			}
 			mu.Lock()
 			aggs = append(aggs, a)
 			mu.Unlock()
-			return a.consume, nil
+			s := pipeSink{tuple: a.consume}
+			if ex.batchMode() {
+				// An unvectorizable aggregate argument falls back to the
+				// tuple chain; the aggregator still works either way.
+				if err := a.vectorize(c.stats); err == nil {
+					s.batch = a.consumeBatch
+				}
+			}
+			return s, nil
 		})
 		if err != nil {
 			return nil, err
@@ -112,12 +128,12 @@ func (ex *executor) run(n Node) (*Result, error) {
 			mu      sync.Mutex
 			results []*Result
 		)
-		err = ex.runPipeline(n, func(*compiler) (func(*Tuple), error) {
+		err = ex.runPipeline(n, func(*compiler) (pipeSink, error) {
 			res := NewResult(outKinds)
 			mu.Lock()
 			results = append(results, res)
 			mu.Unlock()
-			return res.appendTuple, nil
+			return pipeSink{tuple: res.appendTuple, batch: res.appendBatch}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -130,11 +146,26 @@ func (ex *executor) run(n Node) (*Result, error) {
 	}
 }
 
+// pipeSink is one worker's terminal consumer: the tuple-at-a-time closure
+// always exists; batch is the sink's batch-at-a-time interface, nil when
+// the sink (or its compiled expressions) cannot run batch-wise.
+type pipeSink struct {
+	tuple func(*Tuple)
+	batch batchConsumer
+}
+
+// batchMode reports whether this execution is allowed to consume
+// batch-at-a-time: vectorized scans only, unless explicitly disabled.
+func (ex *executor) batchMode() bool {
+	return ex.opt.Mode != ModeJIT && !ex.opt.TupleAtATime
+}
+
 // runPipeline executes the pipeline rooted at chain: it materializes the
 // build sides of all hash joins along the probe spine, compiles one
-// consumer chain per worker, and drives the scan over the relation's
-// chunks (morsels).
-func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*Tuple), error)) error {
+// consumer chain per worker — the batch-at-a-time chain when every
+// operator and the sink support it, the fused tuple-at-a-time chain
+// otherwise — and drives the scan over the relation's chunks (morsels).
+func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (pipeSink, error)) error {
 	scan, err := ex.prepareBuilds(chain)
 	if err != nil {
 		return err
@@ -160,11 +191,19 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*T
 		if err != nil {
 			return err
 		}
-		cons, err := ex.compileChain(chain, sink, c)
+		cons, err := ex.compileChain(chain, sink.tuple, c)
 		if err != nil {
 			return err
 		}
-		d, err := ex.newScanDriver(scan, cons, c, chunks)
+		var bcons batchConsumer
+		if ex.batchMode() && sink.batch != nil {
+			// Any operator or expression the vectorized compiler cannot
+			// lower silently falls back to the tuple chain compiled above.
+			if bc, berr := ex.compileBatchChain(chain, sink.batch, c); berr == nil {
+				bcons = bc
+			}
+		}
+		d, err := ex.newScanDriver(scan, cons, bcons, c, chunks)
 		if err != nil {
 			return err
 		}
@@ -195,12 +234,19 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (func(*T
 	close(work)
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
+	// The first failure flips the shared flag so the surviving workers
+	// stop at their next morsel instead of draining the whole channel.
+	var failed atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(d *scanDriver) {
 			defer wg.Done()
 			for v := range work {
+				if failed.Load() {
+					return
+				}
 				if err := d.processChunk(v); err != nil {
+					failed.Store(true)
 					errCh <- err
 					return
 				}
@@ -324,16 +370,9 @@ func (ex *executor) compileJoinProbe(n *JoinNode, down func(*Tuple), c *compiler
 	}
 	var keyBuf, scratch []byte
 	verify := func(key []byte, row int32) bool {
-		scratch = ht.encodeBuildKey(scratch[:0], int(row))
-		if len(scratch) != len(key) {
-			return false
-		}
-		for i := range scratch {
-			if scratch[i] != key[i] {
-				return false
-			}
-		}
-		return true
+		ok, grown := ht.verify(key, row, scratch)
+		scratch = grown
+		return ok
 	}
 	switch n.Kind {
 	case InnerJoin:

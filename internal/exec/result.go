@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"datablocks/internal/core"
 	"datablocks/internal/types"
 )
 
@@ -54,6 +55,31 @@ func (r *Result) appendTuple(t *Tuple) {
 		}
 	}
 	r.n++
+}
+
+// appendBatch bulk-appends a whole batch column-at-a-time — the
+// batch-mode materialization sink (no per-row dispatch).
+func (r *Result) appendBatch(b *core.Batch) {
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		bc := &b.Cols[i]
+		switch c.Kind {
+		case types.Int64:
+			c.Ints = append(c.Ints, bc.Ints[:b.N]...)
+		case types.Float64:
+			c.Floats = append(c.Floats, bc.Floats[:b.N]...)
+		default:
+			c.Strs = append(c.Strs, bc.Strs[:b.N]...)
+		}
+		if bc.Nulls != nil {
+			c.Nulls = append(c.Nulls, bc.Nulls[:b.N]...)
+		} else {
+			for k := 0; k < b.N; k++ {
+				c.Nulls = append(c.Nulls, false)
+			}
+		}
+	}
+	r.n += b.N
 }
 
 // appendRow adds a dynamic row (used by sinks that finalize states).

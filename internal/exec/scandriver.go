@@ -26,6 +26,20 @@ type scanDriver struct {
 	// Filter only in pushdown modes, Preds ∧ Filter otherwise. nil = none.
 	pipeFilter boolFn
 
+	// bcons, when non-nil, is the batch-at-a-time consumer chain: gathered
+	// batches are handed over whole instead of being pushed tuple-wise.
+	bcons batchConsumer
+	// conjuncts are the residual condition's top-level conjuncts compiled
+	// as vectorized masks (the batch twin of pipeFilter). The batch path
+	// materializes lazily: each conjunct unpacks only the columns it
+	// references, thins the match vector, and later conjuncts (and the
+	// final projection) decompress survivors only.
+	conjuncts []vconjunct
+	// unpacked tracks which scan-output columns the current batch has
+	// materialized; vsel is the selection-vector scratch.
+	unpacked []bool
+	vsel     []uint32
+
 	// batchLoad copies one batch row into the tuple register file.
 	batchLoad []func(b *core.Batch, row int, t *Tuple)
 
@@ -61,7 +75,7 @@ type hotPath struct {
 	filter  boolFn
 }
 
-func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler, chunks []storage.ChunkView) (*scanDriver, error) {
+func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), bcons batchConsumer, c *compiler, chunks []storage.ChunkView) (*scanDriver, error) {
 	kinds, err := scan.OutKinds()
 	if err != nil {
 		return nil, err
@@ -71,6 +85,7 @@ func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler
 		mode:    ex.opt.Mode,
 		vecSize: ex.opt.VectorSize,
 		cons:    cons,
+		bcons:   bcons,
 		kinds:   kinds,
 		stats:   c.stats,
 		tuple:   NewTuple(len(kinds)),
@@ -91,6 +106,20 @@ func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler
 		d.pipeFilter, err = cc.compileBool(filterExpr)
 		if err != nil {
 			return nil, err
+		}
+		if d.bcons != nil {
+			// The batch chain needs the residual as vectorized masks; if
+			// any conjunct cannot be lowered, drop back to the tuple chain.
+			vc := &vcompiler{kinds: kinds, stats: c.stats}
+			for _, cj := range splitConjuncts(filterExpr, nil) {
+				mask, verr := vc.compileMask(cj)
+				if verr != nil {
+					d.bcons = nil
+					d.conjuncts = nil
+					break
+				}
+				d.conjuncts = append(d.conjuncts, vconjunct{cols: exprCols(cj, nil), mask: mask})
+			}
 		}
 	}
 	if d.mode == ModeJIT {
@@ -113,7 +142,12 @@ func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), c *compiler
 			}
 		}
 	} else {
-		d.batchLoad = d.compileBatchLoaders(c)
+		if d.bcons == nil {
+			// Tuple fallback: per-row copies from the gathered batch into
+			// the register file. The batch chain needs no loaders — whole
+			// vectors flow through.
+			d.batchLoad = d.compileBatchLoaders(c)
+		}
 		if c.stats != nil {
 			c.stats.ScanPaths++ // one interpreted vectorized path
 		}
@@ -442,9 +476,102 @@ func (d *scanDriver) vecBlock(ch *storage.ChunkView) error {
 				continue
 			}
 		}
+		if d.bcons != nil {
+			d.lazyPush(m, func(col int, m []uint32) {
+				sc.UnpackColumn(&d.batch, col, m)
+			})
+			continue
+		}
 		sc.Unpack(&d.batch, m)
 		d.pushBatch()
 	}
+}
+
+// lazyPush drives the late-materializing batch flow over one match vector:
+// residual conjuncts unpack only the columns they reference and thin the
+// match vector in place; columns not needed by any conjunct are unpacked
+// for the surviving positions only, and the finished batch goes to the
+// batch consumer whole.
+func (d *scanDriver) lazyPush(m []uint32, unpackCol func(col int, m []uint32)) {
+	b := &d.batch
+	b.N = len(m)
+	b.Pos = append(b.Pos[:0], m...)
+	if d.unpacked == nil {
+		d.unpacked = make([]bool, len(d.kinds))
+	}
+	for i := range d.unpacked {
+		d.unpacked[i] = false
+	}
+	for i := range d.conjuncts {
+		cj := &d.conjuncts[i]
+		for _, col := range cj.cols {
+			if !d.unpacked[col] {
+				unpackCol(col, b.Pos)
+				d.unpacked[col] = true
+			}
+		}
+		mask := cj.mask(b)
+		sel := resizeU32(d.vsel, b.N)[:0]
+		for r := 0; r < b.N; r++ {
+			if mask[r] {
+				sel = append(sel, uint32(r))
+			}
+		}
+		d.vsel = sel
+		if len(sel) == b.N {
+			continue
+		}
+		if len(sel) == 0 {
+			return
+		}
+		d.compactUnpacked(sel)
+	}
+	for col := range d.kinds {
+		if !d.unpacked[col] {
+			unpackCol(col, b.Pos)
+		}
+	}
+	d.bcons(b)
+}
+
+// compactUnpacked keeps only the selected rows of the already-unpacked
+// columns and of the position vector.
+func (d *scanDriver) compactUnpacked(sel []uint32) {
+	b := &d.batch
+	for col, up := range d.unpacked {
+		if !up {
+			continue
+		}
+		c := &b.Cols[col]
+		switch c.Kind {
+		case types.Int64:
+			for i, p := range sel {
+				c.Ints[i] = c.Ints[p]
+			}
+			c.Ints = c.Ints[:len(sel)]
+		case types.Float64:
+			for i, p := range sel {
+				c.Floats[i] = c.Floats[p]
+			}
+			c.Floats = c.Floats[:len(sel)]
+		default:
+			for i, p := range sel {
+				c.Strs[i] = c.Strs[p]
+			}
+			c.Strs = c.Strs[:len(sel)]
+		}
+		if c.Nulls != nil {
+			for i, p := range sel {
+				c.Nulls[i] = c.Nulls[p]
+			}
+			c.Nulls = c.Nulls[:len(sel)]
+		}
+	}
+	for i, p := range sel {
+		b.Pos[i] = b.Pos[p]
+	}
+	b.Pos = b.Pos[:len(sel)]
+	b.N = len(sel)
 }
 
 // earlyProbeBlock thins a match vector against the upstream join's tag
@@ -479,7 +606,7 @@ func (d *scanDriver) earlyProbeHot(h *storage.HotChunk, m []uint32) []uint32 {
 
 // pushBatch feeds the unpacked batch tuple-at-a-time into the compiled
 // pipeline (Figure 6: "matches are pushed to the query pipeline tuple at a
-// time").
+// time") — the fallback when no batch chain is active.
 func (d *scanDriver) pushBatch() {
 	t := d.tuple
 	for row := 0; row < d.batch.N; row++ {

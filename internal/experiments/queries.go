@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"datablocks/internal/bench"
@@ -37,7 +38,11 @@ var Table2Configs = []Table2Config{
 // per scan configuration on uncompressed storage and Data Blocks, with the
 // geometric mean, plus the Vectorwise compressed-vs-uncompressed contrast
 // on Q1/Q6 (§5.2 reports those two are 18%/38% slower compressed).
+// parallelism <= 0 uses every core (runtime.GOMAXPROCS).
 func Table2(w io.Writer, sf float64, rounds, parallelism int) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	hot, err := tpch.Generate(sf, 0)
 	if err != nil {
 		return err

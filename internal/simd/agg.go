@@ -1,0 +1,204 @@
+package simd
+
+// Aggregation and grouping kernels for the batch-at-a-time consume path:
+// instead of pushing every unpacked tuple through a chain of compiled
+// closures, the vectorized aggregator evaluates each aggregate argument as
+// a column vector and folds it here, column-at-a-time.
+//
+// Float folds are strictly sequential (no lane reassociation): the batch
+// path must produce bit-identical sums to the tuple-at-a-time path, which
+// accumulates in row order.
+
+// SumFloat64 folds a float vector into the running accumulator acc,
+// skipping NULL positions, and returns the new accumulator plus the
+// non-null count. Folding into acc (rather than summing the batch and
+// adding once) keeps the addition order identical to the tuple path across
+// batch boundaries, so results stay bit-identical. nulls may be nil.
+func SumFloat64(acc float64, vals []float64, nulls []bool) (float64, int64) {
+	if nulls == nil {
+		for _, v := range vals {
+			acc += v
+		}
+		return acc, int64(len(vals))
+	}
+	var cnt int64
+	for i, v := range vals {
+		if !nulls[i] {
+			acc += v
+			cnt++
+		}
+	}
+	return acc, cnt
+}
+
+// CountNotNull counts the non-NULL positions. nulls may be nil.
+func CountNotNull(n int, nulls []bool) int64 {
+	if nulls == nil {
+		return int64(n)
+	}
+	var cnt int64
+	for _, isNull := range nulls[:n] {
+		if !isNull {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// MinMaxInt64 folds a vector into (min, max, any-non-null).
+func MinMaxInt64(vals []int64, nulls []bool) (mn, mx int64, any bool) {
+	for i, v := range vals {
+		if nulls != nil && nulls[i] {
+			continue
+		}
+		if !any {
+			mn, mx, any = v, v, true
+			continue
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx, any
+}
+
+// MinMaxFloat64 folds a vector into (min, max, any-non-null).
+func MinMaxFloat64(vals []float64, nulls []bool) (mn, mx float64, any bool) {
+	for i, v := range vals {
+		if nulls != nil && nulls[i] {
+			continue
+		}
+		if !any {
+			mn, mx, any = v, v, true
+			continue
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx, any
+}
+
+// GroupCount bumps each row's group counter.
+func GroupCount(counts []int64, gids []uint32) {
+	for _, g := range gids {
+		counts[g]++
+	}
+}
+
+// GroupCountNotNull bumps each non-NULL row's group counter.
+func GroupCountNotNull(counts []int64, gids []uint32, nulls []bool) {
+	if nulls == nil {
+		GroupCount(counts, gids)
+		return
+	}
+	for i, g := range gids {
+		if !nulls[i] {
+			counts[g]++
+		}
+	}
+}
+
+// GroupSumFloat64 scatter-adds a float vector into per-group accumulators,
+// bumping the per-group non-null count and seen flag.
+func GroupSumFloat64(sums []float64, counts []int64, seen []bool, gids []uint32, vals []float64, nulls []bool) {
+	if nulls == nil {
+		for i, g := range gids {
+			sums[g] += vals[i]
+			counts[g]++
+			seen[g] = true
+		}
+		return
+	}
+	for i, g := range gids {
+		if nulls[i] {
+			continue
+		}
+		sums[g] += vals[i]
+		counts[g]++
+		seen[g] = true
+	}
+}
+
+// GroupMinMaxInt64 scatter-folds a vector into per-group min/max.
+func GroupMinMaxInt64(mins, maxs []int64, seen []bool, gids []uint32, vals []int64, nulls []bool) {
+	for i, g := range gids {
+		if nulls != nil && nulls[i] {
+			continue
+		}
+		v := vals[i]
+		if !seen[g] {
+			mins[g], maxs[g], seen[g] = v, v, true
+			continue
+		}
+		if v < mins[g] {
+			mins[g] = v
+		}
+		if v > maxs[g] {
+			maxs[g] = v
+		}
+	}
+}
+
+// GroupMinMaxFloat64 scatter-folds a vector into per-group min/max.
+func GroupMinMaxFloat64(mins, maxs []float64, seen []bool, gids []uint32, vals []float64, nulls []bool) {
+	for i, g := range gids {
+		if nulls != nil && nulls[i] {
+			continue
+		}
+		v := vals[i]
+		if !seen[g] {
+			mins[g], maxs[g], seen[g] = v, v, true
+			continue
+		}
+		if v < mins[g] {
+			mins[g] = v
+		}
+		if v > maxs[g] {
+			maxs[g] = v
+		}
+	}
+}
+
+// Mix64 is the splitmix64 finalizer: the shared scalar hash of the join
+// hash table, its tag filter and the vectorized grouping/probing kernels.
+// All of them must agree on it, so it lives here.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashInt64 hashes a batch of int64 keys into out (len(out) == len(vals)):
+// the vectorized hash phase of batch hash-join probes and integer group-by
+// key assignment.
+func HashInt64(vals []int64, out []uint64) {
+	for i, v := range vals {
+		out[i] = Mix64(uint64(v))
+	}
+}
+
+// hashStrSeed is the FNV-64 offset basis, the seed of HashStr.
+const hashStrSeed = 14695981039346656037
+
+// HashStr hashes a string byte-wise (FNV-1 style) and finalizes with
+// Mix64. It feeds the aggregator's group-key hashing only — it is NOT the
+// join hash table's key hash (exec.hashBytes consumes 8-byte words with a
+// rotate and produces different values for keys of 8+ bytes), so it must
+// never be used to index join buckets.
+func HashStr(s string) uint64 {
+	var h uint64 = hashStrSeed
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return Mix64(h)
+}

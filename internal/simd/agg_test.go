@@ -1,0 +1,100 @@
+package simd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSumFloat64SeedsAccumulator(t *testing.T) {
+	vals := []float64{0.1, 0.2, 0.3, 0.4}
+	nulls := []bool{false, true, false, false}
+	// Folding into the accumulator must match scalar row-order addition
+	// bit for bit (no batch-local reassociation).
+	want := 1.5
+	for i, v := range vals {
+		if !nulls[i] {
+			want += v
+		}
+	}
+	got, cnt := SumFloat64(1.5, vals, nulls)
+	if math.Float64bits(got) != math.Float64bits(want) || cnt != 3 {
+		t.Fatalf("SumFloat64 = (%v, %d), want (%v, 3)", got, cnt, want)
+	}
+	got, cnt = SumFloat64(0, vals, nil)
+	if got != 1.0 || cnt != 4 {
+		t.Fatalf("SumFloat64 no-nulls = (%v, %d)", got, cnt)
+	}
+}
+
+func TestCountNotNull(t *testing.T) {
+	if c := CountNotNull(5, nil); c != 5 {
+		t.Fatalf("nil nulls: %d", c)
+	}
+	if c := CountNotNull(4, []bool{true, false, true, false, true}); c != 2 {
+		t.Fatalf("masked: %d", c)
+	}
+}
+
+func TestMinMaxKernels(t *testing.T) {
+	mn, mx, any := MinMaxInt64([]int64{5, -2, 9}, []bool{false, false, true})
+	if !any || mn != -2 || mx != 5 {
+		t.Fatalf("MinMaxInt64 = (%d,%d,%v)", mn, mx, any)
+	}
+	if _, _, any := MinMaxInt64([]int64{1}, []bool{true}); any {
+		t.Fatal("all-null vector reported a value")
+	}
+	fm, fx, any := MinMaxFloat64([]float64{1.5, -0.5, 2.5}, nil)
+	if !any || fm != -0.5 || fx != 2.5 {
+		t.Fatalf("MinMaxFloat64 = (%v,%v,%v)", fm, fx, any)
+	}
+}
+
+func TestGroupedFolds(t *testing.T) {
+	gids := []uint32{0, 1, 0, 1, 0}
+	counts := make([]int64, 2)
+	GroupCount(counts, gids)
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Fatalf("GroupCount = %v", counts)
+	}
+	counts = make([]int64, 2)
+	GroupCountNotNull(counts, gids, []bool{false, true, false, false, true})
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("GroupCountNotNull = %v", counts)
+	}
+	sums := make([]float64, 2)
+	cnts := make([]int64, 2)
+	seen := make([]bool, 2)
+	GroupSumFloat64(sums, cnts, seen, gids, []float64{1, 2, 3, 4, 5}, []bool{false, false, false, true, false})
+	if sums[0] != 9 || sums[1] != 2 || cnts[0] != 3 || cnts[1] != 1 || !seen[0] || !seen[1] {
+		t.Fatalf("GroupSumFloat64 = %v %v %v", sums, cnts, seen)
+	}
+	mins, maxs := make([]int64, 2), make([]int64, 2)
+	seen = make([]bool, 2)
+	GroupMinMaxInt64(mins, maxs, seen, gids, []int64{7, -1, 3, 8, 9}, nil)
+	if mins[0] != 3 || maxs[0] != 9 || mins[1] != -1 || maxs[1] != 8 {
+		t.Fatalf("GroupMinMaxInt64 = %v %v", mins, maxs)
+	}
+	fmins, fmaxs := make([]float64, 2), make([]float64, 2)
+	seen = make([]bool, 2)
+	GroupMinMaxFloat64(fmins, fmaxs, seen, gids, []float64{7, -1, 3, 8, 9}, []bool{false, false, true, false, false})
+	if fmins[0] != 7 || fmaxs[0] != 9 || fmins[1] != -1 || fmaxs[1] != 8 {
+		t.Fatalf("GroupMinMaxFloat64 = %v %v", fmins, fmaxs)
+	}
+}
+
+func TestHashKernels(t *testing.T) {
+	vals := []int64{0, 1, -1, 1 << 40}
+	out := make([]uint64, len(vals))
+	HashInt64(vals, out)
+	for i, v := range vals {
+		if out[i] != Mix64(uint64(v)) {
+			t.Fatalf("HashInt64[%d] disagrees with Mix64", i)
+		}
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Fatal("Mix64 collision on trivial inputs")
+	}
+	if HashStr("abc") == HashStr("abd") || HashStr("") == HashStr("a") {
+		t.Fatal("HashStr collision on trivial inputs")
+	}
+}

@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"testing"
@@ -283,5 +285,95 @@ func TestFreezeAllSorted(t *testing.T) {
 	}
 	if res.NumRows() != 1 {
 		t.Fatal("Q6 failed on sorted blocks")
+	}
+}
+
+// requireBitIdentical compares two results cell for cell, including row
+// order and float bit patterns. Serial executions are deterministic, so the
+// batch-at-a-time consume path must reproduce the tuple-at-a-time result
+// exactly — same groups, same order, same summation order, same bits.
+func requireBitIdentical(t *testing.T, name string, a, b *exec.Result) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+	for c := 0; c < a.NumCols(); c++ {
+		ca, cb := &a.Cols[c], &b.Cols[c]
+		if ca.Kind != cb.Kind {
+			t.Fatalf("%s: col %d kind %v vs %v", name, c, ca.Kind, cb.Kind)
+		}
+		for i := 0; i < a.NumRows(); i++ {
+			if ca.Nulls[i] != cb.Nulls[i] {
+				t.Fatalf("%s: cell (%d,%d) null %v vs %v", name, i, c, ca.Nulls[i], cb.Nulls[i])
+			}
+			if ca.Nulls[i] {
+				continue
+			}
+			switch ca.Kind {
+			case types.Int64:
+				if ca.Ints[i] != cb.Ints[i] {
+					t.Fatalf("%s: cell (%d,%d) %d vs %d", name, i, c, ca.Ints[i], cb.Ints[i])
+				}
+			case types.Float64:
+				if math.Float64bits(ca.Floats[i]) != math.Float64bits(cb.Floats[i]) {
+					t.Fatalf("%s: cell (%d,%d) %v vs %v (bits differ)", name, i, c, ca.Floats[i], cb.Floats[i])
+				}
+			default:
+				if ca.Strs[i] != cb.Strs[i] {
+					t.Fatalf("%s: cell (%d,%d) %q vs %q", name, i, c, ca.Strs[i], cb.Strs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchConsumeMatchesTupleExactly: on every supported query, every
+// vectorized scan mode and both storage temperatures, the batch-at-a-time
+// consume path (aggregation, join probe, materialization) produces a
+// bit-identical result to the tuple-at-a-time fallback, and the parallel
+// batch execution agrees up to float summation order.
+func TestBatchConsumeMatchesTupleExactly(t *testing.T) {
+	hot := genTest(t, false)
+	cold := genTest(t, true)
+	modes := []exec.ScanMode{exec.ModeVectorized, exec.ModeVectorizedSARG, exec.ModeVectorizedSARGPSMA}
+	for _, q := range SupportedQueries {
+		for di, db := range []*DB{hot, cold} {
+			for _, mode := range modes {
+				name := fmt.Sprintf("Q%d frozen=%v %v", q, di == 1, mode)
+				batch, err := db.Query(q, exec.Options{Mode: mode})
+				if err != nil {
+					t.Fatalf("%s (batch): %v", name, err)
+				}
+				tuple, err := db.Query(q, exec.Options{Mode: mode, TupleAtATime: true})
+				if err != nil {
+					t.Fatalf("%s (tuple): %v", name, err)
+				}
+				if batch.NumRows() == 0 {
+					t.Fatalf("%s: empty result", name)
+				}
+				requireBitIdentical(t, name, tuple, batch)
+				// Small vectors exercise multi-batch group/probe reuse.
+				small, err := db.Query(q, exec.Options{Mode: mode, VectorSize: 512})
+				if err != nil {
+					t.Fatalf("%s (vec512): %v", name, err)
+				}
+				requireBitIdentical(t, name+" vec512", tuple, small)
+			}
+		}
+		// Parallel batch execution returns the same result up to float
+		// summation order (canonical rounds floats).
+		ref, err := cold.Query(q, exec.Options{Mode: exec.ModeVectorizedSARG})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4} {
+			res, err := cold.Query(q, exec.Options{Mode: exec.ModeVectorizedSARG, Parallelism: par})
+			if err != nil {
+				t.Fatalf("Q%d parallel=%d: %v", q, par, err)
+			}
+			if canonical(res) != canonical(ref) {
+				t.Fatalf("Q%d parallel=%d differs from serial", q, par)
+			}
+		}
 	}
 }
