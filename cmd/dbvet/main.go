@@ -1,0 +1,122 @@
+// Command dbvet is the engine's static-analysis driver. It runs the
+// contract checkers under internal/analysis — lockcheck, atomiccheck,
+// pincheck, hotpath, errcheckdb and shadow — in two modes:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/dbvet ./...
+//	go run ./cmd/dbvet -hotpath=false ./internal/storage
+//
+// As a go vet tool, speaking the -vettool compilation-unit protocol:
+//
+//	go build -o /tmp/dbvet ./cmd/dbvet
+//	go vet -vettool=/tmp/dbvet ./...
+//
+// Exit status is 1 when any diagnostic survives //dbvet:ignore
+// suppression, 0 otherwise. Suppressions must carry a written reason;
+// a reasonless ignore is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datablocks/internal/analysis"
+	"datablocks/internal/analysis/atomiccheck"
+	"datablocks/internal/analysis/errcheckdb"
+	"datablocks/internal/analysis/hotpath"
+	"datablocks/internal/analysis/lockcheck"
+	"datablocks/internal/analysis/pincheck"
+	"datablocks/internal/analysis/shadow"
+)
+
+var suite = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	atomiccheck.Analyzer,
+	pincheck.Analyzer,
+	hotpath.Analyzer,
+	errcheckdb.Analyzer,
+	shadow.Analyzer,
+}
+
+func main() {
+	if err := analysis.Validate(suite); err != nil {
+		fmt.Fprintln(os.Stderr, "dbvet:", err)
+		os.Exit(1)
+	}
+
+	// The go command probes a vettool with -V=full and -flags before
+	// handing it unit config files; handle those before flag parsing so
+	// their output stays exactly what the protocol expects.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			analysis.PrintVersion()
+		case "-flags", "--flags":
+			analysis.PrintFlags(suite)
+		}
+	}
+
+	fs := flag.NewFlagSet("dbvet", flag.ExitOnError)
+	enabled := map[string]*bool{}
+	for _, a := range suite {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dbvet [-<analyzer>=false ...] [package pattern ...]\n")
+		fmt.Fprintf(fs.Output(), "       dbvet <unit>.cfg    (go vet -vettool mode)\n\nanalyzers:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	var active []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	// go vet mode: a single positional argument naming a *.cfg file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		analysis.RunUnit(args[0], active)
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbvet:", err)
+		os.Exit(1)
+	}
+
+	findings, suppressed := 0, 0
+	for _, pkg := range pkgs {
+		diags, sup, err := analysis.RunAnalyzers(pkg, active)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbvet:", err)
+			os.Exit(1)
+		}
+		suppressed += sup
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "dbvet: %d finding(s) suppressed by //dbvet:ignore\n", suppressed)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "dbvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

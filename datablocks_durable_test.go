@@ -52,11 +52,11 @@ func TestDurableReopen(t *testing.T) {
 			t.Fatalf("delete %d failed", i)
 		}
 	}
-	if err := tbl.Update(5, Row{Int(5), Float(99), Str("updated")}); err != nil {
+	if err = tbl.Update(5, Row{Int(5), Float(99), Str("updated")}); err != nil {
 		t.Fatal(err)
 	}
 	wantRows := tbl.NumRows()
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -139,7 +139,7 @@ func TestTornManifestRecoversPreviousGeneration(t *testing.T) {
 	}
 	tbl := mustCreateEvents(t, db)
 	loadEvents(t, tbl, 2000)
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -154,11 +154,11 @@ func TestTornManifestRecoversPreviousGeneration(t *testing.T) {
 	tbl2 := db2.Table("events")
 	rowsAtFirstClose := tbl2.NumRows()
 	for i := 0; i < 1000; i++ {
-		if _, err := tbl2.Insert(Row{Int(int64(100_000 + i)), Float(1), Str("late")}); err != nil {
+		if _, err = tbl2.Insert(Row{Int(int64(100_000 + i)), Float(1), Str("late")}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := db2.Close(); err != nil {
+	if err = db2.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -195,10 +195,10 @@ func TestTornCatalogRecoversPreviousGeneration(t *testing.T) {
 	}
 	tblA := mustCreateEvents(t, db)
 	loadEvents(t, tblA, 600)
-	if err := tblA.FreezeAll(); err != nil {
+	if err = tblA.FreezeAll(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.CreateTable("second", []Column{{Name: "v", Kind: Int64}}); err != nil {
+	if _, err = db.CreateTable("second", []Column{{Name: "v", Kind: Int64}}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a crash right after the second create: no Close, chop the
@@ -230,7 +230,7 @@ func TestAllManifestsCorruptRefusesAndKeepsBlocks(t *testing.T) {
 	}
 	tbl := mustCreateEvents(t, db)
 	loadEvents(t, tbl, 2000)
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		t.Fatal(err)
 	}
 	manifests, err := filepath.Glob(filepath.Join(dir, "events", "manifest-*.dbm"))
@@ -267,11 +267,11 @@ func TestRecoveredTableIgnoresPrimaryKeyDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		if _, err := tbl.Insert(Row{Int(int64(i % 5))}); err != nil {
+		if _, err = tbl.Insert(Row{Int(int64(i % 5))}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		t.Fatal(err)
 	}
 	db2, err := OpenPath(dir, WithPrimaryKey("v"))
@@ -299,7 +299,7 @@ func TestCorruptBlockSurfacesLoadError(t *testing.T) {
 	}
 	tbl := mustCreateEvents(t, db)
 	loadEvents(t, tbl, 2000)
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		t.Fatal(err)
 	}
 	victim := newestFile(t, filepath.Join(dir, "events", "*.dblk"))
@@ -308,7 +308,7 @@ func TestCorruptBlockSurfacesLoadError(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf[len(buf)/2] ^= 0x01
-	if err := os.WriteFile(victim, buf, 0o644); err != nil {
+	if err = os.WriteFile(victim, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	_, err = OpenPath(dir, durableOpts()...)

@@ -25,11 +25,11 @@ func TestWithParallelismDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10_000; i++ {
-		if _, err := tbl.Insert(Row{Int(int64(i)), Float(float64(i % 997))}); err != nil {
+		if _, err = tbl.Insert(Row{Int(int64(i)), Float(float64(i % 997))}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := tbl.Freeze(); err != nil {
+	if err = tbl.Freeze(); err != nil {
 		t.Fatal(err)
 	}
 	preds := []Pred{{Col: "amount", Op: Lt, Lo: Float(500)}}

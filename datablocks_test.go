@@ -33,11 +33,11 @@ func ExampleOpenPath() {
 		log.Fatal(err)
 	}
 	for i := 1; i <= 3; i++ {
-		if _, err := orders.Insert(Row{Int(int64(i)), Float(float64(i) * 10)}); err != nil {
+		if _, err = orders.Insert(Row{Int(int64(i)), Float(float64(i) * 10)}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		log.Fatal(err)
 	}
 

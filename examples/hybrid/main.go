@@ -45,7 +45,7 @@ func main() {
 	for i := 0; i < 100_000; i++ {
 		insert()
 	}
-	if err := orders.Freeze(); err != nil {
+	if err = orders.Freeze(); err != nil {
 		log.Fatal(err)
 	}
 	st := orders.Stats()
@@ -106,7 +106,7 @@ func main() {
 		}
 	}()
 	wg.Wait()
-	if err := db.Close(); err != nil { // stop the background compactor
+	if err = db.Close(); err != nil { // stop the background compactor
 		log.Fatal(err)
 	}
 

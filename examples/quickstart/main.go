@@ -44,7 +44,7 @@ func main() {
 
 	services := []string{"auth", "billing", "catalog", "checkout", "search"}
 	for i := 0; i < 50_000; i++ {
-		_, err := events.Insert(datablocks.Row{
+		_, err = events.Insert(datablocks.Row{
 			datablocks.Int(int64(i)),
 			datablocks.Int(int64((i / 7) % 5)),
 			datablocks.Str(services[i%len(services)]),
@@ -58,7 +58,7 @@ func main() {
 	fmt.Printf("loaded %d rows, hot footprint %d bytes\n", events.NumRows(), before.HotBytes)
 
 	// Freeze cold chunks: per-attribute optimal compression + SMAs/PSMAs.
-	if err := events.Freeze(); err != nil {
+	if err = events.Freeze(); err != nil {
 		log.Fatal(err)
 	}
 	after := events.Stats()
@@ -88,7 +88,7 @@ func main() {
 	// frozen tuples are read in place, updates migrate them to hot.
 	row, ok := events.Lookup(31_337)
 	fmt.Printf("point lookup id=31337: %v (found=%v)\n", row, ok)
-	if err := events.Update(31_337, datablocks.Row{
+	if err = events.Update(31_337, datablocks.Row{
 		datablocks.Int(31_337), datablocks.Int(0),
 		datablocks.Str("auth"), datablocks.Float(1.5),
 	}); err != nil {
@@ -104,7 +104,7 @@ func main() {
 	// Durability: Close freezes the hot tail and writes the catalog and
 	// per-table manifest, so the directory is a complete database image.
 	liveRows := events.NumRows()
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("closed; reopening %q as a new database instance\n", dir)

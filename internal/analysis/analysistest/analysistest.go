@@ -1,0 +1,154 @@
+// Package analysistest runs one analyzer over a fixture tree and checks
+// its diagnostics against `// want "regexp"` expectations, following the
+// golang.org/x/tools/go/analysis/analysistest convention:
+//
+//   - a comment `// want "re"` on a line expects exactly the diagnostics
+//     whose messages match the given regexps, on that line;
+//   - several quoted regexps in one want comment expect several
+//     diagnostics on the line;
+//   - a diagnostic with no matching want, or a want with no matching
+//     diagnostic, fails the test.
+//
+// Each fixture directory is its own Go module (testdata is invisible to
+// the enclosing module's go tool), so the loader lists and type-checks
+// it exactly as dbvet does real packages.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"datablocks/internal/analysis"
+)
+
+// A want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture module rooted at dir, applies the analyzer to
+// every package in it, and reports mismatches between the diagnostics
+// and the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := analysis.Load(abs, "./...")
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages under %s", dir)
+	}
+
+	var wants []*want
+	var diags []analysis.ResultDiagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, pkg, f)...)
+		}
+		ds, _, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	for _, d := range diags {
+		if w := match(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// match finds the first unmatched want on the diagnostic's line whose
+// regexp matches the message.
+func match(wants []*want, d analysis.ResultDiagnostic) *want {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || w.file != d.Pos.Filename {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants extracts the want expectations of one file.
+func parseWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			// The marker may open the comment or follow other text, as
+			// in `//dbvet:ignore // want "..."` — directive arguments
+			// stop at the embedded "//", so the expectation can sit on
+			// the directive's own line.
+			i := strings.Index(c.Text, "// want ")
+			if i < 0 {
+				continue
+			}
+			text := c.Text[i+len("// want "):]
+			pos := pkg.Fset.Position(c.Pos())
+			for _, raw := range splitQuoted(text) {
+				pattern, err := strconv.Unquote(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: malformed want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+				}
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted returns the Go string literals ("..." or `...`) in s, in
+// order, quotes included.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && (s[j] != '"' || s[j-1] == '\\') {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+				i = j
+			}
+		case '`':
+			j := i + 1
+			for j < len(s) && s[j] != '`' {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+				i = j
+			}
+		}
+	}
+	return out
+}

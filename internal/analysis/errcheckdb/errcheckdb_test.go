@@ -1,0 +1,12 @@
+package errcheckdb_test
+
+import (
+	"testing"
+
+	"datablocks/internal/analysis/analysistest"
+	"datablocks/internal/analysis/errcheckdb"
+)
+
+func TestErrcheckdb(t *testing.T) {
+	analysistest.Run(t, "../testdata/errcheckdb", errcheckdb.Analyzer)
+}

@@ -1,0 +1,126 @@
+// Package hotpath enforces the batch-kernel discipline on functions
+// annotated //dbvet:hotpath (in the doc comment of a declaration, or on
+// the line of — or immediately above — a function literal). These are
+// the per-batch inner loops of the scan, filter, join and aggregation
+// paths: they run once per 1024-row batch and must stay allocation-free
+// and branch-predictable. Inside an annotated body the analyzer flags:
+//
+//   - map iteration (range over a map): non-deterministic order and a
+//     hash-table walk per batch; hot kernels index maps, they do not
+//     walk them.
+//   - calls into fmt: every fmt call allocates and reflects. Hot-path
+//     errors are returned as sentinel values or pre-formatted.
+//   - interface conversions of concrete values (explicit conversions,
+//     or type assertions back out of any): each boxes its operand onto
+//     the heap.
+//   - panic: kernels must return errors; a panic in a per-batch loop
+//     tears down the whole scan driver.
+//
+// The annotation is inherited by function literals declared inside an
+// annotated body (they run on the same per-batch path).
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"datablocks/internal/analysis"
+)
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "check that //dbvet:hotpath functions avoid map iteration, fmt, interface boxing and panic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Lines carrying a hotpath directive; a directive on (or directly
+		// above) a function literal's opening line marks that literal.
+		litLines := map[int]bool{}
+		for _, d := range analysis.FileDirectives(pass.Fset, f) {
+			if d.Name != "hotpath" {
+				continue
+			}
+			line := pass.Fset.Position(d.Pos).Line
+			litLines[line] = true
+			if !d.EndOfLine {
+				litLines[line+1] = true
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if _, ok := analysis.FuncDirective(pass.Fset, n, "hotpath"); ok && n.Body != nil {
+					checkBody(pass, n.Body)
+					return false
+				}
+			case *ast.FuncLit:
+				if litLines[pass.Fset.Position(n.Pos()).Line] {
+					checkBody(pass, n.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody walks one annotated body, including nested literals (the
+// annotation is inherited — a closure built on the hot path runs on it).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "hot path iterates a map: per-batch hash-table walks are forbidden (index the map or hoist the iteration out of //dbvet:hotpath code)")
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.TypeAssertExpr:
+			// x.(T) where T is concrete: the success path is fine (no
+			// allocation), but asserting back *into* an interface boxes.
+			if n.Type != nil {
+				if t := info.TypeOf(n.Type); t != nil && analysis.IsInterface(t) {
+					pass.Reportf(n.Pos(), "hot path asserts to an interface type: the conversion allocates (keep kernels monomorphic)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// panic tears down the scan driver mid-batch.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if obj, isUse := info.Uses[id]; isUse {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "hot path calls panic: kernels must return errors, not unwind per-batch loops")
+				return
+			}
+		}
+	}
+
+	// fmt allocates and reflects on every call.
+	if analysis.IsPackageFunc(info, call, "fmt") {
+		obj := analysis.CalleeObject(info, call)
+		pass.Reportf(call.Pos(), "hot path calls fmt.%s: fmt allocates and reflects; format outside the per-batch loop", obj.Name())
+		return
+	}
+
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if analysis.IsInterface(tv.Type) {
+			if argT := info.TypeOf(call.Args[0]); argT != nil && !analysis.IsInterface(argT) {
+				pass.Reportf(call.Pos(), "hot path converts a concrete value to an interface: the conversion allocates")
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"datablocks/internal/analysis/analysistest"
+	"datablocks/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "../testdata/hotpath", hotpath.Analyzer)
+}

@@ -1,0 +1,12 @@
+package pincheck_test
+
+import (
+	"testing"
+
+	"datablocks/internal/analysis/analysistest"
+	"datablocks/internal/analysis/pincheck"
+)
+
+func TestPincheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/pincheck", pincheck.Analyzer)
+}

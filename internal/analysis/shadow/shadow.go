@@ -1,0 +1,133 @@
+// Package shadow reports variable declarations that shadow a variable
+// of the same name and type from an enclosing function scope, when the
+// shadowed variable is still used after the shadowing scope ends. That
+// conjunction is the dangerous shape: an inner `err :=` swallows an
+// assignment the outer code later inspects.
+//
+// The check follows the golang.org/x/tools shadow heuristics (same
+// type, outer use after the inner scope closes, package- and
+// universe-scope names exempt) but is implemented on the standard
+// library only, since the engine's module carries no dependencies. One
+// deliberate divergence: a declaration inside a function literal never
+// shadows a variable of the enclosing function. In a closure — above
+// all in a goroutine — declaring a fresh err IS the correct pattern;
+// assigning the enclosing function's variable would be the bug (a data
+// race), so reporting the safe form as suspect would invert the check's
+// purpose.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"datablocks/internal/analysis"
+)
+
+// Analyzer is the shadow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "check for shadowed variables whose outer binding is still used after the inner scope ends",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// lastUse maps each variable to the position of its final use.
+	lastUse := map[types.Object]token.Pos{}
+	for id, obj := range info.Uses {
+		if v, ok := obj.(*types.Var); ok {
+			if id.End() > lastUse[v] {
+				lastUse[v] = id.End()
+			}
+		}
+	}
+
+	// Like the upstream checker, only short variable declarations and var
+	// statements are candidates: function parameters and range variables
+	// routinely reuse names on purpose (accessor closures taking their
+	// own `a *core.Attr` are the idiom here, not an accident).
+	candidates := map[*ast.Ident]bool{}
+	// litBodies collects function-literal body ranges for the closure
+	// exemption below.
+	type span struct{ lo, hi token.Pos }
+	var litBodies []span
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				litBodies = append(litBodies, span{n.Body.Pos(), n.Body.End()})
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							candidates[id] = true
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					for _, spec := range n.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, id := range vs.Names {
+								candidates[id] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for id, obj := range info.Defs {
+		if !candidates[id] {
+			continue
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner.Parent() == nil {
+			continue
+		}
+		// Find what the same name resolves to just outside this
+		// declaration.
+		_, outerObj := inner.Parent().LookupParent(id.Name, v.Pos())
+		outer, ok := outerObj.(*types.Var)
+		if !ok || outer == v {
+			continue
+		}
+		// Package-level and universe names are deliberately reusable.
+		if outer.Parent() == pass.Pkg.Scope() || outer.Parent() == types.Universe {
+			continue
+		}
+		// Only same-type shadowing is the footgun (an inner redeclaration
+		// at a different type is usually intentional narrowing).
+		if !types.Identical(v.Type(), outer.Type()) {
+			continue
+		}
+		// The outer binding must be used after the inner scope ends;
+		// otherwise the shadow can never change behavior.
+		if lastUse[outer] <= inner.End() {
+			continue
+		}
+		// Closure exemption: the declaration lives in a function literal
+		// the outer variable merely encloses.
+		crossesLit := false
+		for _, s := range litBodies {
+			if s.lo <= id.Pos() && id.Pos() < s.hi && !(s.lo <= outer.Pos() && outer.Pos() < s.hi) {
+				crossesLit = true
+				break
+			}
+		}
+		if crossesLit {
+			continue
+		}
+		pass.Reportf(id.Pos(), "declaration of %q shadows the %s declared at %s, which is used again after this scope",
+			id.Name, id.Name, pass.Fset.Position(outer.Pos()))
+	}
+	return nil, nil
+}

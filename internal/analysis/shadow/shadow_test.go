@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"datablocks/internal/analysis/analysistest"
+	"datablocks/internal/analysis/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "../testdata/shadow", shadow.Analyzer)
+}

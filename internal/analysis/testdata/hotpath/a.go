@@ -1,0 +1,70 @@
+package fixture
+
+import "fmt"
+
+//dbvet:hotpath
+func kernel(m map[uint64]uint32, keys []uint64, out []uint32) {
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+}
+
+//dbvet:hotpath
+func badMapIter(m map[uint64]uint32) uint32 {
+	var s uint32
+	for _, v := range m { // want "iterates a map"
+		s += v
+	}
+	return s
+}
+
+//dbvet:hotpath
+func badFmt(n int) string {
+	return fmt.Sprintf("row %d", n) // want "calls fmt.Sprintf"
+}
+
+//dbvet:hotpath
+func badPanic(n int) {
+	if n < 0 {
+		panic("negative") // want "calls panic"
+	}
+}
+
+//dbvet:hotpath
+func badBox(v int64) any {
+	return any(v) // want "converts a concrete value to an interface"
+}
+
+//dbvet:hotpath
+func badAssert(x any) error {
+	e, _ := x.(error) // want "asserts to an interface type"
+	return e
+}
+
+// coldPath has no annotation: the same constructs are fine here.
+func coldPath(m map[uint64]uint32) string {
+	for range m {
+	}
+	return fmt.Sprint("fine here")
+}
+
+var hotLit = func(vals []int64) int64 { //dbvet:hotpath
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+//dbvet:hotpath
+var badLit = func(m map[int]int) {
+	for range m { // want "iterates a map"
+	}
+}
+
+//dbvet:hotpath
+func badNested(rows []int) func() {
+	return func() {
+		panic("nested literals inherit the annotation") // want "calls panic"
+	}
+}

@@ -1,0 +1,77 @@
+package fixture
+
+import "sync"
+
+// Relation and Chunk reuse the engine's type names so the fixture
+// exercises the documented lock-order ranks (Chunk.loadMu before
+// Relation.mu).
+type Relation struct {
+	mu sync.RWMutex
+}
+
+type Chunk struct {
+	loadMu sync.Mutex
+}
+
+func (r *Relation) viewLocked() int { return 0 }
+
+func (r *Relation) Snapshot() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.viewLocked()
+}
+
+func (r *Relation) Broken() int {
+	return r.viewLocked() // want "without holding r.mu"
+}
+
+func (r *Relation) EarlyUnlock() int {
+	r.mu.Lock()
+	r.mu.Unlock()
+	return r.viewLocked() // want "without holding r.mu"
+}
+
+func (r *Relation) SelfDeadlock() {
+	r.mu.Lock()
+	r.mu.Lock() // want "self-deadlock"
+	r.mu.Unlock()
+}
+
+func (r *Relation) BadOrder(c *Chunk) {
+	r.mu.Lock()
+	c.loadMu.Lock() // want "inverts the documented lock order"
+	c.loadMu.Unlock()
+	r.mu.Unlock()
+}
+
+func (r *Relation) GoodOrder(c *Chunk) {
+	c.loadMu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	c.loadMu.Unlock()
+}
+
+type Table struct {
+	wmu sync.Mutex
+}
+
+//dbvet:locks wmu
+func (t *Table) flushPending() {}
+
+func (t *Table) Write() {
+	t.wmu.Lock()
+	t.flushPending()
+	t.wmu.Unlock()
+}
+
+func (t *Table) WriteBroken() {
+	t.flushPending() // want "without holding t.wmu"
+}
+
+func (t *Table) Suppressed() {
+	t.flushPending() //dbvet:ignore fixture: construction-time call, nothing concurrent exists yet
+}
+
+func (t *Table) ReasonlessIgnore() {
+	t.flushPending() //dbvet:ignore // want "requires a written justification"
+}

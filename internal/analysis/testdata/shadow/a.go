@@ -1,0 +1,55 @@
+package fixture
+
+func source() (int, error) { return 0, nil }
+func work() error          { return nil }
+func sink(int)             {}
+
+func bad() error {
+	v, err := source()
+	if v > 0 {
+		err := work() // want `declaration of "err" shadows`
+		_ = err
+	}
+	return err
+}
+
+func badIfInit() error {
+	v, err := source()
+	if v > 0 {
+		if err := work(); err != nil { // want `declaration of "err" shadows`
+			sink(v)
+		}
+	}
+	return err
+}
+
+// A fresh err inside a function literal is the correct pattern — the
+// literal typically runs on another goroutine, where assigning the
+// enclosing err would be a race. Never flagged.
+func okClosure() error {
+	v, err := source()
+	go func() {
+		if err := work(); err != nil {
+			sink(v)
+		}
+	}()
+	return err
+}
+
+// Parameters are never shadow candidates (matches upstream x/tools).
+func okParam() error {
+	_, err := source()
+	f := func(err error) { _ = err }
+	f(nil)
+	return err
+}
+
+// The outer variable is dead after the inner scope: not a shadow.
+func okDeadOuter() {
+	_, err := source()
+	_ = err
+	{
+		err := work()
+		_ = err
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// unitConfig mirrors the JSON compilation-unit description `go vet`
+// hands a -vettool (x/tools unitchecker.Config / cmd/go vetConfig).
+// Fields the suite does not consume are omitted from the decode.
+type unitConfig struct {
+	ID          string
+	Compiler    string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit implements the `go vet -vettool` compilation-unit protocol:
+// read the JSON config, type-check the unit against the export data the
+// go command already produced, run the analyzers, print plain findings
+// to stderr and exit non-zero when any survive. The facts output file is
+// always written (empty — the suite defines no cross-package facts) so
+// the go command's caching contract holds.
+func RunUnit(cfgFile string, analyzers []*Analyzer) {
+	cfg := new(unitConfig)
+	data, err := os.ReadFile(cfgFile)
+	if err == nil {
+		err = json.Unmarshal(data, cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+		os.Exit(1)
+	}
+	if cfg.VetxOutput != "" {
+		if err = os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	fset := token.NewFileSet()
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImp.Import(importPath)
+	})
+
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if perr != nil {
+			failTypecheck(cfg, perr)
+			return
+		}
+		files = append(files, f)
+	}
+	pkg, err := checkFiles(fset, imp, cfg.ImportPath, cfg.GoVersion, files)
+	if err != nil {
+		failTypecheck(cfg, err)
+		return
+	}
+
+	diags, _, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// failTypecheck honors SucceedOnTypecheckFailure: the go command asks
+// the vet tool to stay silent on packages the compiler will reject
+// anyway, so the build error is reported once, by the compiler.
+func failTypecheck(cfg *unitConfig, err error) {
+	if cfg.SucceedOnTypecheckFailure {
+		os.Exit(0)
+	}
+	fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+	os.Exit(1)
+}
+
+// PrintVersion implements -V=full: the go command hashes the tool
+// binary's self-description into its action cache key, so the output
+// must change when the executable does. Format follows the x/tools
+// versionFlag contract.
+func PrintVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+		os.Exit(1)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+}
+
+// PrintFlags implements -flags: a JSON description of the flags the go
+// command may forward to the tool. The suite exposes one boolean per
+// analyzer (enable/disable, vet style).
+func PrintFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable " + a.Name + " analysis"})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
+	os.Exit(0)
+}

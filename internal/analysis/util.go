@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeObject resolves the function or method object a call invokes, or
+// nil for calls through function values, built-ins and type conversions.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call (pkg.Fn) has no Selection entry.
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// IsPackageFunc reports whether the call invokes a function of the named
+// package (import path), e.g. IsPackageFunc(info, call, "sync/atomic").
+func IsPackageFunc(info *types.Info, call *ast.CallExpr, pkgPath string) bool {
+	obj := CalleeObject(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// ExprString renders a canonical, whitespace-free form of simple
+// expressions (identifiers and selector chains), used to compare "the
+// same variable" lexically: r.mu and r .mu both render "r.mu"; anything
+// more complex renders "" and never matches.
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// via pointer).
+func IsMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// MutexField inspects a selector expression like r.mu or c.loadMu and,
+// when it names a mutex-typed struct field, returns the canonical text
+// of the lock-holder expression ("r.mu"), the owning named type's name
+// ("Relation") and the field name ("mu").
+func MutexField(info *types.Info, sel *ast.SelectorExpr) (lockExpr, ownerType, fieldName string, ok bool) {
+	s, found := info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", "", false
+	}
+	field, isVar := s.Obj().(*types.Var)
+	if !isVar || !IsMutexType(field.Type()) {
+		return "", "", "", false
+	}
+	recv := s.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	owner := ""
+	if named, isNamed := recv.(*types.Named); isNamed {
+		owner = named.Obj().Name()
+	}
+	text := ExprString(sel)
+	if text == "" {
+		return "", "", "", false
+	}
+	return text, owner, field.Name(), true
+}
+
+// LastResultIsError reports whether the call's final result is the
+// built-in error type.
+func LastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	obj := CalleeObject(info, call)
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// IsInterface reports whether t is an interface type (including any).
+func IsInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -38,6 +38,12 @@
 //     Retain, passing the manifest's handle set. A store that was never
 //     given a manifest (a pure spill cache) is cleared the same way with
 //     an empty handle set when its owner is done with it.
+//
+// Error discipline is machine-checked: the dbvet errcheckdb analyzer
+// (internal/analysis, run by `make lint`) refuses a discarded error from
+// ReadBlock, WriteBlock, Load, Flush, Sync or the catalog/manifest
+// save/load functions — a dropped error here is a cold block silently
+// treated as resident. See ARCHITECTURE.md, "Enforced invariants".
 package blockstore
 
 import (

@@ -63,10 +63,10 @@ func TestStoreLoadErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Load(0, testKinds); err == nil {
+	if _, lerr := s.Load(0, testKinds); lerr == nil {
 		t.Fatal("zero handle load succeeded")
 	}
-	if _, err := s.Load(99, testKinds); err == nil {
+	if _, lerr := s.Load(99, testKinds); lerr == nil {
 		t.Fatal("missing block load succeeded")
 	}
 	h, err := s.Put(testBlock(t, 50, 0))

@@ -158,12 +158,12 @@ func TestTornManifestFallsBackToPreviousGeneration(t *testing.T) {
 		t.Fatal(err)
 	}
 	for cut := 0; cut < len(whole); cut++ {
-		if err := os.WriteFile(newest, whole[:cut], 0o644); err != nil {
+		if err = os.WriteFile(newest, whole[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got, err := LoadManifest(dir)
-		if err != nil {
-			t.Fatalf("cut %d: %v", cut, err)
+		got, lerr := LoadManifest(dir)
+		if lerr != nil {
+			t.Fatalf("cut %d: %v", cut, lerr)
 		}
 		if got == nil {
 			t.Fatalf("cut %d: previous generation lost", cut)
@@ -174,7 +174,7 @@ func TestTornManifestFallsBackToPreviousGeneration(t *testing.T) {
 		manifestEqual(t, prev, got)
 	}
 	// Restore the whole file: the newest generation wins again.
-	if err := os.WriteFile(newest, whole, 0o644); err != nil {
+	if err = os.WriteFile(newest, whole, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	got, err := LoadManifest(dir)
@@ -282,14 +282,14 @@ func TestStoreRetain(t *testing.T) {
 	blk := testBlock(t, 64, 0)
 	var handles []Handle
 	for i := 0; i < 4; i++ {
-		h, err := s.Put(blk)
-		if err != nil {
-			t.Fatal(err)
+		h, perr := s.Put(blk)
+		if perr != nil {
+			t.Fatal(perr)
 		}
 		handles = append(handles, h)
 	}
 	// A stray temp file from an interrupted write must be cleared too.
-	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("torn"), 0o644); err != nil {
+	if err = os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	keep := map[Handle]bool{handles[1]: true, handles[3]: true}

@@ -123,6 +123,7 @@ type batchFilter struct {
 	down batchConsumer
 }
 
+//dbvet:hotpath
 func (f *batchFilter) consume(b *core.Batch) {
 	f.sel = filterBatch(b, f.mask(b), f.sel)
 	if b.N > 0 {
@@ -132,6 +133,8 @@ func (f *batchFilter) consume(b *core.Batch) {
 
 // filterBatch compacts b to the rows where mask is true, reusing sel as
 // scratch; it returns the (possibly regrown) scratch slice.
+//
+//dbvet:hotpath
 func filterBatch(b *core.Batch, mask []bool, sel []uint32) []uint32 {
 	sel = resizeU32(sel, b.N)[:0]
 	for i := 0; i < b.N; i++ {
@@ -146,6 +149,8 @@ func filterBatch(b *core.Batch, mask []bool, sel []uint32) []uint32 {
 }
 
 // compactBatchSel keeps only the selected rows of b, in order, in place.
+//
+//dbvet:hotpath
 func compactBatchSel(b *core.Batch, sel []uint32) {
 	for ci := range b.Cols {
 		c := &b.Cols[ci]
@@ -256,6 +261,7 @@ func copyNulls(dst, src []bool, n int) []bool {
 	return dst
 }
 
+//dbvet:hotpath
 func (m *batchMap) consume(b *core.Batch) {
 	m.out.N = b.N
 	m.out.Pos = append(m.out.Pos[:0], b.Pos...)
@@ -310,6 +316,7 @@ func (ex *executor) compileBatchJoin(n *JoinNode, down batchConsumer, c *compile
 	return j, nil
 }
 
+//dbvet:hotpath
 func (j *batchJoinProbe) consume(b *core.Batch) {
 	if j.node.Kind == InnerJoin {
 		j.consumeInner(b)
@@ -320,6 +327,8 @@ func (j *batchJoinProbe) consume(b *core.Batch) {
 
 // matchPairs fills pairsP/pairsB with the verified matches of the batch,
 // bucket order per probe row — the same emission order as the tuple path.
+//
+//dbvet:hotpath
 func (j *batchJoinProbe) matchPairs(b *core.Batch) {
 	j.pairsP = j.pairsP[:0]
 	j.pairsB = j.pairsB[:0]
@@ -359,6 +368,7 @@ func (j *batchJoinProbe) matchPairs(b *core.Batch) {
 	}
 }
 
+//dbvet:hotpath
 func (j *batchJoinProbe) consumeInner(b *core.Batch) {
 	j.matchPairs(b)
 	if len(j.pairsP) == 0 {
@@ -378,6 +388,7 @@ func (j *batchJoinProbe) consumeInner(b *core.Batch) {
 	j.down(out)
 }
 
+//dbvet:hotpath
 func (j *batchJoinProbe) consumeSemiAnti(b *core.Batch) {
 	wantMatch := j.node.Kind == SemiJoin
 	j.mask = resizeBool(j.mask, b.N)
@@ -427,6 +438,8 @@ func (j *batchJoinProbe) consumeSemiAnti(b *core.Batch) {
 }
 
 // encodeKey serializes the probe key of batch row r; nil marks a NULL key.
+//
+//dbvet:hotpath
 func (j *batchJoinProbe) encodeKey(b *core.Batch, r int) []byte {
 	buf := j.keyBuf[:0]
 	for i, c := range j.node.ProbeKeys {
@@ -440,6 +453,7 @@ func (j *batchJoinProbe) encodeKey(b *core.Batch, r int) []byte {
 	return buf
 }
 
+//dbvet:hotpath
 func (j *batchJoinProbe) verify(key []byte, row int32) bool {
 	ok, grown := j.ht.verify(key, row, j.vscratch)
 	j.vscratch = grown
@@ -448,6 +462,8 @@ func (j *batchJoinProbe) verify(key []byte, row int32) bool {
 
 // appendKeyCell serializes one batch cell with the same encoding the tuple
 // path's encodeProbeKey uses, so both probe paths hash identically.
+//
+//dbvet:hotpath
 func appendKeyCell(buf []byte, kind types.Kind, col *core.BatchCol, r int) []byte {
 	switch kind {
 	case types.Int64:
@@ -460,6 +476,7 @@ func appendKeyCell(buf []byte, kind types.Kind, col *core.BatchCol, r int) []byt
 	}
 }
 
+//dbvet:hotpath
 func gatherBatchCol(dst, src *core.BatchCol, idx []uint32) {
 	n := len(idx)
 	dst.Kind = src.Kind
@@ -490,6 +507,7 @@ func gatherBatchCol(dst, src *core.BatchCol, idx []uint32) {
 	}
 }
 
+//dbvet:hotpath
 func gatherResultCol(dst *core.BatchCol, src *ResultCol, rows []int32) {
 	n := len(rows)
 	dst.Kind = src.Kind

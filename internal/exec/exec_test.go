@@ -673,13 +673,13 @@ func TestParallelErrorStopsWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	rel.SetBlockStore(bs, 0, nil)
-	if err := rel.FlushFrozen(); err != nil {
+	if err = rel.FlushFrozen(); err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := rel.EvictChunk(0); err != nil || !ok {
-		t.Fatalf("evict: ok=%v err=%v", ok, err)
+	if ok, eerr := rel.EvictChunk(0); eerr != nil || !ok {
+		t.Fatalf("evict: ok=%v err=%v", ok, eerr)
 	}
-	if err := os.RemoveAll(dir); err != nil {
+	if err = os.RemoveAll(dir); err != nil {
 		t.Fatal(err)
 	}
 	plan := &ScanNode{Rel: rel, Cols: []int{0, 3}}

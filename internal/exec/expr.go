@@ -447,13 +447,13 @@ func (c *compiler) compileCompare(e Compare) (boolFn, error) {
 		return nil, err
 	}
 	if e.Op == types.Prefix {
-		l, err := c.compileStr(e.L)
-		if err != nil {
-			return nil, err
+		l, lerr := c.compileStr(e.L)
+		if lerr != nil {
+			return nil, lerr
 		}
-		r, err := c.compileStr(e.R)
-		if err != nil {
-			return nil, err
+		r, rerr := c.compileStr(e.R)
+		if rerr != nil {
+			return nil, rerr
 		}
 		c.emit()
 		return func(t *Tuple) bool {

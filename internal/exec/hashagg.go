@@ -206,6 +206,8 @@ func (a *aggregator) vectorize(stats *CompileStats) error {
 }
 
 // evalSlots evaluates every distinct aggregate argument once for the batch.
+//
+//dbvet:hotpath
 func (a *aggregator) evalSlots(b *core.Batch) {
 	for s, kind := range a.slotKind {
 		switch kind {
@@ -416,6 +418,8 @@ func (a *aggregator) foldMinMax(gid uint32, i int, t *Tuple) {
 const nullKeyHash = 0x9e3779b97f4a7c15
 
 // consumeBatch folds a whole batch (batch-at-a-time path).
+//
+//dbvet:hotpath
 func (a *aggregator) consumeBatch(b *core.Batch) {
 	if b.N == 0 {
 		return
@@ -443,6 +447,8 @@ func (a *aggregator) consumeBatch(b *core.Batch) {
 
 // foldBatchSingle is the no-GROUP-BY fast path: one global group, folded
 // column-at-a-time with the sequential simd kernels — no hash table at all.
+//
+//dbvet:hotpath
 func (a *aggregator) foldBatchSingle(b *core.Batch) {
 	if len(a.keys) == 0 {
 		a.newGroup(types.Row{}, "")
@@ -517,6 +523,7 @@ func (a *aggregator) foldBatchSingle(b *core.Batch) {
 	}
 }
 
+//dbvet:hotpath
 func (a *aggregator) foldBatchMinMax(i, slot int, gids []uint32) {
 	switch a.argKinds[i] {
 	case types.Int64:
@@ -550,6 +557,8 @@ func (a *aggregator) foldBatchMinMax(i, slot int, gids []uint32) {
 // each hash resolves to a group id verified against the stored key values
 // (so a collision can never merge two distinct groups). New groups are
 // created in row order, matching the tuple path's first-seen order.
+//
+//dbvet:hotpath
 func (a *aggregator) assignGroups(b *core.Batch) []uint32 {
 	n := b.N
 	a.hashes = resizeU64(a.hashes, n)
@@ -633,6 +642,8 @@ func (a *aggregator) assignGroups(b *core.Batch) []uint32 {
 // groupRowMatches verifies that batch row r's group-by values equal the
 // stored key of gid, against the flat raw-key arrays. Floats compare by
 // bit pattern, matching the byte-key encoding of the tuple path.
+//
+//dbvet:hotpath
 func (a *aggregator) groupRowMatches(gid uint32, b *core.Batch, r int) bool {
 	for i, g := range a.node.GroupBy {
 		col := &b.Cols[g]

@@ -141,7 +141,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 	case ColRef:
 		idx := e.Idx
 		c.emit()
-		return func(b *core.Batch) ([]int64, []bool) {
+		return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 			col := &b.Cols[idx]
 			return col.Ints[:b.N], col.Nulls
 		}, nil
@@ -152,7 +152,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 		var nulls []bool
 		if e.Val.IsNull() {
 			c.emit()
-			return func(b *core.Batch) ([]int64, []bool) {
+			return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 				if b.N > len(out) {
 					out = make([]int64, b.N)
 					nulls = make([]bool, b.N)
@@ -165,7 +165,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 		}
 		v := e.Val.Int()
 		c.emit()
-		return func(b *core.Batch) ([]int64, []bool) {
+		return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 			if b.N > len(out) {
 				out = make([]int64, b.N)
 				for i := range out {
@@ -188,7 +188,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 			}
 			var out []int64
 			c.emit()
-			return func(b *core.Batch) ([]int64, []bool) {
+			return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 				av, an := l(b)
 				out = resizeI64(out, b.N)
 				switch op {
@@ -215,7 +215,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 			}
 			var out []int64
 			c.emit()
-			return func(b *core.Batch) ([]int64, []bool) {
+			return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 				bv, bn := r(b)
 				out = resizeI64(out, b.N)
 				switch op {
@@ -246,7 +246,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 		var out []int64
 		var nscratch []bool
 		c.emit()
-		return func(b *core.Batch) ([]int64, []bool) {
+		return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 			av, an := l(b)
 			bv, bn := r(b)
 			out = resizeI64(out, b.N)
@@ -275,7 +275,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 		}
 		var out []int64
 		c.emit()
-		return func(b *core.Batch) ([]int64, []bool) {
+		return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 			mask := m(b)
 			out = resizeI64(out, b.N)
 			for i := range out {
@@ -303,7 +303,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 		var out []int64
 		var nscratch []bool
 		c.emit()
-		return func(b *core.Batch) ([]int64, []bool) {
+		return func(b *core.Batch) ([]int64, []bool) { //dbvet:hotpath
 			mask := cond(b)
 			tv, tn := th(b)
 			ev, en := el(b)
@@ -344,7 +344,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 		}
 		var out []float64
 		c.emit()
-		return func(b *core.Batch) ([]float64, []bool) {
+		return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 			iv, nulls := f(b)
 			out = resizeF64(out, b.N)
 			for i := range out {
@@ -360,7 +360,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 	case ColRef:
 		idx := e.Idx
 		c.emit()
-		return func(b *core.Batch) ([]float64, []bool) {
+		return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 			col := &b.Cols[idx]
 			return col.Floats[:b.N], col.Nulls
 		}, nil
@@ -369,7 +369,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 		var nulls []bool
 		if e.Val.IsNull() {
 			c.emit()
-			return func(b *core.Batch) ([]float64, []bool) {
+			return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 				if b.N > len(out) {
 					out = make([]float64, b.N)
 					nulls = make([]bool, b.N)
@@ -382,7 +382,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 		}
 		v := e.Val.Float()
 		c.emit()
-		return func(b *core.Batch) ([]float64, []bool) {
+		return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 			if b.N > len(out) {
 				out = make([]float64, b.N)
 				for i := range out {
@@ -406,7 +406,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 			var nulls []bool
 			c.emit()
 			if op == '/' && rv == 0 {
-				return func(b *core.Batch) ([]float64, []bool) {
+				return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 					out = resizeF64(out, b.N)
 					nulls = resizeBool(nulls, b.N)
 					for i := range nulls {
@@ -415,7 +415,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 					return out, nulls
 				}, nil
 			}
-			return func(b *core.Batch) ([]float64, []bool) {
+			return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 				av, an := l(b)
 				out = resizeF64(out, b.N)
 				switch op {
@@ -448,7 +448,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 			var nscratch []bool
 			c.emit()
 			if op == '/' {
-				return func(b *core.Batch) ([]float64, []bool) {
+				return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 					bv, bn := r(b)
 					out = resizeF64(out, b.N)
 					nscratch = resizeBool(nscratch, b.N)
@@ -462,7 +462,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 					return out, nscratch
 				}, nil
 			}
-			return func(b *core.Batch) ([]float64, []bool) {
+			return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 				bv, bn := r(b)
 				out = resizeF64(out, b.N)
 				switch op {
@@ -496,7 +496,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 		if op == '/' {
 			// Division follows the tuple compiler exactly: NULL or zero
 			// divisor yields NULL (value 0).
-			return func(b *core.Batch) ([]float64, []bool) {
+			return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 				av, an := l(b)
 				bv, bn := r(b)
 				out = resizeF64(out, b.N)
@@ -512,7 +512,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 				return out, nscratch
 			}, nil
 		}
-		return func(b *core.Batch) ([]float64, []bool) {
+		return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 			av, an := l(b)
 			bv, bn := r(b)
 			out = resizeF64(out, b.N)
@@ -550,7 +550,7 @@ func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
 		var out []float64
 		var nscratch []bool
 		c.emit()
-		return func(b *core.Batch) ([]float64, []bool) {
+		return func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
 			mask := cond(b)
 			tv, tn := th(b)
 			ev, en := el(b)
@@ -591,7 +591,7 @@ func (c *vcompiler) compileStr(e Expr) (vecStrFn, error) {
 	case ColRef:
 		idx := e.Idx
 		c.emit()
-		return func(b *core.Batch) ([]string, []bool) {
+		return func(b *core.Batch) ([]string, []bool) { //dbvet:hotpath
 			col := &b.Cols[idx]
 			return col.Strs[:b.N], col.Nulls
 		}, nil
@@ -600,7 +600,7 @@ func (c *vcompiler) compileStr(e Expr) (vecStrFn, error) {
 		var nulls []bool
 		if e.Val.IsNull() {
 			c.emit()
-			return func(b *core.Batch) ([]string, []bool) {
+			return func(b *core.Batch) ([]string, []bool) { //dbvet:hotpath
 				if b.N > len(out) {
 					out = make([]string, b.N)
 					nulls = make([]bool, b.N)
@@ -613,7 +613,7 @@ func (c *vcompiler) compileStr(e Expr) (vecStrFn, error) {
 		}
 		v := e.Val.Str()
 		c.emit()
-		return func(b *core.Batch) ([]string, []bool) {
+		return func(b *core.Batch) ([]string, []bool) { //dbvet:hotpath
 			if b.N > len(out) {
 				out = make([]string, b.N)
 				for i := range out {
@@ -639,7 +639,7 @@ func (c *vcompiler) compileMask(e Expr) (vecMaskFn, error) {
 			}
 			var out []bool
 			c.emit()
-			return func(b *core.Batch) []bool {
+			return func(b *core.Batch) []bool { //dbvet:hotpath
 				m := inner(b)
 				out = resizeBool(out, b.N)
 				for i := range out {
@@ -658,7 +658,7 @@ func (c *vcompiler) compileMask(e Expr) (vecMaskFn, error) {
 			}
 			var out []bool
 			c.emit()
-			return func(b *core.Batch) []bool {
+			return func(b *core.Batch) []bool { //dbvet:hotpath
 				lm, rm := l(b), r(b)
 				out = resizeBool(out, b.N)
 				for i := range out {
@@ -677,7 +677,7 @@ func (c *vcompiler) compileMask(e Expr) (vecMaskFn, error) {
 			}
 			var out []bool
 			c.emit()
-			return func(b *core.Batch) []bool {
+			return func(b *core.Batch) []bool { //dbvet:hotpath
 				lm, rm := l(b), r(b)
 				out = resizeBool(out, b.N)
 				for i := range out {
@@ -695,7 +695,7 @@ func (c *vcompiler) compileMask(e Expr) (vecMaskFn, error) {
 		not := e.Not
 		var out []bool
 		c.emit()
-		return func(b *core.Batch) []bool {
+		return func(b *core.Batch) []bool { //dbvet:hotpath
 			nulls := b.Cols[idx].Nulls
 			out = resizeBool(out, b.N)
 			if nulls == nil {
@@ -717,7 +717,7 @@ func (c *vcompiler) compileMask(e Expr) (vecMaskFn, error) {
 		}
 		var out []bool
 		c.emit()
-		return func(b *core.Batch) []bool {
+		return func(b *core.Batch) []bool { //dbvet:hotpath
 			v, nulls := f(b)
 			out = resizeBool(out, b.N)
 			for i := range out {
@@ -735,17 +735,17 @@ func (c *vcompiler) compileCompareMask(e Compare) (vecMaskFn, error) {
 		return nil, err
 	}
 	if e.Op == types.Prefix {
-		l, err := c.compileStr(e.L)
-		if err != nil {
-			return nil, err
+		l, lerr := c.compileStr(e.L)
+		if lerr != nil {
+			return nil, lerr
 		}
-		r, err := c.compileStr(e.R)
-		if err != nil {
-			return nil, err
+		r, rerr := c.compileStr(e.R)
+		if rerr != nil {
+			return nil, rerr
 		}
 		var out []bool
 		c.emit()
-		return func(b *core.Batch) []bool {
+		return func(b *core.Batch) []bool { //dbvet:hotpath
 			av, an := l(b)
 			pv, pn := r(b)
 			out = resizeBool(out, b.N)
@@ -779,7 +779,7 @@ func (c *vcompiler) compileCompareMask(e Compare) (vecMaskFn, error) {
 			}
 			var out []bool
 			c.emit()
-			return func(b *core.Batch) []bool {
+			return func(b *core.Batch) []bool { //dbvet:hotpath
 				av, an := l(b)
 				lov, lon := r(b)
 				hiv, hin := r2(b)
@@ -794,7 +794,7 @@ func (c *vcompiler) compileCompareMask(e Compare) (vecMaskFn, error) {
 		op := e.Op
 		var out []bool
 		c.emit()
-		return func(b *core.Batch) []bool {
+		return func(b *core.Batch) []bool { //dbvet:hotpath
 			av, an := l(b)
 			bv, bn := r(b)
 			out = resizeBool(out, b.N)
@@ -820,7 +820,7 @@ func (c *vcompiler) compileCompareMask(e Compare) (vecMaskFn, error) {
 			}
 			var out []bool
 			c.emit()
-			return func(b *core.Batch) []bool {
+			return func(b *core.Batch) []bool { //dbvet:hotpath
 				av, an := l(b)
 				lov, lon := r(b)
 				hiv, hin := r2(b)
@@ -835,7 +835,7 @@ func (c *vcompiler) compileCompareMask(e Compare) (vecMaskFn, error) {
 		op := e.Op
 		var out []bool
 		c.emit()
-		return func(b *core.Batch) []bool {
+		return func(b *core.Batch) []bool { //dbvet:hotpath
 			av, an := l(b)
 			bv, bn := r(b)
 			out = resizeBool(out, b.N)
@@ -861,7 +861,7 @@ func (c *vcompiler) compileCompareMask(e Compare) (vecMaskFn, error) {
 			}
 			var out []bool
 			c.emit()
-			return func(b *core.Batch) []bool {
+			return func(b *core.Batch) []bool { //dbvet:hotpath
 				av, an := l(b)
 				lov, lon := r(b)
 				hiv, hin := r2(b)
@@ -876,7 +876,7 @@ func (c *vcompiler) compileCompareMask(e Compare) (vecMaskFn, error) {
 		op := e.Op
 		var out []bool
 		c.emit()
-		return func(b *core.Batch) []bool {
+		return func(b *core.Batch) []bool { //dbvet:hotpath
 			av, an := l(b)
 			bv, bn := r(b)
 			out = resizeBool(out, b.N)

@@ -137,12 +137,12 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 		base := int64(g) * stripe
 		for i := 0; i < perStripe; i++ {
 			key := base + int64(i)
-			if _, err := tbl.Insert(mkRow(key, float64(i)/2)); err != nil {
+			if _, err = tbl.Insert(mkRow(key, float64(i)/2)); err != nil {
 				return err
 			}
 		}
 		nextKeys[g] = base + int64(perStripe)
-		if _, err := tbl.Insert(datablocks.Row{
+		if _, err = tbl.Insert(datablocks.Row{
 			datablocks.Int(pinnedKey(g)),
 			datablocks.Float(-1),
 			datablocks.Str("pinned"),
@@ -232,7 +232,7 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 	// sweeps add churn of their own — both would skew the report.
 	cs := tbl.ColdStats()
 	st := tbl.Stats()
-	if err := cold.Close(); err != nil {
+	if err = cold.Close(); err != nil {
 		return fmt.Errorf("cold table close: %w", err)
 	}
 	if runErr != nil {
@@ -253,11 +253,11 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 		base := int64(g) * stripe
 		for i := 0; i < perStripe; i++ {
 			key := base + int64(i)
-			if _, err := truth.Insert(mkRow(key, float64(i)/2)); err != nil {
+			if _, err = truth.Insert(mkRow(key, float64(i)/2)); err != nil {
 				return err
 			}
 		}
-		if _, err := truth.Insert(datablocks.Row{
+		if _, err = truth.Insert(datablocks.Row{
 			datablocks.Int(pinnedKey(g)),
 			datablocks.Float(-1),
 			datablocks.Str("pinned"),
@@ -269,7 +269,7 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 		r := xrand.New(uint64(0xC01D + g))
 		next := nextKeys[g]
 		for round := 0; round < rounds[g]; round++ {
-			if err := applyRound(truth, g, round, r, &next); err != nil {
+			if err = applyRound(truth, g, round, r, &next); err != nil {
 				return fmt.Errorf("replay writer %d round %d: %w", g, round, err)
 			}
 		}

@@ -253,7 +253,7 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 			datablocks.Float(0),
 			datablocks.Str("pinned"),
 		}
-		if _, err := tbl.Insert(row); err != nil {
+		if _, err = tbl.Insert(row); err != nil {
 			return err
 		}
 		live[g]++
@@ -376,7 +376,7 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 		}(s)
 	}
 	wg.Wait()
-	if err := db.Close(); err != nil {
+	if err = db.Close(); err != nil {
 		return fmt.Errorf("compactor: %w", err)
 	}
 	if runErr != nil {

@@ -255,14 +255,14 @@ func Fig11(w io.Writer, sf float64, rounds int) error {
 	if err != nil {
 		return err
 	}
-	if err := frozen.FreezeAll(false, false); err != nil {
+	if err = frozen.FreezeAll(false, false); err != nil {
 		return err
 	}
 	sortedNoPsma, err := tpch.Generate(sf, 0)
 	if err != nil {
 		return err
 	}
-	if err := sortedNoPsma.FreezeAll(true, true); err != nil {
+	if err = sortedNoPsma.FreezeAll(true, true); err != nil {
 		return err
 	}
 	sorted, err := tpch.Generate(sf, 0)

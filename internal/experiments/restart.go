@@ -70,7 +70,7 @@ func Restart(w io.Writer, rows int, budget int64) error {
 		return err
 	}
 	for i := 0; i < rows; i++ {
-		if _, err := tbl.Insert(mkRow(int64(i), float64(i)/2)); err != nil {
+		if _, err = tbl.Insert(mkRow(int64(i), float64(i)/2)); err != nil {
 			return err
 		}
 	}
@@ -84,7 +84,7 @@ func Restart(w io.Writer, rows int, budget int64) error {
 				deletes++
 			}
 		default:
-			if err := tbl.Update(key, mkRow(key, float64(i))); err == nil {
+			if err = tbl.Update(key, mkRow(key, float64(i))); err == nil {
 				updates++
 			}
 		}
@@ -132,7 +132,7 @@ func Restart(w io.Writer, rows int, budget int64) error {
 		return err
 	}
 	beforeLookups := lookups(tbl)
-	if err := db1.Close(); err != nil {
+	if err = db1.Close(); err != nil {
 		return fmt.Errorf("close: %w", err)
 	}
 	cs1 := tbl.ColdStats()
@@ -153,7 +153,7 @@ func Restart(w io.Writer, rows int, budget int64) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(orphan, buf, 0o644); err != nil {
+	if err = os.WriteFile(orphan, buf, 0o644); err != nil {
 		return err
 	}
 
@@ -167,7 +167,7 @@ func Restart(w io.Writer, rows int, budget int64) error {
 	if tbl2 == nil {
 		return fmt.Errorf("table %q not recovered from catalog", "events")
 	}
-	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+	if _, err = os.Stat(orphan); !os.IsNotExist(err) {
 		return fmt.Errorf("orphaned block file survived reopen: %s (err %v)", orphan, err)
 	}
 	manifests, err := filepath.Glob(filepath.Join(tableDir, "manifest-*.dbm"))

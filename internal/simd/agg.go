@@ -14,6 +14,8 @@ package simd
 // non-null count. Folding into acc (rather than summing the batch and
 // adding once) keeps the addition order identical to the tuple path across
 // batch boundaries, so results stay bit-identical. nulls may be nil.
+//
+//dbvet:hotpath
 func SumFloat64(acc float64, vals []float64, nulls []bool) (float64, int64) {
 	if nulls == nil {
 		for _, v := range vals {
@@ -32,6 +34,8 @@ func SumFloat64(acc float64, vals []float64, nulls []bool) (float64, int64) {
 }
 
 // CountNotNull counts the non-NULL positions. nulls may be nil.
+//
+//dbvet:hotpath
 func CountNotNull(n int, nulls []bool) int64 {
 	if nulls == nil {
 		return int64(n)
@@ -46,6 +50,8 @@ func CountNotNull(n int, nulls []bool) int64 {
 }
 
 // MinMaxInt64 folds a vector into (min, max, any-non-null).
+//
+//dbvet:hotpath
 func MinMaxInt64(vals []int64, nulls []bool) (mn, mx int64, any bool) {
 	for i, v := range vals {
 		if nulls != nil && nulls[i] {
@@ -66,6 +72,8 @@ func MinMaxInt64(vals []int64, nulls []bool) (mn, mx int64, any bool) {
 }
 
 // MinMaxFloat64 folds a vector into (min, max, any-non-null).
+//
+//dbvet:hotpath
 func MinMaxFloat64(vals []float64, nulls []bool) (mn, mx float64, any bool) {
 	for i, v := range vals {
 		if nulls != nil && nulls[i] {
@@ -86,6 +94,8 @@ func MinMaxFloat64(vals []float64, nulls []bool) (mn, mx float64, any bool) {
 }
 
 // GroupCount bumps each row's group counter.
+//
+//dbvet:hotpath
 func GroupCount(counts []int64, gids []uint32) {
 	for _, g := range gids {
 		counts[g]++
@@ -93,6 +103,8 @@ func GroupCount(counts []int64, gids []uint32) {
 }
 
 // GroupCountNotNull bumps each non-NULL row's group counter.
+//
+//dbvet:hotpath
 func GroupCountNotNull(counts []int64, gids []uint32, nulls []bool) {
 	if nulls == nil {
 		GroupCount(counts, gids)
@@ -107,6 +119,8 @@ func GroupCountNotNull(counts []int64, gids []uint32, nulls []bool) {
 
 // GroupSumFloat64 scatter-adds a float vector into per-group accumulators,
 // bumping the per-group non-null count and seen flag.
+//
+//dbvet:hotpath
 func GroupSumFloat64(sums []float64, counts []int64, seen []bool, gids []uint32, vals []float64, nulls []bool) {
 	if nulls == nil {
 		for i, g := range gids {
@@ -127,6 +141,8 @@ func GroupSumFloat64(sums []float64, counts []int64, seen []bool, gids []uint32,
 }
 
 // GroupMinMaxInt64 scatter-folds a vector into per-group min/max.
+//
+//dbvet:hotpath
 func GroupMinMaxInt64(mins, maxs []int64, seen []bool, gids []uint32, vals []int64, nulls []bool) {
 	for i, g := range gids {
 		if nulls != nil && nulls[i] {
@@ -147,6 +163,8 @@ func GroupMinMaxInt64(mins, maxs []int64, seen []bool, gids []uint32, vals []int
 }
 
 // GroupMinMaxFloat64 scatter-folds a vector into per-group min/max.
+//
+//dbvet:hotpath
 func GroupMinMaxFloat64(mins, maxs []float64, seen []bool, gids []uint32, vals []float64, nulls []bool) {
 	for i, g := range gids {
 		if nulls != nil && nulls[i] {
@@ -181,6 +199,8 @@ func Mix64(x uint64) uint64 {
 // HashInt64 hashes a batch of int64 keys into out (len(out) == len(vals)):
 // the vectorized hash phase of batch hash-join probes and integer group-by
 // key assignment.
+//
+//dbvet:hotpath
 func HashInt64(vals []int64, out []uint64) {
 	for i, v := range vals {
 		out[i] = Mix64(uint64(v))

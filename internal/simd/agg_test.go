@@ -40,7 +40,7 @@ func TestMinMaxKernels(t *testing.T) {
 	if !any || mn != -2 || mx != 5 {
 		t.Fatalf("MinMaxInt64 = (%d,%d,%v)", mn, mx, any)
 	}
-	if _, _, any := MinMaxInt64([]int64{1}, []bool{true}); any {
+	if _, _, got := MinMaxInt64([]int64{1}, []bool{true}); got {
 		t.Fatal("all-null vector reported a value")
 	}
 	fm, fx, any := MinMaxFloat64([]float64{1.5, -0.5, 2.5}, nil)

@@ -70,6 +70,8 @@ func normalizeU(op Op, c1, c2, max uint64) (lo, hi uint64, ne, empty, all bool) 
 //
 // This is the paper's "find initial matches" (Figure 7a): vector compare,
 // movemask, positions-table lookup, unconditional 8-wide store.
+//
+//dbvet:hotpath
 func Find(data []byte, width, n int, op Op, c1, c2 uint64, base uint32, out []uint32) []uint32 {
 	lo, hi, ne, empty, all := normalizeU(op, c1, c2, maxFor(width))
 	if empty {
@@ -354,6 +356,8 @@ func normalizeI64(op Op, c1, c2 int64) (lo, hi int64, ne, empty, all bool) {
 // (signed 64-bit columns). The comparison is branch-free scalar; match
 // extraction uses the positions table, so vectorized scans on uncompressed
 // data still beat tuple-at-a-time evaluation (§4.1).
+//
+//dbvet:hotpath
 func FindInt64(col []int64, op Op, c1, c2 int64, base uint32, out []uint32) []uint32 {
 	lo, hi, ne, empty, all := normalizeI64(op, c1, c2)
 	n := len(col)
@@ -401,6 +405,8 @@ func FindInt64(col []int64, op Op, c1, c2 int64, base uint32, out []uint32) []ui
 
 // FindFloat64 is the scalar fallback for doubles (the paper's SIMD kernels
 // cover integer data only; §4.2).
+//
+//dbvet:hotpath
 func FindFloat64(col []float64, op Op, c1, c2 float64, base uint32, out []uint32) []uint32 {
 	n := len(col)
 	out = EnsureCap(out, n)
@@ -434,6 +440,8 @@ func FindFloat64(col []float64, op Op, c1, c2 float64, base uint32, out []uint32
 // FindBitmap appends the positions of set (wantSet) or clear bits of the
 // n-bit bitmap. Used for IS NULL / IS NOT NULL predicates and for turning
 // delete bitmaps into survivor position vectors.
+//
+//dbvet:hotpath
 func FindBitmap(bm []uint64, n int, wantSet bool, base uint32, out []uint32) []uint32 {
 	out = EnsureCap(out, n+8)
 	inv := uint64(0)

@@ -14,6 +14,8 @@ import (
 // positions table as a shuffle control mask. Performance depends on the
 // selectivity of the preceding predicate through the gather's memory access
 // pattern (Figure 9), not on the selectivity of this predicate.
+//
+//dbvet:hotpath
 func Reduce(data []byte, width int, op Op, c1, c2 uint64, m []uint32) []uint32 {
 	lo, hi, ne, empty, all := normalizeU(op, c1, c2, maxFor(width))
 	if empty {
@@ -200,6 +202,8 @@ func reduceNeW8(data []byte, c uint64, m []uint32) []uint32 {
 }
 
 // ReduceInt64 is the reduce-matches kernel for uncompressed signed columns.
+//
+//dbvet:hotpath
 func ReduceInt64(col []int64, op Op, c1, c2 int64, m []uint32) []uint32 {
 	lo, hi, ne, empty, all := normalizeI64(op, c1, c2)
 	if empty {
@@ -240,6 +244,8 @@ func ReduceInt64(col []int64, op Op, c1, c2 int64, m []uint32) []uint32 {
 }
 
 // ReduceFloat64 is the scalar reduce fallback for doubles.
+//
+//dbvet:hotpath
 func ReduceFloat64(col []float64, op Op, c1, c2 float64, m []uint32) []uint32 {
 	w := 0
 	for _, p := range m {
@@ -271,6 +277,8 @@ func ReduceFloat64(col []float64, op Op, c1, c2 float64, m []uint32) []uint32 {
 
 // ReduceBitmap keeps only match positions whose bitmap bit equals wantSet.
 // Used to apply validity (NULL) and delete bitmaps to a match vector.
+//
+//dbvet:hotpath
 func ReduceBitmap(bm []uint64, wantSet bool, m []uint32) []uint32 {
 	want := uint64(0)
 	if wantSet {
@@ -295,15 +303,21 @@ func ReduceBitmap(bm []uint64, wantSet bool, m []uint32) []uint32 {
 }
 
 // BitmapGet reports bit i of bm.
+//
+//dbvet:hotpath
 func BitmapGet(bm []uint64, i uint32) bool { return bm[i>>6]>>(i&63)&1 == 1 }
 
 // BitmapSet sets bit i of bm.
+//
+//dbvet:hotpath
 func BitmapSet(bm []uint64, i uint32) { bm[i>>6] |= 1 << (i & 63) }
 
 // BitmapGetAtomic reports bit i of bm with an atomic word load, so the
 // bitmap may be read concurrently with BitmapSetAtomic writers. On amd64
 // and arm64 the load compiles to a plain MOV; the atomicity only buys the
 // memory-model guarantee (and keeps the race detector quiet).
+//
+//dbvet:hotpath
 func BitmapGetAtomic(bm []uint64, i uint32) bool {
 	return atomic.LoadUint64(&bm[i>>6])>>(i&63)&1 == 1
 }
@@ -312,6 +326,8 @@ func BitmapGetAtomic(bm []uint64, i uint32) bool {
 // BitmapGetAtomic readers never observe a torn word. Bits are only ever
 // set, never cleared, which is what makes lock-free snapshot consumers
 // sound: a bit observed set stays set.
+//
+//dbvet:hotpath
 func BitmapSetAtomic(bm []uint64, i uint32) {
 	word := &bm[i>>6]
 	mask := uint64(1) << (i & 63)

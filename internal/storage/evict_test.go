@@ -249,7 +249,7 @@ func TestReloadFailureSurfaces(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := r.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
+	if err = r.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
 		t.Fatal(err)
 	}
 	evictAll(t, r)

@@ -25,7 +25,7 @@ func TestUpdateValidatesBeforeDelete(t *testing.T) {
 		mkRow(2, 2.0, "short")[:2], // wrong arity
 	}
 	for i, row := range bad {
-		if _, err := r.Update(tid, row); err == nil {
+		if _, uerr := r.Update(tid, row); uerr == nil {
 			t.Fatalf("bad row %d: update succeeded", i)
 		}
 		got, ok := r.Get(tid)

@@ -142,6 +142,19 @@
 // chunks and for the state/row-count accessors (Rows, LiveRows, Deleted
 // counts are atomic); reading the column data of a chunk that is still hot
 // while writers run requires a ChunkView from Snapshot.
+//
+// # Machine-checked contracts
+//
+// The rules above are enforced by the in-tree dbvet analyzer suite
+// (internal/analysis, run by `make lint`): lockcheck checks that *Locked
+// helpers run with the relation lock held and that loadMu is acquired
+// before the relation lock (the documented rank order); atomiccheck
+// checks that the atomically-read delete bitmaps and counters are never
+// touched plainly; pincheck checks that every ChunkView.Acquire and
+// pinBlock is paired with its release on all paths. The few deliberate
+// exceptions in this file carry //dbvet:ignore directives whose reasons
+// state why the plain access cannot race (single-owner construction, or
+// writer-excluded freeze). See ARCHITECTURE.md, "Enforced invariants".
 package storage
 
 import (
@@ -870,7 +883,12 @@ func (r *Relation) deleteLocked(tid TupleID) bool {
 // the bit always finds the epoch. Caller holds the write lock.
 func (r *Relation) retireLocked(c *Chunk, row uint32, e uint64) bool {
 	if c.deleted == nil {
-		c.deleted = make([]uint64, simd.BitmapWords(r.chunkCap))
+		// The slice-header swap is plain, not atomic: publication is safe
+		// because lock-free readers go through visibleInChunk, which
+		// nil-checks the header it loads once; they either see nil (no
+		// deletes yet — correct, the bit below is not set either until
+		// after the epoch stamp) or the fully-made slice.
+		c.deleted = make([]uint64, simd.BitmapWords(r.chunkCap)) //dbvet:ignore header swap published before any bit is set; readers nil-check their own copy
 	}
 	if simd.BitmapGetAtomic(c.deleted, row) {
 		return false
@@ -1231,7 +1249,7 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	var keep []uint32
 	if c.numDeleted.Load() > 0 {
 		for row := 0; row < total; row++ {
-			if !simd.BitmapGet(c.deleted, uint32(row)) {
+			if !simd.BitmapGet(c.deleted, uint32(row)) { //dbvet:ignore sorted freeze runs with writers excluded (wmu + pending==0 checked above), no concurrent bit flips
 				keep = append(keep, uint32(row))
 			}
 		}
@@ -1260,7 +1278,7 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	}
 	r.installBlockLocked(c, blk)
 	if keep != nil {
-		c.deleted = nil
+		c.deleted = nil //dbvet:ignore relation write lock held and rows were just compacted away; no reader holds the old bitmap row indexes
 		c.numDeleted.Store(0)
 	}
 	// Row indexes were reassigned: the old epoch stamps are meaningless.
@@ -1598,8 +1616,8 @@ func (r *Relation) RestoreEvicted(h blockstore.Handle, rows int, bytes int64, de
 	c.frozenRows.Store(int32(rows))
 	c.frozenBytes.Store(bytes)
 	if len(deleted) > 0 || numDeleted > 0 {
-		c.deleted = make([]uint64, simd.BitmapWords(r.chunkCap))
-		copy(c.deleted, deleted)
+		c.deleted = make([]uint64, simd.BitmapWords(r.chunkCap)) //dbvet:ignore chunk is private until appended under r.mu below; no reader can race construction
+		copy(c.deleted, deleted)                                 //dbvet:ignore same single-owner construction window as the line above
 		c.numDeleted.Store(int32(numDeleted))
 	}
 	r.mu.Lock()

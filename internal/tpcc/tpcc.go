@@ -276,7 +276,7 @@ func (db *DB) OrderStatusTx() (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("tpcc: customer missing")
 	}
-	if _, ok := db.Customer.Get(cTid); !ok {
+	if _, ok = db.Customer.Get(cTid); !ok {
 		return 0, fmt.Errorf("tpcc: customer tuple missing")
 	}
 	oid := db.lastOID[db.dIdx(w, d)]
