@@ -1,9 +1,10 @@
 # Tier-1 verify plus the concurrency checks, one command each.
 #
 #   make ci          — everything the driver checks, in order
-#   make lint        — the dbvet analyzer suite (lock, atomic, pin,
-#                      hotpath, errcheck, shadow contracts) over every
-#                      package, test files included, via go vet -vettool
+#   make lint        — the dbvet analyzer suite (lock, deadlock, nilness,
+#                      atomic, pin, hotpath, hotpath-perf, errcheck,
+#                      shadow contracts) over every package, test files
+#                      included, incrementally cached in bin/dbvet-cache
 #   make race        — full test suite under the race detector
 #   make stress      — just the concurrent OLTP/OLAP stress tests, raced
 #   make bench-evict — eviction/reload benchmarks, one iteration each
@@ -21,7 +22,7 @@ GO ?= go
 FUZZTIME ?= 60s
 BENCH_PR ?= 5
 
-.PHONY: all build test race vet lint fmt-check stress bench-evict bench-json bench-smoke fuzz-short examples linkcheck ci
+.PHONY: all build test race vet lint lint-vet fmt-check stress bench-evict bench-json bench-smoke fuzz-short examples linkcheck ci
 
 all: ci
 
@@ -46,11 +47,20 @@ UNUSED_FUNCS = errors.New,fmt.Errorf,fmt.Sprint,fmt.Sprintf,sort.Reverse,context
 vet:
 	$(GO) vet -unusedresult.funcs='$(UNUSED_FUNCS)' ./...
 
-# dbvet: the in-tree static-analysis suite (internal/analysis) run
-# through the go vet -vettool protocol so _test.go files are analyzed
-# too. `go run ./cmd/dbvet ./...` is the standalone form (non-test
-# files only).
+# dbvet: the in-tree static-analysis suite (internal/analysis).
+# Standalone mode loads the test-augmented package variants exactly as
+# go vet does, so _test.go files are covered, and keeps a per-package
+# result cache in bin/dbvet-cache keyed by tool hash, sources, export
+# data and dependency facts — an unchanged tree re-lints in the time it
+# takes to hash it. `go vet -vettool=bin/dbvet ./...` is the protocol
+# form (same analyzers, same findings); lint-vet exercises it so the
+# two modes cannot drift.
 lint:
+	@mkdir -p bin
+	$(GO) build -o bin/dbvet ./cmd/dbvet
+	./bin/dbvet ./...
+
+lint-vet:
 	@mkdir -p bin
 	$(GO) build -o bin/dbvet ./cmd/dbvet
 	$(GO) vet -vettool=bin/dbvet ./...

@@ -1,6 +1,7 @@
 // Command dbvet is the engine's static-analysis driver. It runs the
-// contract checkers under internal/analysis — lockcheck, atomiccheck,
-// pincheck, hotpath, errcheckdb and shadow — in two modes:
+// contract checkers under internal/analysis — lockcheck, deadlockcheck,
+// nilness, atomiccheck, pincheck, hotpath, hotpathperf, errcheckdb and
+// shadow — in two modes:
 //
 // Standalone, over package patterns:
 //
@@ -12,12 +13,27 @@
 //	go build -o /tmp/dbvet ./cmd/dbvet
 //	go vet -vettool=/tmp/dbvet ./...
 //
+// Both modes analyze test files: standalone loading expands each
+// package into its test-augmented and external-test variants exactly as
+// go vet does, so the modes cannot disagree on findings.
+//
+// Interprocedural facts (deadlockcheck's lock summaries) flow between
+// packages through go vet's vetx files in -vettool mode and in memory,
+// in dependency order, in standalone mode. Standalone runs additionally
+// keep a per-package result cache (-cachedir, default bin/dbvet-cache)
+// keyed by tool hash, source bytes, dependency export data and
+// dependency facts, so a no-change run is incremental.
+//
 // Exit status is 1 when any diagnostic survives //dbvet:ignore
 // suppression, 0 otherwise. Suppressions must carry a written reason;
-// a reasonless ignore is itself a finding.
+// a reasonless ignore is itself a finding. -json reports the surviving
+// findings as a JSON array on stdout instead (exit status unchanged),
+// which CI uses to diff findings against the base branch.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,21 +41,32 @@ import (
 
 	"datablocks/internal/analysis"
 	"datablocks/internal/analysis/atomiccheck"
+	"datablocks/internal/analysis/deadlockcheck"
 	"datablocks/internal/analysis/errcheckdb"
 	"datablocks/internal/analysis/hotpath"
+	"datablocks/internal/analysis/hotpathperf"
 	"datablocks/internal/analysis/lockcheck"
+	"datablocks/internal/analysis/nilness"
 	"datablocks/internal/analysis/pincheck"
 	"datablocks/internal/analysis/shadow"
 )
 
 var suite = []*analysis.Analyzer{
 	lockcheck.Analyzer,
+	deadlockcheck.Analyzer,
+	nilness.Analyzer,
 	atomiccheck.Analyzer,
 	pincheck.Analyzer,
 	hotpath.Analyzer,
+	hotpathperf.Analyzer,
 	errcheckdb.Analyzer,
 	shadow.Analyzer,
 }
+
+// modulePrefix gates fact computation in VetxOnly mode: only this
+// module's packages have lock summaries worth type-checking for;
+// everything else (the standard library) gets instant empty facts.
+const modulePrefix = "datablocks"
 
 func main() {
 	if err := analysis.Validate(suite); err != nil {
@@ -68,8 +95,10 @@ func main() {
 		}
 		enabled[a.Name] = fs.Bool(a.Name, true, doc)
 	}
+	jsonOut := fs.Bool("json", false, "print surviving findings as JSON on stdout")
+	cacheDir := fs.String("cachedir", "bin/dbvet-cache", "standalone result cache directory (empty disables)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: dbvet [-<analyzer>=false ...] [package pattern ...]\n")
+		fmt.Fprintf(fs.Output(), "usage: dbvet [-<analyzer>=false ...] [-json] [package pattern ...]\n")
 		fmt.Fprintf(fs.Output(), "       dbvet <unit>.cfg    (go vet -vettool mode)\n\nanalyzers:\n")
 		fs.PrintDefaults()
 	}
@@ -85,7 +114,9 @@ func main() {
 	args := fs.Args()
 	// go vet mode: a single positional argument naming a *.cfg file.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		analysis.RunUnit(args[0], active)
+		analysis.RunUnit(args[0], active, func(importPath string) bool {
+			return strings.HasPrefix(importPath, modulePrefix)
+		})
 		return
 	}
 
@@ -99,24 +130,98 @@ func main() {
 		os.Exit(1)
 	}
 
-	findings, suppressed := 0, 0
+	cache := openCache(*cacheDir, active)
+
+	// Facts flow forward in dependency order, keyed by both the listed
+	// path ("p [p.test]") and the clean path, so an external test
+	// package's dependency on "p" finds the facts the test-augmented
+	// variant exported.
+	factsByPath := map[string]analysis.PackageFacts{}
+	var all []analysis.ResultDiagnostic
+	suppressed := 0
 	for _, pkg := range pkgs {
-		diags, sup, err := analysis.RunAnalyzers(pkg, active)
-		if err != nil {
+		var deps []analysis.PackageFacts
+		seen := map[string]bool{}
+		for _, dep := range pkg.Deps {
+			if facts, ok := factsByPath[dep]; ok && !seen[dep] {
+				seen[dep] = true
+				deps = append(deps, facts)
+			}
+		}
+
+		var entry *analysis.CacheEntry
+		key := ""
+		if cache != nil {
+			if key, err = cache.Key(pkg, deps); err == nil {
+				entry, _ = cache.Get(key)
+			}
+			err = nil
+		}
+		if entry == nil {
+			diags, sup, facts, rerr := analysis.RunAnalyzers(pkg, active, deps)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "dbvet:", rerr)
+				os.Exit(1)
+			}
+			entry = &analysis.CacheEntry{Diags: diags, Suppressed: sup, Facts: facts}
+			if cache != nil && key != "" {
+				cache.Put(key, entry)
+			}
+		}
+
+		if len(entry.Facts) > 0 {
+			factsByPath[pkg.ListedPath] = entry.Facts
+			factsByPath[pkg.PkgPath] = entry.Facts
+		}
+		suppressed += entry.Suppressed
+		all = append(all, entry.Diags...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analysis.ResultDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
 			fmt.Fprintln(os.Stderr, "dbvet:", err)
 			os.Exit(1)
 		}
-		suppressed += sup
-		for _, d := range diags {
+	} else {
+		for _, d := range all {
 			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
-			findings++
+		}
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "dbvet: %d finding(s) suppressed by //dbvet:ignore\n", suppressed)
+		}
+		if len(all) > 0 {
+			fmt.Fprintf(os.Stderr, "dbvet: %d finding(s)\n", len(all))
 		}
 	}
-	if suppressed > 0 {
-		fmt.Fprintf(os.Stderr, "dbvet: %d finding(s) suppressed by //dbvet:ignore\n", suppressed)
-	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "dbvet: %d finding(s)\n", findings)
+	if len(all) > 0 {
 		os.Exit(1)
 	}
+}
+
+// openCache builds the standalone result cache. The salt folds in the
+// tool binary, the enabled analyzer set and the hot-path budget file,
+// each of which changes findings without changing package sources.
+func openCache(dir string, active []*analysis.Analyzer) *analysis.Cache {
+	if dir == "" {
+		return nil
+	}
+	self, err := analysis.SelfHash()
+	if err != nil {
+		// `go run` binaries in temp dirs can vanish mid-run; degrade to
+		// uncached analysis rather than failing.
+		return nil
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "self=%s\n", self)
+	for _, a := range active {
+		fmt.Fprintf(h, "analyzer=%s\n", a.Name)
+	}
+	budget, _ := os.ReadFile("lint-budget.json")
+	h.Write(budget)
+	return analysis.OpenCache(dir, fmt.Sprintf("%x", h.Sum(nil)))
 }

@@ -31,6 +31,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -54,6 +55,11 @@ type Analyzer struct {
 	// pass.Report and returns an error only for internal failures —
 	// a finding is a Diagnostic, never an error.
 	Run func(*Pass) (any, error)
+
+	// ExportsFacts marks analyzers that call Pass.ExportFact. Drivers
+	// run only these (and only over module packages) when a unit is
+	// analyzed purely for its facts (go vet's VetxOnly mode).
+	ExportsFacts bool
 }
 
 // A Pass hands an Analyzer one type-checked package.
@@ -64,9 +70,50 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Dir is the package's source directory ("" when unknown), which
+	// fact layers that shell out per package (gcfacts) key off.
+	Dir string
+
 	// Report delivers one finding. The driver applies //dbvet:ignore
 	// suppression after this call.
 	Report func(Diagnostic)
+
+	// deps holds the facts exported by this package's dependencies,
+	// one PackageFacts per dependency that produced any; export
+	// collects the facts this pass produces for its dependents.
+	deps   []PackageFacts
+	export PackageFacts
+}
+
+// PackageFacts is the serialized analysis state one package exports for
+// its dependents, keyed by analyzer name. It travels through the go
+// vet vetx files in -vettool mode and in memory (plus the result
+// cache) in standalone mode.
+type PackageFacts map[string]json.RawMessage
+
+// DepFacts returns the facts the named analyzer exported from each of
+// this package's dependencies, in dependency order.
+func (p *Pass) DepFacts(name string) []json.RawMessage {
+	var out []json.RawMessage
+	for _, d := range p.deps {
+		if raw, ok := d[name]; ok {
+			out = append(out, raw)
+		}
+	}
+	return out
+}
+
+// ExportFact serializes v as this analyzer's fact for dependent
+// packages. The value must marshal deterministically (sorted slices;
+// maps are fine, encoding/json orders their keys), or the go command's
+// vetx-based caching churns.
+func (p *Pass) ExportFact(v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%s: exporting fact: %w", p.Analyzer.Name, err)
+	}
+	p.export[p.Analyzer.Name] = raw
+	return nil
 }
 
 // Reportf reports a formatted finding at pos.
@@ -236,12 +283,16 @@ type ResultDiagnostic struct {
 }
 
 // RunAnalyzers applies each analyzer to pkg, applies //dbvet:ignore
-// suppression, and returns surviving findings sorted by position. An
-// ignore directive without a reason is reported as a finding of the
-// pseudo-analyzer "dbvet". suppressedCount reports how many findings the
-// directives swallowed, so drivers can surface the suppression budget.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (diags []ResultDiagnostic, suppressedCount int, err error) {
+// suppression, and returns surviving findings sorted by position plus
+// the facts the analyzers exported for dependent packages. deps carries
+// the facts of the package's dependencies (nil when unknown — the
+// analyzers degrade to package-local precision). An ignore directive
+// without a reason is reported as a finding of the pseudo-analyzer
+// "dbvet". suppressedCount reports how many findings the directives
+// swallowed, so drivers can surface the suppression budget.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, deps []PackageFacts) (diags []ResultDiagnostic, suppressedCount int, facts PackageFacts, err error) {
 	idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	facts = PackageFacts{}
 
 	// Reasonless ignores are findings themselves: the escape hatch
 	// demands a written justification.
@@ -264,6 +315,9 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (diags []ResultDiagnostic
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Dir:       pkg.Dir,
+			deps:      deps,
+			export:    facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -278,7 +332,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (diags []ResultDiagnostic
 			})
 		}
 		if _, rerr := a.Run(pass); rerr != nil {
-			return nil, 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, rerr)
+			return nil, 0, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, rerr)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -291,5 +345,5 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) (diags []ResultDiagnostic
 		}
 		return a.Column < b.Column
 	})
-	return diags, suppressedCount, nil
+	return diags, suppressedCount, facts, nil
 }

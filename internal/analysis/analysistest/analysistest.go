@@ -51,15 +51,29 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatalf("analysistest: no packages under %s", dir)
 	}
 
+	// Packages arrive in dependency order; facts flow forward between
+	// the fixture's packages exactly as the drivers thread them, so
+	// fixtures can exercise cross-package (interprocedural) findings.
+	factsByPath := map[string]analysis.PackageFacts{}
 	var wants []*want
 	var diags []analysis.ResultDiagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			wants = append(wants, parseWants(t, pkg, f)...)
 		}
-		ds, _, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		var deps []analysis.PackageFacts
+		for _, dep := range pkg.Deps {
+			if facts, ok := factsByPath[dep]; ok {
+				deps = append(deps, facts)
+			}
+		}
+		ds, _, facts, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}, deps)
 		if err != nil {
 			t.Fatalf("analysistest: running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		if len(facts) > 0 {
+			factsByPath[pkg.ListedPath] = facts
+			factsByPath[pkg.PkgPath] = facts
 		}
 		diags = append(diags, ds...)
 	}

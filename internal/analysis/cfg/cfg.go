@@ -1,0 +1,431 @@
+// Package cfg builds per-function control-flow graphs over the typed
+// AST, the shared substrate of the flow-sensitive dbvet analyzers
+// (lockcheck's hold tracking, deadlockcheck's acquires-before edges,
+// nilness). It deliberately stays statement-level: a Block carries the
+// statements and control expressions it evaluates in order, and Edges
+// carry the branch condition that must hold for control to take them,
+// so dataflow clients can refine state per edge (`x == nil` on the true
+// edge of an if) without an SSA construction.
+//
+// The builder understands the full Go statement grammar — if/else,
+// three-clause and range for, switch (with fallthrough), type switch,
+// select, labeled break/continue/goto, return — and models calls to
+// panic and to the known no-return terminators (os.Exit, runtime.Goexit,
+// testing's FailNow family via log.Fatal*) as edges to Exit. Deferred
+// statements stay in their block in source order; analyses that care
+// (pincheck's deferred releases, lockcheck's deferred unlocks) see the
+// *ast.DeferStmt node and decide their own semantics.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // every return/panic/fall-off edge targets Exit
+	Blocks []*Block
+}
+
+// A Block is a maximal straight-line sequence of evaluated nodes.
+type Block struct {
+	Index int
+	// Nodes holds statements and control expressions in evaluation
+	// order. Control expressions (an if condition, a switch tag, a
+	// range operand) appear as bare ast.Expr entries before the edges
+	// that depend on them.
+	//
+	// One convention clients must honor: a *ast.RangeStmt in Nodes
+	// stands for the per-iteration key/value binding only — its X was
+	// already evaluated in a predecessor block and its Body has its own
+	// blocks, so transfer functions must not descend into either.
+	// Function literals are likewise opaque: their bodies are separate
+	// functions with their own graphs.
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+	// comment labels the block's role for debugging ("if.then",
+	// "for.body", "range.head", ...).
+	comment string
+}
+
+// An Edge connects two blocks. When Cond is non-nil, control takes the
+// edge only when Cond evaluates to Negate == false ? true : false —
+// i.e. Negate marks the else/false edge of the branch on Cond.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Negate   bool
+}
+
+// Reachable reports whether b has at least one predecessor or is the
+// entry block; dataflow clients skip unreachable blocks (code after an
+// unconditional return).
+func (g *Graph) Reachable(b *Block) bool {
+	return b == g.Entry || len(b.Preds) > 0
+}
+
+// String renders the graph for debugging and the builder's unit tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", b.Index, b.comment)
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				op := "T"
+				if e.Negate {
+					op = "F"
+				}
+				fmt.Fprintf(&sb, " %s->b%d", op, e.To.Index)
+			} else {
+				fmt.Fprintf(&sb, " ->b%d", e.To.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// New builds the graph of one function body. The body may be a
+// declaration's or a function literal's.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{}
+	b.graph = &Graph{}
+	b.graph.Entry = b.newBlock("entry")
+	b.graph.Exit = b.newBlock("exit")
+	cur := b.graph.Entry
+	cur = b.stmtList(body.List, cur)
+	// Falling off the end of the body is an implicit return.
+	b.edge(cur, b.graph.Exit, nil, false)
+	b.resolveGotos()
+	return b.graph
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *Block // successor of the loop/switch/select
+	continueTo *Block // loop post/head; nil for switch/select frames
+	isLoop     bool
+}
+
+type builder struct {
+	graph  *Graph
+	frames []loopFrame
+	// label is the name of a label whose statement is about to be
+	// built; the next loop/switch frame adopts it so labeled
+	// break/continue resolve.
+	label string
+	// labels maps a label name to the block starting its statement,
+	// for goto resolution; pendingGotos are forward gotos patched at
+	// the end.
+	labels       map[string]*Block
+	pendingGotos []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock(comment string) *Block {
+	blk := &Block{Index: len(b.graph.Blocks), comment: comment}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, negate bool) {
+	if from == nil {
+		return // predecessor already terminated (return/panic/goto)
+	}
+	e := &Edge{From: from, To: to, Cond: cond, Negate: negate}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+func (b *builder) resolveGotos() {
+	for _, pg := range b.pendingGotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target, nil, false)
+		} else {
+			// Malformed code (the type checker rejects it); fall to exit
+			// so the graph stays connected.
+			b.edge(pg.from, b.graph.Exit, nil, false)
+		}
+	}
+	b.pendingGotos = nil
+}
+
+// stmtList threads the statements through cur, returning the block
+// control falls out of (nil when the list always transfers away).
+func (b *builder) stmtList(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// append adds a node to cur, materializing a block if control arrived
+// here only via labels/gotos into dead code.
+func (b *builder) append(cur *Block, n ast.Node) *Block {
+	if cur == nil {
+		cur = b.newBlock("unreachable")
+	}
+	cur.Nodes = append(cur.Nodes, n)
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur = b.append(cur, s.Cond)
+		then := b.newBlock("if.then")
+		b.edge(cur, then, s.Cond, false)
+		after := b.newBlock("if.done")
+		thenEnd := b.stmtList(s.Body.List, then)
+		b.edge(thenEnd, after, nil, false)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cur, els, s.Cond, true)
+			elseEnd := b.stmt(s.Else, els)
+			b.edge(elseEnd, after, nil, false)
+		} else {
+			b.edge(cur, after, s.Cond, true)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock("for.head")
+		b.edge(cur, head, nil, false)
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.done")
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body, s.Cond, false)
+			b.edge(head, after, s.Cond, true)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			end := b.stmt(s.Post, post)
+			b.edge(end, head, nil, false)
+		}
+		b.pushFrame(loopFrame{label: b.pendingLabel(s), breakTo: after, continueTo: post, isLoop: true})
+		bodyEnd := b.stmtList(s.Body.List, body)
+		b.popFrame()
+		b.edge(bodyEnd, post, nil, false)
+		return after
+
+	case *ast.RangeStmt:
+		cur = b.append(cur, s.X)
+		head := b.newBlock("range.head")
+		b.edge(cur, head, nil, false)
+		// The per-iteration key/value assignment happens at the head.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.done")
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false)
+		b.pushFrame(loopFrame{label: b.pendingLabel(s), breakTo: after, continueTo: head, isLoop: true})
+		bodyEnd := b.stmtList(s.Body.List, body)
+		b.popFrame()
+		b.edge(bodyEnd, head, nil, false)
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur = b.append(cur, s.Tag)
+		}
+		return b.switchBody(s, s.Body, cur)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur = b.append(cur, s.Assign)
+		return b.switchBody(s, s.Body, cur)
+
+	case *ast.SelectStmt:
+		after := b.newBlock("select.done")
+		b.pushFrame(loopFrame{label: b.pendingLabel(s), breakTo: after})
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(cur, blk, nil, false)
+			if cl.Comm != nil {
+				blk = b.stmt(cl.Comm, blk)
+			}
+			end := b.stmtList(cl.Body, blk)
+			b.edge(end, after, nil, false)
+		}
+		b.popFrame()
+		if len(s.Body.List) == 0 {
+			// Empty select blocks forever.
+			b.edge(cur, b.graph.Exit, nil, false)
+		}
+		return after
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so gotos can target the label; remember
+		// the label for the framed statement it introduces.
+		target := b.newBlock("label." + s.Label.Name)
+		b.edge(cur, target, nil, false)
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = target
+		b.label = s.Label.Name
+		res := b.stmt(s.Stmt, target)
+		b.label = ""
+		return res
+
+	case *ast.BranchStmt:
+		cur = b.append(cur, s)
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				b.edge(cur, f.breakTo, nil, false)
+			} else {
+				b.edge(cur, b.graph.Exit, nil, false)
+			}
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				b.edge(cur, f.continueTo, nil, false)
+			} else {
+				b.edge(cur, b.graph.Exit, nil, false)
+			}
+		case token.GOTO:
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{from: cur, label: s.Label.Name})
+		case token.FALLTHROUGH:
+			// The edge into the next case body is added by switchBody,
+			// which sees the fallthrough at the end of the clause; the
+			// block stays live so that edge has a source.
+			return cur
+		}
+		return nil
+
+	case *ast.ReturnStmt:
+		cur = b.append(cur, s)
+		b.edge(cur, b.graph.Exit, nil, false)
+		return nil
+
+	case *ast.ExprStmt:
+		cur = b.append(cur, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isNoReturn(call) {
+			b.edge(cur, b.graph.Exit, nil, false)
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, go/defer, send, incdec, empty.
+		return b.append(cur, s)
+	}
+}
+
+// switchBody wires the case clauses of a value or type switch.
+func (b *builder) switchBody(sw ast.Stmt, body *ast.BlockStmt, cur *Block) *Block {
+	after := b.newBlock("switch.done")
+	b.pushFrame(loopFrame{label: b.pendingLabel(sw), breakTo: after})
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cc := range body.List {
+		cl := cc.(*ast.CaseClause)
+		blk := b.newBlock("switch.case")
+		b.edge(cur, blk, nil, false)
+		for _, e := range cl.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		if cl.List == nil {
+			hasDefault = true
+		}
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, cl)
+	}
+	if !hasDefault {
+		// No default: the switch may match nothing and fall through.
+		b.edge(cur, after, nil, false)
+	}
+	for i, cl := range clauses {
+		end := b.stmtList(cl.Body, caseBlocks[i])
+		if fallsThrough(cl.Body) && i+1 < len(caseBlocks) {
+			b.edge(end, caseBlocks[i+1], nil, false)
+		} else {
+			b.edge(end, after, nil, false)
+		}
+	}
+	b.popFrame()
+	return after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// pendingLabel consumes the label attached to the statement being
+// built, so only the outermost frame of a labeled loop adopts it.
+func (b *builder) pendingLabel(ast.Stmt) string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *builder) pushFrame(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// findFrame locates the frame a break/continue targets: the innermost
+// (or labeled) frame; continue only matches loops.
+func (b *builder) findFrame(label *ast.Ident, needLoop bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// isNoReturn recognizes statement calls that never return: the panic
+// built-in and the well-known process terminators.
+func isNoReturn(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

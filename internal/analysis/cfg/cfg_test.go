@@ -1,0 +1,195 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The builder is deterministic, so each shape is pinned by its rendered
+// graph: block roles, branch polarity (T/F) and edge targets.
+var golden = []struct {
+	name, src, want string
+}{
+	{
+		"if_return",
+		`func f(c bool) int { if c { return 1 }; return 2 }`,
+		`b0(entry): T->b2 F->b3
+b1(exit):
+b2(if.then): ->b1
+b3(if.done): ->b1
+`,
+	},
+	{
+		"for_continue_break",
+		`func f(n int) int { s := 0; for i := 0; i < n; i++ { if i == 3 { continue }; if i == 5 { break }; s += i }; return s }`,
+		`b0(entry): ->b2
+b1(exit):
+b2(for.head): T->b3 F->b4
+b3(for.body): T->b6 F->b7
+b4(for.done): ->b1
+b5(for.post): ->b2
+b6(if.then): ->b5
+b7(if.done): T->b8 F->b9
+b8(if.then): ->b4
+b9(if.done): ->b5
+`,
+	},
+	{
+		"range_backedge",
+		`func f(xs []int) int { s := 0; for _, x := range xs { s += x }; return s }`,
+		`b0(entry): ->b2
+b1(exit):
+b2(range.head): ->b3 ->b4
+b3(range.body): ->b2
+b4(range.done): ->b1
+`,
+	},
+	{
+		"switch_fallthrough",
+		`func f(x int) string {
+	switch x {
+	case 1:
+		return "a"
+	case 2:
+		fallthrough
+	case 3:
+		return "b"
+	}
+	return "c"
+}`,
+		`b0(entry): ->b3 ->b4 ->b5 ->b2
+b1(exit):
+b2(switch.done): ->b1
+b3(switch.case): ->b1
+b4(switch.case): ->b5
+b5(switch.case): ->b1
+`,
+	},
+	{
+		"labeled_break_continue",
+		`func f(x int) {
+outer:
+	for i := 0; i < x; i++ {
+		for j := 0; j < x; j++ {
+			if j > i { continue outer }
+			if j == 7 { break outer }
+		}
+	}
+}`,
+		`b0(entry): ->b2
+b1(exit):
+b2(label.outer): ->b3
+b3(for.head): T->b4 F->b5
+b4(for.body): ->b7
+b5(for.done): ->b1
+b6(for.post): ->b3
+b7(for.head): T->b8 F->b9
+b8(for.body): T->b11 F->b12
+b9(for.done): ->b6
+b10(for.post): ->b7
+b11(if.then): ->b6
+b12(if.done): T->b13 F->b14
+b13(if.then): ->b5
+b14(if.done): ->b10
+`,
+	},
+	{
+		"panic_terminates",
+		`func f(x int) { if x < 0 { panic("neg") }; _ = x }`,
+		`b0(entry): T->b2 F->b3
+b1(exit):
+b2(if.then): ->b1
+b3(if.done): ->b1
+`,
+	},
+	{
+		"goto_forward",
+		`func f(x int) int {
+	if x == 0 { goto done }
+	x++
+done:
+	return x
+}`,
+		`b0(entry): T->b2 F->b3
+b1(exit):
+b2(if.then): ->b4
+b3(if.done): ->b4
+b4(label.done): ->b1
+`,
+	},
+}
+
+func TestBuild(t *testing.T) {
+	for _, tc := range golden {
+		t.Run(tc.name, func(t *testing.T) {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "p.go", "package p\n"+tc.src, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := New(f.Decls[0].(*ast.FuncDecl).Body)
+			if got := g.String(); got != tc.want {
+				t.Errorf("graph mismatch\n got:\n%s want:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBranchEdges pins the property analyzers rely on for refinement:
+// the true and false edges out of a condition carry the condition
+// expression with the right polarity.
+func TestBranchEdges(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", `package p
+func f(p *int) int { if p == nil { return 0 }; return *p }`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(f.Decls[0].(*ast.FuncDecl).Body)
+	var saw []string
+	for _, e := range g.Entry.Succs {
+		bin, ok := e.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			t.Fatalf("entry successor lacks the p == nil condition")
+		}
+		if e.Negate {
+			saw = append(saw, "false")
+		} else {
+			saw = append(saw, "true")
+		}
+	}
+	if got := strings.Join(saw, ","); got != "true,false" {
+		t.Errorf("branch polarity = %s, want true,false", got)
+	}
+}
+
+// TestExitReachable: every graph the builder produces keeps exit
+// reachable from entry (no orphaned terminators).
+func TestExitReachable(t *testing.T) {
+	for _, tc := range golden {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "p.go", "package p\n"+tc.src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := New(f.Decls[0].(*ast.FuncDecl).Body)
+		seen := map[*Block]bool{}
+		var dfs func(*Block)
+		dfs = func(b *Block) {
+			if seen[b] {
+				return
+			}
+			seen[b] = true
+			for _, e := range b.Succs {
+				dfs(e.To)
+			}
+		}
+		dfs(g.Entry)
+		if !seen[g.Exit] {
+			t.Errorf("%s: exit unreachable from entry", tc.name)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package dataflow is the fixpoint engine the flow-sensitive dbvet
+// analyzers share. It runs a forward worklist iteration over a cfg.Graph
+// with a client-supplied lattice: the client defines the abstract state,
+// the join at control-flow merges, the transfer over one evaluated node,
+// and (optionally) the refinement applied along branch edges, which is
+// how `if x == nil` narrows x on one side of the branch without SSA.
+//
+// Two concrete analyses ship with the engine because several analyzers
+// need them: Locks (the set of mutexes held, with a must- and a
+// may-variant of the join — lockcheck reports on must-held, the
+// deadlock graph collects edges on may-held) and ReachingDefs (which
+// definitions of each variable reach a point, used to resolve local
+// aliases of lock fields).
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+
+	"datablocks/internal/analysis/cfg"
+)
+
+// A Lattice drives one forward analysis.
+type Lattice[S any] interface {
+	// Entry is the state at function entry.
+	Entry() S
+	// Copy returns an independent copy of s.
+	Copy(s S) S
+	// Equal reports state equality; the fixpoint stops on it.
+	Equal(a, b S) bool
+	// Join merges two states at a control-flow merge, in place on a
+	// (a may alias a previous Copy).
+	Join(a, b S) S
+	// Transfer applies one evaluated node to s in place.
+	Transfer(n ast.Node, s S) S
+	// TransferEdge refines s for traveling edge e (s is already a
+	// private copy). Implementations that don't refine return s.
+	TransferEdge(e *cfg.Edge, s S) S
+}
+
+// Result holds the fixpoint: the state at the entry of each block.
+type Result[S any] struct {
+	In map[*cfg.Block]S
+	l  Lattice[S]
+}
+
+// Forward runs the analysis to fixpoint. Unreachable blocks get no
+// entry in Result.In.
+func Forward[S any](g *cfg.Graph, l Lattice[S]) *Result[S] {
+	res := &Result[S]{In: map[*cfg.Block]S{}, l: l}
+	res.In[g.Entry] = l.Entry()
+
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := res.l.Copy(res.In[b])
+		for _, n := range b.Nodes {
+			out = l.Transfer(n, out)
+		}
+		for _, e := range b.Succs {
+			next := l.TransferEdge(e, l.Copy(out))
+			old, ok := res.In[e.To]
+			if !ok {
+				res.In[e.To] = next
+			} else {
+				joined := l.Join(l.Copy(old), next)
+				if l.Equal(joined, old) {
+					continue
+				}
+				res.In[e.To] = joined
+			}
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return res
+}
+
+// Walk replays the transfer function over every reachable block,
+// invoking visit before each node with the state holding at that node.
+// It is how analyzers turn a fixpoint into diagnostics: the states are
+// final, so one pass suffices.
+func (r *Result[S]) Walk(g *cfg.Graph, visit func(n ast.Node, s S)) {
+	for _, b := range g.Blocks {
+		in, ok := r.In[b]
+		if !ok {
+			continue
+		}
+		s := r.l.Copy(in)
+		for _, n := range b.Nodes {
+			visit(n, s)
+			s = r.l.Transfer(n, s)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Locks: the held-mutex set.
+
+// A LockSet maps a canonical lock token (e.g. "r.mu") to the lock's
+// class ("Relation.mu", "" when the mutex is a plain variable with no
+// declaring type).
+type LockSet map[string]string
+
+// LockClassifier tells the lattice how the client's package maps AST
+// call expressions to lock operations. Classify returns the operation a
+// call performs on a recognizable mutex (token + class), or opNone.
+type LockClassifier interface {
+	// ClassifyLockOp reports whether call acquires (+1) or releases
+	// (-1) a mutex, with the canonical token and class; 0 otherwise.
+	ClassifyLockOp(call *ast.CallExpr) (op int, token, class string)
+	// EntryLocks returns the set held at function entry (a *Locked
+	// function holds its contract mutex).
+	EntryLocks() LockSet
+}
+
+// Locks is the lattice of held mutexes. Must selects the join:
+// intersection (must-hold, for reporting missing holds and definite
+// re-acquisition) or union (may-hold, for building the acquires-before
+// graph, where any path's acquisition order matters).
+type Locks struct {
+	C    LockClassifier
+	Must bool
+}
+
+func (l Locks) Entry() LockSet {
+	e := l.C.EntryLocks()
+	out := make(LockSet, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+func (Locks) Copy(s LockSet) LockSet {
+	out := make(LockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (Locks) Equal(a, b LockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (l Locks) Join(a, b LockSet) LockSet {
+	if l.Must {
+		for k := range a {
+			if _, ok := b[k]; !ok {
+				delete(a, k)
+			}
+		}
+		return a
+	}
+	for k, v := range b {
+		a[k] = v
+	}
+	return a
+}
+
+func (l Locks) Transfer(n ast.Node, s LockSet) LockSet {
+	// Deferred unlocks run at return, not here; deferred locks are not
+	// a pattern the engine uses.
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return s
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // literals are analyzed as their own functions
+		case *ast.DeferStmt:
+			return false
+		case *ast.RangeStmt:
+			return false // the binding only; X and Body live elsewhere
+		case *ast.CallExpr:
+			op, tok, class := l.C.ClassifyLockOp(n)
+			switch op {
+			case +1:
+				s[tok] = class
+			case -1:
+				delete(s, tok)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+func (Locks) TransferEdge(_ *cfg.Edge, s LockSet) LockSet { return s }
+
+// ---------------------------------------------------------------------
+// ReachingDefs: which assignments reach each point.
+
+// A Def is one definition site of a variable: the defining node and the
+// assigned expression (nil for definitions whose value is opaque — a
+// range binding, a multi-value assignment, a declared zero value).
+type Def struct {
+	Pos token.Pos
+	RHS ast.Expr
+}
+
+// DefSet maps a variable identity (types.Object, but kept as an opaque
+// comparable to avoid the dependency here) to the set of definitions
+// reaching the point, keyed by position.
+type DefSet map[any]map[token.Pos]Def
+
+// DefResolver tells ReachingDefs which identifier definitions to track
+// and how to resolve an identifier to its variable identity.
+type DefResolver interface {
+	// DefinedVars returns (identity, def) pairs the node generates, or
+	// nil. Assignments kill previous definitions of the same identity.
+	DefsOf(n ast.Node) []IdentityDef
+}
+
+// IdentityDef pairs a variable identity with one definition.
+type IdentityDef struct {
+	Identity any
+	Def      Def
+}
+
+// ReachingDefs is the classic kill/gen lattice over DefSet.
+type ReachingDefs struct{ R DefResolver }
+
+func (ReachingDefs) Entry() DefSet { return DefSet{} }
+
+func (ReachingDefs) Copy(s DefSet) DefSet {
+	out := make(DefSet, len(s))
+	for k, defs := range s {
+		m := make(map[token.Pos]Def, len(defs))
+		for p, d := range defs {
+			m[p] = d
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func (ReachingDefs) Equal(a, b DefSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, da := range a {
+		db, ok := b[k]
+		if !ok || len(da) != len(db) {
+			return false
+		}
+		for p := range da {
+			if _, ok := db[p]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (ReachingDefs) Join(a, b DefSet) DefSet {
+	for k, defs := range b {
+		m := a[k]
+		if m == nil {
+			m = map[token.Pos]Def{}
+			a[k] = m
+		}
+		for p, d := range defs {
+			m[p] = d
+		}
+	}
+	return a
+}
+
+func (r ReachingDefs) Transfer(n ast.Node, s DefSet) DefSet {
+	for _, id := range r.R.DefsOf(n) {
+		s[id.Identity] = map[token.Pos]Def{id.Def.Pos: id.Def}
+	}
+	return s
+}
+
+func (ReachingDefs) TransferEdge(_ *cfg.Edge, s DefSet) DefSet { return s }

@@ -1,0 +1,12 @@
+package deadlockcheck_test
+
+import (
+	"testing"
+
+	"datablocks/internal/analysis/analysistest"
+	"datablocks/internal/analysis/deadlockcheck"
+)
+
+func TestDeadlockcheck(t *testing.T) {
+	analysistest.Run(t, "../testdata/deadlockcheck", deadlockcheck.Analyzer)
+}

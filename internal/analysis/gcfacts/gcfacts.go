@@ -1,0 +1,167 @@
+// Package gcfacts turns the Go compiler's optimization diagnostics into
+// position-keyed facts the hotpathperf analyzer can gate on. It runs
+//
+//	go build -gcflags='-m=2 -d=ssa/check_bce/debug=1' .
+//
+// in a package directory and parses the escape-analysis lines ("moved
+// to heap: x", "x escapes to heap") and the bounds-check-elimination
+// debug lines ("Found IsInBounds", "Found IsSliceInBounds") that
+// survive optimization. What the compiler reports here is ground truth:
+// an AST walker can guess that append allocates, but only the compiler
+// knows whether escape analysis stack-allocated it or BCE removed the
+// check.
+//
+// Repeat runs are cheap: the go build cache replays the compiler's
+// diagnostics on cache hits, so an unchanged package costs one cache
+// probe, not a compile. That property is what makes a per-package
+// compile acceptable inside a lint driver.
+package gcfacts
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one compiler fact.
+type Kind uint8
+
+const (
+	// Alloc marks a value the compiler moved to or allocated on the
+	// heap inside the function body.
+	Alloc Kind = iota
+	// Bounds marks a bounds check the SSA backend could not eliminate.
+	Bounds
+)
+
+func (k Kind) String() string {
+	if k == Bounds {
+		return "bounds"
+	}
+	return "alloc"
+}
+
+// A Fact is one diagnostic, keyed by its source position.
+type Fact struct {
+	File   string // absolute path
+	Line   int
+	Col    int
+	Kind   Kind
+	Detail string // the compiler's own words, e.g. "moved to heap: buf"
+}
+
+// A Set holds the facts of one package, grouped by file.
+type Set struct {
+	byFile map[string][]Fact
+}
+
+// File returns the facts of one file (absolute path), ordered by
+// position.
+func (s *Set) File(file string) []Fact {
+	if s == nil {
+		return nil
+	}
+	return s.byFile[file]
+}
+
+// ForPackage compiles the package in dir with diagnostic flags and
+// parses the output. The build must succeed — the caller is expected to
+// run after the ordinary build gate.
+func ForPackage(dir string) (*Set, error) {
+	cmd := exec.Command("go", "build",
+		"-gcflags=-m=2 -d=ssa/check_bce/debug=1", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("gcfacts: go build in %s: %v\n%s", dir, err, out)
+	}
+	return Parse(string(out), dir), nil
+}
+
+// Parse extracts facts from compiler output, resolving relative file
+// names against dir. Exported so tests can feed captured output from
+// several toolchain versions.
+func Parse(out, dir string) *Set {
+	s := &Set{byFile: map[string][]Fact{}}
+	seen := map[Fact]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		file, lineNo, col, msg, ok := splitPosLine(line)
+		if !ok {
+			continue
+		}
+		kind, detail, ok := classify(msg)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		f := Fact{File: file, Line: lineNo, Col: col, Kind: kind, Detail: detail}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		s.byFile[f.File] = append(s.byFile[f.File], f)
+	}
+	for _, facts := range s.byFile {
+		sort.Slice(facts, func(i, j int) bool {
+			if facts[i].Line != facts[j].Line {
+				return facts[i].Line < facts[j].Line
+			}
+			return facts[i].Col < facts[j].Col
+		})
+	}
+	return s
+}
+
+// splitPosLine parses "file.go:12:34: message", anchoring on the first
+// colon (the engine does not target systems with colons in file names).
+func splitPosLine(line string) (file string, lineNo, col int, msg string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", 0, 0, "", false
+	}
+	parts := strings.SplitN(line[i+1:], ":", 3)
+	if len(parts) != 3 {
+		return "", 0, 0, "", false
+	}
+	ln, err1 := strconv.Atoi(parts[0])
+	cn, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	// One space separates the position from the message. Further
+	// indentation marks -m=2's explanation lines ("flow:", "from ...")
+	// which repeat the position but are not conclusions.
+	msg, found := strings.CutPrefix(parts[2], " ")
+	if !found || msg == "" || msg[0] == ' ' || msg[0] == '\t' {
+		return "", 0, 0, "", false
+	}
+	return line[:i], ln, cn, msg, true
+}
+
+// classify maps one diagnostic message to a fact kind. The -m=2
+// conclusion may carry a trailing colon (when an explanation follows)
+// or not (the -m=1 summary repeated after it); trimming it folds the
+// two spellings into one fact.
+func classify(msg string) (Kind, string, bool) {
+	msg = strings.TrimSuffix(msg, ":")
+	switch {
+	case strings.HasPrefix(msg, "moved to heap"):
+		return Alloc, msg, true
+	case strings.HasSuffix(msg, "escapes to heap"):
+		// "does not escape" never matches this suffix.
+		return Alloc, msg, true
+	case msg == "Found IsInBounds":
+		return Bounds, msg, true
+	case msg == "Found IsSliceInBounds":
+		return Bounds, msg, true
+	}
+	return 0, "", false
+}

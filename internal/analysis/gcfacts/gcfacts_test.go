@@ -1,0 +1,87 @@
+package gcfacts
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The parser must hold across toolchain updates: the gate's value is
+// zero if a Go minor release silently changes the diagnostic shapes and
+// every fact evaporates. These transcripts are captured from real
+// `go build -gcflags='-m=2 -d=ssa/check_bce/debug=1'` runs of different
+// minor versions; the assertions pin the facts they must yield.
+
+// go 1.22 era: -m=2 prints the conclusion with a trailing colon, the
+// flow explanation on position-prefixed indented lines, then repeats
+// the plain -m=1 conclusion.
+const out122 = `# fixture
+./a.go:7:6: can inline Clean with cost 12 as: func([]int64) int64 { t := int64(0); for loop; return t }
+./a.go:7:12: xs does not escape
+./a.go:22:6: cannot inline EscapingScratch: function too complex
+./a.go:23:13: make([]byte, n) escapes to heap:
+./a.go:23:13:   flow: {heap} = &{storage for make([]byte, n)}:
+./a.go:23:13:     from make([]byte, n) (non-constant size) at ./a.go:23:13
+./a.go:23:13: make([]byte, n) escapes to heap
+./a.go:31:10: leaking param: xs
+./a.go:36:9: Found IsInBounds
+./b.go:12:2: moved to heap: scratch
+`
+
+// go 1.21 era: same grammar, but exercised with an absolute path, a
+// slice-variant bounds check, and no -m=1 echo after the conclusion.
+const out121 = `# fixture
+/src/fixture/a.go:14:11: parameter idx leaks to {heap} with derefs=0:
+/src/fixture/a.go:14:11:   flow: {heap} = idx:
+/src/fixture/a.go:18:13: new(node) escapes to heap:
+/src/fixture/a.go:18:13:   flow: {heap} = &{storage for new(node)}:
+/src/fixture/a.go:40:12: Found IsSliceInBounds
+/src/fixture/a.go:44:2: moved to heap: acc
+`
+
+func TestParseGo122Format(t *testing.T) {
+	s := Parse(out122, "/src/fixture")
+	a := s.File(filepath.Join("/src/fixture", "a.go"))
+	if len(a) != 2 {
+		t.Fatalf("a.go facts = %+v, want 2 (escape + bounds)", a)
+	}
+	if a[0].Kind != Alloc || a[0].Line != 23 || a[0].Col != 13 || a[0].Detail != "make([]byte, n) escapes to heap" {
+		t.Errorf("fact 0 = %+v, want the deduplicated make escape at 23:13", a[0])
+	}
+	if a[1].Kind != Bounds || a[1].Line != 36 {
+		t.Errorf("fact 1 = %+v, want IsInBounds at line 36", a[1])
+	}
+	b := s.File(filepath.Join("/src/fixture", "b.go"))
+	if len(b) != 1 || b[0].Kind != Alloc || b[0].Detail != "moved to heap: scratch" {
+		t.Errorf("b.go facts = %+v, want the moved-to-heap fact", b)
+	}
+}
+
+func TestParseGo121Format(t *testing.T) {
+	s := Parse(out121, "/src/fixture")
+	a := s.File("/src/fixture/a.go")
+	if len(a) != 3 {
+		t.Fatalf("a.go facts = %+v, want 3 (new escape, slice bounds, moved)", a)
+	}
+	if a[0].Kind != Alloc || a[0].Line != 18 || a[0].Detail != "new(node) escapes to heap" {
+		t.Errorf("fact 0 = %+v, want the new escape at line 18", a[0])
+	}
+	if a[1].Kind != Bounds || a[1].Line != 40 || a[1].Detail != "Found IsSliceInBounds" {
+		t.Errorf("fact 1 = %+v, want IsSliceInBounds at line 40", a[1])
+	}
+	if a[2].Kind != Alloc || a[2].Line != 44 || a[2].Detail != "moved to heap: acc" {
+		t.Errorf("fact 2 = %+v, want moved to heap at line 44", a[2])
+	}
+}
+
+// Leak annotations, inlining chatter and "does not escape" must never
+// become facts — a false alloc fact would force spurious budget
+// entries.
+func TestParseIgnoresNonFacts(t *testing.T) {
+	s := Parse(out122, "/src/fixture")
+	for _, f := range s.File("/src/fixture/a.go") {
+		switch f.Line {
+		case 7, 22, 31:
+			t.Errorf("line %d produced fact %+v, want none", f.Line, f)
+		}
+	}
+}

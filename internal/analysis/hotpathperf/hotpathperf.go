@@ -1,0 +1,232 @@
+// Package hotpathperf gates //dbvet:hotpath functions on the compiler's
+// own optimization verdicts, via internal/analysis/gcfacts: a hot-path
+// kernel must not heap-allocate at all, and must not keep a bounds
+// check inside any loop. The syntactic hotpath analyzer catches the
+// patterns that *always* break the discipline (fmt calls, map
+// iteration); this gate catches the ones only the compiler can decide —
+// a scratch slice escape analysis failed to stack-allocate, an index
+// the SSA backend could not prove in range.
+//
+// Intentional exceptions live in lint-budget.json next to go.mod
+// (found by walking up from the package directory):
+//
+//	{"entries": [
+//	  {"func": "datablocks/internal/exec.gather", "kind": "bounds",
+//	   "count": 1, "reason": "dictionary indices are data-dependent; ..."}
+//	]}
+//
+// Each entry excuses up to count facts of one kind in one function and
+// must carry a written reason — a reasonless entry is itself a finding,
+// the same contract //dbvet:ignore follows. The file is committed, so
+// every new exception is a reviewable diff line, not a silent
+// regression.
+//
+// Functions declared in _test.go files are outside the gate: the facts
+// come from compiling the production package.
+package hotpathperf
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+
+	"datablocks/internal/analysis"
+	"datablocks/internal/analysis/gcfacts"
+)
+
+// Analyzer is the hotpathperf pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathperf",
+	Doc:  "verify //dbvet:hotpath functions are zero-heap-allocation and loop-bounds-check-free via compiler facts",
+	Run:  run,
+}
+
+// budgetFile mirrors lint-budget.json.
+type budgetFile struct {
+	Entries []budgetEntry `json:"entries"`
+}
+
+type budgetEntry struct {
+	Func   string `json:"func"` // types.Func.FullName of the hot function
+	Kind   string `json:"kind"` // "alloc" or "bounds"
+	Count  int    `json:"count,omitempty"`
+	Reason string `json:"reason"`
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Collect the gated functions first; most packages have none and
+	// must not pay for a compile.
+	type hot struct {
+		fd   *ast.FuncDecl
+		name string
+	}
+	var hots []hot
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		if isTestFile(fname) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := analysis.FuncDirective(pass.Fset, fd, "hotpath"); !ok {
+				continue
+			}
+			name := fd.Name.Name
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				name = obj.FullName()
+			}
+			hots = append(hots, hot{fd, name})
+		}
+	}
+	if len(hots) == 0 || pass.Dir == "" {
+		return nil, nil
+	}
+
+	facts, err := gcfacts.ForPackage(pass.Dir)
+	if err != nil {
+		return nil, err
+	}
+	budget, budgetPath := loadBudget(pass.Dir)
+
+	for _, h := range hots {
+		fname := pass.Fset.Position(h.fd.Pos()).Filename
+		start := pass.Fset.Position(h.fd.Pos())
+		end := pass.Fset.Position(h.fd.End())
+		loops := loopRanges(pass.Fset, h.fd)
+
+		remaining := map[gcfacts.Kind]int{}
+		for _, e := range budget.Entries {
+			if e.Func != h.name {
+				continue
+			}
+			if e.Reason == "" {
+				pass.Reportf(h.fd.Pos(),
+					"%s entry for %s/%s lacks a reason: budget exceptions require a written justification",
+					filepath.Base(budgetPath), e.Func, e.Kind)
+				continue
+			}
+			n := e.Count
+			if n == 0 {
+				n = 1
+			}
+			switch e.Kind {
+			case "alloc":
+				remaining[gcfacts.Alloc] += n
+			case "bounds":
+				remaining[gcfacts.Bounds] += n
+			}
+		}
+
+		for _, fact := range facts.File(fname) {
+			if fact.Line < start.Line || fact.Line > end.Line {
+				continue
+			}
+			if fact.Kind == gcfacts.Bounds && !inRanges(loops, fact.Line) {
+				continue // a straight-line bounds check costs one branch, not one per element
+			}
+			if remaining[fact.Kind] > 0 {
+				remaining[fact.Kind]--
+				continue
+			}
+			pos := factPos(pass.Fset, h.fd, fact)
+			switch fact.Kind {
+			case gcfacts.Alloc:
+				pass.Reportf(pos,
+					"heap allocation in hot path %s: %s (//dbvet:hotpath functions must not allocate; hoist to the caller or add a justified lint-budget.json entry)",
+					h.name, fact.Detail)
+			case gcfacts.Bounds:
+				pass.Reportf(pos,
+					"bounds check inside a loop in hot path %s (hint the compiler — e.g. `_ = s[:n]` before the loop — or add a justified lint-budget.json entry)",
+					h.name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isTestFile(name string) bool {
+	base := filepath.Base(name)
+	return len(base) > len("_test.go") && base[len(base)-len("_test.go"):] == "_test.go"
+}
+
+// lineRange is an inclusive source-line interval.
+type lineRange struct{ from, to int }
+
+func inRanges(rs []lineRange, line int) bool {
+	for _, r := range rs {
+		if line >= r.from && line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// loopRanges returns the line ranges of every loop in fd, including
+// loops in nested literals (they run on the hot path too).
+func loopRanges(fset *token.FileSet, fd *ast.FuncDecl) []lineRange {
+	var out []lineRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, lineRange{
+				from: fset.Position(n.Pos()).Line,
+				to:   fset.Position(n.End()).Line,
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// factPos converts a fact's file/line/col back to a token.Pos inside
+// the declaration's file, falling back to the declaration when the
+// position cannot be resolved.
+func factPos(fset *token.FileSet, fd *ast.FuncDecl, fact gcfacts.Fact) token.Pos {
+	var tf *token.File
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() == fact.File {
+			tf = f
+			return false
+		}
+		return true
+	})
+	if tf == nil || fact.Line < 1 || fact.Line > tf.LineCount() {
+		return fd.Pos()
+	}
+	pos := tf.LineStart(fact.Line) + token.Pos(fact.Col-1)
+	if !pos.IsValid() || int(pos) > tf.Base()+tf.Size() {
+		return fd.Pos()
+	}
+	return pos
+}
+
+// loadBudget finds lint-budget.json by walking from dir up to the
+// module root (the directory holding go.mod, inclusive). No file is an
+// empty budget.
+func loadBudget(dir string) (budgetFile, string) {
+	for d := dir; ; {
+		path := filepath.Join(d, "lint-budget.json")
+		if data, err := os.ReadFile(path); err == nil {
+			var b budgetFile
+			if json.Unmarshal(data, &b) == nil {
+				return b, path
+			}
+			return budgetFile{}, path
+		}
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	return budgetFile{}, "lint-budget.json"
+}

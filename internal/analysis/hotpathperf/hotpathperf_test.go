@@ -1,0 +1,12 @@
+package hotpathperf_test
+
+import (
+	"testing"
+
+	"datablocks/internal/analysis/analysistest"
+	"datablocks/internal/analysis/hotpathperf"
+)
+
+func TestHotpathperf(t *testing.T) {
+	analysistest.Run(t, "../testdata/hotpathperf", hotpathperf.Analyzer)
+}

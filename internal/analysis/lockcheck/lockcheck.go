@@ -1,322 +1,161 @@
-// Package lockcheck enforces the engine's mutex contracts:
+// Package lockcheck enforces the engine's mutex-holder contracts:
 //
 //  1. A function whose name ends in "Locked" (or that carries a
 //     "//dbvet:locks <field>" annotation) may only be called while the
 //     corresponding mutex is held: the caller either acquired
-//     <recv>.<field> earlier in the same function, or is itself a
+//     <recv>.<field> on every path reaching the call, or is itself a
 //     *Locked function on the same receiver.
-//  2. Ranked locks must be acquired in ascending rank order (see
-//     Ranks); acquiring a lower- or equal-ranked lock while holding a
-//     higher-ranked one is the inversion that deadlocks the
-//     loadMu-before-relation-lock and wmu-before-relation-lock
-//     protocols documented in internal/storage and the Table write
-//     path.
-//  3. Re-acquiring a mutex already held in the same function is
+//  2. Re-acquiring a mutex the function definitely still holds is
 //     reported as a self-deadlock.
 //
-// The analysis is intra-procedural and lexical with block scoping: a
-// hold established in a block covers the statements after it in that
-// block and everything nested; an Unlock cancels the hold only for the
-// remainder of its own block (so an early-return branch that unlocks
-// does not unhold the main path). Function literals are analyzed as
-// independent functions, since they typically run on another
-// goroutine or after the enclosing frame returned.
+// Since dbvet v2 the analysis is flow-sensitive: the held set is a
+// must-hold dataflow over the function's control-flow graph
+// (internal/analysis/cfg), so an Unlock on one branch correctly
+// un-holds the merge point — the lexical model this replaces treated
+// branch effects as invisible and accepted code that reaches a *Locked
+// call unlocked through one of its paths. Local mutex aliases
+// (`mu := &r.mu; mu.Lock()`) resolve through reaching definitions.
+// Function literals are analyzed as independent functions, since they
+// typically run on another goroutine or after the enclosing frame
+// returned.
+//
+// Lock *ordering* — which locks may be acquired while which are held —
+// is deadlockcheck's job: it builds the interprocedural acquires-before
+// graph and reports cycles, subsuming the pairwise rank check lockcheck
+// carried before dbvet v2.
 package lockcheck
 
 import (
 	"go/ast"
-	"go/types"
-	"strings"
 
 	"datablocks/internal/analysis"
+	"datablocks/internal/analysis/cfg"
+	"datablocks/internal/analysis/dataflow"
+	"datablocks/internal/analysis/lockutil"
 )
-
-// Ranks orders the engine's lock classes, keyed "OwnerType.field".
-// Acquiring a lock while holding one of equal or higher rank is a
-// violation. Locks absent from the map are exempt from ordering (but
-// still subject to the *Locked holder check).
-var Ranks = map[string]int{
-	"DB.mu":              10,
-	"DB.catMu":           20,
-	"Table.wmu":          30,
-	"Chunk.loadMu":       40,
-	"Relation.mu":        50,
-	"Relation.loadErrMu": 60,
-}
 
 // Analyzer is the lockcheck pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockcheck",
-	Doc:  "check that *Locked functions are called with their mutex held and that ranked locks are acquired in order",
+	Doc:  "check that *Locked functions are called with their mutex held on every path",
 	Run:  run,
-}
-
-// heldLock is one mutex the walker believes the current path holds.
-type heldLock struct {
-	owner string // named type declaring the field, e.g. "Relation"
-	field string // mutex field name, e.g. "mu"
 }
 
 type checker struct {
 	pass *analysis.Pass
-	// locksAnn maps same-package function objects to the mutex field
-	// their //dbvet:locks annotation names.
-	locksAnn map[types.Object]string
+	ann  lockutil.Annotations
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	c := &checker{pass: pass, locksAnn: map[types.Object]string{}}
+	c := &checker{pass: pass, ann: lockutil.CollectAnnotations(pass)}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			if d, ok := analysis.FuncDirective(pass.Fset, fd, "locks"); ok && d.Args != "" {
-				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
-					c.locksAnn[obj] = d.Args
+			c.checkFunc(fd.Body, lockutil.EntryLocks(pass.TypesInfo, fd, c.ann))
+			// Function literals anywhere in the declaration run as their
+			// own functions with nothing held.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					c.checkFunc(lit.Body, dataflow.LockSet{})
+					return false
 				}
-			}
-		}
-	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				c.checkFunc(fd)
-			}
+				return true
+			})
 		}
 	}
 	return nil, nil
 }
 
-// lockFieldOf returns the mutex field a callee's contract names: its
-// //dbvet:locks annotation when the declaration is in this package,
-// else the "mu" convention.
-func (c *checker) lockFieldOf(obj types.Object) string {
-	if f, ok := c.locksAnn[obj]; ok {
-		return f
+// checkFunc runs the must-hold fixpoint over one body and replays it,
+// checking each call against the lock set definitely held there.
+func (c *checker) checkFunc(body *ast.BlockStmt, entry dataflow.LockSet) {
+	g := cfg.New(body)
+	cls := &lockutil.Classifier{
+		Info:    c.pass.TypesInfo,
+		Entry:   entry,
+		Aliases: lockutil.ResolveAliases(g, c.pass.TypesInfo),
 	}
-	return "mu"
-}
+	lat := dataflow.Locks{C: cls, Must: true}
+	res := dataflow.Forward(g, lat)
 
-// requiresLock reports whether calling obj requires a held mutex: the
-// name ends in "Locked" or the same-package declaration is annotated.
-func (c *checker) requiresLock(obj types.Object) bool {
-	if obj == nil {
-		return false
-	}
-	if strings.HasSuffix(obj.Name(), "Locked") {
-		return true
-	}
-	_, ok := c.locksAnn[obj]
-	return ok
-}
-
-func (c *checker) checkFunc(fd *ast.FuncDecl) {
-	held := map[string]heldLock{}
-	// A *Locked (or annotated) function holds its own contract lock at
-	// entry: <receiver>.<field>.
-	obj := c.pass.TypesInfo.Defs[fd.Name]
-	if obj != nil && c.requiresLock(obj) && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
-		recvName := fd.Recv.List[0].Names[0].Name
-		field := c.lockFieldOf(obj)
-		owner := recvTypeName(fd)
-		held[recvName+"."+field] = heldLock{owner: owner, field: field}
-	}
-	c.walkBlock(fd.Body, held)
-}
-
-// recvTypeName names the receiver's base type.
-func recvTypeName(fd *ast.FuncDecl) string {
-	t := fd.Recv.List[0].Type
-	if star, ok := t.(*ast.StarExpr); ok {
-		t = star.X
-	}
-	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
-		t = idx.X
-	}
-	if id, ok := t.(*ast.Ident); ok {
-		return id.Name
-	}
-	return ""
-}
-
-// walkBlock processes statements in order, threading the held-set; each
-// nested block receives a copy so branch-local Unlocks stay local.
-func (c *checker) walkBlock(b *ast.BlockStmt, held map[string]heldLock) {
-	for _, s := range b.List {
-		c.walkStmt(s, held)
+	for _, b := range g.Blocks {
+		in, ok := res.In[b]
+		if !ok {
+			continue
+		}
+		held := lat.Copy(in)
+		for _, n := range b.Nodes {
+			c.checkNode(n, cls, held)
+			held = lat.Transfer(n, held)
+		}
 	}
 }
 
-func copyHeld(held map[string]heldLock) map[string]heldLock {
-	out := make(map[string]heldLock, len(held))
-	for k, v := range held {
+// checkNode inspects one evaluated node's calls in source order against
+// held, mirroring the lattice's transfer so intra-node sequences
+// (lock then call in one statement) see intermediate states.
+func (c *checker) checkNode(n ast.Node, cls *lockutil.Classifier, held dataflow.LockSet) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		return // binding only; X and Body are separate nodes
+	case *ast.DeferStmt:
+		// A deferred unlock is the normal pairing, not a release here;
+		// any other deferred call is checked like a normal call (it
+		// runs with whatever the function holds at return, which the
+		// model approximates with the state at the defer statement).
+		if op, _, _ := cls.ClassifyLockOp(n.Call); op == -1 {
+			return
+		}
+		c.checkCalls(n.Call, cls, dataflowCopy(held))
+		return
+	}
+	c.checkCalls(n, cls, held)
+}
+
+func dataflowCopy(s dataflow.LockSet) dataflow.LockSet {
+	out := make(dataflow.LockSet, len(s))
+	for k, v := range s {
 		out[k] = v
 	}
 	return out
 }
 
-func (c *checker) walkStmt(s ast.Stmt, held map[string]heldLock) {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		c.walkBlock(s, copyHeld(held))
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, held)
-		}
-		c.scanCalls(s.Cond, held)
-		c.walkBlock(s.Body, copyHeld(held))
-		if s.Else != nil {
-			c.walkStmt(s.Else, copyHeld(held))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			c.scanCalls(s.Cond, held)
-		}
-		c.walkBlock(s.Body, copyHeld(held))
-	case *ast.RangeStmt:
-		c.scanCalls(s.X, held)
-		c.walkBlock(s.Body, copyHeld(held))
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			c.scanCalls(s.Tag, held)
-		}
-		for _, cc := range s.Body.List {
-			if cl, ok := cc.(*ast.CaseClause); ok {
-				sub := copyHeld(held)
-				for _, st := range cl.Body {
-					c.walkStmt(st, sub)
-				}
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.walkStmt(s.Init, held)
-		}
-		for _, cc := range s.Body.List {
-			if cl, ok := cc.(*ast.CaseClause); ok {
-				sub := copyHeld(held)
-				for _, st := range cl.Body {
-					c.walkStmt(st, sub)
-				}
-			}
-		}
-	case *ast.SelectStmt:
-		for _, cc := range s.Body.List {
-			if cl, ok := cc.(*ast.CommClause); ok {
-				sub := copyHeld(held)
-				if cl.Comm != nil {
-					c.walkStmt(cl.Comm, sub)
-				}
-				for _, st := range cl.Body {
-					c.walkStmt(st, sub)
-				}
-			}
-		}
-	case *ast.LabeledStmt:
-		c.walkStmt(s.Stmt, held)
-	case *ast.DeferStmt:
-		// defer X.Unlock() does not cancel the hold; any other deferred
-		// call is checked like a normal call (it runs with whatever the
-		// function holds at return, which this lexical model cannot see;
-		// the common deferred Unlock/RUnlock is the case that matters).
-		if kind, _ := lockOpKind(c.pass.TypesInfo, s.Call); kind == opUnlock {
-			return
-		}
-		c.scanCalls(s.Call, held)
-	default:
-		c.scanCalls(s, held)
-	}
-}
-
-type lockOp int
-
-const (
-	opNone lockOp = iota
-	opLock
-	opUnlock
-)
-
-// lockOpKind classifies a call as mutex acquire/release and returns the
-// lock's identity when the receiver is a recognizable mutex field or
-// mutex-typed variable.
-func lockOpKind(info *types.Info, call *ast.CallExpr) (lockOp, lockIdent) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return opNone, lockIdent{}
-	}
-	var op lockOp
-	switch sel.Sel.Name {
-	case "Lock", "RLock", "TryLock", "TryRLock":
-		op = opLock
-	case "Unlock", "RUnlock":
-		op = opUnlock
-	default:
-		return opNone, lockIdent{}
-	}
-	// The receiver must itself be a mutex: a field selector (r.mu) or a
-	// plain mutex variable.
-	switch x := ast.Unparen(sel.X).(type) {
-	case *ast.SelectorExpr:
-		if text, owner, field, ok := analysis.MutexField(info, x); ok {
-			return op, lockIdent{text: text, owner: owner, field: field}
-		}
-	case *ast.Ident:
-		if obj, ok := info.Uses[x]; ok && analysis.IsMutexType(obj.Type()) {
-			return op, lockIdent{text: x.Name, field: x.Name}
-		}
-	}
-	return opNone, lockIdent{}
-}
-
-type lockIdent struct {
-	text  string // canonical holder expression, e.g. "r.mu"
-	owner string // declaring type, e.g. "Relation" ("" for plain vars)
-	field string
-}
-
-// scanCalls visits every call expression under n in source order,
-// skipping function literal bodies (analyzed separately), and applies
-// lock-op effects and *Locked checks against held.
-func (c *checker) scanCalls(n ast.Node, held map[string]heldLock) {
+// checkCalls visits the calls under n in source order, applying lock
+// effects to held as it goes (held is the caller's working state).
+func (c *checker) checkCalls(n ast.Node, cls *lockutil.Classifier, held dataflow.LockSet) {
 	ast.Inspect(n, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.FuncLit:
-			c.walkBlock(n.Body, map[string]heldLock{})
+		case *ast.FuncLit, *ast.RangeStmt:
+			return false
+		case *ast.DeferStmt:
 			return false
 		case *ast.CallExpr:
-			c.applyCall(n, held)
+			c.applyCall(n, cls, held)
 		}
 		return true
 	})
 }
 
-func (c *checker) applyCall(call *ast.CallExpr, held map[string]heldLock) {
-	info := c.pass.TypesInfo
-	if op, id := lockOpKind(info, call); op != opNone {
+func (c *checker) applyCall(call *ast.CallExpr, cls *lockutil.Classifier, held dataflow.LockSet) {
+	if op, tok, class := cls.ClassifyLockOp(call); op != 0 {
 		switch op {
-		case opLock:
-			if _, dup := held[id.text]; dup {
-				c.pass.Reportf(call.Pos(), "acquiring %s, which this function already holds (self-deadlock)", id.text)
+		case +1:
+			if _, dup := held[tok]; dup {
+				c.pass.Reportf(call.Pos(), "acquiring %s, which this function already holds (self-deadlock)", tok)
 				return
 			}
-			c.checkOrder(call, id, held)
-			held[id.text] = heldLock{owner: id.owner, field: id.field}
-		case opUnlock:
-			delete(held, id.text)
+			held[tok] = class
+		case -1:
+			delete(held, tok)
 		}
 		return
 	}
 
-	obj := analysis.CalleeObject(info, call)
-	if !c.requiresLock(obj) {
+	obj := analysis.CalleeObject(c.pass.TypesInfo, call)
+	if !c.ann.RequiresLock(obj) {
 		return
 	}
 	// Identify the receiver expression of the *Locked call; a plain
@@ -330,7 +169,7 @@ func (c *checker) applyCall(call *ast.CallExpr, held map[string]heldLock) {
 		return
 	}
 	recvText := analysis.ExprString(sel.X)
-	field := c.lockFieldOf(obj)
+	field := c.ann.LockFieldOf(obj)
 	want := recvText + "." + field
 	if _, ok := held[want]; ok {
 		return
@@ -339,22 +178,5 @@ func (c *checker) applyCall(call *ast.CallExpr, held map[string]heldLock) {
 	// holds that object's lock through another name cannot be resolved
 	// lexically; require the canonical form and let //dbvet:ignore
 	// document the exceptions.
-	c.pass.Reportf(call.Pos(), "call to %s without holding %s: the %s contract requires the caller to hold it", obj.Name(), want, obj.Name())
-}
-
-// checkOrder reports acquisitions that invert the documented lock
-// ranking while another ranked lock is held.
-func (c *checker) checkOrder(call *ast.CallExpr, id lockIdent, held map[string]heldLock) {
-	rank, ranked := Ranks[id.owner+"."+id.field]
-	if !ranked {
-		return
-	}
-	for text, h := range held {
-		hr, ok := Ranks[h.owner+"."+h.field]
-		if ok && hr >= rank {
-			c.pass.Reportf(call.Pos(),
-				"acquiring %s (rank %d) while holding %s (rank %d) inverts the documented lock order",
-				id.text, rank, text, hr)
-		}
-	}
+	c.pass.Reportf(call.Pos(), "call to %s without holding %s: the %s contract requires the caller to hold it on every path to this call", obj.Name(), want, obj.Name())
 }

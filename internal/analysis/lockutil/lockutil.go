@@ -1,0 +1,325 @@
+// Package lockutil is the lock-model vocabulary shared by lockcheck
+// (must-hold enforcement of the *Locked contract) and deadlockcheck
+// (may-hold construction of the acquires-before graph): classifying
+// calls as mutex acquire/release, collecting //dbvet:locks annotations,
+// computing the lock set a function holds at entry, and resolving local
+// aliases of mutex fields (`mu := &r.mu; mu.Lock()`) through the
+// reaching-definitions lattice.
+package lockutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"datablocks/internal/analysis"
+	"datablocks/internal/analysis/cfg"
+	"datablocks/internal/analysis/dataflow"
+)
+
+// An Ident names one lock: the canonical holder expression and, when
+// the mutex is a named type's field, the class "Owner.field" every
+// instance of that field shares.
+type Ident struct {
+	Token string // canonical holder expression, e.g. "r.mu"
+	Owner string // declaring type, e.g. "Relation" ("" for plain vars)
+	Field string
+}
+
+// Class returns the lock's class ("Relation.mu"), or "" for mutexes
+// that are not fields of a named type.
+func (id Ident) Class() string {
+	if id.Owner == "" {
+		return ""
+	}
+	return id.Owner + "." + id.Field
+}
+
+// Annotations maps same-package function objects to the mutex field
+// their //dbvet:locks annotation names.
+type Annotations map[types.Object]string
+
+// CollectAnnotations gathers the //dbvet:locks directives of the pass's
+// files.
+func CollectAnnotations(pass *analysis.Pass) Annotations {
+	ann := Annotations{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if d, ok := analysis.FuncDirective(pass.Fset, fd, "locks"); ok && d.Args != "" {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					ann[obj] = d.Args
+				}
+			}
+		}
+	}
+	return ann
+}
+
+// RequiresLock reports whether calling obj requires a held mutex: the
+// name ends in "Locked" or the same-package declaration is annotated.
+func (ann Annotations) RequiresLock(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if strings.HasSuffix(obj.Name(), "Locked") {
+		return true
+	}
+	_, ok := ann[obj]
+	return ok
+}
+
+// LockFieldOf returns the mutex field obj's contract names: its
+// //dbvet:locks annotation when present, else the "mu" convention.
+func (ann Annotations) LockFieldOf(obj types.Object) string {
+	if f, ok := ann[obj]; ok {
+		return f
+	}
+	return "mu"
+}
+
+// EntryLocks returns the lock set fd holds at entry: a *Locked (or
+// annotated) function holds <receiver>.<field>.
+func EntryLocks(info *types.Info, fd *ast.FuncDecl, ann Annotations) dataflow.LockSet {
+	entry := dataflow.LockSet{}
+	obj := info.Defs[fd.Name]
+	if obj == nil || !ann.RequiresLock(obj) {
+		return entry
+	}
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return entry
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	field := ann.LockFieldOf(obj)
+	owner := RecvTypeName(fd)
+	id := Ident{Token: recvName + "." + field, Owner: owner, Field: field}
+	entry[id.Token] = id.Class()
+	return entry
+}
+
+// RecvTypeName names fd's receiver base type.
+func RecvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// A Classifier adapts one function's lock model to the dataflow Locks
+// lattice.
+type Classifier struct {
+	Info  *types.Info
+	Entry dataflow.LockSet
+	// Aliases resolves mutex-method calls through local pointer
+	// aliases, keyed by the call expression (see ResolveAliases).
+	Aliases map[*ast.CallExpr]Ident
+}
+
+func (c *Classifier) EntryLocks() dataflow.LockSet { return c.Entry }
+
+// ClassifyLockOp reports whether call acquires (+1) or releases (-1) a
+// recognizable mutex, with its token and class.
+func (c *Classifier) ClassifyLockOp(call *ast.CallExpr) (op int, token, class string) {
+	o, id := Classify(c.Info, call)
+	if o != 0 {
+		if resolved, ok := c.Aliases[call]; ok {
+			id = resolved
+		}
+	}
+	return o, id.Token, id.Class()
+}
+
+// Classify is the alias-unaware classification: a call to
+// Lock/RLock/TryLock/TryRLock (+1) or Unlock/RUnlock (-1) on a mutex
+// field selector or a plain mutex variable.
+func Classify(info *types.Info, call *ast.CallExpr) (op int, id Ident) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, Ident{}
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = +1
+	case "Unlock", "RUnlock":
+		op = -1
+	default:
+		return 0, Ident{}
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if text, owner, field, ok := analysis.MutexField(info, x); ok {
+			return op, Ident{Token: text, Owner: owner, Field: field}
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[x]; ok && analysis.IsMutexType(obj.Type()) {
+			return op, Ident{Token: x.Name, Field: x.Name}
+		}
+	}
+	return 0, Ident{}
+}
+
+// ResolveAliases runs reaching definitions over g and resolves mutex
+// operations whose receiver is a local pointer variable: when every
+// definition of the variable reaching the call assigns `&X.mu` (or an
+// equivalent mutex-field pointer) of one and the same lock, the call
+// classifies as operating on that lock. Mixed or opaque definitions
+// stay unresolved — flow-sensitivity here only ever adds precision.
+func ResolveAliases(g *cfg.Graph, info *types.Info) map[*ast.CallExpr]Ident {
+	res := dataflow.Forward(g, dataflow.ReachingDefs{R: defResolver{info}})
+	aliases := map[*ast.CallExpr]Ident{}
+	res.Walk(g, func(n ast.Node, s dataflow.DefSet) {
+		if _, isRange := n.(*ast.RangeStmt); isRange {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.RangeStmt:
+				return false
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+				default:
+					return true
+				}
+				recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[recv]
+				if obj == nil || !analysis.IsMutexType(obj.Type()) {
+					return true
+				}
+				// Only a pointer-typed local can alias another lock; a
+				// value-typed mutex variable is its own lock and needs
+				// no resolution.
+				if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+					return true
+				}
+				if id, ok := resolveDefs(info, s[obj]); ok {
+					aliases[n] = id
+				}
+			}
+			return true
+		})
+	})
+	return aliases
+}
+
+// resolveDefs returns the single lock every reaching definition aliases.
+func resolveDefs(info *types.Info, defs map[token.Pos]dataflow.Def) (Ident, bool) {
+	if len(defs) == 0 {
+		return Ident{}, false
+	}
+	var resolved Ident
+	first := true
+	for _, d := range defs {
+		id, ok := lockExprIdent(info, d.RHS)
+		if !ok {
+			return Ident{}, false
+		}
+		if first {
+			resolved = id
+			first = false
+		} else if resolved != id {
+			return Ident{}, false
+		}
+	}
+	return resolved, true
+}
+
+// lockExprIdent recognizes `&X.mu` (and plain `X.mu` for completeness)
+// as a reference to a mutex field.
+func lockExprIdent(info *types.Info, e ast.Expr) (Ident, bool) {
+	if e == nil {
+		return Ident{}, false
+	}
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return Ident{}, false
+	}
+	if text, owner, field, ok := analysis.MutexField(info, sel); ok {
+		return Ident{Token: text, Owner: owner, Field: field}, true
+	}
+	return Ident{}, false
+}
+
+// defResolver feeds ReachingDefs: single-identifier assignments and
+// declarations define; range bindings and multi-assignments define
+// opaquely.
+type defResolver struct{ info *types.Info }
+
+func (r defResolver) DefsOf(n ast.Node) []dataflow.IdentityDef {
+	var out []dataflow.IdentityDef
+	add := func(idExpr ast.Expr, rhs ast.Expr) {
+		ident, ok := ast.Unparen(idExpr).(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return
+		}
+		obj := r.info.Defs[ident]
+		if obj == nil {
+			obj = r.info.Uses[ident]
+		}
+		if obj == nil {
+			return
+		}
+		out = append(out, dataflow.IdentityDef{
+			Identity: obj,
+			Def:      dataflow.Def{Pos: ident.Pos(), RHS: rhs},
+		})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				add(n.Lhs[i], n.Rhs[i])
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				add(lhs, nil)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					}
+					add(name, rhs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			add(n.Key, nil)
+		}
+		if n.Value != nil {
+			add(n.Value, nil)
+		}
+	}
+	return out
+}

@@ -1,0 +1,366 @@
+// Package nilness reports dereferences of pointers and interface
+// values that are definitely nil on every path reaching them. It is a
+// must-analysis over the control-flow graph: a variable is "definitely
+// nil" only when all paths agree — a zero-value declaration with no
+// intervening assignment, an explicit `p = nil`, or the true side of a
+// `p == nil` branch (the branch-condition edges of internal/analysis/cfg
+// carry the refinement, which is how the analysis narrows without SSA).
+// Anything merged with a non-nil or unknown state degrades to unknown,
+// so the checker only fires on dereferences that cannot succeed.
+//
+// The analysis is intraprocedural: parameters, call results (other than
+// new and &composite) and captured variables are unknown. A dereference
+// that survives marks the variable non-nil afterwards, both because it
+// proved it and to keep one mistake from cascading down the function.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"datablocks/internal/analysis"
+	"datablocks/internal/analysis/cfg"
+	"datablocks/internal/analysis/dataflow"
+)
+
+// Analyzer is the nilness pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences of definitely-nil pointers and interfaces",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// state is the nil-ness of one variable.
+type state uint8
+
+const (
+	unknown state = iota
+	isNil
+	nonNil
+)
+
+// nilSet maps tracked variables to their state; absent means unknown.
+type nilSet map[*types.Var]state
+
+// lattice is the must-nilness analysis.
+type lattice struct {
+	info *types.Info
+	// reported collects definite dereferences during Transfer, so the
+	// fixpoint and the diagnostic scan are the same code path.
+	reported map[token.Pos]string
+}
+
+func (lattice) Entry() nilSet { return nilSet{} }
+
+func (lattice) Copy(s nilSet) nilSet {
+	out := make(nilSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (lattice) Equal(a, b nilSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (lattice) Join(a, b nilSet) nilSet {
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			delete(a, k) // disagreement (or unknown in b) → unknown
+		}
+	}
+	return a
+}
+
+func (l lattice) Transfer(n ast.Node, s nilSet) nilSet {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		// The binding only (cfg convention): range over a tracked
+		// variable proves nothing about nil-ness of the bindings.
+		if n.Key != nil {
+			l.invalidate(n.Key, s)
+		}
+		if n.Value != nil {
+			l.invalidate(n.Value, s)
+		}
+		return s
+	case *ast.DeferStmt:
+		return s // runs at return, against unknowable state
+	}
+	// Scan uses before redefinitions: a deref in the RHS happens before
+	// the LHS assignment takes effect, but ast.Inspect order (LHS
+	// first for AssignStmt) is close enough because the LHS update
+	// below runs after the whole node is scanned.
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal's body is analyzed separately, but it may
+			// write any variable it captures (possibly on another
+			// goroutine, possibly repeatedly): everything it mentions
+			// becomes unknown from here on.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v := l.trackedVar(id); v != nil {
+						delete(s, v)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.RangeStmt, *ast.DeferStmt:
+			return false
+		case *ast.StarExpr:
+			l.checkDeref(n.X, "pointer dereference", n.Star, s)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// &v escapes: writes through the pointer are invisible.
+				l.invalidate(n.X, s)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := l.info.Selections[n]; ok && sel.Indirect() {
+				l.checkDeref(n.X, "field selection", n.X.Pos(), s)
+			}
+		case *ast.CallExpr:
+			// A dynamic method call through a nil interface panics
+			// before the callee runs.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sl, ok := l.info.Selections[sel]; ok && sl.Kind() == types.MethodVal {
+					if _, isIface := sl.Recv().Underlying().(*types.Interface); isIface {
+						l.checkDeref(sel.X, "dynamic method call", sel.X.Pos(), s)
+					}
+				}
+			}
+		}
+		return true
+	})
+	l.applyWrites(n, s)
+	return s
+}
+
+func (l lattice) TransferEdge(e *cfg.Edge, s nilSet) nilSet {
+	v, toNil, ok := l.nilTest(e.Cond)
+	if !ok {
+		return s
+	}
+	if e.Negate {
+		toNil = !toNil
+	}
+	if toNil {
+		s[v] = isNil
+	} else {
+		s[v] = nonNil
+	}
+	return s
+}
+
+// nilTest recognizes `v == nil` and `v != nil` over a trackable
+// variable, reporting which state the true branch implies.
+func (l lattice) nilTest(cond ast.Expr) (v *types.Var, trueMeansNil, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if l.isNilLiteral(y) {
+		// v OP nil
+	} else if l.isNilLiteral(x) {
+		x = y
+	} else {
+		return nil, false, false
+	}
+	vv := l.trackedVar(x)
+	if vv == nil {
+		return nil, false, false
+	}
+	return vv, be.Op == token.EQL, true
+}
+
+func (l lattice) isNilLiteral(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := l.info.Uses[id]
+	_, isNilObj := obj.(*types.Nil)
+	return isNilObj
+}
+
+// trackedVar resolves e to a local pointer- or interface-typed
+// variable, the domain of the analysis.
+func (l lattice) trackedVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := l.info.Uses[id].(*types.Var)
+	if !ok {
+		obj2, ok2 := l.info.Defs[id].(*types.Var)
+		if !ok2 {
+			return nil
+		}
+		obj = obj2
+	}
+	if obj.IsField() || obj.Pkg() == nil {
+		return nil
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Interface:
+		return obj
+	}
+	return nil
+}
+
+// checkDeref records a diagnostic when the dereferenced expression is a
+// definitely-nil tracked variable, then marks it non-nil: the program
+// either panicked (reported) or proved the value.
+func (l lattice) checkDeref(x ast.Expr, what string, pos token.Pos, s nilSet) {
+	v := l.trackedVar(x)
+	if v == nil {
+		return
+	}
+	if s[v] == isNil {
+		if _, dup := l.reported[pos]; !dup {
+			l.reported[pos] = "nil dereference in " + what + " (" + v.Name() + " is nil on every path to this point)"
+		}
+	}
+	s[v] = nonNil
+}
+
+// applyWrites updates the state for the definitions n performs.
+func (l lattice) applyWrites(n ast.Node, s nilSet) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				l.assign(n.Lhs[i], n.Rhs[i], s)
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				l.invalidate(lhs, s)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if len(vs.Values) == 0 {
+					// var p *T — the zero value is nil.
+					if v := l.trackedVar(name); v != nil {
+						s[v] = isNil
+					}
+				} else if len(vs.Values) == len(vs.Names) {
+					l.assign(name, vs.Values[i], s)
+				} else {
+					l.invalidate(name, s)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		l.invalidate(n.X, s)
+	}
+}
+
+func (l lattice) assign(lhs, rhs ast.Expr, s nilSet) {
+	v := l.trackedVar(lhs)
+	if v == nil {
+		return
+	}
+	s[v] = l.valueState(rhs)
+}
+
+func (l lattice) invalidate(lhs ast.Expr, s nilSet) {
+	if v := l.trackedVar(lhs); v != nil {
+		delete(s, v)
+	}
+}
+
+// valueState classifies an assigned expression.
+func (l lattice) valueState(e ast.Expr) state {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if l.isNilLiteral(e) {
+			return isNil
+		}
+		if v := l.trackedVar(e); v != nil {
+			return unknown // propagating would need the source's state at this point; keep simple
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nonNil // &x is never nil
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := l.info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "new" {
+				return nonNil
+			}
+		}
+	}
+	return unknown
+}
+
+// checkBody runs the fixpoint and reports the collected dereferences.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	l := lattice{info: pass.TypesInfo, reported: map[token.Pos]string{}}
+	res := dataflow.Forward[nilSet](g, l)
+	// The fixpoint may visit a block several times with intermediate
+	// states; discard what it recorded and re-derive diagnostics from
+	// the final states only (the map is shared with res by reference,
+	// so it must be cleared in place, not reassigned).
+	clear(l.reported)
+	res.Walk(g, func(ast.Node, nilSet) {}) // Walk replays Transfer, filling reported
+	positions := make([]token.Pos, 0, len(l.reported))
+	for pos := range l.reported {
+		positions = append(positions, pos)
+	}
+	sortPositions(positions)
+	for _, pos := range positions {
+		pass.Reportf(pos, "%s", l.reported[pos])
+	}
+}
+
+func sortPositions(ps []token.Pos) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

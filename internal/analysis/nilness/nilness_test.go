@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"datablocks/internal/analysis/analysistest"
+	"datablocks/internal/analysis/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "../testdata/nilness", nilness.Analyzer)
+}

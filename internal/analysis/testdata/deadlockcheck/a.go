@@ -1,0 +1,111 @@
+// The fixture reuses the engine's type names so the lock classes line
+// up with the documented acquires-before order:
+//
+//	DB.mu → DB.catMu → Table.wmu → Chunk.loadMu → Relation.mu → Relation.loadErrMu
+package fixture
+
+import (
+	"sync"
+
+	"fixture/sub"
+)
+
+type Relation struct {
+	mu        sync.RWMutex
+	loadErrMu sync.Mutex
+}
+
+type Chunk struct {
+	loadMu sync.Mutex
+}
+
+// GoodOrder follows the documented chain.
+func GoodOrder(c *Chunk, r *Relation) {
+	c.loadMu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	c.loadMu.Unlock()
+}
+
+// BadOrder inverts it: Chunk.loadMu acquired under Relation.mu closes a
+// cycle against the documented edge Chunk.loadMu → Relation.mu.
+func BadOrder(c *Chunk, r *Relation) {
+	r.mu.Lock()
+	c.loadMu.Lock() // want "creates a cycle in the acquires-before graph"
+	c.loadMu.Unlock()
+	r.mu.Unlock()
+}
+
+// BadOrderDeep inverts through a same-package call: the helper's
+// acquisition is only visible interprocedurally.
+func BadOrderDeep(c *Chunk, r *Relation) {
+	r.mu.Lock()
+	lockAndPoke(c) // want "creates a cycle in the acquires-before graph"
+	r.mu.Unlock()
+}
+
+func lockAndPoke(c *Chunk) {
+	c.loadMu.Lock()
+	c.loadMu.Unlock()
+}
+
+// BadOrderCrossPackage inverts through the dependency's exported
+// summary: sub.Relation.Load acquires Relation.mu, which the documented
+// order places before Relation.loadErrMu.
+func BadOrderCrossPackage(r *Relation, s *sub.Relation) {
+	r.loadErrMu.Lock()
+	s.Load() // want "creates a cycle in the acquires-before graph"
+	r.loadErrMu.Unlock()
+}
+
+// BadOrderCrossPackageDeep is the same inversion three calls down in
+// the dependency — the imported summary is transitively closed.
+func BadOrderCrossPackageDeep(r *Relation, s *sub.Relation) {
+	r.loadErrMu.Lock()
+	s.LoadDeep() // want "creates a cycle in the acquires-before graph"
+	r.loadErrMu.Unlock()
+}
+
+// GoodCrossPackage holds nothing the dependency's acquisitions could
+// order against.
+func GoodCrossPackage(s *sub.Relation) {
+	s.Load()
+	s.LoadDeep()
+}
+
+// TwoInstances acquires two locks of the same class with no instance
+// order: the class-level self-edge is a cycle (classic AB-BA hazard).
+func TwoInstances(a, b *Relation) {
+	a.mu.Lock()
+	b.mu.Lock() // want "creates a cycle in the acquires-before graph"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BranchOrder only inverts on one path; may-hold still collects it.
+func BranchOrder(c *Chunk, r *Relation, cond bool) {
+	if cond {
+		r.mu.Lock()
+	}
+	c.loadMu.Lock() // want "creates a cycle in the acquires-before graph"
+	c.loadMu.Unlock()
+	if cond {
+		r.mu.Unlock()
+	}
+}
+
+// HandOff releases before the next acquisition: no edge, no cycle.
+func HandOff(c *Chunk, r *Relation) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	c.loadMu.Lock()
+	c.loadMu.Unlock()
+}
+
+// Suppressed documents a known exception with a reason.
+func Suppressed(c *Chunk, r *Relation) {
+	r.mu.Lock()
+	c.loadMu.Lock() //dbvet:ignore fixture: startup path, single-threaded by construction
+	c.loadMu.Unlock()
+	r.mu.Unlock()
+}

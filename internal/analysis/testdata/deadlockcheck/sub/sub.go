@@ -1,0 +1,23 @@
+// Package sub is the dependency side of the interprocedural fixture:
+// its exported helpers acquire locks, and the root package's calls to
+// them must inherit those acquisitions through the package fact.
+package sub
+
+import "sync"
+
+type Relation struct {
+	mu sync.RWMutex
+}
+
+// Load acquires Relation.mu; callers holding anything that must come
+// after Relation.mu in the documented order close a cycle.
+func (r *Relation) Load() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// LoadDeep acquires Relation.mu two calls down, so the exported summary
+// must be transitively closed before the root package sees it.
+func (r *Relation) LoadDeep() { r.loadMiddle() }
+
+func (r *Relation) loadMiddle() { r.Load() }

@@ -1,0 +1,77 @@
+package fixture
+
+// sink keeps escape analysis honest: assigning to it forces the heap.
+var sink []byte
+
+// Clean is the discipline the gate wants: no allocation, and the
+// compiler eliminates the bounds check from the canonical range loop.
+//
+//dbvet:hotpath
+func Clean(xs []int64) int64 {
+	var t int64
+	for i := range xs {
+		t += xs[i]
+	}
+	return t
+}
+
+// EscapingScratch allocates its scratch buffer on the heap because the
+// global keeps it alive.
+//
+//dbvet:hotpath
+func EscapingScratch(n int) {
+	buf := make([]byte, n) // want "heap allocation in hot path"
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	sink = buf
+}
+
+// GatherChecked indexes with data-dependent positions the SSA backend
+// cannot prove in range: the bounds check survives inside the loop.
+//
+//dbvet:hotpath
+func GatherChecked(xs []int64, idx []int32) int64 {
+	var t int64
+	for _, i := range idx {
+		t += xs[i] // want "bounds check inside a loop in hot path"
+	}
+	return t
+}
+
+// ColdBounds keeps a bounds check too, but outside any loop: one
+// predictable branch is not a hot-path violation.
+//
+//dbvet:hotpath
+func ColdBounds(xs []int64, i int32) int64 {
+	return xs[i]
+}
+
+// Budgeted is GatherChecked with a justified lint-budget.json entry.
+//
+//dbvet:hotpath
+func Budgeted(xs []int64, idx []int32) int64 {
+	var t int64
+	for _, i := range idx {
+		t += xs[i]
+	}
+	return t
+}
+
+// Reasonless has a budget entry without a reason, which is itself a
+// finding — the entry, not the function, is the defect.
+//
+//dbvet:hotpath
+func Reasonless(xs []int64) int64 { // want "lacks a reason"
+	var t int64
+	for i := range xs {
+		t += xs[i]
+	}
+	return t
+}
+
+// Unmarked is outside the gate entirely.
+func Unmarked(n int) {
+	buf := make([]byte, n)
+	sink = buf
+}

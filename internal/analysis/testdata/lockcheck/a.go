@@ -2,15 +2,11 @@ package fixture
 
 import "sync"
 
-// Relation and Chunk reuse the engine's type names so the fixture
-// exercises the documented lock-order ranks (Chunk.loadMu before
-// Relation.mu).
+// Relation reuses the engine's type name so the fixture exercises the
+// real lock classes. Ordering between classes is deadlockcheck's
+// fixture; this one is about the *Locked holder contract.
 type Relation struct {
 	mu sync.RWMutex
-}
-
-type Chunk struct {
-	loadMu sync.Mutex
 }
 
 func (r *Relation) viewLocked() int { return 0 }
@@ -37,18 +33,72 @@ func (r *Relation) SelfDeadlock() {
 	r.mu.Unlock()
 }
 
-func (r *Relation) BadOrder(c *Chunk) {
+// BranchUnlock releases on one path only: at the merge the lock is no
+// longer must-held, which the pre-v2 lexical model missed.
+func (r *Relation) BranchUnlock(cond bool) int {
 	r.mu.Lock()
-	c.loadMu.Lock() // want "inverts the documented lock order"
-	c.loadMu.Unlock()
-	r.mu.Unlock()
+	if cond {
+		r.mu.Unlock()
+	}
+	n := r.viewLocked() // want "without holding r.mu"
+	if !cond {
+		r.mu.Unlock()
+	}
+	return n
 }
 
-func (r *Relation) GoodOrder(c *Chunk) {
-	c.loadMu.Lock()
+// BranchLock acquires on both paths; the merge must-holds the lock.
+func (r *Relation) BranchLock(cond bool) int {
+	if cond {
+		r.mu.RLock()
+	} else {
+		r.mu.Lock()
+	}
+	n := r.viewLocked()
+	if cond {
+		r.mu.RUnlock()
+	} else {
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// OneArmedLock acquires on one path only: not must-held at the call.
+func (r *Relation) OneArmedLock(cond bool) int {
+	if cond {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	return r.viewLocked() // want "without holding r.mu"
+}
+
+// Aliased locks through a local pointer; reaching definitions resolve
+// the alias back to r.mu.
+func (r *Relation) Aliased() int {
+	mu := &r.mu
+	mu.Lock()
+	defer mu.Unlock()
+	return r.viewLocked()
+}
+
+// LoopHold keeps the lock across iterations.
+func (r *Relation) LoopHold(n int) int {
+	total := 0
 	r.mu.Lock()
+	for i := 0; i < n; i++ {
+		total += r.viewLocked()
+	}
 	r.mu.Unlock()
-	c.loadMu.Unlock()
+	return total
+}
+
+// Closure runs on its own goroutine: the enclosing hold doesn't count.
+func (r *Relation) Closure() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.viewLocked() // want "without holding r.mu"
+	}()
 }
 
 type Table struct {

@@ -1,0 +1,95 @@
+package fixture
+
+import "errors"
+
+type node struct {
+	val  int
+	next *node
+}
+
+// ZeroValue dereferences the declared zero value.
+func ZeroValue() int {
+	var p *node
+	return p.val // want "nil dereference in field selection"
+}
+
+// ExplicitNil assigns nil right before the dereference.
+func ExplicitNil(p *node) int {
+	p = nil
+	return p.val // want "nil dereference in field selection"
+}
+
+// BranchRefined dereferences inside the nil arm of the test: the
+// branch-condition edge proves p nil there.
+func BranchRefined(p *node) int {
+	if p == nil {
+		return p.val // want "nil dereference in field selection"
+	}
+	return p.val // non-nil here: refined by the false edge
+}
+
+// BranchRefinedNeq is the negated test.
+func BranchRefinedNeq(p *node) int {
+	if p != nil {
+		return p.val
+	}
+	return p.val // want "nil dereference in field selection"
+}
+
+// Reassigned is nil on one path only: unknown at the merge, no report.
+func Reassigned(cond bool) int {
+	var p *node
+	if cond {
+		p = &node{val: 1}
+	}
+	return p.val
+}
+
+// Healed assigns a fresh value after the nil state.
+func Healed() int {
+	var p *node
+	p = new(node)
+	return p.val
+}
+
+// StarDeref reports the explicit pointer dereference.
+func StarDeref() int {
+	var p *int
+	return *p // want "nil dereference in pointer dereference"
+}
+
+// Loop: nil-ness of the iteration variable is decided by the loop, not
+// the entry state.
+func Loop(head *node) int {
+	total := 0
+	for p := head; p != nil; p = p.next {
+		total += p.val // refined non-nil by the loop condition
+	}
+	return total
+}
+
+// NilInterface calls through a definitely-nil interface.
+func NilInterface() string {
+	var err error
+	return err.Error() // want "nil dereference in dynamic method call"
+}
+
+// NonNilInterface is assigned before the call.
+func NonNilInterface() string {
+	var err error
+	err = errors.New("boom")
+	return err.Error()
+}
+
+// Suppressed documents an intentional crash (e.g. a test helper).
+func Suppressed() int {
+	var p *node
+	return p.val //dbvet:ignore fixture: deliberate crash to exercise the recovery path
+}
+
+// Escaped loses track once the address is taken.
+func Escaped(fill func(**node)) int {
+	var p *node
+	fill(&p)
+	return p.val
+}

@@ -11,6 +11,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 )
 
 // importerFunc adapts a function to types.Importer.
@@ -24,11 +25,13 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 type unitConfig struct {
 	ID          string
 	Compiler    string
+	Dir         string
 	ImportPath  string
 	GoVersion   string
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 	VetxOnly    bool
 	VetxOutput  string
 
@@ -38,10 +41,17 @@ type unitConfig struct {
 // RunUnit implements the `go vet -vettool` compilation-unit protocol:
 // read the JSON config, type-check the unit against the export data the
 // go command already produced, run the analyzers, print plain findings
-// to stderr and exit non-zero when any survive. The facts output file is
-// always written (empty — the suite defines no cross-package facts) so
-// the go command's caching contract holds.
-func RunUnit(cfgFile string, analyzers []*Analyzer) {
+// to stderr and exit non-zero when any survive.
+//
+// Facts: the vetx files the protocol threads between units carry the
+// analyzers' exported PackageFacts as deterministic JSON. Dependencies'
+// facts arrive through PackageVetx; this unit's facts are written to
+// VetxOutput. In VetxOnly mode (the go command wants facts for a
+// dependency of the package actually being vetted) only the
+// fact-exporting analyzers run, diagnostics are discarded, and only
+// packages accepted by wantFacts pay for type-checking — everything
+// else (the standard library, mostly) gets an empty facts file.
+func RunUnit(cfgFile string, analyzers []*Analyzer, wantFacts func(importPath string) bool) {
 	cfg := new(unitConfig)
 	data, err := os.ReadFile(cfgFile)
 	if err == nil {
@@ -51,16 +61,47 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) {
 		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
 		os.Exit(1)
 	}
-	if cfg.VetxOutput != "" {
-		if err = os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
-			os.Exit(1)
+
+	if cfg.VetxOnly {
+		var exporters []*Analyzer
+		for _, a := range analyzers {
+			if a.ExportsFacts {
+				exporters = append(exporters, a)
+			}
 		}
+		if len(exporters) == 0 || wantFacts == nil || !wantFacts(cfg.ImportPath) {
+			writeVetx(cfg.VetxOutput, PackageFacts{})
+			os.Exit(0)
+		}
+		analyzers = exporters
 	}
+
+	pkg, ok := typeCheckUnit(cfg)
+	if !ok {
+		return // failTypecheck already decided the exit
+	}
+
+	diags, _, facts, err := RunAnalyzers(pkg, analyzers, readDepFacts(cfg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
+		os.Exit(1)
+	}
+	writeVetx(cfg.VetxOutput, facts)
 	if cfg.VetxOnly {
 		os.Exit(0)
 	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
 
+// typeCheckUnit parses and checks the unit's files against the export
+// data the go command supplied.
+func typeCheckUnit(cfg *unitConfig) (*Package, bool) {
 	fset := token.NewFileSet()
 	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
 		file, ok := cfg.PackageFile[path]
@@ -81,28 +122,60 @@ func RunUnit(cfgFile string, analyzers []*Analyzer) {
 		f, perr := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if perr != nil {
 			failTypecheck(cfg, perr)
-			return
+			return nil, false
 		}
 		files = append(files, f)
 	}
 	pkg, err := checkFiles(fset, imp, cfg.ImportPath, cfg.GoVersion, files)
 	if err != nil {
 		failTypecheck(cfg, err)
+		return nil, false
+	}
+	pkg.Dir = cfg.Dir
+	return pkg, true
+}
+
+// readDepFacts loads the facts of every dependency whose vetx file
+// holds any, in deterministic (sorted import path) order. Vetx files
+// written by other tools (or the empty files older dbvet versions
+// wrote) are skipped, not errors.
+func readDepFacts(cfg *unitConfig) []PackageFacts {
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var out []PackageFacts
+	for _, path := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		facts := PackageFacts{}
+		if json.Unmarshal(data, &facts) != nil || len(facts) == 0 {
+			continue
+		}
+		out = append(out, facts)
+	}
+	return out
+}
+
+// writeVetx persists the unit's exported facts. The file is always
+// written — the go command's caching contract requires it — and the
+// JSON encoding is deterministic (sorted map keys), so unchanged facts
+// keep cache entries valid.
+func writeVetx(path string, facts PackageFacts) {
+	if path == "" {
 		return
 	}
-
-	diags, _, err := RunAnalyzers(pkg, analyzers)
+	data, err := json.Marshal(facts)
+	if err == nil {
+		err = os.WriteFile(path, data, 0o666)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
-	}
-	if len(diags) > 0 {
-		os.Exit(1)
-	}
-	os.Exit(0)
 }
 
 // failTypecheck honors SucceedOnTypecheckFailure: the go command asks
@@ -121,25 +194,34 @@ func failTypecheck(cfg *unitConfig, err error) {
 // must change when the executable does. Format follows the x/tools
 // versionFlag contract.
 func PrintVersion() {
-	exe, err := os.Executable()
+	h, err := SelfHash()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
 		os.Exit(1)
+	}
+	exe, _ := os.Executable()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h)
+	os.Exit(0)
+}
+
+// SelfHash hashes the running executable; the vettool protocol and the
+// standalone result cache both key on it so a rebuilt tool invalidates
+// everything it produced.
+func SelfHash() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
 	}
 	f, err := os.Open(exe)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
-		os.Exit(1)
+		return "", err
 	}
+	defer f.Close()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
-		f.Close()
-		fmt.Fprintf(os.Stderr, "dbvet: %v\n", err)
-		os.Exit(1)
+		return "", err
 	}
-	f.Close()
-	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
-	os.Exit(0)
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 
 // PrintFlags implements -flags: a JSON description of the flags the go

@@ -137,8 +137,9 @@ func (f *batchFilter) consume(b *core.Batch) {
 //dbvet:hotpath
 func filterBatch(b *core.Batch, mask []bool, sel []uint32) []uint32 {
 	sel = resizeU32(sel, b.N)[:0]
-	for i := 0; i < b.N; i++ {
-		if mask[i] {
+	mask = mask[:b.N]
+	for i, m := range mask {
+		if m {
 			sel = append(sel, uint32(i))
 		}
 	}
@@ -152,37 +153,49 @@ func filterBatch(b *core.Batch, mask []bool, sel []uint32) []uint32 {
 //
 //dbvet:hotpath
 func compactBatchSel(b *core.Batch, sel []uint32) {
-	for ci := range b.Cols {
-		c := &b.Cols[ci]
+	// Compaction writes go through destinations re-sliced to len(sel),
+	// which proves the write index in bounds for the whole row loop; the
+	// reads stay checked because the selection indices are data-dependent
+	// (see lint-budget.json). cols is a local so stores through c cannot
+	// clobber the slice header mid-loop.
+	cols := b.Cols
+	for ci := range cols {
+		c := &cols[ci]
 		switch c.Kind {
 		case types.Int64:
+			dst := c.Ints[:len(sel)]
 			for i, p := range sel {
-				c.Ints[i] = c.Ints[p]
+				dst[i] = c.Ints[p]
 			}
-			c.Ints = c.Ints[:len(sel)]
+			c.Ints = dst
 		case types.Float64:
+			dst := c.Floats[:len(sel)]
 			for i, p := range sel {
-				c.Floats[i] = c.Floats[p]
+				dst[i] = c.Floats[p]
 			}
-			c.Floats = c.Floats[:len(sel)]
+			c.Floats = dst
 		default:
+			dst := c.Strs[:len(sel)]
 			for i, p := range sel {
-				c.Strs[i] = c.Strs[p]
+				dst[i] = c.Strs[p]
 			}
-			c.Strs = c.Strs[:len(sel)]
+			c.Strs = dst
 		}
 		if c.Nulls != nil {
+			dst := c.Nulls[:len(sel)]
 			for i, p := range sel {
-				c.Nulls[i] = c.Nulls[p]
+				dst[i] = c.Nulls[p]
 			}
-			c.Nulls = c.Nulls[:len(sel)]
+			c.Nulls = dst
 		}
 	}
 	if len(b.Pos) > 0 {
+		src := b.Pos
+		dst := src[:len(sel)]
 		for i, p := range sel {
-			b.Pos[i] = b.Pos[p]
+			dst[i] = src[p]
 		}
-		b.Pos = b.Pos[:len(sel)]
+		b.Pos = dst
 	}
 	b.N = len(sel)
 }
@@ -265,8 +278,9 @@ func copyNulls(dst, src []bool, n int) []bool {
 func (m *batchMap) consume(b *core.Batch) {
 	m.out.N = b.N
 	m.out.Pos = append(m.out.Pos[:0], b.Pos...)
+	cols := m.out.Cols[:len(m.setters)]
 	for i, set := range m.setters {
-		set(b, &m.out.Cols[i])
+		set(b, &cols[i])
 	}
 	m.down(&m.out)
 }
@@ -336,11 +350,18 @@ func (j *batchJoinProbe) matchPairs(b *core.Batch) {
 	if j.intKey {
 		col := &b.Cols[j.node.ProbeKeys[0]]
 		bc := &ht.build.Cols[ht.keyCols[0]]
-		for r := 0; r < b.N; r++ {
-			if col.Nulls != nil && col.Nulls[r] {
+		// Re-slicing the key column to the batch length lets the range
+		// loop index without checks; the null vector gets the same
+		// treatment by sharing the loop index with ints.
+		ints := col.Ints[:b.N]
+		nulls := col.Nulls
+		if nulls != nil {
+			nulls = nulls[:b.N]
+		}
+		for r, v := range ints {
+			if nulls != nil && nulls[r] {
 				continue
 			}
-			v := col.Ints[r]
 			h := simd.Mix64(uint64(v))
 			if !ht.testTag(h) {
 				continue
@@ -378,12 +399,17 @@ func (j *batchJoinProbe) consumeInner(b *core.Batch) {
 	out.N = len(j.pairsP)
 	out.Pos = out.Pos[:0]
 	// Probe columns: gather by probe row index.
-	for i := 0; i < j.np; i++ {
-		gatherBatchCol(&out.Cols[i], &b.Cols[i], j.pairsP)
+	pcols := b.Cols[:j.np]
+	pout := out.Cols[:j.np]
+	for i := range pcols {
+		gatherBatchCol(&pout[i], &pcols[i], j.pairsP)
 	}
 	// Build columns: gather from the materialized build result.
-	for bi := range j.buildKinds {
-		gatherResultCol(&out.Cols[j.np+bi], &j.ht.build.Cols[bi], j.pairsB)
+	nb := len(j.buildKinds)
+	bcols := j.ht.build.Cols[:nb]
+	bout := out.Cols[j.np:][:nb]
+	for bi := range bcols {
+		gatherResultCol(&bout[bi], &bcols[bi], j.pairsB)
 	}
 	j.down(out)
 }
@@ -392,17 +418,22 @@ func (j *batchJoinProbe) consumeInner(b *core.Batch) {
 func (j *batchJoinProbe) consumeSemiAnti(b *core.Batch) {
 	wantMatch := j.node.Kind == SemiJoin
 	j.mask = resizeBool(j.mask, b.N)
+	mask := j.mask[:b.N]
 	ht := j.ht
 	if j.intKey {
 		col := &b.Cols[j.node.ProbeKeys[0]]
 		bc := &ht.build.Cols[ht.keyCols[0]]
-		for r := 0; r < b.N; r++ {
-			if col.Nulls != nil && col.Nulls[r] {
+		ints := col.Ints[:b.N]
+		nulls := col.Nulls
+		if nulls != nil {
+			nulls = nulls[:b.N]
+		}
+		for r, v := range ints {
+			if nulls != nil && nulls[r] {
 				// NULL keys never match: semi drops, anti keeps.
-				j.mask[r] = !wantMatch
+				mask[r] = !wantMatch
 				continue
 			}
-			v := col.Ints[r]
 			matched := false
 			if h := simd.Mix64(uint64(v)); ht.testTag(h) {
 				for _, row := range ht.buckets[h] {
@@ -412,13 +443,13 @@ func (j *batchJoinProbe) consumeSemiAnti(b *core.Batch) {
 					}
 				}
 			}
-			j.mask[r] = matched == wantMatch
+			mask[r] = matched == wantMatch
 		}
 	} else {
-		for r := 0; r < b.N; r++ {
+		for r := range mask {
 			key := j.encodeKey(b, r)
 			if key == nil {
-				j.mask[r] = !wantMatch
+				mask[r] = !wantMatch
 				continue
 			}
 			matched := false
@@ -428,7 +459,7 @@ func (j *batchJoinProbe) consumeSemiAnti(b *core.Batch) {
 					break
 				}
 			}
-			j.mask[r] = matched == wantMatch
+			mask[r] = matched == wantMatch
 		}
 	}
 	j.sel = filterBatch(b, j.mask, j.sel)
@@ -442,12 +473,14 @@ func (j *batchJoinProbe) consumeSemiAnti(b *core.Batch) {
 //dbvet:hotpath
 func (j *batchJoinProbe) encodeKey(b *core.Batch, r int) []byte {
 	buf := j.keyBuf[:0]
-	for i, c := range j.node.ProbeKeys {
+	keys := j.node.ProbeKeys
+	kinds := j.ht.keyKinds[:len(keys)]
+	for i, c := range keys {
 		col := &b.Cols[c]
 		if col.Nulls != nil && col.Nulls[r] {
 			return nil
 		}
-		buf = appendKeyCell(buf, j.ht.keyKinds[i], col, r)
+		buf = appendKeyCell(buf, kinds[i], col, r)
 	}
 	j.keyBuf = buf
 	return buf
@@ -478,30 +511,37 @@ func appendKeyCell(buf []byte, kind types.Kind, col *core.BatchCol, r int) []byt
 
 //dbvet:hotpath
 func gatherBatchCol(dst, src *core.BatchCol, idx []uint32) {
+	// The destination of each gather is a local re-sliced to len(idx),
+	// proving the write index in bounds; the data-dependent reads keep
+	// their checks (see lint-budget.json).
 	n := len(idx)
 	dst.Kind = src.Kind
 	switch src.Kind {
 	case types.Int64:
-		dst.Ints = resizeI64(dst.Ints, n)
+		d := resizeI64(dst.Ints, n)[:n]
 		for i, p := range idx {
-			dst.Ints[i] = src.Ints[p]
+			d[i] = src.Ints[p]
 		}
+		dst.Ints = d
 	case types.Float64:
-		dst.Floats = resizeF64(dst.Floats, n)
+		d := resizeF64(dst.Floats, n)[:n]
 		for i, p := range idx {
-			dst.Floats[i] = src.Floats[p]
+			d[i] = src.Floats[p]
 		}
+		dst.Floats = d
 	default:
-		dst.Strs = resizeStr(dst.Strs, n)
+		d := resizeStr(dst.Strs, n)[:n]
 		for i, p := range idx {
-			dst.Strs[i] = src.Strs[p]
+			d[i] = src.Strs[p]
 		}
+		dst.Strs = d
 	}
 	if src.Nulls != nil {
-		dst.Nulls = resizeBool(dst.Nulls, n)
+		d := resizeBool(dst.Nulls, n)[:n]
 		for i, p := range idx {
-			dst.Nulls[i] = src.Nulls[p]
+			d[i] = src.Nulls[p]
 		}
+		dst.Nulls = d
 	} else {
 		dst.Nulls = nil
 	}
@@ -513,23 +553,27 @@ func gatherResultCol(dst *core.BatchCol, src *ResultCol, rows []int32) {
 	dst.Kind = src.Kind
 	switch src.Kind {
 	case types.Int64:
-		dst.Ints = resizeI64(dst.Ints, n)
+		d := resizeI64(dst.Ints, n)[:n]
 		for i, p := range rows {
-			dst.Ints[i] = src.Ints[p]
+			d[i] = src.Ints[p]
 		}
+		dst.Ints = d
 	case types.Float64:
-		dst.Floats = resizeF64(dst.Floats, n)
+		d := resizeF64(dst.Floats, n)[:n]
 		for i, p := range rows {
-			dst.Floats[i] = src.Floats[p]
+			d[i] = src.Floats[p]
 		}
+		dst.Floats = d
 	default:
-		dst.Strs = resizeStr(dst.Strs, n)
+		d := resizeStr(dst.Strs, n)[:n]
 		for i, p := range rows {
-			dst.Strs[i] = src.Strs[p]
+			d[i] = src.Strs[p]
 		}
+		dst.Strs = d
 	}
-	dst.Nulls = resizeBool(dst.Nulls, n)
+	d := resizeBool(dst.Nulls, n)[:n]
 	for i, p := range rows {
-		dst.Nulls[i] = src.Nulls[p]
+		d[i] = src.Nulls[p]
 	}
+	dst.Nulls = d
 }

@@ -51,40 +51,61 @@ func (c *vcompiler) emit() {
 	}
 }
 
+// The resize helpers return s with length n, reusing capacity when they
+// can. The grow side is kept in separate //go:noinline functions so the
+// make stays out of the inlined fast path: hot-path callers see only a
+// capacity compare, and the (amortized, once-per-growth) allocation is
+// attributed to the cold grow frame where it actually runs.
+
 func resizeI64(s []int64, n int) []int64 {
 	if cap(s) < n {
-		return make([]int64, n)
+		return growI64(n)
 	}
 	return s[:n]
 }
+
+//go:noinline
+func growI64(n int) []int64 { return make([]int64, n) }
 
 func resizeF64(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return growF64(n)
 	}
 	return s[:n]
 }
+
+//go:noinline
+func growF64(n int) []float64 { return make([]float64, n) }
 
 func resizeStr(s []string, n int) []string {
 	if cap(s) < n {
-		return make([]string, n)
+		return growStr(n)
 	}
 	return s[:n]
 }
+
+//go:noinline
+func growStr(n int) []string { return make([]string, n) }
 
 func resizeBool(s []bool, n int) []bool {
 	if cap(s) < n {
-		return make([]bool, n)
+		return growBool(n)
 	}
 	return s[:n]
 }
 
+//go:noinline
+func growBool(n int) []bool { return make([]bool, n) }
+
 func resizeU32(s []uint32, n int) []uint32 {
 	if cap(s) < n {
-		return make([]uint32, n)
+		return growU32(n)
 	}
 	return s[:n]
 }
+
+//go:noinline
+func growU32(n int) []uint32 { return make([]uint32, n) }
 
 // constInt extracts a non-null integer literal for broadcast loops.
 func constInt(e Expr) (int64, bool) {
