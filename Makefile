@@ -10,9 +10,11 @@
 #   make bench-evict — eviction/reload benchmarks, one iteration each
 #   make bench-json  — full benchmark suite, one iteration each, as JSON
 #                      events in BENCH_$(BENCH_PR).json (committed so future
-#                      PRs can diff perf against this one)
+#                      PRs can diff perf against this one), plus a
+#                      DB.Metrics() snapshot in METRICS_$(BENCH_PR).json
 #   make bench-smoke — one-iteration run of the consume-path and TPC-H
-#                      benchmarks, so the suite can't bit-rot
+#                      benchmarks, so the suite can't bit-rot, plus the
+#                      profiled Q1/Q6 report with instrumentation cost
 #   make fuzz-short  — every fuzz target for FUZZTIME (default 60s) each
 #   make examples    — build every example; run quickstart (incl. durable
 #                      reopen) against a temp dir
@@ -85,13 +87,16 @@ bench-evict:
 # when the absolute numbers matter more than the trajectory.
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -count=1 -json . > BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/dbrepro -coldrows 20000 metrics > METRICS_$(BENCH_PR).json
 
 # Cheap CI guard: the consume-path (batch vs tuple) and TPC-H benchmark
-# families must at least still run.
+# families must at least still run, and the Q1/Q6 profiles print with
+# the cost of turning the instrumentation on.
 # Note: go test splits -bench on '/' into per-level regexes, so the
 # second level anchors Q1|Q6 for both families.
 bench-smoke:
 	$(GO) test -run '^$$' -bench='ConsumePath|Table2TPCH/(Q1|Q6)$$' -benchtime=1x .
+	$(GO) run ./cmd/dbrepro -sf 0.02 -rounds 3 profile
 
 # go test fuzzes one target per invocation: list each explicitly.
 fuzz-short:

@@ -8,7 +8,7 @@
 //	dbrepro [flags] <experiment>
 //
 // Experiments: table1 table2 table3 tpcc hybrid coldstore restart fig5
-// fig8 fig9 fig10 fig11 fig12 fig13 flights all
+// fig8 fig9 fig10 fig11 fig12 fig13 flights profile metrics all
 package main
 
 import (
@@ -51,6 +51,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  fig12    bit-packing vs byte-aligned codes (Figure 12)\n")
 		fmt.Fprintf(os.Stderr, "  fig13    vector-size sweep (Figure 13 / Appendix A)\n")
 		fmt.Fprintf(os.Stderr, "  flights  Appendix D flights query\n")
+		fmt.Fprintf(os.Stderr, "  profile  EXPLAIN-ANALYZE profiles of Q1/Q6 on Data Blocks + instrumentation cost\n")
+		fmt.Fprintf(os.Stderr, "  metrics  DB.Metrics() JSON snapshot after a representative workload\n")
 		fmt.Fprintf(os.Stderr, "  all      everything above\n\nflags:\n")
 		flag.PrintDefaults()
 	}
@@ -94,13 +96,17 @@ func main() {
 			return experiments.Fig13(w, *sf, *rounds)
 		case "flights":
 			return experiments.FlightsQuery(w, *rows, *rounds)
+		case "profile":
+			return experiments.ProfileQueries(w, *sf, *rounds, *parallel)
+		case "metrics":
+			return experiments.MetricsSnapshot(w, *coldRows)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 	name := flag.Arg(0)
 	if name == "all" {
-		for _, e := range []string{"table1", "table2", "table3", "tpcc", "hybrid", "coldstore", "restart", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "flights"} {
+		for _, e := range []string{"table1", "table2", "table3", "tpcc", "hybrid", "coldstore", "restart", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "flights", "profile", "metrics"} {
 			fmt.Fprintf(w, "==== %s ====\n", e)
 			if err := run(e); err != nil {
 				fmt.Fprintf(os.Stderr, "dbrepro %s: %v\n", e, err)

@@ -34,6 +34,7 @@ import (
 	"datablocks/internal/core"
 	"datablocks/internal/exec"
 	"datablocks/internal/index"
+	"datablocks/internal/obs"
 	"datablocks/internal/storage"
 	"datablocks/internal/types"
 )
@@ -55,6 +56,11 @@ type (
 	// ColdStats summarizes a table's cold-store traffic (evictions,
 	// reloads, residency against the budget, on-disk footprint).
 	ColdStats = storage.ColdStats
+	// StoreStats is the block store's raw I/O ledger.
+	StoreStats = blockstore.StoreStats
+	// QueryProfile is the EXPLAIN-ANALYZE view of a profiled query
+	// (QueryOptions.Profile), attached to Result.Profile.
+	QueryProfile = exec.QueryProfile
 	// TupleID is a stable tuple identifier.
 	TupleID = storage.TupleID
 	// Result is a materialized query result.
@@ -577,6 +583,19 @@ type Table struct {
 	closeOnce     sync.Once
 	compactMu     sync.Mutex
 	compactErr    error
+
+	// ops counts the table's API traffic (see TableOps). These sit on
+	// the per-call paths, not inside scan kernels, so the shared atomic
+	// instruments are appropriate.
+	ops tableOps
+}
+
+// tableOps is the obs-instrument backing of TableOps.
+type tableOps struct {
+	inserts, updates, deletes obs.Counter
+	lookups, lookupMisses     obs.Counter
+	scans, queries            obs.Counter
+	rowsWritten, rowsRead     obs.Counter
 }
 
 // Name returns the table name.
@@ -617,6 +636,8 @@ func (t *Table) Insert(row Row) (TupleID, error) {
 		}
 	}
 	t.wmu.Unlock()
+	t.ops.inserts.Inc()
+	t.ops.rowsWritten.Inc()
 	if tid.Chunk > 0 && tid.Row == 0 {
 		// First row of a fresh chunk: the previous tail just sealed.
 		t.wakeCompactor()
@@ -633,6 +654,7 @@ func (t *Table) BulkLoad(cols []core.ColumnData, n int) error {
 	if err := t.rel.BulkAppend(cols, n); err != nil {
 		return err
 	}
+	t.ops.rowsWritten.Add(uint64(n))
 	if t.pk != nil {
 		return t.pk.Rebuild(t.rel, t.pkCol)
 	}
@@ -653,6 +675,18 @@ func (t *Table) Lookup(key int64) (Row, bool) {
 	if t.pk == nil {
 		return nil, false
 	}
+	t.ops.lookups.Inc()
+	row, ok := t.lookupVersioned(key)
+	if ok {
+		t.ops.rowsRead.Inc()
+	} else {
+		t.ops.lookupMisses.Inc()
+	}
+	return row, ok
+}
+
+// lookupVersioned is Lookup's epoch-retry loop.
+func (t *Table) lookupVersioned(key int64) (Row, bool) {
 	for {
 		// Epoch first, record second: the writer publishes the index
 		// record before it commits (mints the epoch), so a record newer
@@ -721,6 +755,7 @@ func (t *Table) Delete(key int64) bool {
 		return false
 	}
 	t.pk.Delete(key)
+	t.ops.deletes.Inc()
 	return true
 }
 
@@ -789,6 +824,8 @@ func (t *Table) Update(key int64, row Row) error {
 	if newKey != key {
 		t.pk.Delete(key)
 	}
+	t.ops.updates.Inc()
+	t.ops.rowsWritten.Inc()
 	if newTid.Chunk > 0 && newTid.Row == 0 {
 		// The rewritten version opened a fresh chunk: the previous tail
 		// just sealed (updates append row versions like inserts do).
@@ -1025,7 +1062,13 @@ func (t *Table) Scan(cols []string, preds []Pred, opt QueryOptions) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return exec.Run(plan, t.applyDefaults(opt))
+	res, err := exec.Run(plan, t.applyDefaults(opt))
+	if err != nil {
+		return nil, err
+	}
+	t.ops.scans.Inc()
+	t.ops.rowsRead.Add(uint64(res.NumRows()))
+	return res, nil
 }
 
 // Query executes an arbitrary physical plan with the table's default
@@ -1033,7 +1076,13 @@ func (t *Table) Scan(cols []string, preds []Pred, opt QueryOptions) (*Result, er
 // Use this instead of the package-level Query when the plan's driving scan
 // belongs to this table and its WithParallelism default should take effect.
 func (t *Table) Query(plan Node, opt QueryOptions) (*Result, error) {
-	return exec.Run(plan, t.applyDefaults(opt))
+	res, err := exec.Run(plan, t.applyDefaults(opt))
+	if err != nil {
+		return nil, err
+	}
+	t.ops.queries.Inc()
+	t.ops.rowsRead.Add(uint64(res.NumRows()))
+	return res, nil
 }
 
 // applyDefaults resolves the table-level query defaults: a zero

@@ -15,6 +15,13 @@
 //     the heap.
 //   - panic: kernels must return errors; a panic in a per-batch loop
 //     tears down the whole scan driver.
+//   - shared telemetry: method calls on the obs package's process-wide
+//     instruments (Counter, Gauge, Histogram — all backed by a single
+//     atomic) contend one cache line across every worker on every
+//     batch. Kernels must use the per-worker Shard* fast path (plain
+//     fields) and flush at batch boundaries.
+//   - expvar: the global registry locks and allocates; export metrics
+//     from outside the kernel.
 //
 // The annotation is inherited by function literals declared inside an
 // annotated body (they run on the same per-batch path).
@@ -23,6 +30,7 @@ package hotpath
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"datablocks/internal/analysis"
 )
@@ -115,6 +123,24 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		return
 	}
 
+	// Telemetry discipline: the obs package's shared instruments are
+	// process-wide atomics — an increment from a kernel contends one cache
+	// line across every worker, once per batch element. Only the sharded
+	// per-worker API (Shard* types, plain fields) may run here; shards are
+	// merged into the shared instruments at batch boundaries.
+	if obj := analysis.CalleeObject(info, call); obj != nil && obj.Pkg() != nil {
+		if obj.Pkg().Name() == "obs" {
+			if recv := receiverNamed(obj); recv != nil && !strings.HasPrefix(recv.Obj().Name(), "Shard") {
+				pass.Reportf(call.Pos(), "hot path calls %s.%s on shared telemetry: every worker contends the same atomic; count into a per-worker obs.Shard%s and flush at the batch boundary", recv.Obj().Name(), obj.Name(), recv.Obj().Name())
+				return
+			}
+		}
+		if obj.Pkg().Path() == "expvar" {
+			pass.Reportf(call.Pos(), "hot path calls into expvar: the global registry locks and allocates; export metrics outside //dbvet:hotpath code")
+			return
+		}
+	}
+
 	// Explicit conversion to an interface type boxes the operand.
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 		if analysis.IsInterface(tv.Type) {
@@ -123,4 +149,23 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 			}
 		}
 	}
+}
+
+// receiverNamed returns the named type a method is declared on (through
+// a pointer receiver), or nil for plain functions.
+func receiverNamed(obj types.Object) *types.Named {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
 }

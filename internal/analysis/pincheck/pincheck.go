@@ -21,6 +21,7 @@ package pincheck
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 
 	"datablocks/internal/analysis"
 )
@@ -310,9 +311,22 @@ func (w *walker) handleAssign(s *ast.AssignStmt, st state) {
 		return
 	}
 
-	// Handle pins: v1, unpin, err := x.pinBlock(...)
+	// Handle pins: v1, unpin, ..., err := x.pinBlock(...). The unpin
+	// closure is located by type — the func() result — not by position,
+	// so pin functions may grow extra results (pinBlock's loaded flag)
+	// without silently escaping the check.
 	if PinFuncs[obj.Name()] && len(s.Lhs) >= 2 {
-		unpinName := identName(s.Lhs[len(s.Lhs)-2])
+		unpinIdx := len(s.Lhs) - 2
+		if sig, isSig := obj.Type().(*types.Signature); isSig && sig.Results().Len() == len(s.Lhs) {
+			for i := 0; i < sig.Results().Len(); i++ {
+				if rs, isFn := sig.Results().At(i).Type().Underlying().(*types.Signature); isFn &&
+					rs.Params().Len() == 0 && rs.Results().Len() == 0 {
+					unpinIdx = i
+					break
+				}
+			}
+		}
+		unpinName := identName(s.Lhs[unpinIdx])
 		errName := identName(s.Lhs[len(s.Lhs)-1])
 		if unpinName == "_" {
 			w.pass.Reportf(s.Pos(), "the unpin closure returned by %s is discarded: the pin can never be released", obj.Name())

@@ -1,0 +1,61 @@
+package fixture
+
+import (
+	"expvar"
+
+	"fixture/obs"
+)
+
+var (
+	scanned obs.Counter
+	depth   obs.Gauge
+	latency obs.Histogram
+	evRows  expvar.Int
+)
+
+//dbvet:hotpath
+func badSharedCounter(rows []int64) {
+	for range rows {
+		scanned.Inc() // want "shared telemetry"
+	}
+}
+
+//dbvet:hotpath
+func badSharedAdd(n uint64) {
+	scanned.Add(n) // want "shared telemetry"
+}
+
+//dbvet:hotpath
+func badSharedGauge() {
+	depth.Set(3) // want "shared telemetry"
+}
+
+//dbvet:hotpath
+func badSharedHist(ns uint64) {
+	latency.Observe(ns) // want "shared telemetry"
+}
+
+//dbvet:hotpath
+func badExpvar(rows []int64) {
+	for range rows {
+		evRows.Add(1) // want "calls into expvar"
+	}
+}
+
+// The per-worker shard API is the sanctioned fast path: plain fields,
+// no atomics, no findings.
+//
+//dbvet:hotpath
+func goodShard(rows []int64, c *obs.ShardCounter) {
+	for range rows {
+		c.Inc()
+	}
+}
+
+// Batch boundary: no annotation, so merging shards into the shared
+// instruments (and touching them directly) is fine here.
+func flushBoundary(c *obs.ShardCounter) {
+	c.FlushTo(&scanned)
+	scanned.Inc()
+	evRows.Add(1)
+}

@@ -1,0 +1,28 @@
+// Package obs mirrors the shapes of the engine's telemetry core: the
+// shared process-wide instruments (Counter, Gauge, Histogram) the
+// hotpath rule forbids in kernels, and the per-worker Shard* fast path
+// it steers them toward.
+package obs
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc()         { c.v++ }
+func (c *Counter) Add(n uint64) { c.v += n }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{ sum uint64 }
+
+func (h *Histogram) Observe(v uint64) { h.sum += v }
+
+type ShardCounter struct{ v uint64 }
+
+func (c *ShardCounter) Inc()         { c.v++ }
+func (c *ShardCounter) Add(n uint64) { c.v += n }
+
+func (c *ShardCounter) FlushTo(d *Counter) {
+	d.Add(c.v)
+	c.v = 0
+}

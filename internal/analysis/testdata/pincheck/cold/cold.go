@@ -1,0 +1,40 @@
+// Package cold mirrors pinBlock after it grew a loaded flag: the unpin
+// closure is no longer the second-to-last result, and pincheck must find
+// it by type rather than position.
+package cold
+
+import "errors"
+
+func pinBlock() (int, func(), bool, error) { return 0, func() {}, false, nil }
+
+func cond() bool { return false }
+
+func handlePin() (int, error) {
+	blk, unpin, _, err := pinBlock()
+	if err != nil {
+		return 0, err
+	}
+	defer unpin()
+	return blk, nil
+}
+
+func discardPin() error {
+	_, _, loaded, err := pinBlock() // want "unpin closure returned by pinBlock is discarded"
+	if err != nil {
+		return err
+	}
+	_ = loaded
+	return nil
+}
+
+func leakPin() error {
+	_, unpin, _, err := pinBlock()
+	if err != nil {
+		return err
+	}
+	if cond() {
+		return errors.New("lost") // want "returning with the pin taken"
+	}
+	unpin()
+	return nil
+}

@@ -309,21 +309,30 @@ func (b *Block) Value(col, row int) types.Value {
 func (b *Block) CompressedSize() int {
 	size := 16 // block header
 	for i := range b.attrs {
-		a := &b.attrs[i]
-		switch a.Kind {
-		case types.Int64:
-			size += a.Ints.CompressedSize()
-		case types.Float64:
-			size += a.Floats.CompressedSize()
-		default:
-			size += a.Strs.CompressedSize()
-		}
-		if a.Validity != nil {
-			size += len(a.Validity) * 8
-		}
-		if a.Psma != nil {
-			size += a.Psma.SizeBytes()
-		}
+		size += b.AttrCompressedSize(i)
+	}
+	return size
+}
+
+// AttrCompressedSize returns the in-memory footprint of one attribute's
+// compressed vector, validity bitmap and PSMA, in bytes. Per-scheme
+// compression-ratio telemetry sums these by Scheme(i).
+func (b *Block) AttrCompressedSize(i int) int {
+	a := &b.attrs[i]
+	size := 0
+	switch a.Kind {
+	case types.Int64:
+		size += a.Ints.CompressedSize()
+	case types.Float64:
+		size += a.Floats.CompressedSize()
+	default:
+		size += a.Strs.CompressedSize()
+	}
+	if a.Validity != nil {
+		size += len(a.Validity) * 8
+	}
+	if a.Psma != nil {
+		size += a.Psma.SizeBytes()
 	}
 	return size
 }
@@ -334,21 +343,27 @@ func (b *Block) CompressedSize() int {
 func (b *Block) UncompressedSize() int {
 	size := 0
 	for i := range b.attrs {
-		a := &b.attrs[i]
-		switch a.Kind {
-		case types.Int64, types.Float64:
-			size += 8 * b.n
-		default:
-			size += 16 * b.n // string header
-			v := a.Strs
-			if v.Scheme == compress.SingleValue {
-				size += len(v.Single) * b.n
-			} else {
-				for row := 0; row < b.n; row++ {
-					size += len(v.Dict[v.CodeAt(row)])
-				}
-			}
-		}
+		size += b.AttrUncompressedSize(i)
 	}
 	return size
+}
+
+// AttrUncompressedSize returns one attribute's hot-store footprint.
+func (b *Block) AttrUncompressedSize(i int) int {
+	a := &b.attrs[i]
+	switch a.Kind {
+	case types.Int64, types.Float64:
+		return 8 * b.n
+	default:
+		size := 16 * b.n // string header
+		v := a.Strs
+		if v.Scheme == compress.SingleValue {
+			size += len(v.Single) * b.n
+		} else {
+			for row := 0; row < b.n; row++ {
+				size += len(v.Dict[v.CodeAt(row)])
+			}
+		}
+		return size
+	}
 }

@@ -28,6 +28,9 @@ type batchConsumer func(*core.Batch)
 // error) when some operator cannot run batch-at-a-time; the caller then
 // falls back to the tuple chain.
 func (ex *executor) compileBatchChain(n Node, down batchConsumer, c *compiler) (batchConsumer, error) {
+	// down consumes n's output batches: the wrapper counts n's emitted
+	// rows/batches and times the downstream chain (see compileChain).
+	down = c.wp.wrapBatch(ex.profIdx(n), down)
 	switch n := n.(type) {
 	case *ScanNode:
 		return down, nil

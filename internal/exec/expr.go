@@ -164,6 +164,9 @@ type (
 type compiler struct {
 	kinds []types.Kind
 	stats *CompileStats
+	// wp is the worker's profile shard the chain being compiled should
+	// report into; nil when the query is not being profiled.
+	wp *workerProf
 }
 
 func (c *compiler) emit() {

@@ -229,6 +229,16 @@ func (a *aggregator) evalSlots(b *core.Batch) {
 
 func (a *aggregator) numGroups() int { return len(a.keys) }
 
+// overflowGroups counts the groups that spilled into the same-hash
+// overflow map on the batch path — the aggregator's collision telemetry.
+func (a *aggregator) overflowGroups() int {
+	n := 0
+	for _, gids := range a.hashDup {
+		n += len(gids)
+	}
+	return n
+}
+
 // newGroup appends a zeroed accumulator slot for a fresh group, registers
 // its canonical byte key for merging and its raw key cells for batch-path
 // verification.

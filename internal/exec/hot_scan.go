@@ -17,6 +17,10 @@ import (
 
 func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 	h := ch.Hot()
+	var s *scanShard
+	if d.wp != nil {
+		s = &d.wp.scan
+	}
 	// Iterate to the view's watermark: rows appended after the snapshot
 	// are not part of the view.
 	n := ch.Rows()
@@ -45,6 +49,13 @@ func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 		} else {
 			m = simd.Sequence(m, cnt, uint32(from))
 		}
+		if s != nil {
+			s.vectors.Inc()
+			if len(m) == 0 {
+				// SARG predicates emptied this vector before visibility.
+				s.prunedVectors.Inc()
+			}
+		}
 		if len(m) > 0 {
 			// Epoch-aware visibility: drops rows deleted at or before the
 			// snapshot cutoff and update versions born after it, reading
@@ -58,6 +69,9 @@ func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 		if len(m) == 0 {
 			continue
 		}
+		if s != nil {
+			s.rowsMatched.Add(uint64(len(m)))
+		}
 		if d.bcons != nil {
 			d.lazyPush(m, func(col int, m []uint32) {
 				d.gatherHotCol(h, col, m)
@@ -65,6 +79,9 @@ func (d *scanDriver) vecHot(ch *storage.ChunkView) error {
 			continue
 		}
 		d.gatherHot(h, m)
+		if s != nil {
+			s.unpacks.Add(uint64(len(d.kinds)))
+		}
 		d.pushBatch()
 	}
 	return nil

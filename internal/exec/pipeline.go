@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"datablocks/internal/core"
 	"datablocks/internal/storage"
@@ -28,6 +29,12 @@ type Options struct {
 	TupleAtATime bool
 	// Stats, when non-nil, receives code-generation counters.
 	Stats *CompileStats
+	// Profile collects an EXPLAIN-ANALYZE style QueryProfile on the
+	// Result. Profiling counters live in per-worker shards merged after
+	// the morsel workers join, so the scan kernels stay allocation- and
+	// contention-free; still, the per-edge wrappers cost a little, so
+	// profiling is opt-in per query.
+	Profile bool
 }
 
 // Run executes the plan and materializes its result.
@@ -39,13 +46,37 @@ func Run(n Node, opt Options) (*Result, error) {
 		opt.Parallelism = 1
 	}
 	ex := &executor{opt: opt, builds: make(map[*JoinNode]*hashTable)}
-	return ex.run(n)
+	if opt.Profile {
+		// Plans whose shape the profiler cannot map run unprofiled rather
+		// than failing.
+		ex.prof, _ = newProfiler(n, opt)
+	}
+	res, err := ex.run(n)
+	if err != nil {
+		return nil, err
+	}
+	if ex.prof != nil {
+		res.Profile = ex.prof.finish(uint64(res.NumRows()))
+	}
+	return res, nil
 }
 
 type executor struct {
 	opt         Options
 	builds      map[*JoinNode]*hashTable
 	compileOnly bool
+	// prof, when non-nil, collects the QueryProfile for the root pipeline.
+	// Join build sides run with prof temporarily cleared: the profile
+	// describes the probe spine, builds appear as BuildRows on their join.
+	prof *profiler
+}
+
+// profIdx maps a spine node to its operator slot, -1 when unprofiled.
+func (ex *executor) profIdx(n Node) int {
+	if ex.prof == nil {
+		return -1
+	}
+	return ex.prof.opIndex(n)
 }
 
 // CompileOnly performs all code generation for the plan — pipeline
@@ -78,7 +109,14 @@ func (ex *executor) run(n Node) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		rowsIn := res.NumRows()
+		t0 := time.Now()
 		res.SortBy(n.Keys, n.Limit)
+		if p := ex.prof; p != nil {
+			p.orderIn = uint64(rowsIn)
+			p.orderOut = uint64(res.NumRows())
+			p.orderTime = time.Since(t0)
+		}
 		return res, nil
 	case *AggNode:
 		inKinds, err := n.Child.OutKinds()
@@ -107,6 +145,8 @@ func (ex *executor) run(n Node) (*Result, error) {
 				// tuple chain; the aggregator still works either way.
 				if err := a.vectorize(c.stats); err == nil {
 					s.batch = a.consumeBatch
+				} else if ex.prof != nil {
+					ex.prof.setFallback("aggregate not vectorizable: " + err.Error())
 				}
 			}
 			return s, nil
@@ -114,9 +154,21 @@ func (ex *executor) run(n Node) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if p := ex.prof; p != nil {
+			// Overflow-map occupancy is per worker state; sum it before the
+			// merge collapses the partials.
+			var spilled uint64
+			for _, a := range aggs {
+				spilled += uint64(a.overflowGroups())
+			}
+			p.spilled = spilled
+		}
 		root := aggs[0]
 		for _, a := range aggs[1:] {
 			root.merge(a)
+		}
+		if p := ex.prof; p != nil {
+			p.groups = uint64(root.numGroups())
 		}
 		return root.finalize(outKinds), nil
 	default:
@@ -181,11 +233,20 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (pipeSin
 	if workers < 1 {
 		workers = 1
 	}
+	if p := ex.prof; p != nil && !ex.compileOnly {
+		p.totalChunks = uint64(len(chunks))
+		if ex.opt.TupleAtATime && ex.opt.Mode != ModeJIT {
+			p.setFallback("tuple-at-a-time forced by options")
+		}
+	}
 	drivers := make([]*scanDriver, workers)
 	for w := 0; w < workers; w++ {
 		c := &compiler{}
 		if w == 0 {
 			c.stats = ex.opt.Stats
+		}
+		if ex.prof != nil && !ex.compileOnly {
+			c.wp = ex.prof.newWorker()
 		}
 		sink, err := sinkFactory(c)
 		if err != nil {
@@ -201,11 +262,24 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (pipeSin
 			// lower silently falls back to the tuple chain compiled above.
 			if bc, berr := ex.compileBatchChain(chain, sink.batch, c); berr == nil {
 				bcons = bc
+			} else if ex.prof != nil {
+				ex.prof.setFallback("batch chain: " + berr.Error())
 			}
 		}
 		d, err := ex.newScanDriver(scan, cons, bcons, c, chunks)
 		if err != nil {
 			return err
+		}
+		if p := ex.prof; p != nil && w == 0 {
+			if d.bcons != nil {
+				p.mu.Lock()
+				p.batchPath = true
+				p.mu.Unlock()
+			} else if bcons != nil {
+				// The driver dropped the compiled batch chain: a scan
+				// conjunct could not be lowered to a batch mask.
+				p.setFallback("scan conjunct not vectorizable")
+			}
 		}
 		// Early probing runs inside vectorized scans only (Appendix E).
 		if ex.opt.Mode != ModeJIT {
@@ -221,7 +295,7 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (pipeSin
 	}
 	if workers == 1 {
 		for i := range chunks {
-			if err := drivers[0].processChunk(&chunks[i]); err != nil {
+			if err := drivers[0].processChunkTimed(&chunks[i]); err != nil {
 				return err
 			}
 		}
@@ -245,7 +319,7 @@ func (ex *executor) runPipeline(chain Node, sinkFactory func(*compiler) (pipeSin
 				if failed.Load() {
 					return
 				}
-				if err := d.processChunk(v); err != nil {
+				if err := d.processChunkTimed(v); err != nil {
 					failed.Store(true)
 					errCh <- err
 					return
@@ -277,11 +351,19 @@ func (ex *executor) prepareBuilds(n Node) (*ScanNode, error) {
 			return nil, fmt.Errorf("exec: CompileOnly does not support joins (pipeline breakers execute)")
 		}
 		if _, done := ex.builds[n]; !done {
+			// The build side is its own pipeline; profile counters describe
+			// the probe spine only, so suspend collection while it runs.
+			saved := ex.prof
+			ex.prof = nil
 			buildRes, err := ex.run(n.Build)
+			ex.prof = saved
 			if err != nil {
 				return nil, err
 			}
 			ex.builds[n] = buildHashTable(buildRes, n.BuildKeys)
+			if ex.prof != nil {
+				ex.prof.noteBuild(n, uint64(buildRes.NumRows()))
+			}
 		}
 		return ex.prepareBuilds(n.Probe)
 	default:
@@ -292,6 +374,9 @@ func (ex *executor) prepareBuilds(n Node) (*ScanNode, error) {
 // compileChain lowers the operator chain above the scan into a single fused
 // consumer closure — the query-pipeline compilation of §4.
 func (ex *executor) compileChain(n Node, down func(*Tuple), c *compiler) (func(*Tuple), error) {
+	// down consumes n's output: wrapping it here counts n's emitted rows
+	// and times everything downstream of n, attributed to n's slot.
+	down = c.wp.wrapTuple(ex.profIdx(n), down)
 	switch n := n.(type) {
 	case *ScanNode:
 		return down, nil

@@ -14,6 +14,9 @@ type Result struct {
 	Kinds []types.Kind
 	Cols  []ResultCol
 	n     int
+	// Profile is the query's EXPLAIN-ANALYZE profile, attached when the
+	// query ran with Options.Profile; nil otherwise.
+	Profile *QueryProfile
 }
 
 // ResultCol is one column of a result.

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"datablocks/internal/compress"
 	"datablocks/internal/core"
@@ -56,6 +57,10 @@ type scanDriver struct {
 	matches  []uint32
 	pushSARG bool
 	usePSMA  bool
+
+	// wp is this worker's profile shard (nil when the query is not being
+	// profiled); its counters are plain, worker-owned cells.
+	wp *workerProf
 }
 
 // layoutPath is the compiled scan code for one storage-layout combination.
@@ -90,6 +95,7 @@ func (ex *executor) newScanDriver(scan *ScanNode, cons func(*Tuple), bcons batch
 		stats:   c.stats,
 		tuple:   NewTuple(len(kinds)),
 		usePSMA: ex.opt.Mode == ModeVectorizedSARGPSMA,
+		wp:      c.wp,
 	}
 	d.pushSARG = ex.opt.Mode == ModeVectorizedSARG || ex.opt.Mode == ModeVectorizedSARGPSMA
 	for _, p := range scan.Preds {
@@ -372,14 +378,32 @@ func compileAccessor(a *core.Attr, kind types.Kind, c *compiler) (blockAccessor,
 // evictor cannot pull the block out from under the scan.
 func (d *scanDriver) processChunk(ch *storage.ChunkView) error {
 	if ch.IsFrozen() {
-		if err := ch.Acquire(); err != nil {
+		if d.wp != nil {
+			t0 := time.Now()
+			reloaded, err := ch.AcquireReload()
+			d.wp.scan.pinWaitNs.Add(uint64(time.Since(t0)))
+			if err != nil {
+				return err
+			}
+			if reloaded {
+				d.wp.scan.reloads.Inc()
+			}
+		} else if err := ch.Acquire(); err != nil {
 			return err
 		}
 		defer ch.Release()
 		if d.mode == ModeJIT {
+			// JIT never probes the SMA, so every frozen chunk is visited.
+			if d.wp != nil {
+				d.wp.scan.frozenChunks.Inc()
+			}
 			return d.jitBlock(ch)
 		}
+		// vecBlock attributes the chunk to visited or SMA-skipped itself.
 		return d.vecBlock(ch)
+	}
+	if d.wp != nil {
+		d.wp.scan.hotChunks.Inc()
 	}
 	if ch.Rows() == 0 {
 		return nil
@@ -388,6 +412,19 @@ func (d *scanDriver) processChunk(ch *storage.ChunkView) error {
 		return d.jitHotChunk(ch)
 	}
 	return d.vecHot(ch)
+}
+
+// processChunkTimed is processChunk under the profiler's per-worker
+// morsel/busy accounting; identical when unprofiled.
+func (d *scanDriver) processChunkTimed(ch *storage.ChunkView) error {
+	if d.wp == nil {
+		return d.processChunk(ch)
+	}
+	d.wp.morsel.Inc()
+	t0 := time.Now()
+	err := d.processChunk(ch)
+	d.wp.busyNs.Add(uint64(time.Since(t0)))
+	return err
 }
 
 // jitBlock scans a frozen block tuple-at-a-time through the layout's
@@ -461,11 +498,33 @@ func (d *scanDriver) vecBlock(ch *storage.ChunkView) error {
 	if err != nil {
 		return err
 	}
+	var s *scanShard
+	var totalVec, produced uint64
+	if d.wp != nil {
+		s = &d.wp.scan
+		if sc.SkippedBySMA() {
+			s.skippedChunks.Inc()
+		} else {
+			s.frozenChunks.Inc()
+		}
+		// ScanRange must be read before iterating: the cursor advances.
+		if begin, end := sc.ScanRange(); end > begin {
+			totalVec = uint64((end - begin + d.vecSize - 1) / d.vecSize)
+		}
+	}
 	for {
 		m, ok := sc.NextMatches()
 		if !ok {
+			if s != nil {
+				// NextMatches skips SARG-emptied vectors internally, so the
+				// pruned count is the vectors the range held minus the
+				// vectors that surfaced.
+				s.vectors.Add(totalVec)
+				s.prunedVectors.Add(totalVec - produced)
+			}
 			return nil
 		}
+		produced++
 		m = ch.FilterVisible(m)
 		if len(m) == 0 {
 			continue
@@ -476,6 +535,9 @@ func (d *scanDriver) vecBlock(ch *storage.ChunkView) error {
 				continue
 			}
 		}
+		if s != nil {
+			s.rowsMatched.Add(uint64(len(m)))
+		}
 		if d.bcons != nil {
 			d.lazyPush(m, func(col int, m []uint32) {
 				sc.UnpackColumn(&d.batch, col, m)
@@ -483,6 +545,9 @@ func (d *scanDriver) vecBlock(ch *storage.ChunkView) error {
 			continue
 		}
 		sc.Unpack(&d.batch, m)
+		if s != nil {
+			s.unpacks.Add(uint64(len(d.kinds)))
+		}
 		d.pushBatch()
 	}
 }
@@ -507,6 +572,9 @@ func (d *scanDriver) lazyPush(m []uint32, unpackCol func(col int, m []uint32)) {
 		for _, col := range cj.cols {
 			if !d.unpacked[col] {
 				unpackCol(col, b.Pos)
+				if d.wp != nil {
+					d.wp.scan.unpacks.Inc()
+				}
 				d.unpacked[col] = true
 			}
 		}
@@ -529,6 +597,9 @@ func (d *scanDriver) lazyPush(m []uint32, unpackCol func(col int, m []uint32)) {
 	for col := range d.kinds {
 		if !d.unpacked[col] {
 			unpackCol(col, b.Pos)
+			if d.wp != nil {
+				d.wp.scan.unpacks.Inc()
+			}
 		}
 	}
 	d.bcons(b)

@@ -5,7 +5,6 @@ import (
 	"io"
 	"os"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"datablocks"
@@ -156,13 +155,10 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 	// pinned keys. Misses on always-live keys fail the run.
 	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
 	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		runErr   error
-		rounds   = make([]int, writers)
-		scans    atomic.Int64
-		scanned  atomic.Int64
-		pinReads atomic.Int64
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		runErr error
+		rounds = make([]int, writers)
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -196,15 +192,12 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 				datablocks.ModeJIT,
 			}
 			for i := s; time.Now().Before(deadline); i++ {
-				res, err := tbl.Scan([]string{"id", "amount"},
+				if _, err := tbl.Scan([]string{"id", "amount"},
 					[]datablocks.Pred{{Col: "amount", Op: datablocks.Ge, Lo: datablocks.Float(0)}},
-					datablocks.QueryOptions{Mode: modes[i%len(modes)]})
-				if err != nil {
+					datablocks.QueryOptions{Mode: modes[i%len(modes)]}); err != nil {
 					fail(fmt.Errorf("scan: %w", err))
 					return
 				}
-				scans.Add(1)
-				scanned.Add(int64(res.NumRows()))
 			}
 		}(s)
 	}
@@ -214,7 +207,6 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 		for i := 0; time.Now().Before(deadline); i++ {
 			g := i % writers
 			row, ok := tbl.Lookup(pinnedKey(g))
-			pinReads.Add(1)
 			if !ok {
 				fail(fmt.Errorf("read anomaly: pinned key %d missed mid-update", pinnedKey(g)))
 				return
@@ -226,12 +218,13 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 		}
 	}()
 	wg.Wait()
-	// Snapshot the cold-store counters at the end of the concurrent phase:
-	// DB.Close below reloads every evicted block and garbage-collects the
-	// spill cache (the store was never persisted), and the verification
-	// sweeps add churn of their own — both would skew the report.
-	cs := tbl.ColdStats()
-	st := tbl.Stats()
+	// Snapshot the full telemetry at the end of the concurrent phase, in
+	// one consistent Metrics() read (separate ColdStats/Stats calls could
+	// interleave with late compactor work): DB.Close below reloads every
+	// evicted block and garbage-collects the spill cache (the store was
+	// never persisted), and the verification sweeps add churn of their own
+	// — both would skew the report.
+	m := tbl.Metrics()
 	if err = cold.Close(); err != nil {
 		return fmt.Errorf("cold table close: %w", err)
 	}
@@ -326,9 +319,9 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 		return fmt.Errorf("%d of %d sampled point lookups diverged from ground truth", sampleMismatch, sampled)
 	}
 
-	if cs.Evictions == 0 || cs.Reloads == 0 {
+	if m.Cold.Evictions == 0 || m.Cold.Reloads == 0 {
 		return fmt.Errorf("no eviction/reload churn (evictions %d, reloads %d): dataset did not exceed the budget",
-			cs.Evictions, cs.Reloads)
+			m.Cold.Evictions, m.Cold.Reloads)
 	}
 
 	fmt.Fprintf(w, "Cold block store — dataset ≫ budget (%d rows, %s budget), %d writers, %d scanners, %.1fs\n",
@@ -340,15 +333,17 @@ func ColdStore(w io.Writer, rows int, seconds float64, writers, scanners int, bu
 	}
 	t.AddRow("live rows", fmt.Sprint(tbl.NumRows()))
 	t.AddRow("writer rounds", fmt.Sprint(totalRounds))
-	t.AddRow("analytic scans", fmt.Sprint(scans.Load()))
-	t.AddRow("rows scanned", fmt.Sprint(scanned.Load()))
-	t.AddRow("pinned-key lookups", fmt.Sprint(pinReads.Load()))
-	t.AddRow("block evictions", fmt.Sprint(cs.Evictions))
-	t.AddRow("block reloads", fmt.Sprint(cs.Reloads))
-	t.AddRow("resident frozen bytes", fmtBytes(cs.ResidentBytes))
-	t.AddRow("memory budget", fmtBytes(cs.BudgetBytes))
-	t.AddRow("store blocks / bytes", fmt.Sprintf("%d / %s", cs.StoredBlocks, fmtBytes(cs.DiskBytes)))
-	t.AddRow("evicted chunks (end)", fmt.Sprint(st.EvictedChunks))
+	t.AddRow("analytic scans", fmt.Sprint(m.Ops.Scans))
+	t.AddRow("rows read (scans + lookups)", fmt.Sprint(m.Ops.RowsRead))
+	t.AddRow("point lookups", fmt.Sprint(m.Ops.Lookups))
+	t.AddRow("block evictions", fmt.Sprint(m.Cold.Evictions))
+	t.AddRow("block reloads", fmt.Sprint(m.Cold.Reloads))
+	t.AddRow("single-flight collapses", fmt.Sprint(m.Cold.Collapses))
+	t.AddRow("resident frozen bytes", fmtBytes(m.Cold.ResidentBytes))
+	t.AddRow("memory budget", fmtBytes(m.Cold.BudgetBytes))
+	t.AddRow("store blocks / bytes", fmt.Sprintf("%d / %s", m.Cold.StoredBlocks, fmtBytes(m.Cold.DiskBytes)))
+	t.AddRow("freezes (end)", fmt.Sprint(m.Freeze.Freezes))
+	t.AddRow("evicted chunks (end)", fmt.Sprint(m.Mem.EvictedChunks))
 	t.Write(w)
 	fmt.Fprintf(w, "aggregates, pinned keys and %d sampled lookups match the unbounded-memory run exactly\n", sampled)
 	return nil

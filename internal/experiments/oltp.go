@@ -223,14 +223,17 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 		return err
 	}
 
+	// Operation counts come from the table's own telemetry (Table.Metrics)
+	// rather than hand-rolled atomics; only the pinned-key anomaly check
+	// keeps local counters, because "reader-observed miss" is a property of
+	// this experiment, not of the engine.
 	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
 	var (
-		inserts, updates, deletes, lookups, scans, scanned atomic.Int64
-		pinnedLookups, pinnedMisses                        atomic.Int64
-		errMu                                              sync.Mutex
-		runErr                                             error
-		live                                               = make([]int64, writers)
-		wg                                                 sync.WaitGroup
+		pinnedLookups, pinnedMisses atomic.Int64
+		errMu                       sync.Mutex
+		runErr                      error
+		live                        = make([]int64, writers)
+		wg                          sync.WaitGroup
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -278,7 +281,6 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 					fail(fmt.Errorf("pinned update %d: %w", pinned[g], err))
 					return
 				}
-				updates.Add(1)
 				switch r.Range(0, 10) {
 				case 0, 1, 2, 3, 4, 5: // insert a fresh key
 					key := next
@@ -293,7 +295,6 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 						return
 					}
 					live[g]++
-					inserts.Add(1)
 				case 6, 7: // update one of our own live keys in place
 					if next == base {
 						continue
@@ -304,27 +305,21 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 						datablocks.Float(-1),
 						datablocks.Str("updated"),
 					}
-					if err := tbl.Update(key, row); err == nil {
-						updates.Add(1)
-					}
+					_ = tbl.Update(key, row)
 				case 8: // delete one of our own keys
 					if next == base {
 						continue
 					}
 					if tbl.Delete(base + r.Range(0, next-base-1)) {
 						live[g]--
-						deletes.Add(1)
 					}
 				default: // point lookup of the most recent own key
 					if next == base {
 						continue
 					}
-					if row, ok := tbl.Lookup(next - 1); ok {
-						if row[0].Int() != next-1 {
-							fail(fmt.Errorf("lookup %d returned id %d", next-1, row[0].Int()))
-							return
-						}
-						lookups.Add(1)
+					if row, ok := tbl.Lookup(next - 1); ok && row[0].Int() != next-1 {
+						fail(fmt.Errorf("lookup %d returned id %d", next-1, row[0].Int()))
+						return
 					}
 				}
 			}
@@ -363,19 +358,19 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 		go func(s int) {
 			defer wg.Done()
 			for i := s; time.Now().Before(deadline); i++ {
-				res, err := tbl.Scan([]string{"id", "amount"},
+				if _, err := tbl.Scan([]string{"id", "amount"},
 					[]datablocks.Pred{{Col: "amount", Op: datablocks.Ge, Lo: datablocks.Float(0)}},
-					datablocks.QueryOptions{Mode: modes[i%len(modes)]})
-				if err != nil {
+					datablocks.QueryOptions{Mode: modes[i%len(modes)]}); err != nil {
 					fail(fmt.Errorf("scan: %w", err))
 					return
 				}
-				scans.Add(1)
-				scanned.Add(int64(res.NumRows()))
 			}
 		}(s)
 	}
 	wg.Wait()
+	// One consistent snapshot of the concurrent phase, before Close's final
+	// freeze and the verification queries add traffic of their own.
+	m := tbl.Metrics()
 	if err = db.Close(); err != nil {
 		return fmt.Errorf("compactor: %w", err)
 	}
@@ -391,7 +386,10 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 	if got := int64(tbl.NumRows()); got != want {
 		return fmt.Errorf("hybrid: %d live rows, writers left %d", got, want)
 	}
-	res, err := tbl.Scan([]string{"id"}, nil, datablocks.QueryOptions{Mode: datablocks.ModeVectorizedSARG})
+	// The final sweep doubles as the profile demonstration: one profiled
+	// scan across the hot/frozen boundary the experiment just built.
+	res, err := tbl.Scan([]string{"id"}, nil,
+		datablocks.QueryOptions{Mode: datablocks.ModeVectorizedSARG, Profile: true})
 	if err != nil {
 		return err
 	}
@@ -399,28 +397,33 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 		return fmt.Errorf("hybrid: final scan saw %d rows, want %d", res.NumRows(), want)
 	}
 
-	stats := tbl.Stats()
+	final := tbl.Metrics()
 	fmt.Fprintf(w, "Hybrid OLTP/OLAP (§1) — %d writers, %d scanners, %.1fs, auto-freeze on\n",
 		writers, scanners, seconds)
 	t := bench.NewTable("metric", "count", "per second")
-	rate := func(n int64) string {
+	rate := func(n uint64) string {
 		if seconds <= 0 {
 			return "-"
 		}
 		return fmt.Sprintf("%.0f", float64(n)/seconds)
 	}
-	t.AddRow("inserts", fmt.Sprint(inserts.Load()), rate(inserts.Load()))
-	t.AddRow("updates", fmt.Sprint(updates.Load()), rate(updates.Load()))
-	t.AddRow("deletes", fmt.Sprint(deletes.Load()), rate(deletes.Load()))
-	t.AddRow("point lookups", fmt.Sprint(lookups.Load()), rate(lookups.Load()))
-	t.AddRow("pinned-key lookups", fmt.Sprint(pinnedLookups.Load()), rate(pinnedLookups.Load()))
-	t.AddRow("analytic scans", fmt.Sprint(scans.Load()), rate(scans.Load()))
-	t.AddRow("rows scanned", fmt.Sprint(scanned.Load()), rate(scanned.Load()))
+	t.AddRow("inserts", fmt.Sprint(m.Ops.Inserts), rate(m.Ops.Inserts))
+	t.AddRow("updates", fmt.Sprint(m.Ops.Updates), rate(m.Ops.Updates))
+	t.AddRow("deletes", fmt.Sprint(m.Ops.Deletes), rate(m.Ops.Deletes))
+	t.AddRow("point lookups", fmt.Sprint(m.Ops.Lookups), rate(m.Ops.Lookups))
+	t.AddRow("analytic scans", fmt.Sprint(m.Ops.Scans), rate(m.Ops.Scans))
+	t.AddRow("rows read", fmt.Sprint(m.Ops.RowsRead), rate(m.Ops.RowsRead))
+	t.AddRow("rows written", fmt.Sprint(m.Ops.RowsWritten), rate(m.Ops.RowsWritten))
+	t.AddRow("freezes", fmt.Sprint(m.Freeze.Freezes), rate(m.Freeze.Freezes))
+	t.AddRow("index publishes", fmt.Sprint(m.IndexPublishes), rate(m.IndexPublishes))
 	t.Write(w)
 	fmt.Fprintf(w, "read anomalies on always-live keys: %d of %d lookups (must be 0)\n",
 		pinnedMisses.Load(), pinnedLookups.Load())
 	fmt.Fprintf(w, "final state: %d live rows, %d frozen chunks (%d B compressed), %d hot chunks (%d B)\n",
-		tbl.NumRows(), stats.FrozenChunks, stats.FrozenBytes, stats.HotChunks, stats.HotBytes)
+		tbl.NumRows(), final.Mem.FrozenChunks, final.Mem.FrozenBytes, final.Mem.HotChunks, final.Mem.HotBytes)
+	if p := res.Profile; p != nil {
+		fmt.Fprintf(w, "\nfinal verification scan, profiled:\n%s", p)
+	}
 	return nil
 }
 

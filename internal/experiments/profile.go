@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"datablocks"
+	"datablocks/internal/bench"
+	"datablocks/internal/exec"
+	"datablocks/internal/tpch"
+)
+
+// ProfileQueries renders the EXPLAIN-ANALYZE view of the paper's two
+// extreme queries — Q1 (nearly all tuples qualify) and Q6 (few qualify)
+// — on Data Blocks with full SARG/SMA/PSMA pushdown, making Table 2's
+// behavior visible per query: chunks ruled out whole by the SMAs,
+// vectors the SARGs emptied, lazy column unpacks, per-operator row flow.
+// Each query is also timed with profiling off and on, so the report
+// states what turning the instrumentation on costs; with profiling off
+// no counter is touched on the scan path at all.
+func ProfileQueries(w io.Writer, sf float64, rounds, parallelism int) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	db, err := tpch.Generate(sf, 0)
+	if err != nil {
+		return err
+	}
+	if err := db.FreezeAll(false, false); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Query profiles — TPC-H SF %g on Data Blocks (+SARG/SMA/PSMA), parallelism %d\n",
+		sf, parallelism)
+	for _, q := range []int{1, 6} {
+		opt := exec.Options{Mode: exec.ModeVectorizedSARGPSMA, Parallelism: parallelism}
+		var runErr error
+		off := bench.MeasureBest(rounds, func() {
+			if _, err := db.Query(q, opt); err != nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return runErr
+		}
+		opt.Profile = true
+		var res *exec.Result
+		on := bench.MeasureBest(rounds, func() {
+			if res, runErr = db.Query(q, opt); runErr != nil {
+				return
+			}
+		})
+		if runErr != nil {
+			return runErr
+		}
+		fmt.Fprintf(w, "\nQ%d:\n%s", q, res.Profile)
+		fmt.Fprintf(w, "profiling overhead: off %s, on %s (%+.1f%%)\n",
+			off, on, 100*(float64(on)-float64(off))/float64(off))
+	}
+	return nil
+}
+
+// MetricsSnapshot runs a compact but representative workload — bulk
+// load, freezes, updates, deletes, point lookups, budget-forced eviction
+// and reloading scans against a disk-backed store — and prints the
+// resulting DB.Metrics() snapshot as JSON: the same document ObsHandler
+// serves on /vars, captured for offline comparison next to bench JSON.
+func MetricsSnapshot(w io.Writer, rows int) error {
+	if rows < 1000 {
+		rows = 1000
+	}
+	dir, err := os.MkdirTemp("", "metrics-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	db := datablocks.Open()
+	defer db.Close()
+	tbl, err := db.CreateTable("events",
+		[]datablocks.Column{
+			{Name: "id", Kind: datablocks.Int64},
+			{Name: "amount", Kind: datablocks.Float64},
+			{Name: "status", Kind: datablocks.String},
+		},
+		datablocks.WithPrimaryKey("id"),
+		datablocks.WithChunkRows(2048),
+		datablocks.WithBlockStore(dir),
+		datablocks.WithMemoryBudget(64<<10),
+	)
+	if err != nil {
+		return err
+	}
+	statuses := []string{"new", "paid", "shipped"}
+	for i := 0; i < rows; i++ {
+		if _, err := tbl.Insert(datablocks.Row{
+			datablocks.Int(int64(i)),
+			datablocks.Float(float64(i) / 2),
+			datablocks.Str(statuses[i%3]),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < rows/10; i++ {
+		key := int64(i * 7 % rows)
+		if i%3 == 0 {
+			tbl.Delete(key)
+			continue
+		}
+		_ = tbl.Update(key, datablocks.Row{
+			datablocks.Int(key), datablocks.Float(-1), datablocks.Str("updated"),
+		})
+	}
+	if err := tbl.Freeze(); err != nil {
+		return err
+	}
+	if _, err := tbl.Relation().EvictUnderBudget(); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i += 97 {
+		tbl.Lookup(int64(i))
+	}
+	for _, mode := range []datablocks.ScanMode{
+		datablocks.ModeVectorizedSARG, datablocks.ModeVectorizedSARGPSMA,
+	} {
+		if _, err := tbl.Scan([]string{"id", "amount"},
+			[]datablocks.Pred{{Col: "amount", Op: datablocks.Ge, Lo: datablocks.Float(0)}},
+			datablocks.QueryOptions{Mode: mode}); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(db.Metrics())
+}

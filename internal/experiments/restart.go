@@ -135,10 +135,10 @@ func Restart(w io.Writer, rows int, budget int64) error {
 	if err = db1.Close(); err != nil {
 		return fmt.Errorf("close: %w", err)
 	}
-	cs1 := tbl.ColdStats()
-	if cs1.DiskBytes <= budget {
+	m1 := tbl.Metrics()
+	if m1.Cold.DiskBytes <= budget {
 		return fmt.Errorf("dataset does not exceed the budget: %s on disk vs %s budget — raise -rows",
-			fmtBytes(cs1.DiskBytes), fmtBytes(budget))
+			fmtBytes(m1.Cold.DiskBytes), fmtBytes(budget))
 	}
 
 	// Simulate a crash-orphaned block write: a block file that no manifest
@@ -178,10 +178,12 @@ func Restart(w io.Writer, rows int, budget int64) error {
 	// blocks one at a time (and the budget evictor trims asynchronously),
 	// so right after reopen the table must be frozen+evicted only — no
 	// hot chunks until the first insert — with most chunks still evicted.
-	st2 := tbl2.Stats()
-	if st2.EvictedChunks == 0 || st2.HotChunks != 0 {
+	// One Metrics() call snapshots chunk states and the rebuilt index
+	// together, so the two facets describe the same instant.
+	recovered := tbl2.Metrics()
+	if recovered.Mem.EvictedChunks == 0 || recovered.Mem.HotChunks != 0 {
 		return fmt.Errorf("recovered table should be fully frozen with evicted chunks: %d evicted, %d frozen, %d hot chunks",
-			st2.EvictedChunks, st2.FrozenChunks, st2.HotChunks)
+			recovered.Mem.EvictedChunks, recovered.Mem.FrozenChunks, recovered.Mem.HotChunks)
 	}
 	after, err := aggregate(tbl2)
 	if err != nil {
@@ -201,8 +203,8 @@ func Restart(w io.Writer, rows int, budget int64) error {
 	if mismatch > 0 {
 		return fmt.Errorf("%d of %d sampled point lookups diverged across restart", mismatch, len(beforeLookups))
 	}
-	cs2 := tbl2.ColdStats()
-	if cs2.Reloads == 0 {
+	m2 := tbl2.Metrics()
+	if m2.Cold.Reloads == 0 {
 		return fmt.Errorf("reopened table answered without reloading any block")
 	}
 
@@ -212,10 +214,12 @@ func Restart(w io.Writer, rows int, budget int64) error {
 	t.AddRow("rows loaded", fmt.Sprint(rows))
 	t.AddRow("updates / deletes", fmt.Sprintf("%d / %d", updates, deletes))
 	t.AddRow("live rows (both runs)", fmt.Sprint(after.n))
-	t.AddRow("on-disk blocks / bytes", fmt.Sprintf("%d / %s", cs2.StoredBlocks, fmtBytes(cs2.DiskBytes)))
+	t.AddRow("on-disk blocks / bytes", fmt.Sprintf("%d / %s", m2.Cold.StoredBlocks, fmtBytes(m2.Cold.DiskBytes)))
 	t.AddRow("memory budget", fmtBytes(budget))
-	t.AddRow("chunks recovered (evicted)", fmt.Sprint(st2.EvictedChunks))
-	t.AddRow("block reloads after reopen", fmt.Sprint(cs2.Reloads))
+	t.AddRow("chunks recovered (evicted)", fmt.Sprint(recovered.Mem.EvictedChunks))
+	t.AddRow("index keys rebuilt", fmt.Sprint(recovered.IndexKeys))
+	t.AddRow("block reloads after reopen", fmt.Sprint(m2.Cold.Reloads))
+	t.AddRow("store reads after reopen", fmt.Sprintf("%d loads / %s", m2.Store.Loads, fmtBytes(m2.Store.BytesRead)))
 	t.AddRow("sampled lookups compared", fmt.Sprint(len(beforeLookups)))
 	t.Write(w)
 	fmt.Fprintln(w, "aggregates and sampled lookups match the pre-restart run exactly; orphaned block file was garbage-collected")

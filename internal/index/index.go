@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"datablocks/internal/obs"
 	"datablocks/internal/storage"
 )
 
@@ -39,7 +40,15 @@ type Record struct {
 type Hash struct {
 	mu sync.RWMutex
 	m  map[int64]Record
+	// publishes counts version-record installations (Insert, Publish,
+	// Repoint, Rebuild entries) — the index side of the engine's
+	// epoch/index telemetry.
+	publishes obs.Counter
 }
+
+// Publishes returns the cumulative count of version-record
+// installations.
+func (h *Hash) Publishes() uint64 { return h.publishes.Load() }
 
 // NewHash creates an empty index, pre-sized for capacity entries.
 func NewHash(capacity int) *Hash {
@@ -54,6 +63,7 @@ func (h *Hash) Insert(key int64, tid storage.TupleID) error {
 		return fmt.Errorf("index: duplicate key %d", key)
 	}
 	h.m[key] = Record{Cur: tid}
+	h.publishes.Inc()
 	return nil
 }
 
@@ -70,6 +80,7 @@ func (h *Hash) Publish(key int64, tid storage.TupleID) {
 	h.mu.Lock()
 	old, ok := h.m[key]
 	h.m[key] = Record{Cur: tid, Prev: old.Cur, HasPrev: ok}
+	h.publishes.Inc()
 	h.mu.Unlock()
 }
 
@@ -96,6 +107,7 @@ func (h *Hash) Seal(key int64, epoch uint64) {
 func (h *Hash) Repoint(key int64, tid storage.TupleID) {
 	h.mu.Lock()
 	h.m[key] = Record{Cur: tid}
+	h.publishes.Inc()
 	h.mu.Unlock()
 }
 
@@ -203,6 +215,7 @@ func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 				return fmt.Errorf("index: duplicate key %d during rebuild", key)
 			}
 			h.m[key] = Record{Cur: storage.TupleID{Chunk: uint32(ci), Row: uint32(row)}}
+			h.publishes.Inc()
 		}
 		c.Release()
 	}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestShardCounterFlush(t *testing.T) {
+	var shared Counter
+	var s ShardCounter
+	s.Inc()
+	s.Add(9)
+	if s.Value() != 10 {
+		t.Fatalf("shard = %d, want 10", s.Value())
+	}
+	s.FlushTo(&shared)
+	if s.Value() != 0 {
+		t.Fatalf("shard not zeroed after flush: %d", s.Value())
+	}
+	if shared.Load() != 10 {
+		t.Fatalf("shared = %d, want 10", shared.Load())
+	}
+	// Flushing an empty shard is a no-op.
+	s.FlushTo(&shared)
+	if shared.Load() != 10 {
+		t.Fatalf("empty flush changed shared: %d", shared.Load())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []uint64{0, 10, 11, 100, 500, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 2} // <=10, <=100, <=1000, +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for v := uint64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %d, want 4", q)
+	}
+	if q := s.Quantile(1.0); q != 8 {
+		t.Fatalf("p100 = %d, want 8", q)
+	}
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+// TestHistogramMergeProperty is the merge property test: observing a
+// random value stream through per-worker shards and flushing them into
+// a shared histogram yields cell-for-cell the same state as observing
+// the whole stream directly — for any shard count and interleaving.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		nb := 1 + rng.Intn(8)
+		bounds := make([]uint64, nb)
+		v := uint64(1 + rng.Intn(5))
+		for i := range bounds {
+			bounds[i] = v
+			v += uint64(1 + rng.Intn(100))
+		}
+		direct := NewHistogram(bounds...)
+		sharded := NewHistogram(bounds...)
+		workers := 1 + rng.Intn(6)
+		shards := make([]*ShardHistogram, workers)
+		for i := range shards {
+			shards[i] = NewShardHistogram(sharded.Bounds())
+		}
+		n := rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			val := uint64(rng.Intn(1 << uint(rng.Intn(20))))
+			direct.Observe(val)
+			shards[rng.Intn(workers)].Observe(val)
+			// Random mid-stream flushes must not change the result.
+			if rng.Intn(64) == 0 {
+				shards[rng.Intn(workers)].FlushTo(sharded)
+			}
+		}
+		for _, s := range shards {
+			s.FlushTo(sharded)
+		}
+		ds, ss := direct.Snapshot(), sharded.Snapshot()
+		if ds.Count != ss.Count || ds.Sum != ss.Sum {
+			t.Fatalf("trial %d: count/sum diverge: direct (%d,%d) sharded (%d,%d)",
+				trial, ds.Count, ds.Sum, ss.Count, ss.Sum)
+		}
+		for i := range ds.Counts {
+			if ds.Counts[i] != ss.Counts[i] {
+				t.Fatalf("trial %d: bucket %d diverges: %v vs %v", trial, i, ds.Counts, ss.Counts)
+			}
+		}
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	var shared Counter
+	h := NewHistogram(ExpBounds(1, 2, 10)...)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var shard ShardCounter
+			sh := NewShardHistogram(h.Bounds())
+			for i := 0; i < 1000; i++ {
+				shard.Inc()
+				sh.Observe(uint64(rng.Intn(2000)))
+			}
+			shard.FlushTo(&shared)
+			sh.FlushTo(h)
+		}(int64(w))
+	}
+	wg.Wait()
+	if shared.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", shared.Load())
+	}
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("hist count = %d, want 8000", s.Count)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	samples := []Sample{
+		CounterSample("db_rows_read_total", "Rows read.", 10, Label{"table", "t"}),
+		GaugeSample("db_resident_bytes", "Resident bytes.", 123),
+	}
+	h := NewHistogram(5, 50)
+	h.Observe(3)
+	h.Observe(300)
+	samples = AppendHistogram(samples, "db_freeze_ns", "Freeze latency.", h.Snapshot())
+	var b strings.Builder
+	if err := WritePrometheus(&b, samples); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE db_rows_read_total counter",
+		`db_rows_read_total{table="t"} 10`,
+		"# TYPE db_resident_bytes gauge",
+		"db_resident_bytes 123",
+		"# TYPE db_freeze_ns histogram",
+		`db_freeze_ns_bucket{le="5"} 1`,
+		`db_freeze_ns_bucket{le="+Inf"} 2`,
+		"db_freeze_ns_count 2",
+		"db_freeze_ns_sum 303",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Sample is one exported metric value. Families sharing a Name are
+// grouped under one HELP/TYPE header by WritePrometheus.
+type Sample struct {
+	Name   string
+	Help   string
+	Type   string // "counter" | "gauge"
+	Labels []Label
+	Value  float64
+}
+
+// Label is one name/value pair attached to a sample.
+type Label struct{ K, V string }
+
+// CounterSample builds a counter sample.
+func CounterSample(name, help string, v uint64, labels ...Label) Sample {
+	return Sample{Name: name, Help: help, Type: "counter", Labels: labels, Value: float64(v)}
+}
+
+// GaugeSample builds a gauge sample.
+func GaugeSample(name, help string, v int64, labels ...Label) Sample {
+	return Sample{Name: name, Help: help, Type: "gauge", Labels: labels, Value: float64(v)}
+}
+
+// AppendHistogram expands a histogram snapshot into the Prometheus
+// histogram convention: cumulative <name>_bucket samples with an `le`
+// label, plus <name>_sum and <name>_count.
+func AppendHistogram(dst []Sample, name, help string, s HistSnapshot, labels ...Label) []Sample {
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmt.Sprintf("%d", s.Bounds[i])
+		}
+		bl := make([]Label, 0, len(labels)+1)
+		bl = append(bl, labels...)
+		bl = append(bl, Label{"le", le})
+		dst = append(dst, Sample{Name: name + "_bucket", Help: help, Type: "histogram", Labels: bl, Value: float64(cum)})
+	}
+	dst = append(dst,
+		Sample{Name: name + "_sum", Help: help, Type: "histogram", Labels: labels, Value: float64(s.Sum)},
+		Sample{Name: name + "_count", Help: help, Type: "histogram", Labels: labels, Value: float64(cum)})
+	return dst
+}
+
+// WritePrometheus renders samples in the Prometheus text exposition
+// format (version 0.0.4), grouping samples of the same family under one
+// # HELP / # TYPE header. Stdlib only: the output is plain text.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	// Stable output: sort by family, then label set. Families keep their
+	// first sample's help/type.
+	sort.SliceStable(samples, func(i, j int) bool {
+		if fi, fj := family(samples[i].Name), family(samples[j].Name); fi != fj {
+			return fi < fj
+		}
+		return samples[i].Name < samples[j].Name
+	})
+	lastFamily := ""
+	for i := range samples {
+		s := &samples[i]
+		if f := family(s.Name); f != lastFamily {
+			lastFamily = f
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f, s.Help); err != nil {
+					return err
+				}
+			}
+			typ := s.Type
+			if typ == "" {
+				typ = "untyped"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, typ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, renderLabels(s.Labels), renderValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// family strips the histogram sample suffixes so _bucket/_sum/_count
+// share one header.
+func family(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.V))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func renderValue(v float64) string {
+	// Counters and gauges here are integral; keep them readable.
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

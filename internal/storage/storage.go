@@ -163,6 +163,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"datablocks/internal/blockstore"
 	"datablocks/internal/core"
@@ -299,6 +300,10 @@ type Chunk struct {
 	// share it without copying.
 	deleted    []uint64 // bit set = deleted; lazily allocated
 	numDeleted atomic.Int32
+	// retiredCount counts live entries in the retired map — the
+	// epoch-stamped tombstones only a sorted freeze garbage-collects.
+	// Telemetry only (the GC backlog of EpochStatsSnapshot).
+	retiredCount atomic.Int32
 	// pending counts rows inserted by InsertPending that have neither
 	// committed nor aborted yet.
 	pending atomic.Int32
@@ -459,17 +464,26 @@ func (v *ChunkView) Block() *core.Block { return v.blk }
 // never leave RAM. Each successful Acquire must be paired with Release;
 // while pinned, the budget evictor will not touch the chunk.
 func (v *ChunkView) Acquire() error {
+	_, err := v.AcquireReload()
+	return err
+}
+
+// AcquireReload is Acquire, additionally reporting whether this call had
+// to reload the block from the store (the chunk was evicted and this
+// pinner performed — rather than shared — the disk read). Query profiles
+// use it to attribute evicted-block reloads to the scan that paid them.
+func (v *ChunkView) AcquireReload() (reloaded bool, err error) {
 	if !v.frozen || v.chunk == nil || v.release != nil {
-		return nil
+		return false, nil
 	}
-	blk, unpin, err := v.rel.pinBlock(v.chunk)
+	blk, unpin, loaded, err := v.rel.pinBlock(v.chunk)
 	if err != nil {
 		v.rel.noteLoadError(err)
-		return err
+		return false, err
 	}
 	v.blk = blk
 	v.release = unpin
-	return nil
+	return loaded, nil
 }
 
 // Release unpins a block pinned by Acquire. Safe to call on any view,
@@ -567,6 +581,13 @@ type Relation struct {
 
 	evictions atomic.Int64
 	reloads   atomic.Int64
+	// collapses counts single-flight reload collapses: pinners that
+	// waited on loadMu and found the block already reinstalled by the
+	// reader that held it, sharing that reader's disk read.
+	collapses atomic.Int64
+
+	// met holds the freeze-pipeline telemetry (see metrics.go).
+	met relMetrics
 
 	loadErrMu sync.Mutex
 	loadErr   error
@@ -894,6 +915,7 @@ func (r *Relation) retireLocked(c *Chunk, row uint32, e uint64) bool {
 		return false
 	}
 	c.retired.Store(row, e)
+	c.retiredCount.Add(1)
 	simd.BitmapSetAtomic(c.deleted, row)
 	c.numDeleted.Add(1)
 	return true
@@ -1078,7 +1100,7 @@ func (r *Relation) GetAt(tid TupleID, e uint64) (types.Row, Visibility) {
 	// and read through a pin. Visibility cannot regress — the stamps that
 	// decided it are monotone in the epoch and frozen rows never move.
 	r.mu.RUnlock()
-	blk, unpin, err := r.pinBlock(c)
+	blk, unpin, _, err := r.pinBlock(c)
 	if err != nil {
 		r.noteLoadError(err)
 		return nil, Unavailable
@@ -1111,7 +1133,7 @@ func (r *Relation) GetCol(tid TupleID, col int) (types.Value, bool) {
 		return p.hot.Value(col, int(tid.Row)), true
 	}
 	r.mu.RUnlock()
-	blk, unpin, err := r.pinBlock(c)
+	blk, unpin, _, err := r.pinBlock(c)
 	if err != nil {
 		r.noteLoadError(err)
 		return types.Value{}, false
@@ -1160,7 +1182,11 @@ func (r *Relation) FreezeChunk(i int, opts core.FreezeOptions) error {
 	if err != nil || c == nil {
 		return err
 	}
+	start := time.Now()
 	blk, err := freezeBlock(cols, n, opts)
+	if err == nil {
+		r.noteFreeze(blk, time.Since(start), false)
+	}
 	r.mu.Lock()
 	if err != nil {
 		// Revert the claim: the chunk stays hot (and, no longer being the
@@ -1272,10 +1298,12 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 		}
 		cols[ci] = cd
 	}
+	start := time.Now()
 	blk, err := freezeBlock(cols, n, opts)
 	if err != nil {
 		return err
 	}
+	r.noteFreeze(blk, time.Since(start), true)
 	r.installBlockLocked(c, blk)
 	if keep != nil {
 		c.deleted = nil //dbvet:ignore relation write lock held and rows were just compacted away; no reader holds the old bitmap row indexes
@@ -1287,6 +1315,7 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	c.retired = &sync.Map{}
 	c.born = &sync.Map{}
 	c.bornCount.Store(0)
+	c.retiredCount.Store(0)
 	return nil
 }
 
@@ -1439,35 +1468,38 @@ func (r *Relation) maybeWakeEvictor() {
 // the store first — outside the relation lock, single-flighted per chunk
 // so concurrent readers share one disk read — and re-installed with an
 // atomic payload swap (Evicted → Frozen). The caller must not hold the
-// relation lock.
-func (r *Relation) pinBlock(c *Chunk) (*core.Block, func(), error) {
-	unpin := func() { c.pins.Add(-1) }
+// relation lock. loaded reports whether this call performed the reload
+// itself (telemetry: per-query reload attribution).
+func (r *Relation) pinBlock(c *Chunk) (blk *core.Block, unpin func(), loaded bool, err error) {
+	unpin = func() { c.pins.Add(-1) }
 	c.pins.Add(1)
 	if p := c.pay.Load(); p.blk != nil {
-		return p.blk, unpin, nil
+		return p.blk, unpin, false, nil
 	}
 	c.loadMu.Lock()
 	defer c.loadMu.Unlock()
 	if p := c.pay.Load(); p.blk != nil {
-		// Another reader reloaded the block while we waited.
-		return p.blk, unpin, nil
+		// Another reader reloaded the block while we waited: a
+		// single-flight collapse — this pinner shares that disk read.
+		r.collapses.Add(1)
+		return p.blk, unpin, false, nil
 	}
 	h := blockstore.Handle(c.handle.Load())
 	if r.store == nil || h == 0 {
 		c.pins.Add(-1)
-		return nil, nil, errors.New("storage: evicted chunk has no block store handle")
+		return nil, nil, false, errors.New("storage: evicted chunk has no block store handle")
 	}
-	blk, err := r.store.Load(h, r.kinds)
+	blk, err = r.store.Load(h, r.kinds)
 	if err != nil {
 		c.pins.Add(-1)
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	r.mu.Lock()
 	r.installBlockLocked(c, blk)
 	r.mu.Unlock()
 	r.reloads.Add(1)
 	r.maybeWakeEvictor()
-	return blk, unpin, nil
+	return blk, unpin, true, nil
 }
 
 // EvictChunk spills chunk i's frozen block to the store (the first
@@ -1698,7 +1730,7 @@ func (r *Relation) UnevictAll() error {
 		if c.State() != ChunkEvicted {
 			continue
 		}
-		_, unpin, err := r.pinBlock(c)
+		_, unpin, _, err := r.pinBlock(c)
 		if err != nil {
 			return err
 		}
@@ -1727,8 +1759,10 @@ func (r *Relation) LoadError() error {
 // ColdStats summarizes the relation's cold-store traffic.
 type ColdStats struct {
 	// Evictions and Reloads count Frozen→Evicted and Evicted→Frozen
-	// transitions.
-	Evictions, Reloads int64
+	// transitions. Collapses counts single-flight reload collapses:
+	// pinners that waited out a concurrent reload and shared its disk
+	// read instead of issuing their own.
+	Evictions, Reloads, Collapses int64
 	// ResidentBytes is the compressed frozen set currently in RAM;
 	// BudgetBytes the configured ceiling (0: unbounded).
 	ResidentBytes, BudgetBytes int64
@@ -1743,6 +1777,7 @@ func (r *Relation) ColdStatsSnapshot() ColdStats {
 	s := ColdStats{
 		Evictions: r.evictions.Load(),
 		Reloads:   r.reloads.Load(),
+		Collapses: r.collapses.Load(),
 	}
 	if r.cache != nil {
 		cs := r.cache.Stats()
