@@ -6,7 +6,10 @@
 #                      shadow contracts) over every package, test files
 #                      included, incrementally cached in bin/dbvet-cache
 #   make race        — full test suite under the race detector
-#   make stress      — just the concurrent OLTP/OLAP stress tests, raced
+#   make stress      — the concurrent OLTP/OLAP stress tests (raced) plus
+#                      the kill -9 WAL recovery stress (a victim process
+#                      is SIGKILLed at random crash points and reopened
+#                      asserting zero lost acknowledged writes)
 #   make bench-evict — eviction/reload benchmarks, one iteration each
 #   make bench-json  — full benchmark suite, one iteration each, as JSON
 #                      events in BENCH_$(BENCH_PR).json (committed so future
@@ -22,7 +25,7 @@
 
 GO ?= go
 FUZZTIME ?= 60s
-BENCH_PR ?= 5
+BENCH_PR ?= 9
 
 .PHONY: all build test race vet lint lint-vet fmt-check stress bench-evict bench-json bench-smoke fuzz-short examples linkcheck ci
 
@@ -74,7 +77,8 @@ fmt-check:
 	fi
 
 stress:
-	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts|TestUpdateLookupNoReadAnomaly|TestUpdateLookupStress|TestConcurrentEvictReloadStress|TestParallelBatchQueryUnderWrites' . ./internal/storage/
+	$(GO) test -race -count=1 -run 'TestHybridStress|TestStorageStress|TestFreezeAllConcurrentInserts|TestUpdateLookupNoReadAnomaly|TestUpdateLookupStress|TestConcurrentEvictReloadStress|TestParallelBatchQueryUnderWrites|TestWALStripedWritersRace|TestWALGroupCommitCrashProperty' . ./internal/storage/
+	$(GO) test -count=1 -run 'TestKillRecoveryStress' ./internal/experiments/
 
 # One iteration is enough to exercise the evict→reload path on every PR;
 # use -benchtime=10x locally for actual numbers.
@@ -101,6 +105,7 @@ bench-smoke:
 # go test fuzzes one target per invocation: list each explicitly.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz=FuzzUnmarshalBlock -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 
 # Build every example and run quickstart end to end — it creates a durable
 # database in a temp dir, closes it and reopens it, so the documented
@@ -114,4 +119,4 @@ examples:
 linkcheck:
 	$(GO) test -run TestMarkdownDocLinks .
 
-ci: fmt-check vet lint build test race bench-evict bench-smoke fuzz-short examples linkcheck
+ci: fmt-check vet lint build test race stress bench-evict bench-smoke fuzz-short examples linkcheck

@@ -19,8 +19,12 @@ package datablocks_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"datablocks"
 
 	"datablocks/internal/bitpack"
 	"datablocks/internal/compress"
@@ -630,5 +634,118 @@ func BenchmarkConsumePath(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkStripedInsert measures multi-writer insert throughput across
+// write-stripe counts (PR 9 tentpole): GOMAXPROCS writers hammer one
+// in-memory table whose write path is sharded 1/2/4/8 ways. The
+// acceptance metric is the stripes=1 → stripes=8 scaling factor.
+func BenchmarkStripedInsert(b *testing.B) {
+	cols := []datablocks.Column{
+		{Name: "id", Kind: datablocks.Int64},
+		{Name: "amount", Kind: datablocks.Float64},
+		{Name: "status", Kind: datablocks.String},
+	}
+	for _, stripes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			db := datablocks.Open(datablocks.WithChunkRows(4096), datablocks.WithWriteStripes(stripes))
+			defer db.Close()
+			tbl, err := db.CreateTable("bench", cols, datablocks.WithPrimaryKey("id"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := next.Add(1)
+					row := datablocks.Row{
+						datablocks.Int(k),
+						datablocks.Float(float64(k)),
+						datablocks.Str("new"),
+					}
+					if _, err := tbl.Insert(row); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkNewOrderWrites measures new-order-style write throughput
+// through the striped WAL group commit at 1, 4 and GOMAXPROCS writers:
+// each transaction inserts one order row and three order lines, all
+// acknowledged by the stripe logs' fsyncs (satellite: recorded by make
+// bench-json).
+func BenchmarkNewOrderWrites(b *testing.B) {
+	orderCols := []datablocks.Column{
+		{Name: "o_id", Kind: datablocks.Int64},
+		{Name: "o_total", Kind: datablocks.Float64},
+		{Name: "o_status", Kind: datablocks.String},
+	}
+	lineCols := []datablocks.Column{
+		{Name: "ol_id", Kind: datablocks.Int64},
+		{Name: "ol_amount", Kind: datablocks.Float64},
+		{Name: "ol_item", Kind: datablocks.String},
+	}
+	counts := []int{1, 4}
+	if all := runtime.GOMAXPROCS(0); all > 4 {
+		counts = append(counts, all)
+	}
+	for _, writers := range counts {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			db, err := datablocks.OpenPath(b.TempDir(),
+				datablocks.WithChunkRows(4096), datablocks.WithWriteStripes(8), datablocks.WithWAL())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			orders, err := db.CreateTable("orders", orderCols, datablocks.WithPrimaryKey("o_id"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines, err := db.CreateTable("order_lines", lineCols, datablocks.WithPrimaryKey("ol_id"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						tx := next.Add(1)
+						if tx > int64(b.N) {
+							return
+						}
+						if _, err := orders.Insert(datablocks.Row{
+							datablocks.Int(tx),
+							datablocks.Float(float64(tx)),
+							datablocks.Str("new"),
+						}); err != nil {
+							b.Error(err)
+							return
+						}
+						for l := int64(0); l < 3; l++ {
+							if _, err := lines.Insert(datablocks.Row{
+								datablocks.Int(tx*4 + l),
+								datablocks.Float(float64(l)),
+								datablocks.Str("item"),
+							}); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+		})
 	}
 }

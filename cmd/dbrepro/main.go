@@ -20,6 +20,16 @@ import (
 )
 
 func main() {
+	// Victim mode for the restart kill test: when the parent re-executes
+	// this binary with the crash directory in the environment, run the
+	// child workload instead of an experiment (the process ends by SIGKILL).
+	if dir := os.Getenv(experiments.CrashDirEnv); dir != "" {
+		if err := experiments.CrashChild(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "dbrepro crash child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		sf       = flag.Float64("sf", 0.05, "TPC-H scale factor")
 		rows     = flag.Int("rows", 400_000, "rows for IMDB/flights data sets")
@@ -33,6 +43,7 @@ func main() {
 		scanners = flag.Int("scanners", 2, "OLAP scanner goroutines for hybrid/coldstore")
 		coldRows = flag.Int("coldrows", 120_000, "preloaded rows for coldstore")
 		budget   = flag.Int64("budget", 128<<10, "frozen-block memory budget in bytes for coldstore")
+		kill     = flag.Bool("kill", false, "restart only: SIGKILL a writer process at random crash points and assert zero lost acknowledged writes")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dbrepro [flags] <experiment>\n\nexperiments:\n")
@@ -43,6 +54,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  hybrid   concurrent OLTP writers + OLAP scans + background freezing (§1)\n")
 		fmt.Fprintf(os.Stderr, "  coldstore larger-than-RAM: disk-backed eviction under a memory budget (§1)\n")
 		fmt.Fprintf(os.Stderr, "  restart  durable reopen: close a dataset ≫ budget, reopen from disk, verify equivalence\n")
+		fmt.Fprintf(os.Stderr, "           with -kill: SIGKILL a WAL-writing child at random crash points, reopen, assert zero lost acknowledged writes\n")
 		fmt.Fprintf(os.Stderr, "  fig5     compile-time explosion (Figure 5)\n")
 		fmt.Fprintf(os.Stderr, "  fig8     SIMD find-matches speedup (Figure 8)\n")
 		fmt.Fprintf(os.Stderr, "  fig9     SIMD reduce-matches (Figure 9)\n")
@@ -77,6 +89,9 @@ func main() {
 		case "coldstore":
 			return experiments.ColdStore(w, *coldRows, *seconds, *writers, *scanners, *budget)
 		case "restart":
+			if *kill {
+				return experiments.CrashRestart(w, *rounds, nil)
+			}
 			return experiments.Restart(w, *coldRows, *budget)
 		case "fig5":
 			return experiments.Fig5(w, *combos)

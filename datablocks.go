@@ -29,14 +29,18 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"datablocks/internal/blockstore"
 	"datablocks/internal/core"
 	"datablocks/internal/exec"
 	"datablocks/internal/index"
 	"datablocks/internal/obs"
+	"datablocks/internal/simd"
 	"datablocks/internal/storage"
 	"datablocks/internal/types"
+	"datablocks/internal/wal"
+	"datablocks/internal/walfs"
 )
 
 // Re-exported fundamental types, so users need only this package.
@@ -49,6 +53,8 @@ type (
 	Value = types.Value
 	// Row is a tuple of values.
 	Row = types.Row
+	// ColumnData is one column of a pre-columnarized BulkLoad batch.
+	ColumnData = core.ColumnData
 	// CompareOp is a SARGable comparison operator.
 	CompareOp = types.CompareOp
 	// MemStats summarizes a table's memory footprint.
@@ -171,9 +177,11 @@ func Open(defaults ...TableOption) *DB {
 //
 // Durability covers frozen data: freezes, flushes and Close write the
 // manifest atomically, and DB.Close freezes the hot tail first, so a clean
-// close reopens to exactly the pre-close contents. Rows still hot at a
-// crash are lost (there is no write-ahead log yet; see ROADMAP), and write
-// epochs restart at zero on reopen.
+// close reopens to exactly the pre-close contents. Without WithWAL, rows
+// still hot at a crash are lost; tables created with WithWAL extend
+// durability to every acknowledged write — reopening replays each write
+// stripe's log past the newest manifest generation — and carry their
+// write-epoch high-water mark across restarts.
 //
 // The defaults are table options applied to recovered and newly created
 // tables alike — use them for runtime tuning such as WithAutoFreeze and
@@ -200,7 +208,10 @@ func OpenPath(dir string, defaults ...TableOption) (*DB, error) {
 		// the defaults: WithPrimaryKey(ct.PrimaryKey) deliberately runs
 		// even when empty, so a DB-level WithPrimaryKey default cannot
 		// graft a primary key onto a table that never had one.
-		opts := []TableOption{WithChunkRows(ct.ChunkRows), WithPrimaryKey(ct.PrimaryKey)}
+		opts := []TableOption{WithChunkRows(ct.ChunkRows), WithPrimaryKey(ct.PrimaryKey), WithWriteStripes(ct.WriteStripes)}
+		if ct.Wal {
+			opts = append(opts, WithWAL())
+		}
 		if _, err := db.createTable(ct.Name, ct.Columns, true, opts...); err != nil {
 			return nil, fmt.Errorf("datablocks: recover table %q: %w", ct.Name, err)
 		}
@@ -269,10 +280,12 @@ func (db *DB) writeCatalogLocked() error {
 			continue
 		}
 		cat.Tables = append(cat.Tables, blockstore.CatalogTable{
-			Name:       t.name,
-			Columns:    t.schema.Columns,
-			PrimaryKey: t.pkName,
-			ChunkRows:  t.rel.ChunkCapacity(),
+			Name:         t.name,
+			Columns:      t.schema.Columns,
+			PrimaryKey:   t.pkName,
+			ChunkRows:    t.rel.ChunkCapacity(),
+			WriteStripes: t.writeStripes,
+			Wal:          t.walEnabled,
 		})
 	}
 	db.catMu.Lock()
@@ -347,6 +360,40 @@ func WithMemoryBudget(bytes int64) TableOption {
 	return func(t *Table) { t.memBudget = bytes }
 }
 
+// WithWriteStripes shards the table's write path into n independent
+// stripes (rounded up to a power of two, capped at 256). Each stripe has
+// its own write lock, hot-chunk appender and — with WithWAL — write-ahead
+// log, so concurrent writers whose primary keys hash to different stripes
+// commit in parallel instead of serializing on one table mutex. Rows hash
+// to stripes by primary key; tables without a primary key distribute
+// inserts round-robin. n <= 1 keeps the classic single-stripe path.
+func WithWriteStripes(n int) TableOption {
+	return func(t *Table) { t.writeStripes = n }
+}
+
+// WithWAL gives each write stripe a durable write-ahead log with group
+// commit: an acknowledged Insert, Update, Delete or BulkLoad has been
+// fsynced (one fsync acknowledges a whole batch of concurrent writers)
+// and survives any later crash — reopening the database replays each
+// stripe's log past the newest manifest generation. Requires a durable
+// table (OpenPath, or WithRecover + WithBlockStore) and a primary key
+// (replay identifies rows by key).
+//
+// Error semantics follow the usual WAL discipline: when an append or
+// fsync fails, the write reports the error, the log is poisoned and every
+// later write fails too. In-memory state may then be ahead of durable
+// state for the rest of the process lifetime; what was acknowledged
+// before the failure remains durable.
+func WithWAL() TableOption {
+	return func(t *Table) { t.walEnabled = true }
+}
+
+// withWALFS swaps the WAL's file layer; the crash tests inject torn
+// writes and simulated power loss through it.
+func withWALFS(fs walfs.FS) TableOption {
+	return func(t *Table) { t.walFS = fs }
+}
+
 // WithRecover makes the table durable in its block store directory
 // without a database-level catalog: CreateTable recovers the frozen chunk
 // sequence from the directory's newest valid manifest generation (if one
@@ -406,12 +453,23 @@ func (db *DB) createTable(name string, cols []Column, fromCatalog bool, opts ...
 	} else {
 		t.pkCol = -1
 	}
+	t.writeStripes = normalizeStripes(t.writeStripes)
+	t.stripes = make([]tableStripe, t.writeStripes)
 	t.rel = storage.NewRelation(t.schema, t.chunkRows)
+	t.rel.SetWriteStripes(t.writeStripes)
 	if t.memBudget > 0 && t.storeDir == "" {
 		return nil, fmt.Errorf("datablocks: WithMemoryBudget on table %q requires WithBlockStore", name)
 	}
 	if t.recoverOnOpen && t.storeDir == "" {
 		return nil, fmt.Errorf("datablocks: WithRecover on table %q requires WithBlockStore", name)
+	}
+	if t.walEnabled {
+		if !t.persist || t.storeDir == "" {
+			return nil, fmt.Errorf("datablocks: WithWAL on table %q requires a durable table (OpenPath, or WithRecover with WithBlockStore)", name)
+		}
+		if t.pk == nil {
+			return nil, fmt.Errorf("datablocks: WithWAL on table %q requires a primary key", name)
+		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -428,6 +486,14 @@ func (db *DB) createTable(name string, cols []Column, fromCatalog bool, opts ...
 		if t.recoverOnOpen {
 			if err := t.recoverFromManifest(); err != nil {
 				return nil, fmt.Errorf("datablocks: table %q: %w", name, err)
+			}
+		}
+		if t.walEnabled {
+			// Open the stripe logs and replay records past the manifest's
+			// truncation points — including the first open ever (a crash
+			// can predate the first manifest generation).
+			if err := t.openWALAndReplay(); err != nil {
+				return nil, fmt.Errorf("datablocks: table %q: wal: %w", name, err)
 			}
 		}
 	}
@@ -465,6 +531,11 @@ func (t *Table) recoverFromManifest() error {
 	if man != nil {
 		t.manGen = man.Generation
 		t.sortBy = man.SortBy
+		// Cross-restart epoch continuity: restore the write-epoch
+		// high-water mark before WAL replay mints fresh epochs, and stash
+		// the per-stripe truncation points for openWALAndReplay.
+		t.rel.AdvanceEpoch(man.Epoch)
+		t.walApplied = man.WalApplied
 		for _, mc := range man.Chunks {
 			keep[mc.Handle] = true
 		}
@@ -536,8 +607,12 @@ func (db *DB) Tables() []string {
 
 // Table is a chunked hybrid relation: hot uncompressed chunks plus frozen
 // Data Blocks. All methods are safe for concurrent use; write operations
-// (Insert, Delete, Update, BulkLoad) serialize on a table-level mutex so
-// the primary-key index and the relation stay consistent, while reads and
+// (Insert, Delete, Update) serialize per write stripe — rows hash to
+// stripes by primary key (WithWriteStripes; one stripe by default), each
+// with its own write lock, hot-chunk appender and optional write-ahead
+// log, so writers on different stripes commit in parallel while the
+// primary-key index and the relation stay consistent. Whole-table
+// operations (BulkLoad, sorted freezes) take every stripe lock. Reads and
 // scans run against epoch-pinned chunk snapshots: point lookups are
 // anomaly-free under concurrent updates (they resolve the pre- or
 // post-update version, never neither), and scans never observe row
@@ -571,9 +646,22 @@ type Table struct {
 	manGen        uint64
 	sortBy        int
 
-	// wmu serializes the two-step write operations that touch both the
-	// relation and the primary-key index.
-	wmu sync.Mutex
+	// Striped write path (WithWriteStripes) and write-ahead logging
+	// (WithWAL). writeStripes is the normalized stripe count (power of
+	// two, >= 1); stripes[i] carries stripe i's write lock, WAL and
+	// LSN bookkeeping. walSeq is the table-global LSN counter shared by
+	// every stripe's log, so replay can merge the stripe files into one
+	// total order. rr distributes inserts of primary-key-less tables.
+	writeStripes int
+	walEnabled   bool
+	walFS        walfs.FS // nil: the real filesystem
+	stripes      []tableStripe
+	walSeq       atomic.Uint64
+	walStats     wal.Stats
+	rr           atomic.Uint64
+	// walApplied stashes the recovered manifest's per-stripe truncation
+	// points between recoverFromManifest and openWALAndReplay.
+	walApplied []uint64
 
 	// Background compactor state (WithAutoFreeze).
 	autoFreeze    int
@@ -588,6 +676,43 @@ type Table struct {
 	// the per-call paths, not inside scan kernels, so the shared atomic
 	// instruments are appropriate.
 	ops tableOps
+}
+
+// tableStripe is one lane of the sharded write path: rows whose primary
+// key hashes to this stripe serialize on its write lock, append to its
+// relation stripe and log to its write-ahead log, independently of every
+// other stripe.
+type tableStripe struct {
+	// wmu serializes the stripe's two-step write operations (relation +
+	// primary-key index) and guards lastLSN/chunkLSN. Lock order: wmu
+	// before the relation locks; two stripes (key-changing updates,
+	// whole-table operations) are locked in ascending index order.
+	wmu sync.Mutex
+	// w is the stripe's write-ahead log; nil without WithWAL.
+	w *wal.Log
+	// lastLSN is the highest LSN this stripe has assigned (drawn from the
+	// table-global sequence under wmu, after the effect is applied — so a
+	// checkpoint that reads lastLSN under wmu knows every effect at or
+	// below it is visible in the relation).
+	lastLSN uint64
+	// chunkLSN maps a chunk ordinal to the first (lowest) LSN of a record
+	// whose effect lives in that chunk, for chunks not yet durably frozen.
+	// The stripe's WAL truncation point is min(chunkLSN)-1 capped at
+	// lastLSN: everything below it is fully covered by flushed chunks.
+	// Entries are dropped once their chunk is durable.
+	chunkLSN map[uint32]uint64
+}
+
+// noteChunk records that a WAL record at lsn touched chunk ord. The first
+// LSN wins: replay must start at or before the oldest record whose effect
+// the chunk holds. Caller holds wmu (or is single-threaded recovery).
+func (st *tableStripe) noteChunk(ord uint32, lsn uint64) {
+	if st.chunkLSN == nil {
+		st.chunkLSN = make(map[uint32]uint64)
+	}
+	if _, ok := st.chunkLSN[ord]; !ok {
+		st.chunkLSN[ord] = lsn
+	}
 }
 
 // tableOps is the obs-instrument backing of TableOps.
@@ -610,32 +735,109 @@ func (t *Table) Relation() *storage.Relation { return t.rel }
 // NumRows returns the live row count.
 func (t *Table) NumRows() int { return t.rel.NumRows() }
 
+// normalizeStripes clamps a WithWriteStripes argument to [1, 256] and
+// rounds it up to a power of two, so stripe routing is a mask.
+func normalizeStripes(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// stripeOf routes a primary key to its write stripe. The splitmix
+// finalizer decorrelates sequential keys from stripe assignment.
+func (t *Table) stripeOf(key int64) int {
+	return int(simd.Mix64(uint64(key)) & uint64(t.writeStripes-1))
+}
+
+// insertStripe picks the write stripe for a fresh row: by primary key
+// when the table has one, round-robin otherwise.
+func (t *Table) insertStripe(key int64) int {
+	if t.writeStripes == 1 {
+		return 0
+	}
+	if t.pk != nil {
+		return t.stripeOf(key)
+	}
+	return int(t.rr.Add(1) & uint64(t.writeStripes-1))
+}
+
+// lockAllStripes takes every stripe's write lock in ascending index order
+// (the only order any path uses, so whole-table operations and
+// cross-stripe updates cannot deadlock). Release with unlockAllStripes.
+func (t *Table) lockAllStripes() {
+	for i := range t.stripes {
+		t.stripes[i].wmu.Lock()
+	}
+}
+
+func (t *Table) unlockAllStripes() {
+	for i := len(t.stripes) - 1; i >= 0; i-- {
+		t.stripes[i].wmu.Unlock()
+	}
+}
+
 // Insert appends a row, maintaining the primary-key index if present.
+// With WithWAL, a nil return means the row has been fsynced and survives
+// any later crash; a non-nil return means it must be treated as failed.
 func (t *Table) Insert(row Row) (TupleID, error) {
-	t.wmu.Lock()
+	var key int64
 	if t.pk != nil {
 		if len(row) != t.schema.NumColumns() {
-			t.wmu.Unlock()
 			return TupleID{}, fmt.Errorf("datablocks: row has %d values, schema has %d", len(row), t.schema.NumColumns())
 		}
 		if row[t.pkCol].IsNull() {
-			t.wmu.Unlock()
 			return TupleID{}, fmt.Errorf("datablocks: primary key %q cannot be NULL", t.pkName)
 		}
+		key = row[t.pkCol].Int()
 	}
-	tid, err := t.rel.Insert(row)
+	si := t.insertStripe(key)
+	st := &t.stripes[si]
+	st.wmu.Lock()
+	tid, err := t.rel.InsertStripe(si, row)
 	if err != nil {
-		t.wmu.Unlock()
+		st.wmu.Unlock()
 		return tid, err
 	}
 	if t.pk != nil {
-		if err := t.pk.Insert(row[t.pkCol].Int(), tid); err != nil {
+		if err := t.pk.Insert(key, tid); err != nil {
 			t.rel.Delete(tid)
-			t.wmu.Unlock()
+			st.wmu.Unlock()
 			return TupleID{}, err
 		}
 	}
-	t.wmu.Unlock()
+	var b *wal.Batch
+	if st.w != nil {
+		// Apply-then-log, both under wmu: a checkpoint reading lastLSN
+		// knows every effect at or below it is visible in the relation.
+		lsn, batch, err := st.w.Append(wal.OpInsert, key, row)
+		if err != nil {
+			// Poisoned log: undo the in-memory effect so memory and disk
+			// do not diverge on a write we are about to fail.
+			t.rel.Delete(tid)
+			t.pk.Delete(key)
+			st.wmu.Unlock()
+			return TupleID{}, err
+		}
+		st.noteChunk(tid.Chunk, lsn)
+		st.lastLSN = lsn
+		b = batch
+	}
+	st.wmu.Unlock()
+	if st.w != nil {
+		if err := st.w.Wait(b); err != nil {
+			// The row is applied in memory but its durability failed; the
+			// log is poisoned and in-memory state now runs ahead of disk.
+			return TupleID{}, err
+		}
+	}
 	t.ops.inserts.Inc()
 	t.ops.rowsWritten.Inc()
 	if tid.Chunk > 0 && tid.Row == 0 {
@@ -646,19 +848,93 @@ func (t *Table) Insert(row Row) (TupleID, error) {
 }
 
 // BulkLoad appends pre-columnarized data (fast path for loaders) and
-// rebuilds the primary-key index if present.
+// rebuilds the primary-key index if present. With WithWAL each row is
+// logged to its own key's stripe log — the same file every later update
+// or delete of that key logs to, so per-stripe replay thresholds can
+// never cover a key's delete while missing its insert — batched as one
+// group commit (one append, one fsync) per participating stripe.
 func (t *Table) BulkLoad(cols []core.ColumnData, n int) error {
-	t.wmu.Lock()
-	defer t.wakeCompactor()
-	defer t.wmu.Unlock()
-	if err := t.rel.BulkAppend(cols, n); err != nil {
+	t.lockAllStripes()
+	ords, err := t.rel.BulkAppendTracked(cols, n)
+	if err != nil {
+		t.unlockAllStripes()
 		return err
 	}
 	t.ops.rowsWritten.Add(uint64(n))
 	if t.pk != nil {
-		return t.pk.Rebuild(t.rel, t.pkCol)
+		if err := t.pk.Rebuild(t.rel, t.pkCol); err != nil {
+			t.unlockAllStripes()
+			return err
+		}
 	}
-	return nil
+	var batches []*wal.Batch
+	if t.walEnabled && n > 0 {
+		// Group rows by the stripe their primary key hashes to (WithWAL
+		// implies a primary key). Bulk-loaded chunks interleave keys from
+		// every stripe, so each participating stripe pins all of them: its
+		// log cannot truncate before the chunks its records landed in are
+		// durably frozen.
+		perStripe := make([][]types.Row, len(t.stripes))
+		for i := 0; i < n; i++ {
+			row := rowAt(cols, i)
+			si := 0
+			if t.writeStripes > 1 && !row[t.pkCol].IsNull() {
+				si = t.stripeOf(row[t.pkCol].Int())
+			}
+			perStripe[si] = append(perStripe[si], row)
+		}
+		batches = make([]*wal.Batch, len(t.stripes))
+		for si, rows := range perStripe {
+			if len(rows) == 0 {
+				continue
+			}
+			st := &t.stripes[si]
+			first, last, batch, err := st.w.AppendRows(rows, t.pkCol)
+			if err != nil {
+				t.unlockAllStripes()
+				return err
+			}
+			for _, ord := range ords {
+				st.noteChunk(ord, first)
+			}
+			st.lastLSN = last
+			batches[si] = batch
+		}
+	}
+	t.unlockAllStripes()
+	t.wakeCompactor()
+	var first error
+	for si, b := range batches {
+		if b == nil {
+			continue
+		}
+		if err := t.stripes[si].w.Wait(b); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// rowAt materializes row i of a columnar batch as a tuple (the WAL's
+// record unit).
+func rowAt(cols []core.ColumnData, i int) types.Row {
+	row := make(types.Row, len(cols))
+	for c := range cols {
+		cd := &cols[c]
+		if cd.Nulls != nil && i < len(cd.Nulls) && cd.Nulls[i] {
+			row[c] = types.NullValue(cd.Kind)
+			continue
+		}
+		switch cd.Kind {
+		case types.Int64:
+			row[c] = types.IntValue(cd.Ints[i])
+		case types.Float64:
+			row[c] = types.FloatValue(cd.Floats[i])
+		default:
+			row[c] = types.StringValue(cd.Strs[i])
+		}
+	}
+	return row
 }
 
 // Lookup resolves a primary key through the hash index: the OLTP point
@@ -741,22 +1017,57 @@ func (t *Table) LookupScan(col string, key int64, mode ScanMode) (Row, bool, err
 // their slot). The tuple is retired with a fresh write epoch before the
 // index entry goes away, so a concurrent reader either still sees the row
 // (its epoch predates the delete) or takes a legitimate miss.
-func (t *Table) Delete(key int64) bool {
+//
+// The boolean reports whether the key existed (and the delete was applied
+// in memory); the error reports durability. On a WAL table a non-nil
+// error with existed=true means the row is gone from the table but the
+// delete's group commit failed: the log is poisoned, the record may or
+// may not have reached disk, and the caller must treat the delete as not
+// durable.
+func (t *Table) Delete(key int64) (bool, error) {
 	if t.pk == nil {
-		return false
+		return false, nil
 	}
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
+	st := &t.stripes[t.stripeOf(key)]
+	st.wmu.Lock()
+	if st.w != nil {
+		if err := st.w.Err(); err != nil {
+			// Poisoned log: refuse before applying, so memory does not
+			// drift further ahead of disk. (A concurrent poisoning between
+			// this check and the append below is caught by Wait.)
+			st.wmu.Unlock()
+			return false, err
+		}
+	}
 	tid, ok := t.pk.Lookup(key)
 	if !ok {
-		return false
+		st.wmu.Unlock()
+		return false, nil
 	}
 	if !t.rel.Delete(tid) {
-		return false
+		st.wmu.Unlock()
+		return false, nil
 	}
 	t.pk.Delete(key)
+	var b *wal.Batch
+	if st.w != nil {
+		lsn, batch, err := st.w.Append(wal.OpDelete, key, nil)
+		if err != nil {
+			st.wmu.Unlock()
+			return true, err
+		}
+		st.noteChunk(tid.Chunk, lsn)
+		st.lastLSN = lsn
+		b = batch
+	}
+	st.wmu.Unlock()
+	if st.w != nil {
+		if err := st.w.Wait(b); err != nil {
+			return true, err
+		}
+	}
 	t.ops.deletes.Inc()
-	return true
+	return true, nil
 }
 
 // Update rewrites a row by primary key with the anomaly-free three-step
@@ -778,21 +1089,40 @@ func (t *Table) Update(key int64, row Row) error {
 	if row[t.pkCol].IsNull() {
 		return fmt.Errorf("datablocks: primary key %q cannot be NULL", t.pkName)
 	}
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
+	newKey := row[t.pkCol].Int()
+	// Lock the old and new key's stripes in ascending index order (one
+	// lock when they coincide): the new version appends to the new key's
+	// stripe, the retirement touches the old key's row.
+	si, sj := t.stripeOf(key), t.stripeOf(newKey)
+	lo, hi := si, sj
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	t.stripes[lo].wmu.Lock()
+	if hi != lo {
+		t.stripes[hi].wmu.Lock()
+	}
+	unlock := func() {
+		if hi != lo {
+			t.stripes[hi].wmu.Unlock()
+		}
+		t.stripes[lo].wmu.Unlock()
+	}
 	oldTid, ok := t.pk.Lookup(key)
 	if !ok {
+		unlock()
 		return fmt.Errorf("datablocks: key %d not found", key)
 	}
-	newKey := row[t.pkCol].Int()
 	if newKey != key {
 		if _, taken := t.pk.Lookup(newKey); taken {
+			unlock()
 			return fmt.Errorf("datablocks: update of key %d to %d collides with an existing row", key, newKey)
 		}
 	}
 	// Step 1: insert the new version, invisible to every reader.
-	newTid, err := t.rel.InsertPending(row)
+	newTid, err := t.rel.InsertPendingStripe(sj, row)
 	if err != nil {
+		unlock()
 		return err
 	}
 	// Step 2: publish the new tuple identifier in the index. For an
@@ -804,6 +1134,7 @@ func (t *Table) Update(key int64, row Row) error {
 		t.pk.Publish(key, newTid)
 	} else if err := t.pk.Insert(newKey, newTid); err != nil {
 		t.rel.AbortPending(newTid)
+		unlock()
 		return err
 	}
 	// Step 3: commit — one epoch births the new version and retires the
@@ -818,11 +1149,81 @@ func (t *Table) Update(key int64, row Row) error {
 		} else {
 			t.pk.Delete(newKey)
 		}
+		unlock()
 		return fmt.Errorf("datablocks: key %d vanished during update", key)
 	}
 	t.pk.Seal(newKey, epoch)
 	if newKey != key {
 		t.pk.Delete(key)
+	}
+	// Log the committed update. An in-place update is one record in its
+	// key's stripe log. A key-changing update decomposes into an insert
+	// record in the new key's stripe log and a delete record in the old
+	// key's — each key's full history then lives in one log file, so
+	// replay's per-file skip threshold can never reorder one key's
+	// effects. Insert strictly before delete: within one log the insert
+	// record precedes the delete (a torn tail cuts the delete first), and
+	// across stripes the insert's fsync is awaited — under both stripe
+	// locks, so no conflicting write can slip an LSN between the applied
+	// effects and the delete record — before the delete is even staged.
+	// Either way, no crash point can make the delete durable without the
+	// insert: a half-applied (always unacknowledged) update leaves both
+	// versions alive, never neither, so the pre-update row's acknowledged
+	// insert is never destroyed.
+	var bi, bj *wal.Batch
+	sti, stj := &t.stripes[si], &t.stripes[sj]
+	if sti.w != nil {
+		var err error
+		if newKey == key {
+			var lsn uint64
+			lsn, bi, err = sti.w.Append(wal.OpUpdate, key, row)
+			if err == nil {
+				sti.noteChunk(oldTid.Chunk, lsn)
+				sti.noteChunk(newTid.Chunk, lsn)
+				sti.lastLSN = lsn
+			}
+		} else {
+			var dlsn, ilsn uint64
+			ilsn, bj, err = stj.w.Append(wal.OpInsert, newKey, row)
+			if err == nil {
+				stj.noteChunk(newTid.Chunk, ilsn)
+				stj.lastLSN = ilsn
+				if sj != si {
+					// Separate logs flush independently; only a durable
+					// insert half may unblock logging the delete half.
+					err = stj.w.Wait(bj)
+					bj = nil
+				}
+			}
+			if err == nil {
+				dlsn, bi, err = sti.w.Append(wal.OpDelete, key, nil)
+				if err == nil {
+					sti.noteChunk(oldTid.Chunk, dlsn)
+					sti.lastLSN = dlsn
+				}
+			}
+		}
+		if err != nil {
+			// Poisoned log (or a failed insert-half fsync): the update is
+			// applied in memory but will not fully reach disk; report it so
+			// the caller treats the write as failed.
+			unlock()
+			return err
+		}
+	}
+	unlock()
+	if sti.w != nil {
+		if bj != nil {
+			// Same-stripe key change: one log, insert staged before delete,
+			// batches flush in order — waiting both here cannot reorder the
+			// records' durability.
+			if err := stj.w.Wait(bj); err != nil {
+				return err
+			}
+		}
+		if err := sti.w.Wait(bi); err != nil {
+			return err
+		}
 	}
 	t.ops.updates.Inc()
 	t.ops.rowsWritten.Inc()
@@ -864,8 +1265,8 @@ func (t *Table) FreezeSorted(col string) error {
 	if i < 0 {
 		return fmt.Errorf("datablocks: unknown column %q", col)
 	}
-	t.wmu.Lock()
-	defer t.wmu.Unlock()
+	t.lockAllStripes()
+	defer t.unlockAllStripes()
 	if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: i}, false); err != nil {
 		return err
 	}
@@ -879,28 +1280,223 @@ func (t *Table) FreezeSorted(col string) error {
 	t.manMu.Lock()
 	t.sortBy = i
 	t.manMu.Unlock()
-	return t.persistFrozen()
+	return t.checkpoint(true)
 }
 
 // persistFrozen makes the current frozen set durable on a persistent
 // table: every frozen block that has never been spilled is flushed to the
 // store, then a fresh manifest generation is written atomically. A no-op
 // for non-durable tables.
-func (t *Table) persistFrozen() error {
+func (t *Table) persistFrozen() error { return t.checkpoint(false) }
+
+// checkpoint is persistFrozen's body. On a WAL table it additionally
+// records each stripe's applied LSN in the manifest and truncates stripe
+// logs the manifest has fully caught up with. stripesHeld is true when
+// the caller already holds every stripe write lock (FreezeSorted).
+//
+// Ordering is load-bearing: the applied LSNs are computed (pruning
+// chunkLSN entries whose chunk is durable) BEFORE the manifest chunk
+// list is snapshotted. The frozen set only grows, so every chunk the
+// pruning treated as durable is referenced by this manifest; the reverse
+// order could declare records durable in chunks the manifest misses —
+// records the truncation below would then drop while recovery garbage-
+// collects their chunk.
+func (t *Table) checkpoint(stripesHeld bool) error {
 	if !t.persist || t.bs == nil {
 		return nil
 	}
 	if err := t.rel.FlushFrozen(); err != nil {
 		return err
 	}
+	var applied []uint64
+	if t.walEnabled {
+		applied = make([]uint64, len(t.stripes))
+		for i := range t.stripes {
+			st := &t.stripes[i]
+			if !stripesHeld {
+				st.wmu.Lock()
+			}
+			// The stripe's truncation point: everything at or below it is
+			// fully covered by durably flushed chunks. Reading lastLSN
+			// under wmu guarantees every effect at or below it is already
+			// visible in the relation (apply-then-log), hence captured by
+			// the manifest snapshot taken after this loop.
+			l := st.lastLSN
+			for ord, first := range st.chunkLSN {
+				if t.rel.ChunkDurable(int(ord)) {
+					delete(st.chunkLSN, ord)
+					continue
+				}
+				if first-1 < l {
+					l = first - 1
+				}
+			}
+			applied[i] = l
+			if !stripesHeld {
+				st.wmu.Unlock()
+			}
+		}
+	}
+	chunks := t.rel.ManifestChunks()
 	t.manMu.Lock()
-	defer t.manMu.Unlock()
 	t.manGen++
-	return blockstore.WriteManifest(t.bs.Dir(), &blockstore.Manifest{
+	err := blockstore.WriteManifest(t.bs.Dir(), &blockstore.Manifest{
 		Generation: t.manGen,
 		SortBy:     t.sortBy,
-		Chunks:     t.rel.ManifestChunks(),
+		Chunks:     chunks,
+		Epoch:      t.rel.ReadEpoch(),
+		WalApplied: applied,
 	})
+	t.manMu.Unlock()
+	if err != nil || !t.walEnabled {
+		return err
+	}
+	// The manifest is durable: stripe logs it fully covers can restart
+	// empty. Failure to truncate is harmless — recovery skips records at
+	// or below the manifest's applied LSN — so it is deliberately not an
+	// error (TruncateAll also refuses by design while a batch is staged
+	// unflushed or the log is poisoned).
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		if !stripesHeld {
+			st.wmu.Lock()
+		}
+		if st.w != nil && len(st.chunkLSN) == 0 && st.lastLSN == applied[i] {
+			_ = st.w.TruncateAll()
+		}
+		if !stripesHeld {
+			st.wmu.Unlock()
+		}
+	}
+	return nil
+}
+
+// openWALAndReplay opens each stripe's log under the table's block
+// directory, replays every record past the recovered manifest's applied
+// LSNs (merged across stripes in global LSN order), and leaves the logs
+// ready for appends. Runs single-threaded at table construction.
+func (t *Table) openWALAndReplay() error {
+	fs := t.walFS
+	if fs == nil {
+		fs = walfs.OS
+	}
+	applied := make([]uint64, len(t.stripes))
+	for i := range applied {
+		if i < len(t.walApplied) {
+			applied[i] = t.walApplied[i]
+		}
+	}
+	type stripeRec struct {
+		si  int
+		rec wal.Record
+	}
+	var pending []stripeRec
+	for i := range t.stripes {
+		path := filepath.Join(t.bs.Dir(), fmt.Sprintf("wal-%d.log", i))
+		w, recs, err := wal.Open(fs, path, t.schema, &t.walSeq, &t.walStats)
+		if err != nil {
+			return err
+		}
+		st := &t.stripes[i]
+		st.w = w
+		st.lastLSN = applied[i]
+		for _, rec := range recs {
+			if rec.LSN > st.lastLSN {
+				st.lastLSN = rec.LSN
+			}
+			if rec.LSN <= applied[i] {
+				// Already durable through the manifest's chunks; left in
+				// the file by a failed or refused truncation.
+				t.walStats.ReplaySkipped.Inc()
+				continue
+			}
+			pending = append(pending, stripeRec{si: i, rec: rec})
+		}
+	}
+	// A truncated log holds no records, but the manifest proves its LSNs
+	// were consumed: advance the sequence past them too, so fresh records
+	// sort after everything recovery ever saw.
+	for _, a := range applied {
+		for {
+			cur := t.walSeq.Load()
+			if a <= cur || t.walSeq.CompareAndSwap(cur, a) {
+				break
+			}
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool { return pending[a].rec.LSN < pending[b].rec.LSN })
+	for _, pr := range pending {
+		if err := t.replayRecord(pr.si, pr.rec); err != nil {
+			return fmt.Errorf("replay lsn %d: %w", pr.rec.LSN, err)
+		}
+		t.walStats.Replayed.Inc()
+	}
+	t.walApplied = nil
+	return nil
+}
+
+// replayRecord re-applies one WAL record during recovery. Replay is
+// idempotent and convergent against partially durable state: a record
+// whose effect already survived in restored chunks no-ops (or is
+// harmlessly re-asserted and then overwritten by later records — every
+// key's full history lives in one log file, so its records replay in
+// order and the last one wins). Each touched chunk is re-registered in
+// the owning stripe's chunkLSN with the record's original LSN, so the
+// next checkpoint cannot truncate the log before the replayed effects
+// are durably frozen.
+func (t *Table) replayRecord(si int, rec wal.Record) error {
+	st := &t.stripes[si]
+	switch rec.Op {
+	case wal.OpInsert:
+		if rec.Row == nil {
+			return fmt.Errorf("wal: insert record without a row")
+		}
+		key := rec.Row[t.pkCol].Int()
+		if _, ok := t.pk.Lookup(key); ok {
+			// The restored row is this record's effect or a later one
+			// (the key's own log records replay in order after this).
+			return nil
+		}
+		tid, err := t.rel.InsertStripe(t.stripeOf(key), rec.Row)
+		if err != nil {
+			return err
+		}
+		if err := t.pk.Insert(key, tid); err != nil {
+			return err
+		}
+		st.noteChunk(tid.Chunk, rec.LSN)
+	case wal.OpUpdate:
+		// In-place only: key-changing updates are logged as a delete plus
+		// an insert record.
+		if rec.Row == nil {
+			return fmt.Errorf("wal: update record without a row")
+		}
+		oldTid, ok := t.pk.Lookup(rec.Key)
+		if !ok {
+			// A later record durably removed the key; its replay (or the
+			// durable state itself) governs.
+			return nil
+		}
+		newTid, err := t.rel.Update(oldTid, rec.Row)
+		if err != nil {
+			return err
+		}
+		t.pk.Repoint(rec.Key, newTid)
+		st.noteChunk(oldTid.Chunk, rec.LSN)
+		st.noteChunk(newTid.Chunk, rec.LSN)
+	case wal.OpDelete:
+		tid, ok := t.pk.Lookup(rec.Key)
+		if !ok {
+			return nil
+		}
+		if t.rel.Delete(tid) {
+			t.pk.Delete(rec.Key)
+			st.noteChunk(tid.Chunk, rec.LSN)
+		}
+	default:
+		return fmt.Errorf("wal: unknown op %d", rec.Op)
+	}
+	return nil
 }
 
 // wakeCompactor nudges the background compactor without blocking the
@@ -963,9 +1559,10 @@ func (t *Table) noteCompactErr(err error) {
 // and then writes a fresh manifest generation, so a clean close leaves
 // the directory a complete image: reopening recovers exactly the closed
 // contents. It returns the first error the compactor, the flush, the
-// manifest write or a block reload encountered. Close is idempotent; the
-// table remains usable afterwards — evicted chunks keep reloading through
-// the store.
+// manifest write or a block reload encountered. Close also closes the
+// stripe write-ahead logs: on a WAL table later writes fail at their
+// group commit. Close is otherwise idempotent and the table remains
+// readable afterwards — evicted chunks keep reloading through the store.
 func (t *Table) Close() error {
 	if t.autoFreeze > 0 || t.memBudget > 0 {
 		t.closeOnce.Do(func() { close(t.stop) })
@@ -973,9 +1570,14 @@ func (t *Table) Close() error {
 	}
 	if t.bs != nil {
 		if t.persist {
-			// Freeze the tail so the manifest covers every row: recovery
-			// reads frozen chunks only (crash durability for hot rows
-			// needs a WAL; see ROADMAP).
+			// Freeze the tail so the manifest covers every row. If the
+			// freeze or the checkpoint fails, the error is reported — and
+			// on a WAL table the stripe logs still hold every acknowledged
+			// hot row (checkpoint truncates them only after a successful
+			// manifest write), so a failed close loses nothing: reopening
+			// replays the logs. Without a WAL a failed close genuinely
+			// strands hot rows, which is why the error must not be
+			// swallowed.
 			if err := t.rel.FreezeAll(core.FreezeOptions{SortBy: -1}, false); err != nil {
 				t.noteCompactErr(err)
 			}
@@ -984,6 +1586,13 @@ func (t *Table) Close() error {
 			}
 		} else if err := t.rel.FlushFrozen(); err != nil {
 			t.noteCompactErr(err)
+		}
+		for i := range t.stripes {
+			if w := t.stripes[i].w; w != nil {
+				if err := w.Close(); err != nil {
+					t.noteCompactErr(err)
+				}
+			}
 		}
 		if err := t.bs.Close(); err != nil {
 			t.noteCompactErr(err)

@@ -128,8 +128,8 @@ func TestUpdateLookupStress(t *testing.T) {
 						return
 					}
 				case 1:
-					if !tbl.Delete(key) {
-						report(fmt.Errorf("delete %d failed", key))
+					if ok, derr := tbl.Delete(key); derr != nil || !ok {
+						report(fmt.Errorf("delete %d failed: %v %v", key, ok, derr))
 						return
 					}
 				}

@@ -241,7 +241,7 @@ func TestHybridStress(t *testing.T) {
 					}
 				case 3: // delete an old own key (≡ 9 mod 10, at most once)
 					victim := base + int64(i/3/10*10+9)
-					if tbl.Delete(victim) {
+					if ok, _ := tbl.Delete(victim); ok {
 						live.Add(-1)
 					}
 				default: // point lookup of own fresh key

@@ -48,8 +48,8 @@ func TestDurableReopen(t *testing.T) {
 	const n = 5000
 	loadEvents(t, tbl, n)
 	for i := 0; i < n; i += 13 {
-		if !tbl.Delete(int64(i)) {
-			t.Fatalf("delete %d failed", i)
+		if ok, derr := tbl.Delete(int64(i)); derr != nil || !ok {
+			t.Fatalf("delete %d failed: %v %v", i, ok, derr)
 		}
 	}
 	if err = tbl.Update(5, Row{Int(5), Float(99), Str("updated")}); err != nil {

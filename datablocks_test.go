@@ -165,13 +165,13 @@ func TestCRUDAcrossFreeze(t *testing.T) {
 		t.Fatalf("lookup after update: %v", row)
 	}
 	// Delete.
-	if !tbl.Delete(777) {
-		t.Fatal("delete failed")
+	if ok, derr := tbl.Delete(777); derr != nil || !ok {
+		t.Fatalf("delete failed: %v %v", ok, derr)
 	}
 	if _, ok := tbl.Lookup(777); ok {
 		t.Fatal("deleted key visible")
 	}
-	if tbl.Delete(777) {
+	if ok, _ := tbl.Delete(777); ok {
 		t.Fatal("double delete")
 	}
 	if tbl.NumRows() != 9999 {

@@ -96,7 +96,9 @@ func main() {
 	}
 	row, _ = events.Lookup(31_337)
 	fmt.Printf("after update: %v\n", row)
-	events.Delete(42)
+	if ok, derr := events.Delete(42); derr != nil || !ok {
+		log.Fatalf("delete: existed=%v err=%v", ok, derr)
+	}
 	if _, ok := events.Lookup(42); !ok {
 		fmt.Println("id=42 deleted (flag set in frozen block)")
 	}

@@ -18,8 +18,9 @@
 //     is exactly the summary at that boundary: the callee requires its
 //     lock held and acquires nothing new.
 //   - The documented order (Order) seeds the graph: DB.mu before
-//     DB.catMu before Table.wmu before Chunk.loadMu before Relation.mu
-//     before Relation.loadErrMu. Any observed edge that closes a cycle
+//     DB.catMu before tableStripe.wmu before relStripe.mu before
+//     Chunk.loadMu before Relation.mu before Relation.loadErrMu before
+//     the WAL's Log.flushMu before Log.mu. Any observed edge that closes a cycle
 //     against the seeded and accumulated graph — a pairwise inversion,
 //     or a cycle spanning any number of hops and packages — is
 //     reported at the acquisition or call that creates it.
@@ -44,10 +45,13 @@ import (
 var Order = []string{
 	"DB.mu",
 	"DB.catMu",
-	"Table.wmu",
+	"tableStripe.wmu",
+	"relStripe.mu",
 	"Chunk.loadMu",
 	"Relation.mu",
 	"Relation.loadErrMu",
+	"Log.flushMu",
+	"Log.mu",
 }
 
 // Analyzer is the deadlockcheck pass.

@@ -2,6 +2,10 @@
 // up with the documented acquires-before order:
 //
 //	DB.mu → DB.catMu → Table.wmu → Chunk.loadMu → Relation.mu → Relation.loadErrMu
+//
+// (The fixture's Table.wmu plays the role of the engine's current
+// tableStripe.wmu; the analyzer orders lock classes by name, so the
+// fixture keeps its own stable names.)
 package fixture
 
 import (

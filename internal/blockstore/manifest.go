@@ -59,6 +59,10 @@ const (
 // (same polynomial the serialized blocks use).
 var recCRC = crc32.MakeTable(crc32.Castagnoli)
 
+// maxWalStripes bounds the stripe counts a decoded record may claim, so a
+// corrupt-but-CRC-colliding tail cannot drive huge allocations.
+const maxWalStripes = 1 << 12
+
 // ManifestChunk describes one frozen chunk of a table: the handle that
 // reloads its block, its row count, and its delete state. Rows pending an
 // uncommitted update at manifest time are recorded as deleted — their
@@ -83,8 +87,22 @@ type Manifest struct {
 	// SortBy is the column the blocks were last freeze-sorted by, or -1.
 	SortBy int
 	// Chunks lists the frozen chunks in relation order. Hot chunks are not
-	// recorded: recovery covers frozen data only (see ARCHITECTURE.md).
+	// recorded: recovery covers hot data through the write-ahead log (see
+	// WalApplied), frozen data through the chunk list.
 	Chunks []ManifestChunk
+
+	// Epoch is the table's write-epoch high-water mark at manifest time.
+	// Recovery restores it before WAL replay so replayed mutations mint
+	// epochs above everything the previous lifetime acknowledged
+	// (cross-restart epoch continuity).
+	Epoch uint64
+	// WalApplied holds, per write stripe, the highest WAL LSN whose effect
+	// is fully covered by this manifest's chunks — the stripe's WAL
+	// truncation point. Replay skips records at or below it. Empty when
+	// the table runs without a WAL. Both fields ride in an optional
+	// manifest tail: manifests written before the WAL existed decode with
+	// a zero epoch and no stripes.
+	WalApplied []uint64
 }
 
 // CatalogTable is one table entry of the catalog.
@@ -93,6 +111,14 @@ type CatalogTable struct {
 	Columns    []types.Column
 	PrimaryKey string // "" when the table has no primary key
 	ChunkRows  int
+
+	// WriteStripes and Wal record the table's write-path shape: both are
+	// structural (reopening must recreate the same stripe count to route
+	// WAL replay, and must know a WAL exists to replay it), so they live
+	// in the durable catalog, in an optional tail that old catalogs decode
+	// as 1 stripe / no WAL.
+	WriteStripes int
+	Wal          bool
 }
 
 // Catalog is the durable table registry of a database directory.
@@ -291,6 +317,16 @@ func encodeManifest(m *Manifest) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, w)
 		}
 	}
+	// Optional WAL tail (epoch + per-stripe applied LSNs). Written only
+	// when there is something to say, so WAL-less tables keep producing
+	// byte-identical manifests that pre-WAL builds can still read.
+	if m.Epoch != 0 || len(m.WalApplied) > 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.WalApplied)))
+		for _, lsn := range m.WalApplied {
+			buf = binary.LittleEndian.AppendUint64(buf, lsn)
+		}
+	}
 	return buf
 }
 
@@ -326,6 +362,18 @@ func decodeManifest(payload []byte) (*Manifest, error) {
 		}
 		m.Chunks = append(m.Chunks, c)
 	}
+	if r.err == nil && r.off != len(payload) {
+		// Optional WAL tail: epoch high-water mark and per-stripe applied
+		// LSNs. Absent in pre-WAL manifests.
+		m.Epoch = r.u64()
+		stripes := int(r.u32())
+		if r.err == nil && stripes > maxWalStripes {
+			return nil, fmt.Errorf("blockstore: manifest records %d WAL stripes", stripes)
+		}
+		for i := 0; i < stripes && r.err == nil; i++ {
+			m.WalApplied = append(m.WalApplied, r.u64())
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -352,6 +400,32 @@ func encodeCatalog(c *Catalog) []byte {
 				buf = append(buf, 0)
 			}
 			buf = appendStr(buf, col.Name)
+		}
+	}
+	// Optional write-path tail: one (stripes, wal) pair per table, in
+	// table order. Written only when some table departs from the pre-WAL
+	// default (1 stripe, no WAL), keeping old catalogs byte-stable.
+	tailNeeded := false
+	for i := range c.Tables {
+		if c.Tables[i].WriteStripes > 1 || c.Tables[i].Wal {
+			tailNeeded = true
+			break
+		}
+	}
+	if tailNeeded {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Tables)))
+		for i := range c.Tables {
+			t := &c.Tables[i]
+			stripes := t.WriteStripes
+			if stripes < 1 {
+				stripes = 1
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(stripes))
+			if t.Wal {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
 		}
 	}
 	return buf
@@ -381,7 +455,28 @@ func decodeCatalog(payload []byte) (*Catalog, error) {
 			if t.Name == "" || len(t.Columns) == 0 {
 				return nil, fmt.Errorf("blockstore: catalog table %d is empty", i)
 			}
+			t.WriteStripes = 1
 			c.Tables = append(c.Tables, t)
+		}
+	}
+	if r.err == nil && r.off != len(payload) {
+		// Optional write-path tail: per-table stripe counts and WAL flags.
+		// Absent in pre-WAL catalogs (every table defaults to 1 stripe).
+		n := int(r.u32())
+		if r.err == nil && n != len(c.Tables) {
+			return nil, fmt.Errorf("blockstore: catalog write-path tail covers %d tables, catalog has %d", n, len(c.Tables))
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			stripes := int(r.u32())
+			wal := r.byte() != 0
+			if r.err != nil {
+				break
+			}
+			if stripes < 1 || stripes > maxWalStripes {
+				return nil, fmt.Errorf("blockstore: catalog table %q records %d write stripes", c.Tables[i].Name, stripes)
+			}
+			c.Tables[i].WriteStripes = stripes
+			c.Tables[i].Wal = wal
 		}
 	}
 	if r.err != nil {

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCrashChildMode is the victim entry point for the kill -9 stress:
+// TestKillRecoveryStress re-executes this test binary with CrashDirEnv
+// set, and this function then writes against that directory until the
+// parent kills the process. In a normal test run the env is unset and it
+// skips.
+func TestCrashChildMode(t *testing.T) {
+	dir := os.Getenv(CrashDirEnv)
+	if dir == "" {
+		t.Skip("victim mode: spawned by TestKillRecoveryStress")
+	}
+	if err := CrashChild(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillRecoveryStress is the kill -9 recovery stress: spawn a victim
+// process writing through the striped WAL, SIGKILL it at a random crash
+// point, reopen and assert zero lost acknowledged writes.
+func TestKillRecoveryStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill -9 stress skipped in -short")
+	}
+	var report strings.Builder
+	err := CrashRestart(&report, 3, []string{"-test.run=^TestCrashChildMode$", "-test.v"})
+	if out := strings.TrimSpace(report.String()); out != "" {
+		t.Log(out)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

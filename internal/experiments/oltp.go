@@ -310,7 +310,7 @@ func Hybrid(w io.Writer, seconds float64, writers, scanners int) error {
 					if next == base {
 						continue
 					}
-					if tbl.Delete(base + r.Range(0, next-base-1)) {
+					if ok, _ := tbl.Delete(base + r.Range(0, next-base-1)); ok {
 						live[g]--
 					}
 				default: // point lookup of the most recent own key

@@ -80,7 +80,7 @@ func Restart(w io.Writer, rows int, budget int64) error {
 		key := r.Range(0, int64(rows)-1)
 		switch r.Range(0, 2) {
 		case 0:
-			if tbl.Delete(key) {
+			if ok, _ := tbl.Delete(key); ok {
 				deletes++
 			}
 		default:

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"datablocks/internal/obs"
+	"datablocks/internal/simd"
 	"datablocks/internal/storage"
 )
 
@@ -36,10 +37,23 @@ type Record struct {
 	Epoch   uint64
 }
 
-// Hash is a unique index over an int64 key column.
-type Hash struct {
+// numShards partitions the key space so writers hashed to different
+// stripes of the table do not re-serialize on one index lock. A power of
+// two; 64 comfortably exceeds any plausible writer count.
+const numShards = 64
+
+// shard is one lock-striped partition of the index.
+type shard struct {
 	mu sync.RWMutex
 	m  map[int64]Record
+}
+
+// Hash is a unique index over an int64 key column. It is internally
+// lock-striped: operations on keys in different shards proceed
+// concurrently, while each individual key's version-record protocol keeps
+// its usual serialization on the shard lock.
+type Hash struct {
+	shards [numShards]shard
 	// publishes counts version-record installations (Insert, Publish,
 	// Repoint, Rebuild entries) — the index side of the engine's
 	// epoch/index telemetry.
@@ -52,17 +66,29 @@ func (h *Hash) Publishes() uint64 { return h.publishes.Load() }
 
 // NewHash creates an empty index, pre-sized for capacity entries.
 func NewHash(capacity int) *Hash {
-	return &Hash{m: make(map[int64]Record, capacity)}
+	h := &Hash{}
+	per := capacity / numShards
+	for i := range h.shards {
+		h.shards[i].m = make(map[int64]Record, per)
+	}
+	return h
+}
+
+// shardFor routes a key to its lock stripe. The splitmix finalizer keeps
+// sequential keys from piling into one shard.
+func (h *Hash) shardFor(key int64) *shard {
+	return &h.shards[simd.Mix64(uint64(key))&(numShards-1)]
 }
 
 // Insert adds a key; duplicate keys are rejected (primary-key semantics).
 func (h *Hash) Insert(key int64, tid storage.TupleID) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, dup := h.m[key]; dup {
+	s := h.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[key]; dup {
 		return fmt.Errorf("index: duplicate key %d", key)
 	}
-	h.m[key] = Record{Cur: tid}
+	s.m[key] = Record{Cur: tid}
 	h.publishes.Inc()
 	return nil
 }
@@ -77,22 +103,24 @@ func (h *Hash) Insert(key int64, tid storage.TupleID) error {
 // fabricating one from the zero Record would let a Lookup fall back to
 // TupleID{0,0} and materialize an unrelated row.
 func (h *Hash) Publish(key int64, tid storage.TupleID) {
-	h.mu.Lock()
-	old, ok := h.m[key]
-	h.m[key] = Record{Cur: tid, Prev: old.Cur, HasPrev: ok}
+	s := h.shardFor(key)
+	s.mu.Lock()
+	old, ok := s.m[key]
+	s.m[key] = Record{Cur: tid, Prev: old.Cur, HasPrev: ok}
 	h.publishes.Inc()
-	h.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Seal stamps the record with the write epoch at which its current
 // version committed (step four, after storage.CommitUpdate).
 func (h *Hash) Seal(key int64, epoch uint64) {
-	h.mu.Lock()
-	if rec, ok := h.m[key]; ok {
+	s := h.shardFor(key)
+	s.mu.Lock()
+	if rec, ok := s.m[key]; ok {
 		rec.Epoch = epoch
-		h.m[key] = rec
+		s.m[key] = rec
 	}
-	h.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Repoint replaces a key's record with a fresh current version and no
@@ -105,10 +133,11 @@ func (h *Hash) Seal(key int64, epoch uint64) {
 // Publish/CommitUpdate/Seal protocol exists to prevent. Use it for
 // single-threaded maintenance and benchmarks only.
 func (h *Hash) Repoint(key int64, tid storage.TupleID) {
-	h.mu.Lock()
-	h.m[key] = Record{Cur: tid}
+	s := h.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = Record{Cur: tid}
 	h.publishes.Inc()
-	h.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Unpublish reverts a Publish whose commit never happened: the previous
@@ -117,25 +146,27 @@ func (h *Hash) Repoint(key int64, tid storage.TupleID) {
 // aborted pending identifier cannot linger as a permanently invisible
 // current version. Defensive abort path.
 func (h *Hash) Unpublish(key int64) {
-	h.mu.Lock()
-	if rec, ok := h.m[key]; ok {
+	s := h.shardFor(key)
+	s.mu.Lock()
+	if rec, ok := s.m[key]; ok {
 		if rec.HasPrev {
-			h.m[key] = Record{Cur: rec.Prev}
+			s.m[key] = Record{Cur: rec.Prev}
 		} else {
-			delete(h.m, key)
+			delete(s.m, key)
 		}
 	}
-	h.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Delete removes a key, reporting whether it existed.
 func (h *Hash) Delete(key int64) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, ok := h.m[key]; !ok {
+	s := h.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
 		return false
 	}
-	delete(h.m, key)
+	delete(s.m, key)
 	return true
 }
 
@@ -143,25 +174,33 @@ func (h *Hash) Delete(key int64) bool {
 // need anomaly-free reads under concurrent updates use LookupRecord and
 // fall back to the previous version by epoch.
 func (h *Hash) Lookup(key int64) (storage.TupleID, bool) {
-	h.mu.RLock()
-	rec, ok := h.m[key]
-	h.mu.RUnlock()
+	s := h.shardFor(key)
+	s.mu.RLock()
+	rec, ok := s.m[key]
+	s.mu.RUnlock()
 	return rec.Cur, ok
 }
 
 // LookupRecord resolves a key to its full version record.
 func (h *Hash) LookupRecord(key int64) (Record, bool) {
-	h.mu.RLock()
-	rec, ok := h.m[key]
-	h.mu.RUnlock()
+	s := h.shardFor(key)
+	s.mu.RLock()
+	rec, ok := s.m[key]
+	s.mu.RUnlock()
 	return rec, ok
 }
 
-// Len returns the number of indexed keys.
+// Len returns the number of indexed keys. The count is a sum over shard
+// snapshots, exact whenever no insert or delete runs concurrently.
 func (h *Hash) Len() int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return len(h.m)
+	n := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Rebuild repopulates the index by scanning the key column of a relation.
@@ -171,10 +210,17 @@ func (h *Hash) Len() int {
 // restored from a durable manifest stream their keys one block at a time
 // through the pin/reload machinery, so the whole frozen set never has to
 // be resident at once.
+// Rebuild runs stop-the-world with respect to the index: callers already
+// exclude writers (sorted freeze, recovery), so shard locks are taken
+// per-entry rather than held across the scan.
 func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.m = make(map[int64]Record, r.NumRows())
+	per := r.NumRows() / numShards
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		s.m = make(map[int64]Record, per)
+		s.mu.Unlock()
+	}
 	views := r.Snapshot()
 	var scratch []int64 // per-chunk bulk decode buffer, reused across chunks
 	for ci := range views {
@@ -210,11 +256,15 @@ func (h *Hash) Rebuild(r *storage.Relation, keyCol int) error {
 				continue
 			}
 			key := keys[row]
-			if _, dup := h.m[key]; dup {
+			s := h.shardFor(key)
+			s.mu.Lock()
+			if _, dup := s.m[key]; dup {
+				s.mu.Unlock()
 				c.Release()
 				return fmt.Errorf("index: duplicate key %d during rebuild", key)
 			}
-			h.m[key] = Record{Cur: storage.TupleID{Chunk: uint32(ci), Row: uint32(row)}}
+			s.m[key] = Record{Cur: storage.TupleID{Chunk: uint32(ci), Row: uint32(row)}}
+			s.mu.Unlock()
 			h.publishes.Inc()
 		}
 		c.Release()

@@ -14,8 +14,13 @@
 // freely are:
 //
 //   - OLTP writes: Insert, BulkAppend, Delete, Update and the three-step
-//     update protocol InsertPending/CommitUpdate/AbortPending (serialized
-//     internally on the relation lock, each O(1)).
+//     update protocol InsertPending/CommitUpdate/AbortPending, each O(1).
+//     Appends serialize per write stripe (SetWriteStripes): InsertStripe
+//     and InsertPendingStripe on distinct stripes run concurrently,
+//     holding only their stripe's appender lock; the single-writer entry
+//     points route to stripe 0. Deletes and commits still serialize on
+//     the relation lock — they are cross-stripe (any stripe's row) and
+//     epoch-minting.
 //   - OLTP reads: Get, GetCol, GetAt (shared lock).
 //   - OLAP scans: Snapshot returns ChunkViews pinned to an epoch cutoff;
 //     scan drivers iterate a snapshot and never observe row versions
@@ -62,7 +67,7 @@
 // frozen station and oscillates between the last two when a block store
 // is attached (SetBlockStore):
 //
-//	ChunkHot ──(claim, brief write lock)──► ChunkFreezing
+//	ChunkHot ──(claim: owner stripe lock + brief write lock)──► ChunkFreezing
 //	ChunkFreezing ──(compress outside lock, install)──► ChunkFrozen
 //	ChunkFreezing ──(compression error)──► ChunkHot
 //	ChunkFrozen ──(spill to store, drop payload)──► ChunkEvicted
@@ -122,11 +127,14 @@
 //   - The chunk capacity must be at least the restored row counts — reopen
 //     a relation with the chunk capacity it was created with (the durable
 //     catalog records it).
-//   - Epoch stamps are not persisted: the write epoch restarts at zero,
-//     restored deletes read as retired-at-zero (invisible to everyone),
-//     and rows that were pending an uncommitted update at manifest time
-//     were recorded as deleted by ManifestChunks. Cross-restart epoch
-//     continuity is therefore not provided; see ROADMAP.
+//   - Epoch stamps are not persisted: restored deletes read as
+//     retired-at-zero (invisible to everyone), and rows that were pending
+//     an uncommitted update at manifest time were recorded as deleted by
+//     ManifestChunks. Cross-restart epoch continuity is the owner's job:
+//     the durable manifest records the epoch high-water mark and recovery
+//     restores it with AdvanceEpoch before replaying its write-ahead log,
+//     so replayed mutations mint epochs above everything the previous
+//     lifetime acknowledged.
 //
 // ManifestChunks is the writer-side half: it snapshots the frozen set
 // (handles, row counts, delete bitmaps) under the relation lock for a
@@ -195,7 +203,7 @@ type hotCol struct {
 	ints   []int64
 	floats []float64
 	strs   []string
-	nulls  []bool // lazily allocated on first NULL
+	nulls  []bool // eager for nullable columns; else installed by BulkAppend under the write lock
 }
 
 // Rows returns the number of tuples in the chunk (including deleted ones).
@@ -339,6 +347,13 @@ type Chunk struct {
 	// evicted.
 	frozenRows  atomic.Int32
 	frozenBytes atomic.Int64
+
+	// stripe is the write stripe that owns this chunk's append path, set at
+	// construction and immutable. -1 for chunks restored from a manifest
+	// (frozen on arrival, never appended to again). A freeze claims a hot
+	// chunk under its owner stripe's appender lock, so claim and append
+	// cannot interleave.
+	stripe int32
 }
 
 // Temperature returns the chunk's access count (blockstore.Owner).
@@ -348,8 +363,8 @@ func (c *Chunk) Temperature() uint64 { return c.access.Load() }
 // (blockstore.Owner).
 func (c *Chunk) Pinned() bool { return c.pins.Load() != 0 }
 
-func newChunk(h *HotChunk) *Chunk {
-	c := &Chunk{retired: &sync.Map{}, born: &sync.Map{}}
+func newChunk(h *HotChunk, stripe int32) *Chunk {
+	c := &Chunk{retired: &sync.Map{}, born: &sync.Map{}, stripe: stripe}
 	c.pay.Store(&chunkPayload{hot: h})
 	return c
 }
@@ -553,14 +568,37 @@ func (v *ChunkView) Value(col, row int) types.Value {
 	return v.hot.Value(col, row)
 }
 
+// relStripe is one independent append lane of a relation. Each stripe has
+// its own hot tail chunk and its own appender lock, so writers hashed to
+// different stripes append concurrently without touching the relation
+// lock; only a chunk rollover (growing the chunk list) takes r.mu.
+type relStripe struct {
+	// mu serializes appends within the stripe and a freeze's claim of the
+	// stripe's chunks. Lock order: mu before Relation.mu, never after.
+	mu sync.Mutex
+	// tail is the stripe's current hot chunk (nil before the first
+	// append). Written with both mu and Relation.mu held (rollover); read
+	// under either lock.
+	tail    *Chunk
+	tailOrd int
+}
+
 // Relation is a chunked table: zero or more frozen chunks followed by hot
-// chunks, the last of which receives inserts.
+// chunks; each write stripe's tail chunk receives its inserts.
 type Relation struct {
 	mu       sync.RWMutex
 	schema   *types.Schema
 	chunkCap int
 	chunks   []*Chunk
-	live     int
+
+	// stripes are the append lanes (at least one). The slice itself is
+	// fixed before concurrent use (SetWriteStripes); single-writer callers
+	// use stripe 0 through the legacy Insert/Update entry points.
+	stripes []relStripe
+
+	// live is the live tuple count, maintained atomically because stripe
+	// appends run outside the relation lock.
+	live atomic.Int64
 
 	// epoch is the monotonically increasing write epoch. Deletes and
 	// update commits bump it under the write lock and stamp the affected
@@ -599,8 +637,22 @@ func NewRelation(schema *types.Schema, chunkCapacity int) *Relation {
 	if chunkCapacity <= 0 || chunkCapacity > core.MaxRows {
 		chunkCapacity = core.MaxRows
 	}
-	return &Relation{schema: schema, chunkCap: chunkCapacity}
+	return &Relation{schema: schema, chunkCap: chunkCapacity, stripes: make([]relStripe, 1)}
 }
+
+// SetWriteStripes partitions the append path into n independent stripes
+// (InsertStripe/InsertPendingStripe). It must be called before the
+// relation sees any insert or concurrent use; the legacy single-writer
+// entry points keep routing to stripe 0.
+func (r *Relation) SetWriteStripes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.stripes = make([]relStripe, n)
+}
+
+// NumWriteStripes returns the configured stripe count.
+func (r *Relation) NumWriteStripes() int { return len(r.stripes) }
 
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *types.Schema { return r.schema }
@@ -653,11 +705,14 @@ func (r *Relation) Snapshot() []ChunkView {
 }
 
 // viewLocked snapshots one chunk at the given epoch cutoff. Caller holds
-// at least the read lock, which excludes appends, deletes, update commits
-// and freeze installs, so the captured headers, row-count watermark,
-// delete count and cutoff are mutually consistent; rows below the
-// watermark are immutable afterwards, and every mutation after the
-// snapshot either lands above the watermark (appends) or carries an
+// at least the read lock, which excludes deletes, update commits, freeze
+// installs and bulk loads, so the captured headers, delete count and
+// cutoff are mutually consistent. Stripe appends run outside the relation
+// lock, but they publish through the row-count watermark: a hot chunk's
+// backing arrays are allocated at full capacity up front (the headers
+// never move), values are written before the watermark advances, and rows
+// below the watermark are immutable — so every mutation concurrent with
+// the snapshot either lands above the watermark (appends) or carries an
 // epoch above the cutoff (deletes, update commits).
 func (r *Relation) viewLocked(c *Chunk, cutoff uint64) ChunkView {
 	c.access.Add(1) // scan touch: temperature for the eviction policy
@@ -688,8 +743,8 @@ func (r *Relation) viewLocked(c *Chunk, cutoff uint64) ChunkView {
 		}
 		return v
 	}
-	// The column copy pins the snapshot's slice headers (a later append
-	// may reallocate the lazily created null flags) and the watermark
+	// The column copy pins the snapshot's slice headers (a bulk load may
+	// install null flags later, under the write lock) and the watermark
 	// bounds every accessor, so the view never reads past snapshot state.
 	n := p.hot.n.Load()
 	v.rows = int(n)
@@ -701,41 +756,58 @@ func (r *Relation) viewLocked(c *Chunk, cutoff uint64) ChunkView {
 
 // NumRows returns the live tuple count.
 func (r *Relation) NumRows() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.live
+	return int(r.live.Load())
 }
 
+// newHotChunk allocates a hot chunk with full-capacity backing arrays:
+// growth never reallocates, so the slice headers are immutable and a
+// snapshot that copies them stays coherent with appends that hold only a
+// stripe lock. Nullable columns get their null flags eagerly for the same
+// reason (non-nullable columns can only gain them through BulkAppend,
+// which holds the write lock).
 func (r *Relation) newHotChunk() *HotChunk {
 	h := &HotChunk{cols: make([]hotCol, r.schema.NumColumns())}
 	for i, col := range r.schema.Columns {
 		h.cols[i].kind = col.Kind
 		switch col.Kind {
 		case types.Int64:
-			h.cols[i].ints = make([]int64, 0, r.chunkCap)
+			h.cols[i].ints = make([]int64, r.chunkCap)
 		case types.Float64:
-			h.cols[i].floats = make([]float64, 0, r.chunkCap)
+			h.cols[i].floats = make([]float64, r.chunkCap)
 		default:
-			h.cols[i].strs = make([]string, 0, r.chunkCap)
+			h.cols[i].strs = make([]string, r.chunkCap)
+		}
+		if col.Nullable {
+			h.cols[i].nulls = make([]bool, r.chunkCap)
 		}
 	}
 	return h
 }
 
-// tail returns the hot chunk receiving inserts, creating it if necessary.
-// Freezing and frozen chunks are closed to appends, so claiming the tail
-// for a freeze rolls subsequent inserts over to a fresh chunk. Caller
-// holds the write lock.
-func (r *Relation) tail() (*Chunk, int) {
-	if n := len(r.chunks); n > 0 {
-		c := r.chunks[n-1]
-		if c.State() == ChunkHot && c.pay.Load().hot.Rows() < r.chunkCap {
-			return c, n - 1
-		}
+// ensureTail returns the stripe's hot tail chunk, rolling over to a fresh
+// chunk when there is none, the tail is claimed by a freeze, or it is
+// full. Caller holds st.mu only; rollover grows the chunk list under a
+// brief relation write lock. Callers already inside r.mu use
+// ensureTailLocked instead.
+func (r *Relation) ensureTail(st *relStripe, sIdx int) (*Chunk, int) {
+	if c := st.tail; c != nil && c.State() == ChunkHot && c.pay.Load().hot.Rows() < r.chunkCap {
+		return c, st.tailOrd
 	}
-	c := newChunk(r.newHotChunk())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ensureTailLocked(st, sIdx)
+}
+
+// ensureTailLocked is ensureTail for callers that hold both st.mu and the
+// relation write lock.
+func (r *Relation) ensureTailLocked(st *relStripe, sIdx int) (*Chunk, int) {
+	if c := st.tail; c != nil && c.State() == ChunkHot && c.pay.Load().hot.Rows() < r.chunkCap {
+		return c, st.tailOrd
+	}
+	c := newChunk(r.newHotChunk(), int32(sIdx))
 	r.chunks = append(r.chunks, c)
-	return c, len(r.chunks) - 1
+	st.tail, st.tailOrd = c, len(r.chunks)-1
+	return c, st.tailOrd
 }
 
 // validateRow checks a row against the schema without touching storage, so
@@ -759,29 +831,35 @@ func (r *Relation) validateRow(row types.Row) error {
 	return nil
 }
 
-// Insert appends one tuple and returns its stable identifier.
+// Insert appends one tuple and returns its stable identifier. It is the
+// single-writer entry point, routing to stripe 0; concurrent writers use
+// InsertStripe with distinct stripes.
 func (r *Relation) Insert(row types.Row) (TupleID, error) {
+	return r.InsertStripe(0, row)
+}
+
+// InsertStripe appends one tuple through write stripe s, holding only that
+// stripe's appender lock (plus a brief relation lock on chunk rollover).
+// Callers on distinct stripes append concurrently.
+func (r *Relation) InsertStripe(s int, row types.Row) (TupleID, error) {
 	if err := r.validateRow(row); err != nil {
 		return TupleID{}, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.insertLocked(row), nil
+	st := &r.stripes[s]
+	st.mu.Lock()
+	c, ci := r.ensureTail(st, s)
+	tid := r.appendRow(c, ci, row, false)
+	st.mu.Unlock()
+	r.live.Add(1)
+	return tid, nil
 }
 
-// insertLocked appends a pre-validated row. Caller holds the write lock.
-func (r *Relation) insertLocked(row types.Row) TupleID {
-	tid := r.appendLocked(row, false)
-	r.live++
-	return tid
-}
-
-// appendLocked appends a pre-validated row to the hot tail. A pending row
-// is stamped born-at-+inf *before* the row count is published, so no
-// reader or snapshot ever sees it until CommitUpdate re-stamps it. Caller
-// holds the write lock and adjusts the live count.
-func (r *Relation) appendLocked(row types.Row, pending bool) TupleID {
-	c, ci := r.tail()
+// appendRow appends a pre-validated row to the resolved tail chunk c
+// (ordinal ci, from ensureTail or ensureTailLocked). A pending row is
+// stamped born-at-+inf *before* the row count is published, so no reader
+// or snapshot ever sees it until CommitUpdate re-stamps it. Caller holds
+// the owning stripe's mu and adjusts the live count.
+func (r *Relation) appendRow(c *Chunk, ci int, row types.Row, pending bool) TupleID {
 	h := c.pay.Load().hot
 	n := h.Rows()
 	if pending {
@@ -791,35 +869,33 @@ func (r *Relation) appendLocked(row types.Row, pending bool) TupleID {
 	}
 	for i, v := range row {
 		col := &h.cols[i]
-		if v.IsNull() && col.nulls == nil {
-			col.nulls = make([]bool, n, r.chunkCap)
-		}
 		if col.nulls != nil {
-			col.nulls = append(col.nulls, v.IsNull())
+			col.nulls[n] = v.IsNull()
 		}
 		switch col.kind {
 		case types.Int64:
 			if v.IsNull() {
-				col.ints = append(col.ints, 0)
+				col.ints[n] = 0
 			} else {
-				col.ints = append(col.ints, v.Int())
+				col.ints[n] = v.Int()
 			}
 		case types.Float64:
 			if v.IsNull() {
-				col.floats = append(col.floats, 0)
+				col.floats[n] = 0
 			} else {
-				col.floats = append(col.floats, v.Float())
+				col.floats[n] = v.Float()
 			}
 		default:
 			if v.IsNull() {
-				col.strs = append(col.strs, "")
+				col.strs[n] = ""
 			} else {
-				col.strs = append(col.strs, v.Str())
+				col.strs[n] = v.Str()
 			}
 		}
 	}
 	// Publish the row only after its values are in place: the row count is
-	// the watermark snapshots read.
+	// the watermark snapshots read, and its atomic store orders the value
+	// writes before any reader that loads it.
 	h.n.Store(int32(n + 1))
 	return TupleID{Chunk: uint32(ci), Row: uint32(n)}
 }
@@ -827,14 +903,33 @@ func (r *Relation) appendLocked(row types.Row, pending bool) TupleID {
 // BulkAppend loads n pre-columnarized tuples, splitting them across chunks.
 // It is the fast path for data generators and loaders.
 func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
+	_, err := r.BulkAppendTracked(cols, n)
+	return err
+}
+
+// BulkAppendTracked is BulkAppend returning the ordinals of every chunk
+// the load touched, in order — the bookkeeping a write-ahead-logged bulk
+// load needs to tie its WAL records to chunk durability.
+func (r *Relation) BulkAppendTracked(cols []core.ColumnData, n int) ([]uint32, error) {
 	if len(cols) != r.schema.NumColumns() {
-		return fmt.Errorf("storage: %d columns, schema has %d", len(cols), r.schema.NumColumns())
+		return nil, fmt.Errorf("storage: %d columns, schema has %d", len(cols), r.schema.NumColumns())
 	}
+	// Bulk loads go through stripe 0 and additionally hold the relation
+	// write lock for the whole load: they may install null flags on
+	// existing chunks, which the snapshot header-copy otherwise relies on
+	// never changing.
+	st := &r.stripes[0]
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var ords []uint32
 	off := 0
 	for off < n {
-		c, _ := r.tail()
+		c, ord := r.ensureTailLocked(st, 0)
+		if len(ords) == 0 || ords[len(ords)-1] != uint32(ord) {
+			ords = append(ords, uint32(ord))
+		}
 		h := c.pay.Load().hot
 		hn := h.Rows()
 		span := r.chunkCap - hn
@@ -846,35 +941,37 @@ func (r *Relation) BulkAppend(cols []core.ColumnData, n int) error {
 			src := &cols[i]
 			switch col.kind {
 			case types.Int64:
-				col.ints = append(col.ints, src.Ints[off:off+span]...)
+				copy(col.ints[hn:hn+span], src.Ints[off:off+span])
 			case types.Float64:
-				col.floats = append(col.floats, src.Floats[off:off+span]...)
+				copy(col.floats[hn:hn+span], src.Floats[off:off+span])
 			default:
-				col.strs = append(col.strs, src.Strs[off:off+span]...)
+				copy(col.strs[hn:hn+span], src.Strs[off:off+span])
 			}
 			if src.Nulls != nil {
-				hasNull := false
-				for _, b := range src.Nulls[off : off+span] {
-					if b {
-						hasNull = true
-						break
+				if col.nulls == nil {
+					hasNull := false
+					for _, b := range src.Nulls[off : off+span] {
+						if b {
+							hasNull = true
+							break
+						}
+					}
+					if hasNull {
+						// Lazily install full-capacity null flags; rows below
+						// hn had none, and the zero value says so.
+						col.nulls = make([]bool, r.chunkCap)
 					}
 				}
-				if hasNull || col.nulls != nil {
-					if col.nulls == nil {
-						col.nulls = make([]bool, hn, r.chunkCap)
-					}
-					col.nulls = append(col.nulls, src.Nulls[off:off+span]...)
+				if col.nulls != nil {
+					copy(col.nulls[hn:hn+span], src.Nulls[off:off+span])
 				}
-			} else if col.nulls != nil {
-				col.nulls = append(col.nulls, make([]bool, span)...)
 			}
 		}
 		h.n.Store(int32(hn + span))
-		r.live += span
+		r.live.Add(int64(span))
 		off += span
 	}
-	return nil
+	return ords, nil
 }
 
 // Delete flags the tuple as deleted, stamping it with a fresh write
@@ -895,7 +992,7 @@ func (r *Relation) deleteLocked(tid TupleID) bool {
 	if !ok || !r.retireLocked(c, tid.Row, r.epoch.Add(1)) {
 		return false
 	}
-	r.live--
+	r.live.Add(-1)
 	return true
 }
 
@@ -933,6 +1030,12 @@ func (r *Relation) Update(tid TupleID, row types.Row) (TupleID, error) {
 	if err := r.validateRow(row); err != nil {
 		return TupleID{}, err
 	}
+	// The new version is appended through stripe 0, so its appender lock
+	// comes first (the global lock order), then the relation lock for the
+	// retire + birth stamps.
+	st := &r.stripes[0]
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.chunkFor(tid)
@@ -947,7 +1050,8 @@ func (r *Relation) Update(tid TupleID, row types.Row) (TupleID, error) {
 	if !r.retireLocked(c, tid.Row, e) {
 		return TupleID{}, errors.New("storage: update of missing or deleted tuple")
 	}
-	newTid := r.appendLocked(row, false)
+	tc, tci := r.ensureTailLocked(st, 0)
+	newTid := r.appendRow(tc, tci, row, false)
 	nc := r.chunks[newTid.Chunk]
 	nc.born.Store(newTid.Row, e)
 	nc.bornCount.Add(1)
@@ -960,12 +1064,22 @@ func (r *Relation) Update(tid TupleID, row types.Row) (TupleID, error) {
 // publish its identifier in the index, then commit. The pending row does
 // not count as live.
 func (r *Relation) InsertPending(row types.Row) (TupleID, error) {
+	return r.InsertPendingStripe(0, row)
+}
+
+// InsertPendingStripe is InsertPending through write stripe s, holding
+// only that stripe's appender lock. It is step one of the striped update
+// protocol; the commit still serializes on the relation lock.
+func (r *Relation) InsertPendingStripe(s int, row types.Row) (TupleID, error) {
 	if err := r.validateRow(row); err != nil {
 		return TupleID{}, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.appendLocked(row, true), nil
+	st := &r.stripes[s]
+	st.mu.Lock()
+	c, ci := r.ensureTail(st, s)
+	tid := r.appendRow(c, ci, row, true)
+	st.mu.Unlock()
+	return tid, nil
 }
 
 // CommitUpdate atomically makes the pending row newTid visible and
@@ -1201,16 +1315,30 @@ func (r *Relation) FreezeChunk(i int, opts core.FreezeOptions) error {
 	return nil
 }
 
-// beginFreeze claims chunk i for an unsorted freeze: under a brief write
-// lock it transitions hot→freezing and snapshots the hot column data. The
-// returned chunk is nil when the chunk is already frozen or freezing.
+// beginFreeze claims chunk i for an unsorted freeze: under the owner
+// stripe's appender lock and a brief relation write lock it transitions
+// hot→freezing and snapshots the hot column data. Claiming under the
+// stripe lock is what makes the snapshot complete — a stripe append in
+// flight would otherwise publish a row after the freeze captured the row
+// count, and the row would vanish with the hot payload. The returned
+// chunk is nil when the chunk is already frozen or freezing.
 func (r *Relation) beginFreeze(i int) (*Chunk, []core.ColumnData, int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	if i < 0 || i >= len(r.chunks) {
+		r.mu.RUnlock()
 		return nil, nil, 0, fmt.Errorf("storage: chunk %d out of range", i)
 	}
 	c := r.chunks[i]
+	r.mu.RUnlock()
+	// c.stripe is immutable; restored chunks (-1) are never hot, so the
+	// state re-check below rejects them without a stripe lock.
+	if s := c.stripe; s >= 0 && int(s) < len(r.stripes) {
+		st := &r.stripes[s]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c.State() != ChunkHot {
 		return nil, nil, 0, nil
 	}
@@ -1319,17 +1447,30 @@ func (r *Relation) freezeChunkSorted(i int, opts core.FreezeOptions) error {
 	return nil
 }
 
-// FreezeAll freezes every chunk except, optionally, the hot tail. The
-// chunk count and tail position are decided once, in a single lock
-// acquisition, so a concurrent insert that appends a chunk cannot cause
-// the old tail to be frozen or skipped inconsistently: chunks appended
+// FreezeAll freezes every chunk except, optionally, each stripe's hot
+// tail. The chunk count and tail positions are decided once, in a single
+// lock acquisition, so a concurrent insert that appends a chunk cannot
+// cause a tail to be frozen or skipped inconsistently: chunks appended
 // after the snapshot are simply left for the next pass. Chunks already
 // frozen — or claimed by a concurrent unsorted freeze — are skipped.
 func (r *Relation) FreezeAll(opts core.FreezeOptions, keepHotTail bool) error {
 	r.mu.RLock()
 	last := len(r.chunks)
+	var skip map[int]bool
 	if keepHotTail {
-		last--
+		skip = make(map[int]bool, len(r.stripes))
+		for si := range r.stripes {
+			st := &r.stripes[si]
+			if st.tail != nil && st.tail.State() == ChunkHot {
+				skip[st.tailOrd] = true
+			}
+		}
+		if len(skip) == 0 && last > 0 {
+			// No stripe has appended yet this lifetime (e.g. everything was
+			// restored from a manifest): keep the positional tail, matching
+			// the single-writer behavior.
+			skip[last-1] = true
+		}
 	}
 	// Sorted freezing reorders tuple identifiers chunk by chunk; validate
 	// every target chunk up front so a doomed pass fails before anything
@@ -1340,7 +1481,7 @@ func (r *Relation) FreezeAll(opts core.FreezeOptions, keepHotTail bool) error {
 	// which the per-chunk re-check in freezeChunkSorted then catches.
 	if opts.SortBy >= 0 {
 		for i := 0; i < last; i++ {
-			if r.chunks[i].pending.Load() != 0 {
+			if !skip[i] && r.chunks[i].pending.Load() != 0 {
 				r.mu.RUnlock()
 				return fmt.Errorf("storage: chunk %d has pending update versions; sorted freeze must not overlap writers", i)
 			}
@@ -1348,6 +1489,9 @@ func (r *Relation) FreezeAll(opts core.FreezeOptions, keepHotTail bool) error {
 	}
 	r.mu.RUnlock()
 	for i := 0; i < last; i++ {
+		if skip[i] {
+			continue
+		}
 		if err := r.FreezeChunk(i, opts); err != nil {
 			return err
 		}
@@ -1355,17 +1499,29 @@ func (r *Relation) FreezeAll(opts core.FreezeOptions, keepHotTail bool) error {
 	return nil
 }
 
-// SealedHotChunks counts chunks that are closed to inserts (everything but
-// the tail) yet still uncompressed and unclaimed — the backlog a
-// background compactor should freeze.
+// SealedHotChunks counts chunks that are closed to inserts (everything
+// but the stripe tails) yet still uncompressed and unclaimed — the
+// backlog a background compactor should freeze.
 func (r *Relation) SealedHotChunks() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	n := 0
-	for i := 0; i+1 < len(r.chunks); i++ {
-		if r.chunks[i].State() == ChunkHot {
-			n++
+	tails := make(map[*Chunk]bool, len(r.stripes))
+	for si := range r.stripes {
+		if t := r.stripes[si].tail; t != nil {
+			tails[t] = true
 		}
+	}
+	n := 0
+	for i, c := range r.chunks {
+		if c.State() != ChunkHot || tails[c] {
+			continue
+		}
+		if len(tails) == 0 && i+1 == len(r.chunks) {
+			// No stripe tails this lifetime: the positional last chunk is
+			// the would-be tail.
+			continue
+		}
+		n++
 	}
 	return n
 }
@@ -1641,7 +1797,7 @@ func (r *Relation) RestoreEvicted(h blockstore.Handle, rows int, bytes int64, de
 	if numDeleted < 0 || numDeleted > rows {
 		return fmt.Errorf("storage: restored chunk has %d deleted of %d rows", numDeleted, rows)
 	}
-	c := &Chunk{retired: &sync.Map{}, born: &sync.Map{}}
+	c := &Chunk{retired: &sync.Map{}, born: &sync.Map{}, stripe: -1}
 	c.pay.Store(&chunkPayload{})
 	c.state.Store(uint32(ChunkEvicted))
 	c.handle.Store(uint64(h))
@@ -1654,9 +1810,34 @@ func (r *Relation) RestoreEvicted(h blockstore.Handle, rows int, bytes int64, de
 	}
 	r.mu.Lock()
 	r.chunks = append(r.chunks, c)
-	r.live += rows - numDeleted
 	r.mu.Unlock()
+	r.live.Add(int64(rows - numDeleted))
 	return nil
+}
+
+// ChunkDurable reports whether chunk i has been frozen AND flushed to the
+// block store — the point past which a write-ahead log no longer needs to
+// cover its rows. Out-of-range ordinals report false.
+func (r *Relation) ChunkDurable(i int) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if i < 0 || i >= len(r.chunks) {
+		return false
+	}
+	c := r.chunks[i]
+	return c.IsFrozen() && c.handle.Load() != 0
+}
+
+// AdvanceEpoch raises the write epoch to at least e. Recovery uses it to
+// restore cross-restart epoch continuity: replayed mutations must mint
+// epochs above everything the previous lifetime acknowledged.
+func (r *Relation) AdvanceEpoch(e uint64) {
+	for {
+		cur := r.epoch.Load()
+		if e <= cur || r.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // ManifestChunks snapshots the relation's frozen set for a manifest write:

@@ -1,0 +1,241 @@
+package walfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by operations a FaultFS was told to fail.
+var ErrInjected = errors.New("walfs: injected fault")
+
+// ErrCrashed is returned by every operation after FaultFS.Crash: the
+// simulated machine is down, so nothing further can reach the disk.
+var ErrCrashed = errors.New("walfs: simulated crash")
+
+// FaultFS wraps a real filesystem and injects WAL failure modes
+// deterministically:
+//
+//   - TearAppend(n, keep) makes the n-th append across all files write
+//     only its first keep bytes and fail — a torn write.
+//   - FailSync(n) makes the n-th sync fail without syncing — the
+//     fsyncgate failure mode, where the durable state becomes unknown.
+//   - Crash(keepUnsynced) simulates power loss: every file is truncated
+//     back to its last-synced length plus at most keepUnsynced bytes of
+//     the unsynced suffix (the page-cache prefix a real crash may or may
+//     not have flushed), and every later operation returns ErrCrashed.
+//
+// Because FaultFS writes through to real files, a crashed image can be
+// reopened afterwards with walfs.OS against the same directory — exactly
+// what the recovery tests do.
+type FaultFS struct {
+	// Base is the wrapped filesystem; nil means OS.
+	Base FS
+
+	mu      sync.Mutex
+	files   []*faultFile
+	crashed bool
+
+	appends, syncs   int // completed-op counters, 1-based injection points
+	tearAt, tearKeep int
+	failSyncAt       int
+}
+
+// NewFaultFS wraps the OS filesystem.
+func NewFaultFS() *FaultFS { return &FaultFS{Base: OS} }
+
+// TearAppend makes the n-th Append (1-based, across all files) write only
+// its first keep bytes and then fail with ErrInjected.
+func (f *FaultFS) TearAppend(n, keep int) {
+	f.mu.Lock()
+	f.tearAt, f.tearKeep = n, keep
+	f.mu.Unlock()
+}
+
+// FailSync makes the n-th Sync (1-based, across all files) fail with
+// ErrInjected without syncing anything.
+func (f *FaultFS) FailSync(n int) {
+	f.mu.Lock()
+	f.failSyncAt = n
+	f.mu.Unlock()
+}
+
+// Ops returns the number of completed appends and syncs so far.
+func (f *FaultFS) Ops() (appends, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appends, f.syncs
+}
+
+// Crash simulates power loss: every file is truncated to its last-synced
+// length plus at most keepUnsynced bytes of unsynced data, and all later
+// operations fail with ErrCrashed. In-flight operations complete first
+// (they serialize on the same lock); whether their bytes survive depends,
+// as on real hardware, on whether a sync completed before the crash.
+func (f *FaultFS) Crash(keepUnsynced int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil
+	}
+	f.crashed = true
+	var first error
+	for _, ff := range f.files {
+		cut := ff.synced + keepUnsynced
+		if cut > ff.size {
+			cut = ff.size
+		}
+		if err := ff.real.Truncate(cut); err != nil && first == nil {
+			first = err
+		}
+		if err := ff.real.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	base := f.Base
+	if base == nil {
+		base = OS
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	real, err := base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	size, err := real.Size()
+	if err != nil {
+		real.Close()
+		return nil, err
+	}
+	// Existing contents predate this process lifetime: durable by
+	// definition.
+	ff := &faultFile{fs: f, real: real, size: size, synced: size}
+	f.files = append(f.files, ff)
+	return ff, nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	base := f.Base
+	if base == nil {
+		base = OS
+	}
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return base.Remove(path)
+}
+
+type faultFile struct {
+	fs     *FaultFS
+	real   File
+	size   int64
+	synced int64
+}
+
+func (ff *faultFile) Append(p []byte) error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.appends++
+	if f.tearAt != 0 && f.appends == f.tearAt {
+		keep := f.tearKeep
+		if keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			if err := ff.real.Append(p[:keep]); err != nil {
+				return err
+			}
+			ff.size += int64(keep)
+		}
+		return ErrInjected
+	}
+	if err := ff.real.Append(p); err != nil {
+		return err
+	}
+	ff.size += int64(len(p))
+	return nil
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.failSyncAt != 0 && f.syncs == f.failSyncAt {
+		return ErrInjected
+	}
+	if err := ff.real.Sync(); err != nil {
+		return err
+	}
+	ff.synced = ff.size
+	return nil
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if err := ff.real.Truncate(size); err != nil {
+		return err
+	}
+	if size < ff.size {
+		ff.size = size
+	}
+	if ff.synced > ff.size {
+		ff.synced = ff.size
+	}
+	return nil
+}
+
+func (ff *faultFile) Size() (int64, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	return ff.size, nil
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	f.mu.Unlock()
+	return ff.real.ReadAt(p, off)
+}
+
+func (ff *faultFile) Close() error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		// Crash already closed the real file.
+		return nil
+	}
+	return ff.real.Close()
+}

@@ -1,0 +1,162 @@
+// Package walfs is the file layer beneath the write-ahead log: a minimal
+// append/sync/truncate interface over one log file, with a production
+// implementation backed by the OS and a fault-injecting implementation for
+// crash tests.
+//
+// The WAL's durability argument leans on exactly three properties of this
+// layer, so they are the whole interface:
+//
+//   - Append is the only mutator while the log is live; records become
+//     durable at the next successful Sync, in append order.
+//   - Truncate discards a suffix (torn tails at recovery, applied records
+//     at a checkpoint) and is only called with no appends in flight.
+//   - ReadAt serves recovery scans of the existing contents.
+//
+// Keeping the surface this small is what makes the fault model honest:
+// FaultFS (fault.go) can tear an append mid-write, drop the page cache at
+// a simulated crash, or fail a sync — deterministically — because every
+// byte the WAL writes goes through these calls and nothing else.
+package walfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is one write-ahead log file.
+type File interface {
+	io.ReaderAt
+	io.Closer
+	// Append writes p at the end of the file. Short or failed writes may
+	// leave a torn suffix; the WAL's record framing detects and discards
+	// it at recovery.
+	Append(p []byte) error
+	// Sync makes all appended bytes durable. A failed sync leaves the
+	// durable state unknown (some, all or none of the unsynced bytes);
+	// callers must treat the writer as poisoned.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Size returns the current file size in bytes.
+	Size() (int64, error)
+}
+
+// FS creates and removes write-ahead log files. Implementations must be
+// safe for concurrent use on distinct paths; a single File is serialized
+// by the WAL writer's own locking.
+type FS interface {
+	// OpenAppend opens path for reading and appending, creating it empty
+	// when missing. Creation must be durable before the call returns (the
+	// OS implementation fsyncs the parent directory): a log file that can
+	// vanish at power loss would take every acknowledged write with it.
+	OpenAppend(path string) (File, error)
+	// Remove deletes path; removing a missing file is not an error.
+	Remove(path string) error
+}
+
+// OS is the production filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	_, serr := os.Stat(path)
+	created := os.IsNotExist(serr)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if created {
+		// A freshly created log file is only durable once its directory
+		// entry is: without this fsync a power failure could drop the
+		// whole file — and every acknowledged write in it — even though
+		// the data syncs succeeded.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &osFile{f: f}, nil
+}
+
+func (osFS) Remove(path string) error {
+	err := os.Remove(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so created and removed entries survive power
+// loss, not only process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// osFile appends at a tracked offset rather than O_APPEND so Truncate and
+// Append compose predictably (an O_APPEND descriptor ignores the seek
+// position, but tracking the end explicitly keeps the write path identical
+// to FaultFS's, which the crash tests rely on).
+type osFile struct {
+	f   *os.File
+	end int64
+	// endKnown avoids a Stat per append: the end offset is loaded once and
+	// maintained by Append/Truncate, which are serialized by the WAL.
+	endKnown bool
+}
+
+func (w *osFile) loadEnd() error {
+	if w.endKnown {
+		return nil
+	}
+	st, err := w.f.Stat()
+	if err != nil {
+		return err
+	}
+	w.end = st.Size()
+	w.endKnown = true
+	return nil
+}
+
+func (w *osFile) Append(p []byte) error {
+	if err := w.loadEnd(); err != nil {
+		return err
+	}
+	n, err := w.f.WriteAt(p, w.end)
+	w.end += int64(n)
+	return err
+}
+
+func (w *osFile) Sync() error { return w.f.Sync() }
+
+func (w *osFile) Truncate(size int64) error {
+	if err := w.f.Truncate(size); err != nil {
+		return err
+	}
+	w.end, w.endKnown = size, true
+	return nil
+}
+
+func (w *osFile) Size() (int64, error) {
+	if err := w.loadEnd(); err != nil {
+		return 0, err
+	}
+	return w.end, nil
+}
+
+func (w *osFile) ReadAt(p []byte, off int64) (int, error) { return w.f.ReadAt(p, off) }
+
+func (w *osFile) Close() error { return w.f.Close() }

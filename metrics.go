@@ -32,6 +32,22 @@ type TableOps struct {
 	RowsRead       uint64
 }
 
+// WalStats is the write-ahead-log section of a table's metrics, summed
+// across its write stripes. All zero without WithWAL.
+type WalStats struct {
+	// Stripes is the table's write-stripe count (1 without
+	// WithWriteStripes; reported even when the WAL is off).
+	Stripes int
+	// Records counts appended records, Batches group-commit flushes (one
+	// file append + one fsync each) — Records/Batches is the achieved
+	// commit group size. Bytes counts appended bytes including framing.
+	Records, Batches, Bytes uint64
+	// Replayed counts records recovery re-applied at open,
+	// ReplaySkipped records it found already durable, TornTails recovery
+	// scans that cut a torn suffix.
+	Replayed, ReplaySkipped, TornTails uint64
+}
+
 // TableMetrics is one table's consistent telemetry snapshot: every section
 // is read once, in one call, so phase-boundary comparisons (before/after a
 // freeze, across a restart) do not interleave with concurrent work the way
@@ -57,6 +73,9 @@ type TableMetrics struct {
 	IndexPublishes uint64
 	// Store is the raw block-store I/O ledger (zero without a store).
 	Store StoreStats
+	// Wal is the write-ahead-log and group-commit traffic (zero without
+	// WithWAL, except Stripes).
+	Wal WalStats
 	// Ops is the table's API traffic.
 	Ops TableOps
 }
@@ -81,6 +100,16 @@ func (t *Table) Metrics() TableMetrics {
 	}
 	if t.bs != nil {
 		m.Store = t.bs.Stats()
+	}
+	w := &t.walStats
+	m.Wal = WalStats{
+		Stripes:       t.writeStripes,
+		Records:       w.Records.Load(),
+		Batches:       w.Batches.Load(),
+		Bytes:         w.Bytes.Load(),
+		Replayed:      w.Replayed.Load(),
+		ReplaySkipped: w.ReplaySkipped.Load(),
+		TornTails:     w.TornTails.Load(),
 	}
 	o := &t.ops
 	m.Ops = TableOps{

@@ -127,6 +127,14 @@ func (db *DB) promSamples() []obs.Sample {
 		c("datablocks_store_bytes_total", "Block store traffic by direction.", uint64(tm.Store.BytesWritten), obs.Label{K: "dir", V: "written"})
 		c("datablocks_store_bytes_total", "Block store traffic by direction.", uint64(tm.Store.BytesRead), obs.Label{K: "dir", V: "read"})
 
+		g("datablocks_write_stripes", "Write stripes sharding the table's write path.", int64(tm.Wal.Stripes))
+		c("datablocks_wal_records_total", "Records appended to the stripe write-ahead logs.", tm.Wal.Records)
+		c("datablocks_wal_batches_total", "Group-commit flushes (one append + one fsync each).", tm.Wal.Batches)
+		c("datablocks_wal_bytes_total", "Bytes appended to the stripe logs, framing included.", tm.Wal.Bytes)
+		c("datablocks_wal_replayed_total", "Records recovery re-applied at open.", tm.Wal.Replayed)
+		c("datablocks_wal_replay_skipped_total", "Records recovery found already durable.", tm.Wal.ReplaySkipped)
+		c("datablocks_wal_torn_tails_total", "Recovery scans that truncated a torn log suffix.", tm.Wal.TornTails)
+
 		c("datablocks_ops_total", "Table API calls by operation.", uint64(tm.Ops.Inserts), obs.Label{K: "op", V: "insert"})
 		c("datablocks_ops_total", "Table API calls by operation.", uint64(tm.Ops.Updates), obs.Label{K: "op", V: "update"})
 		c("datablocks_ops_total", "Table API calls by operation.", uint64(tm.Ops.Deletes), obs.Label{K: "op", V: "delete"})
