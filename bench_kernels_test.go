@@ -1,0 +1,207 @@
+package datablocks_test
+
+// Kernel-layer microbenchmarks: per-kernel throughput with b.SetBytes so
+// `go test -bench Kernels -benchtime 100x` reports MB/s per kernel, plus a
+// grouped-aggregation macrobenchmark over the open-addressing group table.
+// BenchmarkKernelInfo logs the host's CPU feature level, core count and
+// per-kernel dispatch decisions into the bench JSON, so numbers from
+// different hosts (or the GODEBUG=cpu.avx2=off CI leg) stay interpretable.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"datablocks/internal/core"
+	"datablocks/internal/exec"
+	"datablocks/internal/simd"
+	"datablocks/internal/storage"
+	"datablocks/internal/types"
+	"datablocks/internal/xrand"
+)
+
+// Benchmark sinks: results flow somewhere the compiler cannot prove dead,
+// so the measured kernel calls are not eliminated.
+var (
+	sinkF64  float64
+	sinkI64  int64
+	sinkBool bool
+)
+
+// BenchmarkKernelInfo records the dispatch environment in the benchmark
+// JSON stream (it measures nothing).
+func BenchmarkKernelInfo(b *testing.B) {
+	doc, err := json.Marshal(struct {
+		CPUFeature string                `json:"cpu_feature"`
+		Cores      int                   `json:"cores"`
+		Kernels    []simd.KernelDispatch `json:"kernels"`
+	}{simd.CPUFeatureLevel(), runtime.NumCPU(), simd.DispatchInfo()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("dispatch: %s", doc)
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// BenchmarkKernels measures each dispatched kernel family in isolation.
+// SetBytes counts the bytes of column data each call inspects.
+func BenchmarkKernels(b *testing.B) {
+	const n = 1 << 16
+	r := xrand.New(7)
+
+	for _, width := range []int{1, 2, 4, 8} {
+		data := make([]byte, n*width+8)
+		for i := 0; i < n; i++ {
+			simd.WriteUint(data, i, width, r.Uint64()%100)
+		}
+		b.Run(fmt.Sprintf("find/w%d", 8*width), func(b *testing.B) {
+			b.SetBytes(int64(n * width))
+			var out []uint32
+			for i := 0; i < b.N; i++ {
+				out = simd.Find(data, width, n, simd.OpBetween, 10, 34, 0, out[:0])
+			}
+		})
+		matches := simd.Find(data, width, n, simd.OpLt, 50, 0, 0, nil)
+		scratch := make([]uint32, len(matches))
+		b.Run(fmt.Sprintf("reduce/w%d", 8*width), func(b *testing.B) {
+			b.SetBytes(int64(len(matches) * width))
+			for i := 0; i < b.N; i++ {
+				copy(scratch, matches)
+				simd.Reduce(data, width, simd.OpLt, 25, 0, scratch[:len(matches)])
+			}
+		})
+	}
+
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	nulls := make([]bool, n)
+	bm := make([]uint64, simd.BitmapWords(n))
+	for i := 0; i < n; i++ {
+		ints[i] = int64(r.Uint64()%2000) - 1000
+		floats[i] = float64(ints[i]) / 3
+		nulls[i] = r.Uint64()%10 == 0
+		if r.Uint64()%2 == 0 {
+			simd.BitmapSet(bm, uint32(i))
+		}
+	}
+
+	b.Run("find/int64", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		var out []uint32
+		for i := 0; i < b.N; i++ {
+			out = simd.FindInt64(ints, simd.OpBetween, -250, 250, 0, out[:0])
+		}
+	})
+	b.Run("find/bitmap", func(b *testing.B) {
+		b.SetBytes(n / 8)
+		var out []uint32
+		for i := 0; i < b.N; i++ {
+			out = simd.FindBitmap(bm, n, true, 0, out[:0])
+		}
+	})
+
+	b.Run("agg/sum_f64_dense", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			acc, _ := simd.SumFloat64(0, floats, nil)
+			if math.IsNaN(acc) {
+				b.Fatal("nan")
+			}
+		}
+	})
+	b.Run("agg/sum_f64_masked", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			acc, cnt := simd.SumFloat64(0, floats, nulls)
+			sinkF64, sinkI64 = acc, cnt
+		}
+	})
+	b.Run("agg/minmax_i64", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			mn, mx, any := simd.MinMaxInt64(ints, nil)
+			sinkI64, sinkBool = mn^mx, any
+		}
+	})
+	b.Run("agg/minmax_f64", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			mn, mx, any := simd.MinMaxFloat64(floats, nil)
+			sinkF64, sinkBool = mn+mx, any
+		}
+	})
+
+	hs := make([]uint64, n)
+	b.Run("hash/mix64_i64", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			simd.HashInt64(ints, hs)
+		}
+	})
+	b.Run("hash/mix64_f64", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			simd.HashFloat64(floats, hs)
+		}
+	})
+	b.Run("hash/combine_i64", func(b *testing.B) {
+		b.SetBytes(8 * n)
+		for i := 0; i < b.N; i++ {
+			simd.HashCombineInt64(hs, ints)
+		}
+	})
+}
+
+// BenchmarkGroupedAgg drives the full vectorized grouped-aggregation path
+// (hash kernels + open-addressing group table) across group cardinalities.
+func BenchmarkGroupedAgg(b *testing.B) {
+	const n = 1 << 17
+	for _, groups := range []int{16, 1024, 65536} {
+		r := xrand.New(11)
+		cols := []core.ColumnData{
+			{Kind: types.Int64, Ints: make([]int64, n)},
+			{Kind: types.Float64, Floats: make([]float64, n)},
+			{Kind: types.Int64, Ints: make([]int64, n)},
+		}
+		distinct := map[int64]bool{}
+		for i := 0; i < n; i++ {
+			cols[0].Ints[i] = int64(r.Uint64() % uint64(groups))
+			cols[1].Floats[i] = float64(r.Uint64()%10000) / 100
+			cols[2].Ints[i] = int64(r.Uint64() % 1000)
+			distinct[cols[0].Ints[i]] = true
+		}
+		schema := types.NewSchema(
+			types.Column{Name: "g", Kind: types.Int64},
+			types.Column{Name: "v", Kind: types.Float64},
+			types.Column{Name: "q", Kind: types.Int64},
+		)
+		rel := storage.NewRelation(schema, 1<<14)
+		if err := rel.BulkAppend(cols, n); err != nil {
+			b.Fatal(err)
+		}
+		plan := &exec.AggNode{
+			Child:   &exec.ScanNode{Rel: rel, Cols: []int{0, 1, 2}},
+			GroupBy: []int{0},
+			Aggs: []exec.AggSpec{
+				{Func: exec.AggSum, Arg: exec.Col(1)},
+				{Func: exec.AggMin, Arg: exec.Col(2)},
+				{Func: exec.AggCount},
+			},
+		}
+		b.Run(fmt.Sprintf("groups%d", groups), func(b *testing.B) {
+			b.SetBytes(3 * 8 * n)
+			for i := 0; i < b.N; i++ {
+				res, err := exec.Run(plan, exec.Options{Mode: exec.ModeVectorizedSARG})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NumRows() != len(distinct) {
+					b.Fatalf("groups = %d want %d", res.NumRows(), len(distinct))
+				}
+			}
+		})
+	}
+}

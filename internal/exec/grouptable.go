@@ -1,0 +1,80 @@
+package exec
+
+// groupTable is the aggregator's cache-conscious group index: an
+// open-addressing table with linear probing over two parallel flat arrays
+// (combined group-key hash, group id), replacing the Go maps the batch
+// path previously probed per row. Power-of-two capacity keeps the slot
+// computation a mask; the parallel-array layout touches 12 bytes per probe
+// step instead of a map bucket, and the hot probe loop allocates nothing
+// and calls nothing (see assignGroups).
+//
+// Collision policy matches the old map+overflow design: a slot hit counts
+// only if the stored hash equals the probe hash AND the caller verifies the
+// stored key against the row (verifyRow), so hash collisions can
+// never merge distinct groups — equal-hash distinct keys simply occupy
+// later slots in the probe chain.
+type groupTable struct {
+	hashes []uint64
+	slots  []uint32 // gid+1; 0 marks an empty slot
+	mask   uint64
+	used   int
+	// displaced counts insert-probe steps past an occupied slot — the
+	// table's collision telemetry, surfaced as the aggregator's
+	// "overflow groups" profile counter.
+	displaced int
+}
+
+// groupTableMinSize is the initial slot count; most aggregations (a few
+// groups) never grow past it. 64 slots = one KB of hashes + slots.
+const groupTableMinSize = 64
+
+// ensure allocates the initial slot arrays, so probe loops can assume
+// non-nil tables (an empty table then simply misses every probe).
+func (t *groupTable) ensure() {
+	if t.slots == nil {
+		t.hashes = make([]uint64, groupTableMinSize)
+		t.slots = make([]uint32, groupTableMinSize)
+		t.mask = groupTableMinSize - 1
+	}
+}
+
+// insert registers gid under the combined key hash h. Called once per new
+// group — never per row — so it may allocate (first use, growth).
+func (t *groupTable) insert(h uint64, gid uint32) {
+	t.ensure()
+	if (t.used+1)*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	i := h & t.mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & t.mask
+		t.displaced++
+	}
+	t.hashes[i] = h
+	t.slots[i] = gid + 1
+	t.used++
+}
+
+// grow doubles the table and rehashes every occupied slot. Out of line so
+// the allocation cost is attributed here, not to insert's caller.
+//
+//go:noinline
+func (t *groupTable) grow() {
+	oldHashes, oldSlots := t.hashes, t.slots
+	n := len(oldSlots) * 2
+	t.hashes = make([]uint64, n)
+	t.slots = make([]uint32, n)
+	t.mask = uint64(n - 1)
+	for j, s := range oldSlots {
+		if s == 0 {
+			continue
+		}
+		h := oldHashes[j]
+		i := h & t.mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.hashes[i] = h
+		t.slots[i] = s
+	}
+}

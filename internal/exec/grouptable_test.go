@@ -1,0 +1,75 @@
+package exec
+
+import "testing"
+
+// TestGroupTableGrowAndProbe drives the table through several doublings
+// with adversarial hashes (all landing on the same initial slot) and
+// verifies every gid stays reachable by its hash's probe chain.
+func TestGroupTableGrowAndProbe(t *testing.T) {
+	var tab groupTable
+	const n = 10_000
+	hash := func(i int) uint64 { return uint64(i)*2654435761 | 1 }
+	for i := 0; i < n; i++ {
+		tab.insert(hash(i), uint32(i))
+	}
+	if tab.used != n {
+		t.Fatalf("used = %d want %d", tab.used, n)
+	}
+	if len(tab.slots)&(len(tab.slots)-1) != 0 {
+		t.Fatalf("slot count %d not a power of two", len(tab.slots))
+	}
+	if 4*tab.used >= 3*len(tab.slots) {
+		t.Fatalf("load factor too high: %d used in %d slots", tab.used, len(tab.slots))
+	}
+	lookup := func(h uint64) (uint32, bool) {
+		i := h & tab.mask
+		for {
+			s := tab.slots[i]
+			if s == 0 {
+				return 0, false
+			}
+			if tab.hashes[i] == h {
+				return s - 1, true
+			}
+			i = (i + 1) & tab.mask
+		}
+	}
+	for i := 0; i < n; i++ {
+		gid, ok := lookup(hash(i))
+		if !ok || gid != uint32(i) {
+			t.Fatalf("hash(%d): gid=%d ok=%v", i, gid, ok)
+		}
+	}
+
+	// Colliding hashes must coexist: same hash, distinct gids, both on the
+	// probe chain (callers disambiguate by key verification).
+	var dup groupTable
+	dup.insert(42, 0)
+	dup.insert(42, 1)
+	dup.insert(42+64, 2) // same initial slot in the 64-slot table
+	seen := map[uint32]bool{}
+	i := uint64(42) & dup.mask
+	for dup.slots[i] != 0 {
+		seen[dup.slots[i]-1] = true
+		i = (i + 1) & dup.mask
+	}
+	for gid := uint32(0); gid < 3; gid++ {
+		if !seen[gid] {
+			t.Fatalf("gid %d not reachable on probe chain", gid)
+		}
+	}
+	if dup.displaced == 0 {
+		t.Fatal("displacement telemetry not counting")
+	}
+}
+
+// TestGroupTableEmptyProbe: a fresh ensure()d table misses every probe
+// without panicking.
+func TestGroupTableEmptyProbe(t *testing.T) {
+	var tab groupTable
+	tab.ensure()
+	i := uint64(0xdeadbeef) & tab.mask
+	if tab.slots[i] != 0 {
+		t.Fatal("fresh table not empty")
+	}
+}

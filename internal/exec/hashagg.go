@@ -36,11 +36,21 @@ type aggregator struct {
 	argS     []strFn
 	argKinds []types.Kind
 
+	// accIdx maps each aggregate to its canonical accumulator: aggregates
+	// whose folds are identical — SUM(x)/AVG(x) (same sum+count),
+	// MIN(x)/MAX(x) (one fold maintains both bounds), repeated COUNTs —
+	// share one accumulator row, folded once per batch. accIdx[i] == i
+	// marks the canonical aggregate; the rest only read at finalize.
+	accIdx []int
+
 	// Vectorized argument evaluation slots; populated by vectorize, nil
 	// when the aggregator runs tuple-at-a-time only. Aggregates with an
 	// identical (argument expression, evaluation kind) share a slot, so
 	// e.g. SUM(x) and AVG(x) evaluate x once per batch.
-	argSlot  []int // per agg; -1 for COUNT(*)
+	argSlot []int // per agg; -1 for COUNT(*)
+	// cse is the vectorized compiler's common-subexpression state; the
+	// batch path bumps its epoch before evaluating each batch's slots.
+	cse      *vcse
 	slotKind []types.Kind
 	slotI    []vecIntFn
 	slotF    []vecFloatFn
@@ -73,13 +83,20 @@ type aggregator struct {
 	gbInt  [][]int64
 	gbStr  [][]string
 
-	byteIDs map[string]uint32   // canonical key → gid (tuple path, merge)
-	hashIDs map[uint64]uint32   // batch path: group-key hash → first gid
-	hashDup map[uint64][]uint32 // batch path: same-hash overflow gids (rare)
+	byteIDs map[string]uint32 // canonical key → gid (tuple path, merge)
 
-	keyBuf []byte
-	gids   []uint32
-	hashes []uint64
+	// table indexes groups by combined key hash for the batch path: an
+	// open-addressing table probed with flat array accesses instead of a
+	// map lookup per row. Every newGroup call inserts, whichever path
+	// created the group, so batch lookups see tuple- and merge-created
+	// groups too.
+	table groupTable
+
+	keyBuf  []byte
+	gids    []uint32
+	hashes  []uint64
+	vfy     []gbVerify // per-batch verification views (scratch)
+	badRows []uint32   // rows flagged by column-wise verification (scratch)
 }
 
 func newAggregator(node *AggNode, inKinds []types.Kind, c *compiler) (*aggregator, error) {
@@ -101,6 +118,37 @@ func newAggregator(node *AggNode, inKinds []types.Kind, c *compiler) (*aggregato
 		maxS:     make([][]string, n),
 		seen:     make([][]bool, n),
 		byteIDs:  make(map[string]uint32),
+	}
+	// Deduplicate identical folds into canonical accumulators. The fold
+	// class captures which accumulator rows a fold writes: SUM and AVG
+	// both maintain (sum, count); MIN and MAX both maintain the (min,
+	// max, seen) triple. Expr values are comparable structs, so equal
+	// argument trees compare equal as map keys.
+	type foldKey struct {
+		cls int
+		arg Expr
+	}
+	a.accIdx = make([]int, n)
+	canon := make(map[foldKey]int, n)
+	for i, spec := range node.Aggs {
+		var cls int
+		switch spec.Func {
+		case AggCount:
+			cls = 0
+		case AggCountCol:
+			cls = 1
+		case AggSum, AggAvg:
+			cls = 2
+		default:
+			cls = 3
+		}
+		k := foldKey{cls: cls, arg: spec.Arg}
+		if j, ok := canon[k]; ok {
+			a.accIdx[i] = j
+		} else {
+			canon[k] = i
+			a.accIdx[i] = i
+		}
 	}
 	for i, spec := range node.Aggs {
 		if spec.Func == AggCount {
@@ -152,7 +200,11 @@ func (a *aggregator) vectorize(stats *CompileStats) error {
 		e    Expr
 		kind types.Kind
 	}
-	vc := &vcompiler{kinds: a.inKinds, stats: stats}
+	// One CSE scope across every slot: repeated subtrees (an argument
+	// reused inside a larger expression, e.g. Q1's discounted price
+	// inside its charge) evaluate once per batch. evalSlots bumps the
+	// epoch, so the scope is exactly one batch.
+	vc := &vcompiler{kinds: a.inKinds, stats: stats, cse: &vcse{memo: make(map[Expr]vecFloatFn)}}
 	a.argSlot = make([]int, len(a.node.Aggs))
 	seen := make(map[slotKey]int)
 	for i, spec := range a.node.Aggs {
@@ -201,7 +253,7 @@ func (a *aggregator) vectorize(stats *CompileStats) error {
 	a.slotValsF = make([][]float64, n)
 	a.slotValsS = make([][]string, n)
 	a.slotNulls = make([][]bool, n)
-	a.hashIDs = make(map[uint64]uint32)
+	a.cse = vc.cse
 	return nil
 }
 
@@ -209,6 +261,8 @@ func (a *aggregator) vectorize(stats *CompileStats) error {
 //
 //dbvet:hotpath
 func (a *aggregator) evalSlots(b *core.Batch) {
+	// New batch, new CSE epoch: memoized subtrees recompute on first use.
+	a.cse.epoch++
 	// Every slot-indexed array is re-sliced to the slot count up front,
 	// which proves the loop's indexing in bounds.
 	k := len(a.slotKind)
@@ -229,14 +283,10 @@ func (a *aggregator) evalSlots(b *core.Batch) {
 
 func (a *aggregator) numGroups() int { return len(a.keys) }
 
-// overflowGroups counts the groups that spilled into the same-hash
-// overflow map on the batch path — the aggregator's collision telemetry.
+// overflowGroups reports the group table's insert-displacement count —
+// probe steps past an occupied slot — the aggregator's collision telemetry.
 func (a *aggregator) overflowGroups() int {
-	n := 0
-	for _, gids := range a.hashDup {
-		n += len(gids)
-	}
-	return n
+	return a.table.displaced
 }
 
 // newGroup appends a zeroed accumulator slot for a fresh group, registers
@@ -247,6 +297,9 @@ func (a *aggregator) newGroup(key types.Row, enc string) uint32 {
 	a.keys = append(a.keys, key)
 	a.keyEnc = append(a.keyEnc, enc)
 	a.byteIDs[enc] = gid
+	if len(a.node.GroupBy) > 0 {
+		a.table.insert(a.groupKeyHash(key), gid)
+	}
 	if a.gbNull == nil && len(a.node.GroupBy) > 0 {
 		ng := len(a.node.GroupBy)
 		a.gbNull = make([][]bool, ng)
@@ -343,6 +396,9 @@ func (a *aggregator) keyFromTuple(t *Tuple) types.Row {
 
 func (a *aggregator) fold(gid uint32, t *Tuple) {
 	for i, spec := range a.node.Aggs {
+		if a.accIdx[i] != i {
+			continue // an identical fold already feeds this accumulator
+		}
 		switch spec.Func {
 		case AggCount:
 			a.counts[i][gid]++
@@ -357,7 +413,6 @@ func (a *aggregator) fold(gid uint32, t *Tuple) {
 			}
 			a.sums[i][gid] += v
 			a.counts[i][gid]++
-			a.seen[i][gid] = true
 		case AggMin, AggMax:
 			a.foldMinMax(gid, i, t)
 		}
@@ -448,8 +503,12 @@ func (a *aggregator) consumeBatch(b *core.Batch) {
 	gids := a.assignGroups(b)
 	aggs := a.node.Aggs
 	argSlot := a.argSlot[:len(aggs)]
-	counts, sums, seen := a.counts[:len(aggs)], a.sums[:len(aggs)], a.seen[:len(aggs)]
+	accIdx := a.accIdx[:len(aggs)]
+	counts, sums := a.counts[:len(aggs)], a.sums[:len(aggs)]
 	for i, spec := range aggs {
+		if accIdx[i] != i {
+			continue // an identical fold already feeds this accumulator
+		}
 		slot := argSlot[i]
 		switch spec.Func {
 		case AggCount:
@@ -457,7 +516,7 @@ func (a *aggregator) consumeBatch(b *core.Batch) {
 		case AggCountCol:
 			simd.GroupCountNotNull(counts[i], gids, a.slotNulls[slot])
 		case AggSum, AggAvg:
-			simd.GroupSumFloat64(sums[i], counts[i], seen[i], gids, a.slotValsF[slot], a.slotNulls[slot])
+			simd.GroupSumFloat64(sums[i], counts[i], gids, a.slotValsF[slot], a.slotNulls[slot])
 		case AggMin, AggMax:
 			a.foldBatchMinMax(i, slot, gids)
 		}
@@ -479,12 +538,16 @@ func (a *aggregator) foldBatchSingle(b *core.Batch) {
 	// lint-budget.json).
 	aggs := a.node.Aggs
 	argSlot := a.argSlot[:len(aggs)]
+	accIdx := a.accIdx[:len(aggs)]
 	argKinds := a.argKinds[:len(aggs)]
 	counts, sums, seen := a.counts[:len(aggs)], a.sums[:len(aggs)], a.seen[:len(aggs)]
 	minI, maxI := a.minI[:len(aggs)], a.maxI[:len(aggs)]
 	minF, maxF := a.minF[:len(aggs)], a.maxF[:len(aggs)]
 	minS, maxS := a.minS[:len(aggs)], a.maxS[:len(aggs)]
 	for i, spec := range aggs {
+		if accIdx[i] != i {
+			continue // an identical fold already feeds this accumulator
+		}
 		slot := argSlot[i]
 		switch spec.Func {
 		case AggCount:
@@ -495,9 +558,6 @@ func (a *aggregator) foldBatchSingle(b *core.Batch) {
 			s, cnt := simd.SumFloat64(sums[i][0], a.slotValsF[slot], a.slotNulls[slot])
 			sums[i][0] = s
 			counts[i][0] += cnt
-			if cnt > 0 {
-				seen[i][0] = true
-			}
 		case AggMin, AggMax:
 			switch argKinds[i] {
 			case types.Int64:
@@ -624,9 +684,19 @@ func (a *aggregator) assignGroups(b *core.Batch) []uint32 {
 		switch a.inKinds[g] {
 		case types.Int64:
 			ints := col.Ints[:n]
+			if nulls == nil {
+				// Dense column: the whole hash column runs through the
+				// batched Mix64 kernel.
+				if first {
+					simd.HashInt64(ints, hs)
+				} else {
+					simd.HashCombineInt64(hs, ints)
+				}
+				continue
+			}
 			for r := range hs {
 				hv := uint64(nullKeyHash)
-				if nulls == nil || !nulls[r] {
+				if !nulls[r] {
 					hv = simd.Mix64(uint64(ints[r]))
 				}
 				if first {
@@ -637,9 +707,17 @@ func (a *aggregator) assignGroups(b *core.Batch) []uint32 {
 			}
 		case types.Float64:
 			floats := col.Floats[:n]
+			if nulls == nil {
+				if first {
+					simd.HashFloat64(floats, hs)
+				} else {
+					simd.HashCombineFloat64(hs, floats)
+				}
+				continue
+			}
 			for r := range hs {
 				hv := uint64(nullKeyHash)
-				if nulls == nil || !nulls[r] {
+				if !nulls[r] {
 					hv = simd.Mix64(math.Float64bits(floats[r]))
 				}
 				if first {
@@ -663,78 +741,244 @@ func (a *aggregator) assignGroups(b *core.Batch) []uint32 {
 			}
 		}
 	}
+	// Probe the open-addressing table: flat array reads, no map, no calls
+	// on the hit path. Resolution is two-pass. Pass 1 assigns each row a
+	// provisional group by stored hash alone (an empty slot creates the
+	// group, in row order). Pass 2 then verifies every assignment
+	// column-at-a-time against the stored raw keys — the kind dispatch
+	// runs once per column per batch instead of once per row — and the
+	// (astronomically rare, 64-bit hash collision) mismatches re-probe
+	// with the full per-row verification. A collision can therefore never
+	// merge two distinct groups; the only observable effect of deferring
+	// its resolution is the colliding group's first-seen position. The
+	// verify views and table slices are hoisted out of the row loops and
+	// refreshed only after a new group is created (inserting may grow the
+	// table and the per-group key arrays).
+	table := &a.table
+	table.ensure()
+	vfy := a.buildVerify(b)
+	hashes, slots, mask := table.hashes, table.slots, table.mask
 	for r, h := range hs {
-		gid, ok := a.hashIDs[h]
-		if ok && a.groupRowMatches(gid, b, r) {
-			gids[r] = gid
-			continue
-		}
-		if ok {
-			found := false
-			for _, g2 := range a.hashDup[h] {
-				if a.groupRowMatches(g2, b, r) {
-					gid, found = g2, true
-					break
-				}
-			}
-			if !found {
+		i := h & mask
+		var gid uint32
+		for {
+			s := slots[i]
+			if s == 0 {
 				gid = a.newGroupFromBatch(b, r)
-				if a.hashDup == nil {
-					a.hashDup = newHashDup()
-				}
-				a.hashDup[h] = append(a.hashDup[h], gid)
+				vfy = a.refreshVerify(vfy)
+				hashes, slots, mask = table.hashes, table.slots, table.mask
+				break
 			}
-			gids[r] = gid
-			continue
+			if hashes[i] == h {
+				gid = s - 1
+				break
+			}
+			i = (i + 1) & mask
 		}
-		gid = a.newGroupFromBatch(b, r)
-		a.hashIDs[h] = gid
 		gids[r] = gid
+	}
+	bad := a.badRows[:0]
+	for c := range vfy {
+		v := &vfy[c]
+		gNull := v.gNull
+		switch v.kind {
+		case types.Int64:
+			ints, gInt := v.ints[:len(gids)], v.gInt
+			if v.nulls == nil {
+				for r, g := range gids {
+					if gNull[g] || gInt[g] != ints[r] {
+						bad = append(bad, uint32(r))
+					}
+				}
+			} else {
+				nulls := v.nulls[:len(gids)]
+				for r, g := range gids {
+					if gNull[g] != nulls[r] || (!nulls[r] && gInt[g] != ints[r]) {
+						bad = append(bad, uint32(r))
+					}
+				}
+			}
+		case types.Float64:
+			floats, gInt := v.floats[:len(gids)], v.gInt
+			if v.nulls == nil {
+				for r, g := range gids {
+					if gNull[g] || gInt[g] != int64(math.Float64bits(floats[r])) {
+						bad = append(bad, uint32(r))
+					}
+				}
+			} else {
+				nulls := v.nulls[:len(gids)]
+				for r, g := range gids {
+					if gNull[g] != nulls[r] || (!nulls[r] && gInt[g] != int64(math.Float64bits(floats[r]))) {
+						bad = append(bad, uint32(r))
+					}
+				}
+			}
+		default:
+			strs, gStr := v.strs[:len(gids)], v.gStr
+			if v.nulls == nil {
+				for r, g := range gids {
+					if gNull[g] || gStr[g] != strs[r] {
+						bad = append(bad, uint32(r))
+					}
+				}
+			} else {
+				nulls := v.nulls[:len(gids)]
+				for r, g := range gids {
+					if gNull[g] != nulls[r] || (!nulls[r] && gStr[g] != strs[r]) {
+						bad = append(bad, uint32(r))
+					}
+				}
+			}
+		}
+	}
+	a.badRows = bad[:0]
+	// Re-probe the flagged rows with full verification. A row flagged by
+	// more than one column appears more than once; the re-probe is
+	// idempotent, so duplicates only repeat the (rare) walk.
+	for _, br := range bad {
+		r := int(br)
+		h := hs[r]
+		i := h & mask
+		for {
+			s := slots[i]
+			if s == 0 {
+				gids[r] = a.newGroupFromBatch(b, r)
+				vfy = a.refreshVerify(vfy)
+				hashes, slots, mask = table.hashes, table.slots, table.mask
+				break
+			}
+			if hashes[i] == h && verifyRow(vfy, s-1, r) {
+				gids[r] = s - 1
+				break
+			}
+			i = (i + 1) & mask
+		}
 	}
 	return gids
 }
 
-// newHashDup builds the rarely-needed same-hash overflow table out of
-// line, keeping the map allocation off assignGroups' hot path.
-//
-//go:noinline
-func newHashDup() map[uint64][]uint32 {
-	return make(map[uint64][]uint32)
+// gbVerify is the per-batch flattened view of one group-by column: the
+// batch side (this vector's values) and the group side (the stored raw
+// keys), gathered once per batch so the per-row hash-hit verification
+// indexes flat slices instead of re-deriving [][] views on every row.
+type gbVerify struct {
+	kind   types.Kind
+	nulls  []bool
+	ints   []int64
+	floats []float64
+	strs   []string
+	gNull  []bool
+	gInt   []int64
+	gStr   []string
 }
 
-// groupRowMatches verifies that batch row r's group-by values equal the
-// stored key of gid, against the flat raw-key arrays. Floats compare by
-// bit pattern, matching the byte-key encoding of the tuple path.
+// buildVerify assembles the verification views for this batch.
+func (a *aggregator) buildVerify(b *core.Batch) []gbVerify {
+	if a.gbNull == nil {
+		// No group exists yet; allocate the outer arrays so the views
+		// below stay valid (newGroup appends into these same slots).
+		ng := len(a.node.GroupBy)
+		a.gbNull = make([][]bool, ng)
+		a.gbInt = make([][]int64, ng)
+		a.gbStr = make([][]string, ng)
+	}
+	vfy := a.vfy[:0]
+	n := b.N
+	for i, g := range a.node.GroupBy {
+		col := &b.Cols[g]
+		vc := gbVerify{
+			kind:  a.inKinds[g],
+			gNull: a.gbNull[i],
+			gInt:  a.gbInt[i],
+			gStr:  a.gbStr[i],
+		}
+		if col.Nulls != nil {
+			vc.nulls = col.Nulls[:n]
+		}
+		switch vc.kind {
+		case types.Int64:
+			vc.ints = col.Ints[:n]
+		case types.Float64:
+			vc.floats = col.Floats[:n]
+		default:
+			vc.strs = col.Strs[:n]
+		}
+		vfy = append(vfy, vc)
+	}
+	a.vfy = vfy
+	return vfy
+}
+
+// refreshVerify re-reads the group-side key arrays after a newGroup append
+// may have reallocated them; the batch-side views are unchanged.
+func (a *aggregator) refreshVerify(vfy []gbVerify) []gbVerify {
+	for i := range vfy {
+		vfy[i].gNull = a.gbNull[i]
+		vfy[i].gInt = a.gbInt[i]
+		vfy[i].gStr = a.gbStr[i]
+	}
+	return vfy
+}
+
+// verifyRow reports whether batch row r's group-by values equal the stored
+// raw key of gid. Floats compare by bit pattern, matching the byte-key
+// encoding of the tuple path.
 //
 //dbvet:hotpath
-func (a *aggregator) groupRowMatches(gid uint32, b *core.Batch, r int) bool {
-	gby := a.node.GroupBy
-	gbNull, gbInt, gbStr := a.gbNull[:len(gby)], a.gbInt[:len(gby)], a.gbStr[:len(gby)]
-	for i, g := range gby {
-		col := &b.Cols[g]
-		null := col.Nulls != nil && col.Nulls[r]
-		if gbNull[i][gid] != null {
+func verifyRow(vfy []gbVerify, gid uint32, r int) bool {
+	for k := range vfy {
+		c := &vfy[k]
+		null := c.nulls != nil && c.nulls[r]
+		if c.gNull[gid] != null {
 			return false
 		}
 		if null {
 			continue
 		}
-		switch a.inKinds[g] {
+		switch c.kind {
 		case types.Int64:
-			if gbInt[i][gid] != col.Ints[r] {
+			if c.gInt[gid] != c.ints[r] {
 				return false
 			}
 		case types.Float64:
-			if gbInt[i][gid] != int64(math.Float64bits(col.Floats[r])) {
+			if c.gInt[gid] != int64(math.Float64bits(c.floats[r])) {
 				return false
 			}
 		default:
-			if gbStr[i][gid] != col.Strs[r] {
+			if c.gStr[gid] != c.strs[r] {
 				return false
 			}
 		}
 	}
 	return true
+}
+
+// groupKeyHash computes the canonical combined hash of a materialized
+// group key — the same value assignGroups computes column-wise per row —
+// so groups created by any path (batch, tuple, merge) index identically.
+func (a *aggregator) groupKeyHash(key types.Row) uint64 {
+	var h uint64
+	for i, g := range a.node.GroupBy {
+		v := key[i]
+		hv := uint64(nullKeyHash)
+		if !v.IsNull() {
+			switch a.inKinds[g] {
+			case types.Int64:
+				hv = simd.Mix64(uint64(v.Int()))
+			case types.Float64:
+				hv = simd.Mix64(math.Float64bits(v.Float()))
+			default:
+				hv = simd.HashStr(v.Str())
+			}
+		}
+		if i == 0 {
+			h = hv
+		} else {
+			h = simd.Mix64(h ^ hv)
+		}
+	}
+	return h
 }
 
 // newGroupFromBatch creates a group from batch row r, registering the same
@@ -778,13 +1022,15 @@ func (a *aggregator) merge(o *aggregator) {
 			gid = a.newGroup(o.keys[g], o.keyEnc[g])
 		}
 		for i, spec := range a.node.Aggs {
+			if a.accIdx[i] != i {
+				continue // an identical fold already feeds this accumulator
+			}
 			switch spec.Func {
 			case AggCount, AggCountCol:
 				a.counts[i][gid] += o.counts[i][og]
 			case AggSum, AggAvg:
 				a.sums[i][gid] += o.sums[i][og]
 				a.counts[i][gid] += o.counts[i][og]
-				a.seen[i][gid] = a.seen[i][gid] || o.seen[i][og]
 			case AggMin, AggMax:
 				if !o.seen[i][og] {
 					continue
@@ -819,6 +1065,18 @@ func (a *aggregator) merge(o *aggregator) {
 	}
 }
 
+// canonNaN maps every NaN to the canonical quiet NaN, mirroring the simd
+// sum kernels: a sum that hits Inf + -Inf manufactures a NaN whose payload
+// depends on hardware operand order, which the compiler picks per build —
+// canonicalizing at finalize keeps the tuple and batch paths bit-identical
+// even for NaN-producing inputs.
+func canonNaN(x float64) float64 {
+	if x != x {
+		return math.NaN()
+	}
+	return x
+}
+
 // finalize renders the aggregation result in first-seen group order.
 func (a *aggregator) finalize(outKinds []types.Kind) *Result {
 	res := NewResult(outKinds)
@@ -829,23 +1087,28 @@ func (a *aggregator) finalize(outKinds []types.Kind) *Result {
 		copy(row, a.keys[g])
 		for i, spec := range a.node.Aggs {
 			c := ng + i
+			// Read through the canonical accumulator: aggregates with
+			// identical folds share one row (SUM/AVG, MIN/MAX pairs).
+			ci := a.accIdx[i]
 			switch spec.Func {
 			case AggCount, AggCountCol:
-				row[c] = types.IntValue(a.counts[i][gid])
+				row[c] = types.IntValue(a.counts[ci][gid])
 			case AggSum:
-				if !a.seen[i][gid] {
+				// A sum's NULL-ness is its non-null count being zero;
+				// the fold kernels don't maintain seen for sums.
+				if a.counts[ci][gid] == 0 {
 					row[c] = types.NullValue(types.Float64)
 				} else {
-					row[c] = types.FloatValue(a.sums[i][gid])
+					row[c] = types.FloatValue(canonNaN(a.sums[ci][gid]))
 				}
 			case AggAvg:
-				if a.counts[i][gid] == 0 {
+				if a.counts[ci][gid] == 0 {
 					row[c] = types.NullValue(types.Float64)
 				} else {
-					row[c] = types.FloatValue(a.sums[i][gid] / float64(a.counts[i][gid]))
+					row[c] = types.FloatValue(canonNaN(a.sums[ci][gid] / float64(a.counts[ci][gid])))
 				}
 			case AggMin, AggMax:
-				if !a.seen[i][gid] {
+				if !a.seen[ci][gid] {
 					row[c] = types.NullValue(outKinds[c])
 					continue
 				}
@@ -853,21 +1116,21 @@ func (a *aggregator) finalize(outKinds []types.Kind) *Result {
 				switch a.argKinds[i] {
 				case types.Int64:
 					if isMin {
-						row[c] = types.IntValue(a.minI[i][gid])
+						row[c] = types.IntValue(a.minI[ci][gid])
 					} else {
-						row[c] = types.IntValue(a.maxI[i][gid])
+						row[c] = types.IntValue(a.maxI[ci][gid])
 					}
 				case types.Float64:
 					if isMin {
-						row[c] = types.FloatValue(a.minF[i][gid])
+						row[c] = types.FloatValue(a.minF[ci][gid])
 					} else {
-						row[c] = types.FloatValue(a.maxF[i][gid])
+						row[c] = types.FloatValue(a.maxF[ci][gid])
 					}
 				default:
 					if isMin {
-						row[c] = types.StringValue(a.minS[i][gid])
+						row[c] = types.StringValue(a.minS[ci][gid])
 					} else {
-						row[c] = types.StringValue(a.maxS[i][gid])
+						row[c] = types.StringValue(a.maxS[ci][gid])
 					}
 				}
 			}

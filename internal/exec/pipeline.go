@@ -105,6 +105,9 @@ func CompileOnly(n Node, opt Options) (CompileStats, error) {
 func (ex *executor) run(n Node) (*Result, error) {
 	switch n := n.(type) {
 	case *OrderByNode:
+		if n.Limit > 0 && streamableChain(n.Child) {
+			return ex.runTopK(n)
+		}
 		res, err := ex.run(n.Child)
 		if err != nil {
 			return nil, err
@@ -196,6 +199,71 @@ func (ex *executor) run(n Node) (*Result, error) {
 		}
 		return root, nil
 	}
+}
+
+// streamableChain reports whether n is a pure pipeline (scan / filter /
+// map / join-probe chain) that runPipeline can drive directly — the
+// precondition for the streaming top-k sink. Pipeline breakers
+// (aggregation, nested ORDER BY) materialize first and sort after.
+func streamableChain(n Node) bool {
+	switch n := n.(type) {
+	case *ScanNode:
+		return true
+	case *FilterNode:
+		return streamableChain(n.Child)
+	case *MapNode:
+		return streamableChain(n.Child)
+	case *JoinNode:
+		// The build side is materialized by prepareBuilds regardless.
+		return streamableChain(n.Probe)
+	default:
+		return false
+	}
+}
+
+// runTopK executes ORDER BY ... LIMIT k over a streamable child with the
+// bounded per-worker top-k sinks: each worker retains at most k rows
+// during the scan, so the sort input never materializes. Result order is
+// identical to materialize + SortBy (stable, NULLs first).
+func (ex *executor) runTopK(n *OrderByNode) (*Result, error) {
+	outKinds, err := n.Child.OutKinds()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		mu    sync.Mutex
+		sinks []*topkSink
+	)
+	err = ex.runPipeline(n.Child, func(*compiler) (pipeSink, error) {
+		s := newTopkSink(outKinds, n.Keys, n.Limit)
+		mu.Lock()
+		sinks = append(sinks, s)
+		mu.Unlock()
+		return pipeSink{tuple: s.consumeTuple, batch: s.consumeBatch}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	var rowsIn uint64
+	for _, s := range sinks {
+		rowsIn += uint64(s.next)
+	}
+	root := sinks[0].finalize()
+	if len(sinks) > 1 {
+		for _, s := range sinks[1:] {
+			// Each worker's top-k is a superset filter of the global
+			// top-k: concatenate and re-rank the ≤ workers*k survivors.
+			root.append(s.finalize())
+		}
+		root.SortBy(n.Keys, n.Limit)
+	}
+	if p := ex.prof; p != nil {
+		p.orderIn = rowsIn
+		p.orderOut = uint64(root.NumRows())
+		p.orderTime = time.Since(t0)
+	}
+	return root, nil
 }
 
 // pipeSink is one worker's terminal consumer: the tuple-at-a-time closure

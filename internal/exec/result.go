@@ -153,6 +153,41 @@ func (r *Result) append(o *Result) {
 	r.n += o.n
 }
 
+// compareRowsAt compares rows ia and ib under the given order keys (NULLs
+// first, Desc negates), returning <0, 0 or >0. Shared by SortBy and the
+// top-k sink so both orders agree exactly.
+func (r *Result) compareRowsAt(keys []OrderKey, ia, ib int) int {
+	for _, k := range keys {
+		c := &r.Cols[k.Col]
+		na, nb := c.Nulls[ia], c.Nulls[ib]
+		var ord int
+		switch {
+		case na && nb:
+			ord = 0
+		case na:
+			ord = -1
+		case nb:
+			ord = 1
+		default:
+			switch c.Kind {
+			case types.Int64:
+				ord = compareI64(c.Ints[ia], c.Ints[ib])
+			case types.Float64:
+				ord = compareF64(c.Floats[ia], c.Floats[ib])
+			default:
+				ord = compareStr(c.Strs[ia], c.Strs[ib])
+			}
+		}
+		if k.Desc {
+			ord = -ord
+		}
+		if ord != 0 {
+			return ord
+		}
+	}
+	return 0
+}
+
 // SortBy orders rows by the given keys (NULLs first) and truncates to
 // limit when positive.
 func (r *Result) SortBy(keys []OrderKey, limit int) {
@@ -161,41 +196,79 @@ func (r *Result) SortBy(keys []OrderKey, limit int) {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		for _, k := range keys {
-			c := &r.Cols[k.Col]
-			na, nb := c.Nulls[ia], c.Nulls[ib]
-			var ord int
-			switch {
-			case na && nb:
-				ord = 0
-			case na:
-				ord = -1
-			case nb:
-				ord = 1
-			default:
-				switch c.Kind {
-				case types.Int64:
-					ord = compareI64(c.Ints[ia], c.Ints[ib])
-				case types.Float64:
-					ord = compareF64(c.Floats[ia], c.Floats[ib])
-				default:
-					ord = compareStr(c.Strs[ia], c.Strs[ib])
-				}
-			}
-			if k.Desc {
-				ord = -ord
-			}
-			if ord != 0 {
-				return ord < 0
-			}
-		}
-		return false
+		return r.compareRowsAt(keys, idx[a], idx[b]) < 0
 	})
 	if limit > 0 && limit < len(idx) {
 		idx = idx[:limit]
 	}
 	r.permute(idx)
+}
+
+// copyRow overwrites row dst with row src, in place.
+func (r *Result) copyRow(dst, src int) {
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		c.Nulls[dst] = c.Nulls[src]
+		switch c.Kind {
+		case types.Int64:
+			c.Ints[dst] = c.Ints[src]
+		case types.Float64:
+			c.Floats[dst] = c.Floats[src]
+		default:
+			c.Strs[dst] = c.Strs[src]
+		}
+	}
+}
+
+// writeRowFromTuple overwrites row slot with the tuple's leading columns.
+func (r *Result) writeRowFromTuple(slot int, t *Tuple) {
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		c.Nulls[slot] = t.Nulls[i]
+		switch c.Kind {
+		case types.Int64:
+			c.Ints[slot] = t.Ints[i]
+		case types.Float64:
+			c.Floats[slot] = t.Floats[i]
+		default:
+			c.Strs[slot] = t.Strs[i]
+		}
+	}
+}
+
+// writeRowFromBatch overwrites row slot with batch row br.
+func (r *Result) writeRowFromBatch(slot int, b *core.Batch, br int) {
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		bc := &b.Cols[i]
+		c.Nulls[slot] = bc.Nulls != nil && bc.Nulls[br]
+		switch c.Kind {
+		case types.Int64:
+			c.Ints[slot] = bc.Ints[br]
+		case types.Float64:
+			c.Floats[slot] = bc.Floats[br]
+		default:
+			c.Strs[slot] = bc.Strs[br]
+		}
+	}
+}
+
+// appendRowFromBatch appends batch row br as a new result row.
+func (r *Result) appendRowFromBatch(b *core.Batch, br int) {
+	for i := range r.Cols {
+		c := &r.Cols[i]
+		bc := &b.Cols[i]
+		c.Nulls = append(c.Nulls, bc.Nulls != nil && bc.Nulls[br])
+		switch c.Kind {
+		case types.Int64:
+			c.Ints = append(c.Ints, bc.Ints[br])
+		case types.Float64:
+			c.Floats = append(c.Floats, bc.Floats[br])
+		default:
+			c.Strs = append(c.Strs, bc.Strs[br])
+		}
+	}
+	r.n++
 }
 
 func (r *Result) permute(idx []int) {

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"testing"
+
+	"datablocks/internal/types"
+)
+
+// topkRef computes the reference answer for ORDER BY ... LIMIT by running
+// the same plan with Limit = 0 (which takes the materialize + SortBy path)
+// and truncating afterwards — the contract the top-k sink must match
+// row-for-row, including stable resolution of ties.
+func topkRef(t *testing.T, child Node, keys []OrderKey, limit int, opt Options) *Result {
+	t.Helper()
+	res, err := Run(&OrderByNode{Child: child, Keys: keys}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit < res.n {
+		idx := make([]int, limit)
+		for i := range idx {
+			idx[i] = i
+		}
+		res.permute(idx)
+	}
+	return res
+}
+
+// TestTopKMatchesSortBy proves the streaming top-k sink is result-identical
+// to full materialization + stable sort + truncate, across tie-heavy and
+// NULL-bearing keys, ascending/descending mixes, batch and tuple consume
+// paths, and limits straddling the input size.
+func TestTopKMatchesSortBy(t *testing.T) {
+	rel := ordersRel(t, 3000, 1<<10, 2)
+	// status (col 2) is a 4-value nullable string column: maximal ties plus
+	// NULLs-first handling. qty (col 3) has 50 distinct values: more ties.
+	keySets := map[string][]OrderKey{
+		"ties+nulls":    {{Col: 2}, {Col: 3, Desc: true}},
+		"desc+nulls":    {{Col: 2, Desc: true}, {Col: 1}},
+		"numeric":       {{Col: 1, Desc: true}, {Col: 0}},
+		"all-tied-tail": {{Col: 3}}, // huge tie groups decided by arrival order
+	}
+	limits := []int{1, 7, 25, 2999, 3000, 5000}
+	for name, keys := range keySets {
+		for _, limit := range limits {
+			for _, tuple := range []bool{false, true} {
+				opt := Options{Mode: ModeVectorizedSARG, TupleAtATime: tuple}
+				want := topkRef(t, &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}}, keys, limit, opt)
+				got, err := Run(&OrderByNode{
+					Child: &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}},
+					Keys:  keys,
+					Limit: limit,
+				}, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.String() != want.String() {
+					t.Fatalf("%s limit=%d tuple=%v: top-k diverges from SortBy\n got:\n%s\nwant:\n%s",
+						name, limit, tuple, got.String(), want.String())
+				}
+			}
+		}
+	}
+}
+
+// TestTopKParallelAndFiltered covers the remaining execution shapes: a
+// filter below the order (streamableChain recursion) and parallel morsel
+// workers (per-worker sinks merged then re-sorted). The key list ends in
+// the unique okey column so the expected answer is a total order —
+// deterministic under any worker interleaving.
+func TestTopKParallelAndFiltered(t *testing.T) {
+	rel := ordersRel(t, 4000, 1<<10, 3)
+	keys := []OrderKey{{Col: 3, Desc: true}, {Col: 0}}
+	child := func() Node {
+		return &FilterNode{
+			Child: &ScanNode{Rel: rel, Cols: []int{0, 1, 2, 3}},
+			Cond:  Cmp(types.Ge, Col(3), CInt(5)),
+		}
+	}
+	want := topkRef(t, child(), keys, 40, Options{Mode: ModeVectorizedSARG})
+	for _, par := range []int{1, 4} {
+		got, err := Run(&OrderByNode{Child: child(), Keys: keys, Limit: 40},
+			Options{Mode: ModeVectorizedSARG, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("parallelism=%d: top-k diverges\n got:\n%s\nwant:\n%s",
+				par, got.String(), want.String())
+		}
+	}
+}

@@ -43,6 +43,61 @@ type (
 type vcompiler struct {
 	kinds []types.Kind
 	stats *CompileStats
+	// cse, when non-nil, enables common-subexpression elimination across
+	// everything this compiler lowers: structurally identical float
+	// subtrees share one closure whose result is computed once per epoch.
+	// Sinks that evaluate several expressions over the same batch (the
+	// vectorized aggregator) opt in and bump the epoch before each batch.
+	cse *vcse
+}
+
+// vcse is the shared memoization state of one vcompiler's CSE mode. Expr
+// nodes are comparable value structs, so a subtree is its own memo key:
+// two independently built but structurally equal trees compare equal.
+type vcse struct {
+	epoch uint64 // bumped by the owning sink before each batch
+	memo  map[Expr]vecFloatFn
+}
+
+// cseWorthy reports whether a float subtree is worth memoizing: only
+// nodes that do per-row work (arithmetic, conditionals). ColRef and Const
+// already evaluate for free, and wrapping them would only add a call.
+func cseWorthy(e Expr) bool {
+	switch e.(type) {
+	case Binary, If:
+		return true
+	}
+	return false
+}
+
+// compileFloat lowers a float expression, routing through the CSE memo
+// when enabled: a structurally repeated subtree returns the same shared
+// closure, which evaluates its operand tree once per epoch and hands the
+// cached vector to every consumer after that.
+func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
+	if c.cse == nil || !cseWorthy(e) {
+		return c.compileFloatExpr(e)
+	}
+	if f, ok := c.cse.memo[e]; ok {
+		return f, nil
+	}
+	inner, err := c.compileFloatExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	cs := c.cse
+	var vals []float64
+	var nulls []bool
+	var stamp uint64                               // 0 = never evaluated; the sink's first epoch is 1
+	f := func(b *core.Batch) ([]float64, []bool) { //dbvet:hotpath
+		if stamp != cs.epoch {
+			vals, nulls = inner(b)
+			stamp = cs.epoch
+		}
+		return vals, nulls
+	}
+	c.cse.memo[e] = f
+	return f, nil
 }
 
 func (c *vcompiler) emit() {
@@ -353,7 +408,7 @@ func (c *vcompiler) compileInt(e Expr) (vecIntFn, error) {
 	return nil, errVecUnsupported
 }
 
-func (c *vcompiler) compileFloat(e Expr) (vecFloatFn, error) {
+func (c *vcompiler) compileFloatExpr(e Expr) (vecFloatFn, error) {
 	k, err := e.resultKind(c.kinds)
 	if err != nil {
 		return nil, err

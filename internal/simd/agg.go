@@ -1,5 +1,7 @@
 package simd
 
+import "math"
+
 // Aggregation and grouping kernels for the batch-at-a-time consume path:
 // instead of pushing every unpacked tuple through a chain of compiled
 // closures, the vectorized aggregator evaluates each aggregate argument as
@@ -18,11 +20,19 @@ package simd
 //dbvet:hotpath
 func SumFloat64(acc float64, vals []float64, nulls []bool) (float64, int64) {
 	if nulls == nil {
-		for _, v := range vals {
-			acc += v
-		}
-		return acc, int64(len(vals))
+		return sumF64DenseFn(acc, vals), int64(len(vals))
 	}
+	return sumF64MaskedFn(acc, vals, nulls)
+}
+
+func sumFloat64Dense(acc float64, vals []float64) float64 {
+	for _, v := range vals {
+		acc += v
+	}
+	return canonNaN(acc)
+}
+
+func sumFloat64Masked(acc float64, vals []float64, nulls []bool) (float64, int64) {
 	var cnt int64
 	for i, v := range vals {
 		if !nulls[i] {
@@ -30,7 +40,19 @@ func SumFloat64(acc float64, vals []float64, nulls []bool) (float64, int64) {
 			cnt++
 		}
 	}
-	return acc, cnt
+	return canonNaN(acc), cnt
+}
+
+// canonNaN maps every NaN to the canonical quiet NaN. A sum that hits
+// Inf + -Inf manufactures a NaN whose payload depends on the ADDSD operand
+// order — which the compiler is free to pick per build for the portable
+// loop — so both sum implementations canonicalize on exit to keep the
+// asm/portable bit-identity contract independent of codegen.
+func canonNaN(x float64) float64 {
+	if x != x {
+		return math.NaN()
+	}
+	return x
 }
 
 // CountNotNull counts the non-NULL positions. nulls may be nil.
@@ -53,8 +75,35 @@ func CountNotNull(n int, nulls []bool) int64 {
 //
 //dbvet:hotpath
 func MinMaxInt64(vals []int64, nulls []bool) (mn, mx int64, any bool) {
+	if nulls == nil {
+		if len(vals) == 0 {
+			return 0, 0, false
+		}
+		mn, mx = minMaxI64DenseFn(vals)
+		return mn, mx, true
+	}
+	return minMaxI64MaskFn(vals, nulls)
+}
+
+// minMaxInt64Dense folds a non-empty vector. Integer min/max is
+// associative, so the assembler version may fold lanes in any order and
+// still match this sequential loop exactly.
+func minMaxInt64Dense(vals []int64) (mn, mx int64) {
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+func minMaxInt64Masked(vals []int64, nulls []bool) (mn, mx int64, any bool) {
 	for i, v := range vals {
-		if nulls != nil && nulls[i] {
+		if nulls[i] {
 			continue
 		}
 		if !any {
@@ -75,8 +124,37 @@ func MinMaxInt64(vals []int64, nulls []bool) (mn, mx int64, any bool) {
 //
 //dbvet:hotpath
 func MinMaxFloat64(vals []float64, nulls []bool) (mn, mx float64, any bool) {
+	if nulls == nil {
+		if len(vals) == 0 {
+			return 0, 0, false
+		}
+		mn, mx = minMaxF64DenseFn(vals)
+		return mn, mx, true
+	}
+	return minMaxF64MaskFn(vals, nulls)
+}
+
+// minMaxFloat64Dense folds a non-empty vector sequentially. Unlike the
+// integer fold, IEEE min/max is NOT reassociable bit-for-bit (NaN and
+// ±0.0 ordering depend on fold order), so the assembler version keeps
+// this exact element order — the speedup comes from branch-free
+// MINSD/MAXSD and the removal of bounds checks, not from lanes.
+func minMaxFloat64Dense(vals []float64) (mn, mx float64) {
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+func minMaxFloat64Masked(vals []float64, nulls []bool) (mn, mx float64, any bool) {
 	for i, v := range vals {
-		if nulls != nil && nulls[i] {
+		if nulls[i] {
 			continue
 		}
 		if !any {
@@ -110,6 +188,7 @@ func GroupCountNotNull(counts []int64, gids []uint32, nulls []bool) {
 		GroupCount(counts, gids)
 		return
 	}
+	nulls = nulls[:len(gids)]
 	for i, g := range gids {
 		if !nulls[i] {
 			counts[g]++
@@ -118,25 +197,27 @@ func GroupCountNotNull(counts []int64, gids []uint32, nulls []bool) {
 }
 
 // GroupSumFloat64 scatter-adds a float vector into per-group accumulators,
-// bumping the per-group non-null count and seen flag.
+// bumping the per-group non-null count. A group's NULL-ness is derivable
+// from its count, so no seen flag is maintained — one store and one bounds
+// check fewer per row on the grouped-aggregation hot path.
 //
 //dbvet:hotpath
-func GroupSumFloat64(sums []float64, counts []int64, seen []bool, gids []uint32, vals []float64, nulls []bool) {
+func GroupSumFloat64(sums []float64, counts []int64, gids []uint32, vals []float64, nulls []bool) {
+	vals = vals[:len(gids)]
 	if nulls == nil {
 		for i, g := range gids {
 			sums[g] += vals[i]
 			counts[g]++
-			seen[g] = true
 		}
 		return
 	}
+	nulls = nulls[:len(gids)]
 	for i, g := range gids {
 		if nulls[i] {
 			continue
 		}
 		sums[g] += vals[i]
 		counts[g]++
-		seen[g] = true
 	}
 }
 
@@ -144,6 +225,10 @@ func GroupSumFloat64(sums []float64, counts []int64, seen []bool, gids []uint32,
 //
 //dbvet:hotpath
 func GroupMinMaxInt64(mins, maxs []int64, seen []bool, gids []uint32, vals []int64, nulls []bool) {
+	vals = vals[:len(gids)]
+	if nulls != nil {
+		nulls = nulls[:len(gids)]
+	}
 	for i, g := range gids {
 		if nulls != nil && nulls[i] {
 			continue
@@ -166,6 +251,10 @@ func GroupMinMaxInt64(mins, maxs []int64, seen []bool, gids []uint32, vals []int
 //
 //dbvet:hotpath
 func GroupMinMaxFloat64(mins, maxs []float64, seen []bool, gids []uint32, vals []float64, nulls []bool) {
+	vals = vals[:len(gids)]
+	if nulls != nil {
+		nulls = nulls[:len(gids)]
+	}
 	for i, g := range gids {
 		if nulls != nil && nulls[i] {
 			continue
@@ -202,8 +291,59 @@ func Mix64(x uint64) uint64 {
 //
 //dbvet:hotpath
 func HashInt64(vals []int64, out []uint64) {
+	hashI64Fn(vals, out)
+}
+
+func hashInt64Portable(vals []int64, out []uint64) {
 	for i, v := range vals {
 		out[i] = Mix64(uint64(v))
+	}
+}
+
+// HashFloat64 hashes a batch of float64 keys by bit pattern into out
+// (len(out) == len(vals)): the vectorized hash phase of float group-by
+// key assignment. math.Float64bits(v) and the raw little-endian load the
+// assembler kernel performs are the same 8 bytes, so both dispatch legs
+// agree.
+//
+//dbvet:hotpath
+func HashFloat64(vals []float64, out []uint64) {
+	hashF64Fn(vals, out)
+}
+
+func hashFloat64Portable(vals []float64, out []uint64) {
+	for i, v := range vals {
+		out[i] = Mix64(math.Float64bits(v))
+	}
+}
+
+// HashCombineInt64 folds a batch of int64 key columns into the running
+// group hashes: hs[i] = Mix64(hs[i] ^ Mix64(uint64(vals[i]))). This is
+// the multi-column group-by hash chain of the vectorized aggregator; the
+// formula must match the scalar per-row combination used for
+// tuple-created groups.
+//
+//dbvet:hotpath
+func HashCombineInt64(hs []uint64, vals []int64) {
+	hashCombineI64Fn(hs, vals)
+}
+
+func hashCombineInt64Portable(hs []uint64, vals []int64) {
+	for i, v := range vals {
+		hs[i] = Mix64(hs[i] ^ Mix64(uint64(v)))
+	}
+}
+
+// HashCombineFloat64 is HashCombineInt64 over float64 bit patterns.
+//
+//dbvet:hotpath
+func HashCombineFloat64(hs []uint64, vals []float64) {
+	hashCombineF64Fn(hs, vals)
+}
+
+func hashCombineFloat64Portable(hs []uint64, vals []float64) {
+	for i, v := range vals {
+		hs[i] = Mix64(hs[i] ^ Mix64(math.Float64bits(v)))
 	}
 }
 

@@ -63,13 +63,12 @@ func TestGroupedFolds(t *testing.T) {
 	}
 	sums := make([]float64, 2)
 	cnts := make([]int64, 2)
-	seen := make([]bool, 2)
-	GroupSumFloat64(sums, cnts, seen, gids, []float64{1, 2, 3, 4, 5}, []bool{false, false, false, true, false})
-	if sums[0] != 9 || sums[1] != 2 || cnts[0] != 3 || cnts[1] != 1 || !seen[0] || !seen[1] {
-		t.Fatalf("GroupSumFloat64 = %v %v %v", sums, cnts, seen)
+	GroupSumFloat64(sums, cnts, gids, []float64{1, 2, 3, 4, 5}, []bool{false, false, false, true, false})
+	if sums[0] != 9 || sums[1] != 2 || cnts[0] != 3 || cnts[1] != 1 {
+		t.Fatalf("GroupSumFloat64 = %v %v", sums, cnts)
 	}
 	mins, maxs := make([]int64, 2), make([]int64, 2)
-	seen = make([]bool, 2)
+	seen := make([]bool, 2)
 	GroupMinMaxInt64(mins, maxs, seen, gids, []int64{7, -1, 3, 8, 9}, nil)
 	if mins[0] != 3 || maxs[0] != 9 || mins[1] != -1 || maxs[1] != 8 {
 		t.Fatalf("GroupMinMaxInt64 = %v %v", mins, maxs)

@@ -46,6 +46,9 @@ func normalizeU(op Op, c1, c2, max uint64) (lo, hi uint64, ne, empty, all bool) 
 		c1++
 		fallthrough
 	case OpGe:
+		if c1 > max {
+			return 0, 0, false, true, false
+		}
 		if c1 == 0 {
 			return 0, max, false, false, true
 		}
@@ -84,24 +87,24 @@ func Find(data []byte, width, n int, op Op, c1, c2 uint64, base uint32, out []ui
 	if ne {
 		switch width {
 		case 1:
-			return findNeW1(data, n, uint8(lo), base, out)
+			return findNeW1Fn(data, n, uint8(lo), base, out)
 		case 2:
-			return findNeW2(data, n, uint16(lo), base, out)
+			return findNeW2Fn(data, n, uint16(lo), base, out)
 		case 4:
-			return findNeW4(data, n, uint32(lo), base, out)
+			return findNeW4Fn(data, n, uint32(lo), base, out)
 		default:
-			return findNeW8(data, n, lo, base, out)
+			return findNeW8Fn(data, n, lo, base, out)
 		}
 	}
 	switch width {
 	case 1:
-		return findBetweenW1(data, n, uint8(lo), uint8(hi), base, out)
+		return findBetweenW1Fn(data, n, uint8(lo), uint8(hi), base, out)
 	case 2:
-		return findBetweenW2(data, n, uint16(lo), uint16(hi), base, out)
+		return findBetweenW2Fn(data, n, uint16(lo), uint16(hi), base, out)
 	case 4:
-		return findBetweenW4(data, n, uint32(lo), uint32(hi), base, out)
+		return findBetweenW4Fn(data, n, uint32(lo), uint32(hi), base, out)
 	default:
-		return findBetweenW8(data, n, lo, hi, base, out)
+		return findBetweenW8Fn(data, n, lo, hi, base, out)
 	}
 }
 
@@ -368,23 +371,34 @@ func FindInt64(col []int64, op Op, c1, c2 int64, base uint32, out []uint32) []ui
 	if all {
 		return appendAll(out, n, base)
 	}
-	i := 0
 	if ne {
-		for ; i+8 <= n; i += 8 {
-			var mask uint32
-			for j := 0; j < 8; j++ {
-				mask |= b2u(col[i+j] != lo) << uint(j)
-			}
-			out = emit(out, mask, base+uint32(i))
-		}
-		for ; i < n; i++ {
-			k := len(out)
-			out = out[: k+1 : cap(out)]
-			out[k] = base + uint32(i)
-			out = out[: k+int(b2u(col[i] != lo)) : cap(out)]
-		}
-		return out
+		return findNeI64Fn(col, lo, base, out)
 	}
+	return findBetweenI64Fn(col, lo, hi, base, out)
+}
+
+func findNeI64(col []int64, c int64, base uint32, out []uint32) []uint32 {
+	n := len(col)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		var mask uint32
+		for j := 0; j < 8; j++ {
+			mask |= b2u(col[i+j] != c) << uint(j)
+		}
+		out = emit(out, mask, base+uint32(i))
+	}
+	for ; i < n; i++ {
+		k := len(out)
+		out = out[: k+1 : cap(out)]
+		out[k] = base + uint32(i)
+		out = out[: k+int(b2u(col[i] != c)) : cap(out)]
+	}
+	return out
+}
+
+func findBetweenI64(col []int64, lo, hi int64, base uint32, out []uint32) []uint32 {
+	n := len(col)
+	i := 0
 	for ; i+8 <= n; i += 8 {
 		var mask uint32
 		for j := 0; j < 8; j++ {
@@ -443,7 +457,12 @@ func FindFloat64(col []float64, op Op, c1, c2 float64, base uint32, out []uint32
 //
 //dbvet:hotpath
 func FindBitmap(bm []uint64, n int, wantSet bool, base uint32, out []uint32) []uint32 {
-	out = EnsureCap(out, n+8)
+	return findBitmapFn(bm, n, wantSet, base, EnsureCap(out, n+8))
+}
+
+// findBitmapPortable is the SWAR fallback behind FindBitmap; out already
+// has n+8 slack.
+func findBitmapPortable(bm []uint64, n int, wantSet bool, base uint32, out []uint32) []uint32 {
 	inv := uint64(0)
 	if !wantSet {
 		inv = ^uint64(0)

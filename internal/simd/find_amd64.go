@@ -1,0 +1,149 @@
+//go:build amd64
+
+package simd
+
+import "unsafe"
+
+// Assembler stubs (find_amd64.s). Each processes whole vector groups
+// only — the element count passed in must be the caller's n rounded down
+// to the group size — writes matches at out[w:], and returns the new
+// write cursor. out must have 8 lanes of slack beyond every intermediate
+// cursor (Find's EnsureCap(n+8) contract).
+
+//go:noescape
+func findBetweenU8AVX2(data *byte, n int, lo, hi uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findNeU8AVX2(data *byte, n int, c uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findBetweenU16AVX2(data *byte, n int, lo, hi uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findNeU16AVX2(data *byte, n int, c uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findBetweenU32AVX2(data *byte, n int, lo, hi uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findNeU32AVX2(data *byte, n int, c uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findBetween64AVX2(data unsafe.Pointer, n int, lo, hi, flip uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findNe64AVX2(data unsafe.Pointer, n int, c uint64, base uint32, out *uint32, w int) int
+
+//go:noescape
+func findBitmapWordsAVX2(bm *uint64, nwords int, inv uint64, base uint32, out *uint32, w int) int
+
+// signBit64 turns the signed VPCMPGTQ of the 64-bit kernel into an
+// unsigned compare.
+const signBit64 = uint64(1) << 63
+
+// outBase returns the backing-array base of out for the unconditional
+// 8-wide stores; cap(out) > 0 is guaranteed by EnsureCap.
+func outBase(out []uint32) *uint32 { return &out[:cap(out)][0] }
+
+func findBetweenW1AVX2(data []byte, n int, lo, hi uint8, base uint32, out []uint32) []uint32 {
+	if i := n &^ 31; i > 0 {
+		w := findBetweenU8AVX2(&data[0], i, uint64(lo), uint64(hi), base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i:], n-i, base+uint32(i)
+	}
+	return findBetweenW1(data, n, lo, hi, base, out)
+}
+
+func findNeW1AVX2(data []byte, n int, c uint8, base uint32, out []uint32) []uint32 {
+	if i := n &^ 31; i > 0 {
+		w := findNeU8AVX2(&data[0], i, uint64(c), base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i:], n-i, base+uint32(i)
+	}
+	return findNeW1(data, n, c, base, out)
+}
+
+func findBetweenW2AVX2(data []byte, n int, lo, hi uint16, base uint32, out []uint32) []uint32 {
+	if i := n &^ 15; i > 0 {
+		w := findBetweenU16AVX2(&data[0], i, uint64(lo), uint64(hi), base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i*2:], n-i, base+uint32(i)
+	}
+	return findBetweenW2(data, n, lo, hi, base, out)
+}
+
+func findNeW2AVX2(data []byte, n int, c uint16, base uint32, out []uint32) []uint32 {
+	if i := n &^ 15; i > 0 {
+		w := findNeU16AVX2(&data[0], i, uint64(c), base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i*2:], n-i, base+uint32(i)
+	}
+	return findNeW2(data, n, c, base, out)
+}
+
+func findBetweenW4AVX2(data []byte, n int, lo, hi uint32, base uint32, out []uint32) []uint32 {
+	if i := n &^ 7; i > 0 {
+		w := findBetweenU32AVX2(&data[0], i, uint64(lo), uint64(hi), base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i*4:], n-i, base+uint32(i)
+	}
+	return findBetweenW4(data, n, lo, hi, base, out)
+}
+
+func findNeW4AVX2(data []byte, n int, c uint32, base uint32, out []uint32) []uint32 {
+	if i := n &^ 7; i > 0 {
+		w := findNeU32AVX2(&data[0], i, uint64(c), base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i*4:], n-i, base+uint32(i)
+	}
+	return findNeW4(data, n, c, base, out)
+}
+
+func findBetweenW8AVX2(data []byte, n int, lo, hi uint64, base uint32, out []uint32) []uint32 {
+	if i := n &^ 7; i > 0 {
+		w := findBetween64AVX2(unsafe.Pointer(&data[0]), i, lo, hi, signBit64, base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i*8:], n-i, base+uint32(i)
+	}
+	return findBetweenW8(data, n, lo, hi, base, out)
+}
+
+func findNeW8AVX2(data []byte, n int, c uint64, base uint32, out []uint32) []uint32 {
+	if i := n &^ 7; i > 0 {
+		w := findNe64AVX2(unsafe.Pointer(&data[0]), i, c, base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		data, n, base = data[i*8:], n-i, base+uint32(i)
+	}
+	return findNeW8(data, n, c, base, out)
+}
+
+func findBetweenI64AVX2(col []int64, lo, hi int64, base uint32, out []uint32) []uint32 {
+	if i := len(col) &^ 7; i > 0 {
+		w := findBetween64AVX2(unsafe.Pointer(&col[0]), i, uint64(lo), uint64(hi), 0, base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		col, base = col[i:], base+uint32(i)
+	}
+	return findBetweenI64(col, lo, hi, base, out)
+}
+
+func findNeI64AVX2(col []int64, c int64, base uint32, out []uint32) []uint32 {
+	if i := len(col) &^ 7; i > 0 {
+		w := findNe64AVX2(unsafe.Pointer(&col[0]), i, uint64(c), base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		col, base = col[i:], base+uint32(i)
+	}
+	return findNeI64(col, c, base, out)
+}
+
+func findBitmapAVX2(bm []uint64, n int, wantSet bool, base uint32, out []uint32) []uint32 {
+	inv := uint64(0)
+	if !wantSet {
+		inv = ^uint64(0)
+	}
+	if i := n &^ 63; i > 0 {
+		w := findBitmapWordsAVX2(&bm[0], i>>6, inv, base, outBase(out), len(out))
+		out = out[:w:cap(out)]
+		bm, n, base = bm[i>>6:], n-i, base+uint32(i)
+	}
+	return findBitmapPortable(bm, n, wantSet, base, out)
+}

@@ -1,0 +1,234 @@
+package simd
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Differential fuzzing for the find/reduce kernel families: every input is
+// evaluated three ways — a naive per-element oracle written independently
+// of the kernels, the dispatched entry point (asm when active), and, on
+// amd64 CPUs with AVX2, the assembly wrappers called directly via the
+// fuzzFindAlt/fuzzReduceAlt hooks (so the asm is exercised even under
+// GODEBUG=cpu.avx2=off). Any divergence is a bug in normalization, the
+// portable SWAR loops, or the assembly.
+
+// fuzzFindAlt and fuzzReduceAlt mirror Find/Reduce but force the AVX2
+// kernels; installed by an init in fuzz_hooks_amd64_test.go when the CPU
+// supports AVX2, nil elsewhere.
+var (
+	fuzzFindAlt   func(data []byte, width, n int, op Op, c1, c2 uint64, base uint32) []uint32
+	fuzzReduceAlt func(data []byte, width int, op Op, c1, c2 uint64, m []uint32) []uint32
+)
+
+// evalU is the oracle: does the width-truncated unsigned value v satisfy
+// op against the untruncated constants?
+func fuzzEvalU(v uint64, op Op, c1, c2 uint64) bool {
+	switch op {
+	case OpEq:
+		return v == c1
+	case OpNe:
+		return v != c1
+	case OpLt:
+		return v < c1
+	case OpLe:
+		return v <= c1
+	case OpGt:
+		return v > c1
+	case OpGe:
+		return v >= c1
+	default:
+		return v >= c1 && v <= c2
+	}
+}
+
+func fuzzEvalI(v int64, op Op, c1, c2 int64) bool {
+	switch op {
+	case OpEq:
+		return v == c1
+	case OpNe:
+		return v != c1
+	case OpLt:
+		return v < c1
+	case OpLe:
+		return v <= c1
+	case OpGt:
+		return v > c1
+	case OpGe:
+		return v >= c1
+	default:
+		return v >= c1 && v <= c2
+	}
+}
+
+func fuzzLoadU(data []byte, width, i int) uint64 {
+	switch width {
+	case 1:
+		return uint64(data[i])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(data[2*i:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(data[4*i:]))
+	default:
+		return binary.LittleEndian.Uint64(data[8*i:])
+	}
+}
+
+func eqPos(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// selVector derives a sorted, unique match vector over [0, n) from the
+// fuzzer-controlled selector bytes.
+func selVector(sel []byte, n int) []uint32 {
+	if len(sel) == 0 {
+		sel = []byte{0xa5}
+	}
+	m := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		if sel[i%len(sel)]>>(uint(i)%8)&1 == 1 {
+			m = append(m, uint32(i))
+		}
+	}
+	return m
+}
+
+func FuzzFindKernels(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 255, 254, 128, 127, 63, 64, 65, 9}, byte(6), uint64(2), uint64(200), uint32(0))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, byte(0), uint64(1), uint64(0), uint32(1<<30))
+	f.Add(make([]byte, 300), byte(1), uint64(0), uint64(0), uint32(7))
+	f.Fuzz(func(t *testing.T, data []byte, opB byte, c1, c2 uint64, base uint32) {
+		op := Op(opB % 7)
+		for _, width := range []int{1, 2, 4, 8} {
+			n := len(data) / width
+			var want []uint32
+			for i := 0; i < n; i++ {
+				if fuzzEvalU(fuzzLoadU(data, width, i), op, c1, c2) {
+					want = append(want, base+uint32(i))
+				}
+			}
+			got := Find(data, width, n, op, c1, c2, base, nil)
+			if !eqPos(got, want) {
+				t.Fatalf("Find width=%d op=%d c1=%d c2=%d: got %d matches want %d",
+					width, op, c1, c2, len(got), len(want))
+			}
+			if fuzzFindAlt != nil {
+				alt := fuzzFindAlt(data, width, n, op, c1, c2, base)
+				if !eqPos(alt, want) {
+					t.Fatalf("AVX2 find width=%d op=%d diverges: got %d matches want %d",
+						width, op, len(alt), len(want))
+				}
+			}
+		}
+
+		// Signed 64-bit over the same bytes.
+		n := len(data) / 8
+		col := make([]int64, n)
+		for i := range col {
+			col[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		var wantI []uint32
+		for i, v := range col {
+			if fuzzEvalI(v, op, int64(c1), int64(c2)) {
+				wantI = append(wantI, base+uint32(i))
+			}
+		}
+		if got := FindInt64(col, op, int64(c1), int64(c2), base, nil); !eqPos(got, wantI) {
+			t.Fatalf("FindInt64 op=%d: got %d matches want %d", op, len(got), len(wantI))
+		}
+
+		// Bitmap positions, both polarities, with a ragged tail.
+		bm := make([]uint64, (len(data)+7)/8)
+		for i, b := range data {
+			bm[i/8] |= uint64(b) << (8 * (uint(i) % 8))
+		}
+		nb := len(data) * 8
+		if nb > 13 {
+			nb -= 13
+		}
+		for _, wantSet := range []bool{true, false} {
+			var wantB []uint32
+			for i := 0; i < nb; i++ {
+				if BitmapGet(bm, uint32(i)) == wantSet {
+					wantB = append(wantB, base+uint32(i))
+				}
+			}
+			if got := FindBitmap(bm, nb, wantSet, base, nil); !eqPos(got, wantB) {
+				t.Fatalf("FindBitmap wantSet=%v: got %d matches want %d", wantSet, len(got), len(wantB))
+			}
+		}
+	})
+}
+
+func FuzzReduceKernels(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 1, 2, 3, 200, 100}, []byte{0xff, 0x0f}, byte(6), uint64(3), uint64(9))
+	f.Add(make([]byte, 256), []byte{0xaa}, byte(2), uint64(1), uint64(0))
+	f.Fuzz(func(t *testing.T, data, sel []byte, opB byte, c1, c2 uint64) {
+		op := Op(opB % 7)
+		for _, width := range []int{1, 2, 4, 8} {
+			n := len(data) / width
+			m := selVector(sel, n)
+			var want []uint32
+			for _, p := range m {
+				if fuzzEvalU(fuzzLoadU(data, width, int(p)), op, c1, c2) {
+					want = append(want, p)
+				}
+			}
+			got := Reduce(data, width, op, c1, c2, append([]uint32(nil), m...))
+			if !eqPos(got, want) {
+				t.Fatalf("Reduce width=%d op=%d c1=%d c2=%d: got %d matches want %d",
+					width, op, c1, c2, len(got), len(want))
+			}
+			if fuzzReduceAlt != nil {
+				alt := fuzzReduceAlt(data, width, op, c1, c2, append([]uint32(nil), m...))
+				if !eqPos(alt, want) {
+					t.Fatalf("AVX2 reduce width=%d op=%d diverges: got %d matches want %d",
+						width, op, len(alt), len(want))
+				}
+			}
+		}
+
+		// Signed 64-bit reduce.
+		n := len(data) / 8
+		col := make([]int64, n)
+		for i := range col {
+			col[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		m := selVector(sel, n)
+		var wantI []uint32
+		for _, p := range m {
+			if fuzzEvalI(col[p], op, int64(c1), int64(c2)) {
+				wantI = append(wantI, p)
+			}
+		}
+		if got := ReduceInt64(col, op, int64(c1), int64(c2), append([]uint32(nil), m...)); !eqPos(got, wantI) {
+			t.Fatalf("ReduceInt64 op=%d: got %d matches want %d", op, len(got), len(wantI))
+		}
+
+		// Bitmap reduce, both polarities.
+		bm := make([]uint64, (len(data)+7)/8)
+		for i, b := range data {
+			bm[i/8] |= uint64(b) << (8 * (uint(i) % 8))
+		}
+		mb := selVector(sel, len(data)*8)
+		for _, wantSet := range []bool{true, false} {
+			var wantB []uint32
+			for _, p := range mb {
+				if BitmapGet(bm, p) == wantSet {
+					wantB = append(wantB, p)
+				}
+			}
+			if got := ReduceBitmap(bm, wantSet, append([]uint32(nil), mb...)); !eqPos(got, wantB) {
+				t.Fatalf("ReduceBitmap wantSet=%v: got %d matches want %d", wantSet, len(got), len(wantB))
+			}
+		}
+	})
+}

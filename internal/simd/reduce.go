@@ -27,24 +27,24 @@ func Reduce(data []byte, width int, op Op, c1, c2 uint64, m []uint32) []uint32 {
 	if ne {
 		switch width {
 		case 1:
-			return reduceNeW1(data, uint8(lo), m)
+			return reduceNeW1Fn(data, uint8(lo), m)
 		case 2:
-			return reduceNeW2(data, uint16(lo), m)
+			return reduceNeW2Fn(data, uint16(lo), m)
 		case 4:
-			return reduceNeW4(data, uint32(lo), m)
+			return reduceNeW4Fn(data, uint32(lo), m)
 		default:
-			return reduceNeW8(data, lo, m)
+			return reduceNeW8Fn(data, lo, m)
 		}
 	}
 	switch width {
 	case 1:
-		return reduceBetweenW1(data, uint8(lo), uint8(hi), m)
+		return reduceBetweenW1Fn(data, uint8(lo), uint8(hi), m)
 	case 2:
-		return reduceBetweenW2(data, uint16(lo), uint16(hi), m)
+		return reduceBetweenW2Fn(data, uint16(lo), uint16(hi), m)
 	case 4:
-		return reduceBetweenW4(data, uint32(lo), uint32(hi), m)
+		return reduceBetweenW4Fn(data, uint32(lo), uint32(hi), m)
 	default:
-		return reduceBetweenW8(data, lo, hi, m)
+		return reduceBetweenW8Fn(data, lo, hi, m)
 	}
 }
 
@@ -212,21 +212,30 @@ func ReduceInt64(col []int64, op Op, c1, c2 int64, m []uint32) []uint32 {
 	if all {
 		return m
 	}
-	r, w := 0, 0
 	if ne {
-		for ; r+8 <= len(m); r += 8 {
-			var mask uint32
-			for j := 0; j < 8; j++ {
-				mask |= b2u(col[m[r+j]] != lo) << uint(j)
-			}
-			w = compact8(m, w, r, mask)
-		}
-		for ; r < len(m); r++ {
-			m[w] = m[r]
-			w += int(b2u(col[m[r]] != lo))
-		}
-		return m[:w]
+		return reduceNeI64Fn(col, lo, m)
 	}
+	return reduceBetweenI64Fn(col, lo, hi, m)
+}
+
+func reduceNeI64(col []int64, c int64, m []uint32) []uint32 {
+	r, w := 0, 0
+	for ; r+8 <= len(m); r += 8 {
+		var mask uint32
+		for j := 0; j < 8; j++ {
+			mask |= b2u(col[m[r+j]] != c) << uint(j)
+		}
+		w = compact8(m, w, r, mask)
+	}
+	for ; r < len(m); r++ {
+		m[w] = m[r]
+		w += int(b2u(col[m[r]] != c))
+	}
+	return m[:w]
+}
+
+func reduceBetweenI64(col []int64, lo, hi int64, m []uint32) []uint32 {
+	r, w := 0, 0
 	for ; r+8 <= len(m); r += 8 {
 		var mask uint32
 		for j := 0; j < 8; j++ {
@@ -280,6 +289,10 @@ func ReduceFloat64(col []float64, op Op, c1, c2 float64, m []uint32) []uint32 {
 //
 //dbvet:hotpath
 func ReduceBitmap(bm []uint64, wantSet bool, m []uint32) []uint32 {
+	return reduceBitmapFn(bm, wantSet, m)
+}
+
+func reduceBitmapPortable(bm []uint64, wantSet bool, m []uint32) []uint32 {
 	want := uint64(0)
 	if wantSet {
 		want = 1

@@ -1,6 +1,9 @@
 package datablocks
 
 import (
+	"runtime"
+
+	"datablocks/internal/simd"
 	"datablocks/internal/storage"
 )
 
@@ -80,8 +83,20 @@ type TableMetrics struct {
 	Ops TableOps
 }
 
+// HostInfo describes the execution environment the metrics were captured
+// on: the detected CPU feature level, the core count, and which
+// implementation (assembly or portable) each kernel family dispatched to.
+// Embedding it in every snapshot keeps numbers from different hosts — or
+// from the GODEBUG=cpu.avx2=off CI leg — interpretable side by side.
+type HostInfo struct {
+	CPUFeature string
+	Cores      int
+	Kernels    []simd.KernelDispatch
+}
+
 // Metrics is a whole-database snapshot, one entry per table.
 type Metrics struct {
+	Host   HostInfo
 	Tables map[string]TableMetrics
 }
 
@@ -135,7 +150,14 @@ func (db *DB) Metrics() Metrics {
 		tables[n] = t
 	}
 	db.mu.RUnlock()
-	m := Metrics{Tables: make(map[string]TableMetrics, len(tables))}
+	m := Metrics{
+		Host: HostInfo{
+			CPUFeature: simd.CPUFeatureLevel(),
+			Cores:      runtime.NumCPU(),
+			Kernels:    simd.DispatchInfo(),
+		},
+		Tables: make(map[string]TableMetrics, len(tables)),
+	}
 	for n, t := range tables {
 		m.Tables[n] = t.Metrics()
 	}
